@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: validate a small GPU fleet with the full benchmark set.
+
+Builds a 60-VM fleet with the default gray-failure catalog, learns
+benchmark criteria from the build-out runs (Algorithm 2), screens the
+fleet online with the one-sided similarity filter, and prints which
+benchmark caught which node -- the paper's Table 6 flow in miniature.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Validator, build_fleet, full_suite
+from repro.benchsuite import SuiteRunner
+
+
+def main():
+    print("Building a 60-VM fleet with injected gray failures...")
+    fleet = build_fleet(60, seed=7)
+    truth = {node.node_id: node.defects for node in fleet.defective_nodes}
+    print(f"  ground truth: {len(truth)} defective nodes "
+          f"({100 * fleet.defect_ratio:.1f}%)\n")
+
+    validator = Validator(full_suite(), runner=SuiteRunner(seed=1), alpha=0.95)
+
+    print("Learning criteria from build-out runs (24 benchmarks)...")
+    validator.learn_criteria(fleet.nodes)
+
+    print("Screening the fleet against the learned criteria...\n")
+    report = validator.validate(fleet.nodes)
+
+    print(f"{'node':<12} {'flagged by':<30} injected defects")
+    print("-" * 70)
+    by_benchmark = report.violations_by_benchmark()
+    for node_id in report.defective_nodes:
+        benchmarks = sorted(b for b, nodes in by_benchmark.items()
+                            if node_id in nodes)
+        injected = truth.get(node_id, ["(false positive)"])
+        print(f"{node_id:<12} {', '.join(benchmarks):<30} {', '.join(injected)}")
+
+    flagged = set(report.defective_nodes)
+    caught = sum(1 for node_id in truth if node_id in flagged)
+    print("-" * 70)
+    print(f"caught {caught}/{len(truth)} injected defects; "
+          f"{len(flagged - set(truth))} false positives; "
+          f"{len(report.healthy_nodes)} nodes delivered as healthy")
+
+
+if __name__ == "__main__":
+    main()

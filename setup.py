@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The evaluation environment has no network access and no ``wheel``
+package, so PEP 517 editable installs cannot build; this shim enables
+``pip install -e . --no-use-pep517 --no-build-isolation``.  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

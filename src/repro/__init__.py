@@ -1,0 +1,106 @@
+"""repro: a reproduction of SuperBench/ANUBIS (USENIX ATC 2024).
+
+Proactive validation for cloud AI infrastructure: a comprehensive
+benchmark set, a Validator that learns clear-cut criteria over
+benchmark-result distributions, and a Selector that trades validation
+time against incident coverage.  Hardware fleets, fat-tree fabrics and
+production traces are simulated (see DESIGN.md for the substitution
+map); everything the paper's algorithms consume is preserved.
+
+Quick start::
+
+    from repro import build_fleet, full_suite, Validator
+
+    fleet = build_fleet(64, seed=7)
+    validator = Validator(full_suite())
+    validator.learn_criteria(fleet.nodes)
+    report = validator.validate(fleet.nodes)
+    print(report.defective_nodes)
+
+Subpackages
+-----------
+``repro.core``
+    Validator, Selector, criteria (Algorithm 2), benchmark selection
+    (Algorithm 1), parameter search (Appendix B), system facade.
+``repro.benchsuite``
+    The Table 2 benchmark set and the synthetic measurement model.
+``repro.survival``
+    Cox-Time and exponential incident-probability models (Table 3).
+``repro.hardware``
+    Node / component / defect-catalog substrate, HBM row remapping.
+``repro.topology``
+    Fat-tree fabric with redundant ToR uplinks and congestion.
+``repro.netval``
+    Appendix A networking-validation schedulers.
+``repro.simulation``
+    Traces, policies, repair system, 30-day cluster simulator.
+``repro.analysis``
+    LOF / One-Class SVM / IQR / k-means baselines.
+``repro.workloads``
+    Cluster workload mix and representative model zoo.
+"""
+
+from repro.benchsuite import SuiteRunner, full_suite, suite_by_name
+from repro.core import (
+    Anubis,
+    CoverageTable,
+    NodeStatus,
+    SelectionResult,
+    Selector,
+    ValidationEvent,
+    ValidationReport,
+    Validator,
+    cdf_distance,
+    learn_criteria,
+    one_sided_similarity,
+    pairwise_repeatability,
+    select_benchmarks,
+    similarity,
+)
+from repro.hardware import Fleet, Node, WearModel, build_fleet
+from repro.simulation import (
+    ClusterSimulator,
+    SimulationConfig,
+    generate_allocation_trace,
+    generate_incident_trace,
+    run_policy_comparison,
+)
+from repro.survival import CoxTimeModel, SurvivalDataset, extract_status_samples
+from repro.topology import FatTree, FatTreeConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Anubis",
+    "ClusterSimulator",
+    "CoverageTable",
+    "CoxTimeModel",
+    "FatTree",
+    "FatTreeConfig",
+    "Fleet",
+    "Node",
+    "NodeStatus",
+    "SelectionResult",
+    "Selector",
+    "SimulationConfig",
+    "SuiteRunner",
+    "SurvivalDataset",
+    "ValidationEvent",
+    "ValidationReport",
+    "Validator",
+    "WearModel",
+    "__version__",
+    "build_fleet",
+    "cdf_distance",
+    "extract_status_samples",
+    "full_suite",
+    "generate_allocation_trace",
+    "generate_incident_trace",
+    "learn_criteria",
+    "one_sided_similarity",
+    "pairwise_repeatability",
+    "run_policy_comparison",
+    "select_benchmarks",
+    "similarity",
+    "suite_by_name",
+]

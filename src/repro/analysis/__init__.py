@@ -1,0 +1,22 @@
+"""Outlier-detection and criteria baselines used by the evaluation."""
+
+from repro.analysis.baselines import (
+    BaselineCriteria,
+    iqr_criteria,
+    kmeans_criteria,
+    margin_ratio,
+)
+from repro.analysis.outliers import OneClassSvm, local_outlier_factor, lof_outliers
+from repro.analysis.plots import ascii_bars, ascii_cdf
+
+__all__ = [
+    "BaselineCriteria",
+    "OneClassSvm",
+    "ascii_bars",
+    "ascii_cdf",
+    "iqr_criteria",
+    "kmeans_criteria",
+    "local_outlier_factor",
+    "lof_outliers",
+    "margin_ratio",
+]

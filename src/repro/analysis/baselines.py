@@ -1,0 +1,140 @@
+"""Criteria-construction baselines and the Margin Ratio (paper §5.3).
+
+Figure 9 compares Algorithm 2's criteria against two typical outlier-
+detection constructions:
+
+* **IQR**: samples are ranked by mean throughput; those below
+  ``Q1 - 1.5 * (Q3 - Q1)`` are defects and the criteria is the median
+  sample of the rest.
+* **k-means (k=2)**: samples (equal-length step series) are clustered
+  in Euclidean space; the minority cluster is defective and the
+  criteria is the element-wise mean of the majority cluster.
+
+All three are scored with the *Margin Ratio*
+
+``min over defective of d(S_i, S_C)  /  max over healthy of d(S_j, S_C)``
+
+-- larger means a clearer boundary between defective and healthy
+nodes under the paper's CDF distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distance import cdf_distance
+from repro.core.ecdf import as_sample
+from repro.exceptions import CriteriaError
+
+__all__ = [
+    "BaselineCriteria",
+    "iqr_criteria",
+    "kmeans_criteria",
+    "margin_ratio",
+]
+
+
+@dataclass(frozen=True)
+class BaselineCriteria:
+    """Criteria sample plus the defect split a baseline produced."""
+
+    criteria: np.ndarray
+    defect_indices: tuple[int, ...]
+    healthy_indices: tuple[int, ...]
+    method: str
+
+
+def iqr_criteria(samples) -> BaselineCriteria:
+    """IQR fence on per-sample mean throughput (Figure 9 baseline)."""
+    if len(samples) < 3:
+        raise CriteriaError("IQR criteria needs at least three samples")
+    means = np.array([as_sample(s).mean() for s in samples])
+    q1, q3 = np.percentile(means, [25.0, 75.0])
+    fence = q1 - 1.5 * (q3 - q1)
+    healthy = np.flatnonzero(means >= fence)
+    defective = np.flatnonzero(means < fence)
+    if healthy.size == 0:
+        raise CriteriaError("IQR fence excluded every sample")
+    median_of_healthy = healthy[int(np.argsort(means[healthy])[healthy.size // 2])]
+    return BaselineCriteria(
+        criteria=np.sort(as_sample(samples[median_of_healthy])),
+        defect_indices=tuple(int(i) for i in defective),
+        healthy_indices=tuple(int(i) for i in healthy),
+        method="iqr",
+    )
+
+
+def _lloyd_kmeans(matrix: np.ndarray, k: int, seed: int,
+                  n_iterations: int = 100) -> np.ndarray:
+    """Plain Lloyd's algorithm; returns per-row cluster labels."""
+    rng = np.random.default_rng(seed)
+    n = matrix.shape[0]
+    centers = matrix[rng.choice(n, size=k, replace=False)]
+    labels = np.zeros(n, dtype=int)
+    for _ in range(n_iterations):
+        dists = ((matrix[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_labels = dists.argmin(axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for cluster in range(k):
+            members = matrix[labels == cluster]
+            if members.size:
+                centers[cluster] = members.mean(axis=0)
+    return labels
+
+
+def kmeans_criteria(samples, *, seed: int = 0) -> BaselineCriteria:
+    """k-means (k=2) on equal-length series (Figure 9 baseline).
+
+    The majority cluster is healthy; its element-wise mean becomes the
+    criteria sample.  Samples must share one length (they do for a
+    fixed-step end-to-end benchmark); shorter samples are rejected.
+    """
+    if len(samples) < 3:
+        raise CriteriaError("k-means criteria needs at least three samples")
+    arrays = [as_sample(s) for s in samples]
+    length = arrays[0].size
+    if any(a.size != length for a in arrays):
+        raise CriteriaError("k-means criteria needs equal-length samples")
+    matrix = np.vstack(arrays)
+    labels = _lloyd_kmeans(matrix, k=2, seed=seed)
+
+    counts = np.bincount(labels, minlength=2)
+    majority = int(counts.argmax())
+    if counts.min() == 0:
+        # Degenerate clustering: everything healthy.
+        healthy = np.arange(len(samples))
+        defective = np.array([], dtype=int)
+    else:
+        healthy = np.flatnonzero(labels == majority)
+        defective = np.flatnonzero(labels != majority)
+    return BaselineCriteria(
+        criteria=np.sort(matrix[healthy].mean(axis=0)),
+        defect_indices=tuple(int(i) for i in defective),
+        healthy_indices=tuple(int(i) for i in healthy),
+        method="kmeans",
+    )
+
+
+def margin_ratio(samples, criteria, defect_indices) -> float:
+    """Margin Ratio of a criteria against a defect split (§5.3).
+
+    ``inf`` when there is no defect (nothing to separate), ``0`` when a
+    defect sits exactly on the criteria.  The *healthy* max distance is
+    floored at a tiny epsilon to keep the ratio finite for perfectly
+    repeatable benchmarks.
+    """
+    defect_set = set(int(i) for i in defect_indices)
+    if not defect_set:
+        return float("inf")
+    distances = np.array([cdf_distance(s, criteria) for s in samples])
+    defective = np.array(sorted(defect_set))
+    healthy = np.array([i for i in range(len(samples)) if i not in defect_set])
+    if healthy.size == 0:
+        raise CriteriaError("margin ratio needs at least one healthy sample")
+    min_defect = float(distances[defective].min())
+    max_healthy = max(float(distances[healthy].max()), 1e-9)
+    return min_defect / max_healthy

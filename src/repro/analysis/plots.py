@@ -1,0 +1,82 @@
+"""Terminal plots for benchmark distributions (no plotting deps).
+
+The paper's evaluation is figures of CDFs and bars; the offline
+environment has no matplotlib, so this module renders the two chart
+types the examples and benches need as plain text:
+
+* :func:`ascii_cdf` -- empirical CDF curves (Figure 3 style), multiple
+  series overlaid with distinct glyphs;
+* :func:`ascii_bars` -- horizontal bar chart (Figure 1/9 style).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ecdf import as_sample
+
+__all__ = ["ascii_cdf", "ascii_bars"]
+
+_GLYPHS = "*o+x#@"
+
+
+def ascii_cdf(series: dict[str, object], *, width: int = 60, height: int = 16,
+              x_label: str = "") -> str:
+    """Render empirical CDFs of one or more samples as ASCII art.
+
+    Parameters
+    ----------
+    series:
+        Label -> 1-D sample.  Up to six series, each drawn with its own
+        glyph.
+    width, height:
+        Plot body size in characters.
+    x_label:
+        Axis caption appended under the plot.
+    """
+    if not series:
+        raise ValueError("ascii_cdf needs at least one series")
+    if len(series) > len(_GLYPHS):
+        raise ValueError(f"at most {len(_GLYPHS)} series supported")
+    samples = {label: np.sort(as_sample(values))
+               for label, values in series.items()}
+    lo = min(float(s[0]) for s in samples.values())
+    hi = max(float(s[-1]) for s in samples.values())
+    if hi <= lo:
+        hi = lo + 1.0
+    xs = np.linspace(lo, hi, width)
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (label, sample) in zip(_GLYPHS, samples.items()):
+        f = np.searchsorted(sample, xs, side="right") / sample.size
+        rows = np.clip(((1.0 - f) * (height - 1)).astype(int), 0, height - 1)
+        for col, row in enumerate(rows):
+            grid[row][col] = glyph
+
+    lines = []
+    for index, row in enumerate(grid):
+        f_value = 1.0 - index / (height - 1)
+        lines.append(f"{f_value:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {lo:<12.4g}{'':{max(width - 24, 1)}}{hi:>12.4g}")
+    if x_label:
+        lines.append(f"      {x_label}")
+    legend = "   ".join(f"{glyph} {label}"
+                        for glyph, label in zip(_GLYPHS, samples))
+    lines.append(f"      {legend}")
+    return "\n".join(lines)
+
+
+def ascii_bars(values: dict[str, float], *, width: int = 50,
+               fmt: str = "{:.2f}") -> str:
+    """Render a label -> value map as a horizontal bar chart."""
+    if not values:
+        raise ValueError("ascii_bars needs at least one value")
+    peak = max(abs(v) for v in values.values()) or 1.0
+    label_width = max(len(str(label)) for label in values)
+    lines = []
+    for label, value in values.items():
+        bar = "#" * max(int(round(abs(value) / peak * width)), 0)
+        lines.append(f"{str(label):<{label_width}} |{bar:<{width}} "
+                     + fmt.format(value))
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""The Table 2 benchmark set and its synthetic execution engine."""
+
+from repro.benchsuite.base import (
+    BenchmarkKind,
+    BenchmarkResult,
+    BenchmarkSpec,
+    E2eProfile,
+    MetricSpec,
+    Phase,
+    measure_metric,
+    run_benchmark,
+)
+from repro.benchsuite.faults import FaultInjectingRunner
+from repro.benchsuite.multinode import (
+    PairScanResult,
+    run_all_pair_scan,
+    run_group_collective,
+)
+from repro.benchsuite.runner import StepWindow, SuiteRunner
+from repro.benchsuite.suite import (
+    e2e_suite,
+    full_suite,
+    micro_suite,
+    multi_node_suite,
+    single_node_suite,
+    suite_by_name,
+    total_duration_minutes,
+    total_metric_count,
+)
+
+__all__ = [
+    "BenchmarkKind",
+    "BenchmarkResult",
+    "BenchmarkSpec",
+    "E2eProfile",
+    "FaultInjectingRunner",
+    "MetricSpec",
+    "PairScanResult",
+    "Phase",
+    "StepWindow",
+    "SuiteRunner",
+    "e2e_suite",
+    "full_suite",
+    "measure_metric",
+    "micro_suite",
+    "multi_node_suite",
+    "run_all_pair_scan",
+    "run_benchmark",
+    "run_group_collective",
+    "single_node_suite",
+    "suite_by_name",
+    "total_duration_minutes",
+    "total_metric_count",
+]

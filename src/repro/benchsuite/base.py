@@ -1,0 +1,242 @@
+"""Benchmark abstractions and the synthetic measurement model.
+
+A :class:`BenchmarkSpec` describes one entry of the paper's Table 2:
+its phase (single-node vs. multi-node), kind (micro vs. end-to-end),
+nominal duration, the hardware components it stresses, and one or more
+:class:`MetricSpec` outputs.
+
+Because no GPU fleet is available offline, running a benchmark samples
+from a *measurement model* instead of executing kernels: the healthy
+metric value is scaled by the node's component-health multiplier, then
+perturbed by run-to-run variation, per-step noise and -- for
+end-to-end benchmarks -- a warm-up transient plus a periodic
+data-loading pattern.  The Validator only ever sees the emitted
+samples, exactly as it would see real benchmark output.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import BenchmarkError
+from repro.hardware.components import Component
+from repro.hardware.node import Node
+
+__all__ = [
+    "BenchmarkKind",
+    "Phase",
+    "MetricSpec",
+    "E2eProfile",
+    "BenchmarkSpec",
+    "BenchmarkResult",
+    "measure_metric",
+    "run_benchmark",
+]
+
+
+class BenchmarkKind(str, enum.Enum):
+    """Micro (component-wise) vs. end-to-end (workload) benchmark."""
+
+    MICRO = "micro"
+    E2E = "e2e"
+
+
+class Phase(str, enum.Enum):
+    """Execution phase (paper §4): single-node first, then multi-node."""
+
+    SINGLE_NODE = "single-node"
+    MULTI_NODE = "multi-node"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One measured metric of a benchmark.
+
+    Attributes
+    ----------
+    name:
+        Metric identifier, unique within the benchmark.
+    unit:
+        Display unit (GB/s, TFLOPS, samples/s, us, ...).
+    higher_is_better:
+        Polarity; latency-like metrics set this to False.
+    base_value:
+        Healthy-node mean.
+    noise_cv:
+        Per-step relative noise within one run.
+    run_cv:
+        Run-to-run relative variation (same node, repeated runs).
+    node_cv:
+        Stable cross-node variation of this metric (silicon lottery);
+        the per-node factor is deterministic in the node id so repeated
+        runs on one node see the same offset.
+    series_length:
+        Number of samples per run (1 for single-value micros).
+    sensitivity:
+        Component exponents; falls back to the benchmark-level map
+        when empty.
+    """
+
+    name: str
+    unit: str
+    higher_is_better: bool = True
+    base_value: float = 1.0
+    noise_cv: float = 0.01
+    run_cv: float = 0.004
+    node_cv: float = 0.003
+    series_length: int = 1
+    sensitivity: dict[Component, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.base_value <= 0:
+            raise BenchmarkError(f"metric {self.name!r} needs a positive base value")
+        if self.series_length < 1:
+            raise BenchmarkError(f"metric {self.name!r} needs series_length >= 1")
+
+
+@dataclass(frozen=True)
+class E2eProfile:
+    """Shape of an end-to-end training-throughput series.
+
+    Attributes
+    ----------
+    warmup_steps:
+        True transient length: early steps ramp up as allocators and
+        caches warm (this is what Appendix B's parameter search must
+        discover and skip).
+    period:
+        Data-loading cycle length in steps.
+    seasonal_amplitude:
+        Relative amplitude of the periodic pattern.
+    ramp_depth:
+        How far below steady state the first step sits (0.3 = 30% low).
+    """
+
+    warmup_steps: int = 64
+    period: int = 48
+    seasonal_amplitude: float = 0.008
+    ramp_depth: float = 0.35
+
+    def shape(self, n_steps: int) -> np.ndarray:
+        """Deterministic multiplicative shape of a run of ``n_steps``."""
+        steps = np.arange(n_steps)
+        ramp = 1.0 - self.ramp_depth * np.exp(-3.0 * steps / max(self.warmup_steps, 1))
+        seasonal = 1.0 + self.seasonal_amplitude * np.sin(
+            2.0 * np.pi * steps / max(self.period, 1)
+        )
+        return ramp * seasonal
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark of the validation set (one row of Table 2)."""
+
+    name: str
+    kind: BenchmarkKind
+    phase: Phase
+    duration_minutes: float
+    sensitivity: dict[Component, float]
+    metrics: tuple[MetricSpec, ...]
+    e2e_profile: E2eProfile | None = None
+    description: str = ""
+
+    def __post_init__(self):
+        if self.duration_minutes <= 0:
+            raise BenchmarkError(f"benchmark {self.name!r} needs a positive duration")
+        if not self.metrics:
+            raise BenchmarkError(f"benchmark {self.name!r} declares no metrics")
+        names = [m.name for m in self.metrics]
+        if len(names) != len(set(names)):
+            raise BenchmarkError(f"benchmark {self.name!r} has duplicate metric names")
+        if self.kind is BenchmarkKind.E2E and self.e2e_profile is None:
+            raise BenchmarkError(
+                f"end-to-end benchmark {self.name!r} needs an e2e_profile"
+            )
+
+    def metric(self, name: str) -> MetricSpec:
+        """Metric lookup by name."""
+        for spec in self.metrics:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"benchmark {self.name!r} has no metric {name!r}")
+
+    def metric_sensitivity(self, metric: MetricSpec) -> dict[Component, float]:
+        """Effective sensitivity map for one metric."""
+        return metric.sensitivity or self.sensitivity
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """Output of one benchmark run on one node."""
+
+    benchmark: str
+    node_id: str
+    metrics: dict[str, np.ndarray]
+
+    def sample(self, metric_name: str) -> np.ndarray:
+        """Raw sample array for one metric."""
+        try:
+            return self.metrics[metric_name]
+        except KeyError:
+            raise KeyError(
+                f"run of {self.benchmark!r} has no metric {metric_name!r}"
+            ) from None
+
+
+def _node_metric_factor(node: Node, spec: BenchmarkSpec, metric: MetricSpec) -> float:
+    """Stable silicon-lottery factor for (node, benchmark, metric).
+
+    Derived deterministically from the identifiers so the same node
+    measures consistently across runs while different nodes spread by
+    ``metric.node_cv`` -- the cross-node variability the paper cites as
+    a criteria-learning challenge (§2.3).
+    """
+    if metric.node_cv == 0.0:
+        return 1.0
+    key = f"{node.node_id}/{spec.name}/{metric.name}".encode()
+    digest = zlib.crc32(key)  # stable across processes, unlike hash()
+    draw = np.random.default_rng(digest).standard_normal()
+    return 1.0 + metric.node_cv * float(draw)
+
+
+def measure_metric(spec: BenchmarkSpec, metric: MetricSpec, node: Node,
+                   rng: np.random.Generator, *,
+                   n_steps: int | None = None) -> np.ndarray:
+    """Sample one metric of one benchmark on one node.
+
+    The healthy value is scaled by the node's performance multiplier
+    for the metric's component sensitivities; latency metrics divide
+    instead of multiply so degradation always means "worse".
+    """
+    multiplier = node.performance_multiplier(spec.metric_sensitivity(metric))
+    multiplier *= _node_metric_factor(node, spec, metric)
+    run_factor = 1.0 + metric.run_cv * float(rng.standard_normal())
+    length = int(n_steps) if n_steps is not None else metric.series_length
+    if length < 1:
+        raise BenchmarkError("n_steps must be at least 1")
+
+    if metric.higher_is_better:
+        level = metric.base_value * multiplier
+    else:
+        level = metric.base_value / max(multiplier, 1e-6)
+    level *= max(run_factor, 0.01)
+
+    noise = 1.0 + metric.noise_cv * rng.standard_normal(length)
+    series = level * noise
+    if spec.e2e_profile is not None and metric.higher_is_better:
+        series = series * spec.e2e_profile.shape(length)
+    return np.maximum(series, 1e-9)
+
+
+def run_benchmark(spec: BenchmarkSpec, node: Node, rng: np.random.Generator,
+                  *, n_steps: int | None = None) -> BenchmarkResult:
+    """Run (simulate) one benchmark on one node; all metrics sampled."""
+    metrics = {
+        metric.name: measure_metric(spec, metric, node, rng, n_steps=n_steps)
+        for metric in spec.metrics
+    }
+    return BenchmarkResult(benchmark=spec.name, node_id=node.node_id, metrics=metrics)

@@ -1,0 +1,88 @@
+"""Fault-injecting benchmark runner (failure-mode testing).
+
+Real benchmark executions crash, hang and emit garbage: the paper
+counts such failures as defects by definition ("Any nodes with
+failures or performance regressions are defined as defects").
+:class:`FaultInjectingRunner` wraps a :class:`SuiteRunner` and injects
+those execution-level failures with configurable probabilities so the
+Validator's failure paths can be exercised deterministically:
+
+* ``crash`` -- the benchmark produces no samples (empty array);
+* ``hang``  -- the run times out and reports NaN;
+* ``garbage`` -- a corrupted metric (zeros).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.benchsuite.base import BenchmarkResult, BenchmarkSpec
+from repro.benchsuite.runner import SuiteRunner
+from repro.hardware.node import Node
+
+__all__ = ["FaultInjectingRunner"]
+
+_FAULT_KINDS = ("crash", "hang", "garbage")
+
+
+class FaultInjectingRunner(SuiteRunner):
+    """A SuiteRunner that randomly corrupts benchmark executions.
+
+    Parameters
+    ----------
+    crash_rate, hang_rate, garbage_rate:
+        Per-run probabilities of each fault kind; at most one fault
+        applies per run.
+    fault_nodes:
+        Optional set of node ids eligible for faults; ``None`` makes
+        every node eligible.
+    seed:
+        Seeds both the measurement stream (via SuiteRunner) and the
+        fault lottery.
+    """
+
+    def __init__(self, *, crash_rate: float = 0.0, hang_rate: float = 0.0,
+                 garbage_rate: float = 0.0, fault_nodes=None, seed: int = 0,
+                 windows=None):
+        super().__init__(seed=seed, windows=windows)
+        for name, rate in (("crash_rate", crash_rate), ("hang_rate", hang_rate),
+                           ("garbage_rate", garbage_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if crash_rate + hang_rate + garbage_rate > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+        self.crash_rate = crash_rate
+        self.hang_rate = hang_rate
+        self.garbage_rate = garbage_rate
+        self.fault_nodes = set(fault_nodes) if fault_nodes is not None else None
+        self._fault_rng = np.random.default_rng(seed + 0x5EED)
+        self.injected: list[tuple[str, str, str]] = []  # (node, benchmark, kind)
+
+    def _draw_fault(self, node: Node) -> str | None:
+        if self.fault_nodes is not None and node.node_id not in self.fault_nodes:
+            return None
+        roll = float(self._fault_rng.random())
+        if roll < self.crash_rate:
+            return "crash"
+        if roll < self.crash_rate + self.hang_rate:
+            return "hang"
+        if roll < self.crash_rate + self.hang_rate + self.garbage_rate:
+            return "garbage"
+        return None
+
+    def run(self, spec: BenchmarkSpec, node: Node) -> BenchmarkResult:
+        result = super().run(spec, node)
+        fault = self._draw_fault(node)
+        if fault is None:
+            return result
+        self.injected.append((node.node_id, spec.name, fault))
+        corrupted = {}
+        for name, series in result.metrics.items():
+            if fault == "crash":
+                corrupted[name] = np.array([])
+            elif fault == "hang":
+                corrupted[name] = np.full_like(series, np.nan)
+            else:
+                corrupted[name] = np.zeros_like(series)
+        return BenchmarkResult(benchmark=spec.name, node_id=node.node_id,
+                               metrics=corrupted)

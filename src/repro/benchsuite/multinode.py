@@ -1,0 +1,143 @@
+"""Multi-node phase benchmarks over a fat-tree fabric.
+
+The multi-node benchmarks of Table 2 exercise the network between
+nodes: all-pair RDMA scans (scheduled with the Appendix A circle
+method), multi-node collectives, and distributed training.  Their
+measurement model combines three effects:
+
+* per-node component health (NIC / IB-link sensitivities, like the
+  single-node model);
+* fabric congestion from broken ToR uplink redundancy
+  (:mod:`repro.topology.congestion`);
+* the usual run-to-run measurement noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.benchsuite.base import BenchmarkSpec, measure_metric
+from repro.exceptions import BenchmarkError
+from repro.hardware.components import Component
+from repro.hardware.node import Node
+from repro.netval.pairs import round_robin_schedule
+from repro.topology.congestion import allreduce_pair_bandwidths, nominal_bus_bandwidth
+from repro.topology.fattree import FatTree
+
+__all__ = ["PairScanResult", "run_all_pair_scan", "run_group_collective"]
+
+
+@dataclass(frozen=True)
+class PairScanResult:
+    """Outcome of a full pairwise RDMA scan.
+
+    Attributes
+    ----------
+    rounds:
+        The executed schedule (list of rounds of pairs).
+    pair_bandwidths:
+        ``frozenset({a, b})`` -> measured GB/s.
+    node_min_bandwidth:
+        Per node, the *worst* bandwidth over all its pairs.  A single
+        bad endpoint drags down every partner's minimum, so this is a
+        fabric-health indicator, not a localizer.
+    node_median_bandwidth:
+        Per node, the *median* bandwidth over all its pairs -- robust
+        to one bad partner, so a consistently slow node stands out;
+        this is the value compared against criteria when filtering
+        defective endpoints.
+    """
+
+    rounds: list
+    pair_bandwidths: dict[frozenset, float]
+    node_min_bandwidth: dict[int, float]
+    node_median_bandwidth: dict[int, float]
+
+
+def run_all_pair_scan(tree: FatTree, nodes: list[Node],
+                      rng: np.random.Generator, *,
+                      per_pair_base_gbs: float = 24.2,
+                      noise_cv: float = 0.001) -> PairScanResult:
+    """Full O(n)-round pairwise RDMA-write scan.
+
+    ``nodes[i]`` is attached at topology index ``i``.  Each round runs
+    its disjoint pairs concurrently; a pair's bandwidth is the
+    congestion-scaled fabric bandwidth capped by the slower endpoint's
+    NIC health.
+    """
+    if len(nodes) != tree.config.n_nodes:
+        raise BenchmarkError(
+            f"{len(nodes)} nodes given for a {tree.config.n_nodes}-node topology"
+        )
+    rounds = round_robin_schedule(list(range(len(nodes))))
+    pair_bandwidths: dict[frozenset, float] = {}
+    node_min: dict[int, float] = {i: float("inf") for i in range(len(nodes))}
+    node_values: dict[int, list] = {i: [] for i in range(len(nodes))}
+
+    for round_pairs in rounds:
+        fabric = allreduce_pair_bandwidths(
+            tree, round_pairs, concurrent=True, noise_cv=0.0
+        )
+        for measured in fabric:
+            a, b = measured.pair
+            fabric_scale = measured.bandwidth_gbps / nominal_bus_bandwidth(tree)
+            endpoint_scale = min(
+                nodes[a].performance_multiplier({Component.NIC: 1.0,
+                                                 Component.IB_LINK: 0.5}),
+                nodes[b].performance_multiplier({Component.NIC: 1.0,
+                                                 Component.IB_LINK: 0.5}),
+            )
+            noise = 1.0 + noise_cv * float(rng.standard_normal())
+            bandwidth = per_pair_base_gbs * fabric_scale * endpoint_scale * noise
+            pair_bandwidths[frozenset((a, b))] = max(bandwidth, 0.0)
+            node_min[a] = min(node_min[a], bandwidth)
+            node_min[b] = min(node_min[b], bandwidth)
+            node_values[a].append(bandwidth)
+            node_values[b].append(bandwidth)
+    node_median = {i: float(np.median(vals)) for i, vals in node_values.items()}
+    return PairScanResult(rounds=rounds, pair_bandwidths=pair_bandwidths,
+                          node_min_bandwidth=node_min,
+                          node_median_bandwidth=node_median)
+
+
+def run_group_collective(spec: BenchmarkSpec, tree: FatTree, nodes: list[Node],
+                         member_indices: list[int],
+                         rng: np.random.Generator) -> dict[str, np.ndarray]:
+    """Collective (all-reduce/all-gather/all-to-all) over a node group.
+
+    Gang-scheduled semantics: the group's achieved bandwidth is set by
+    its *slowest* member and the most congested ToR its traffic
+    crosses.  Returns metric name -> sample (shared by all members).
+    """
+    if len(member_indices) < 2:
+        raise BenchmarkError("a collective needs at least two members")
+    for idx in member_indices:
+        if not 0 <= idx < len(nodes):
+            raise BenchmarkError(f"member index {idx} out of range")
+
+    # Slowest member dominates (synchronized collectives).
+    weakest = min(
+        (nodes[i] for i in member_indices),
+        key=lambda node: node.performance_multiplier(spec.sensitivity),
+    )
+    # Worst congestion over the ToRs the group spans.
+    tors = {tree.tor_of(i) for i in member_indices}
+    congestion = 1.0
+    if len(tors) > 1:
+        threshold = tree.config.congestion_threshold
+        for tor in tors:
+            alive = tree.alive_uplinks(tor)
+            if alive < threshold:
+                congestion = min(congestion, alive / threshold)
+
+    samples = {}
+    for metric in spec.metrics:
+        series = measure_metric(spec, metric, weakest, rng)
+        if metric.higher_is_better:
+            series = series * congestion
+        else:
+            series = series / max(congestion, 1e-6)
+        samples[metric.name] = series
+    return samples

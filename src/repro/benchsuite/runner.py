@@ -1,0 +1,134 @@
+"""Benchmark execution over fleets.
+
+:class:`SuiteRunner` drives benchmarks against (simulated) nodes the
+same way the Validator drives them against VMs: per node, per
+benchmark, producing :class:`~repro.benchsuite.base.BenchmarkResult`
+objects.  It also implements the measurement-window policy for
+end-to-end benchmarks -- dropping warm-up steps and keeping a bounded
+measurement window -- which is where Appendix B's tuned parameters
+plug in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.benchsuite.base import (
+    BenchmarkKind,
+    BenchmarkResult,
+    BenchmarkSpec,
+    run_benchmark,
+)
+from repro.exceptions import BenchmarkError
+from repro.hardware.node import Node
+
+__all__ = ["StepWindow", "SuiteRunner"]
+
+
+@dataclass(frozen=True)
+class StepWindow:
+    """Measurement window for an end-to-end benchmark.
+
+    ``warmup`` steps are discarded and the following ``measure`` steps
+    are kept -- the (w, n) parameters of Appendix B.
+    """
+
+    warmup: int
+    measure: int
+
+    def __post_init__(self):
+        if self.warmup < 0 or self.measure < 1:
+            raise BenchmarkError(
+                f"invalid step window (warmup={self.warmup}, measure={self.measure})"
+            )
+
+    @property
+    def total_steps(self) -> int:
+        """Steps that must be executed to fill this window."""
+        return self.warmup + self.measure
+
+    def apply(self, series: np.ndarray) -> np.ndarray:
+        """Slice a raw step series down to the measurement window."""
+        if series.size < self.total_steps:
+            raise BenchmarkError(
+                f"series of {series.size} steps is shorter than window "
+                f"({self.warmup}+{self.measure})"
+            )
+        return series[self.warmup:self.total_steps]
+
+
+class SuiteRunner:
+    """Executes benchmarks on nodes with optional per-benchmark windows.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the measurement-noise stream.
+    windows:
+        Benchmark name -> :class:`StepWindow`; end-to-end benchmarks
+        without an entry run their default series length and keep all
+        steps after the spec's nominal warm-up.
+    """
+
+    def __init__(self, *, seed: int = 0,
+                 windows: dict[str, StepWindow] | None = None):
+        self._rng = np.random.default_rng(seed)
+        self.windows = dict(windows or {})
+
+    def set_window(self, benchmark_name: str, window: StepWindow) -> None:
+        """Install a tuned measurement window for one benchmark."""
+        self.windows[benchmark_name] = window
+
+    def window_for(self, spec: BenchmarkSpec) -> StepWindow | None:
+        """Effective measurement window for one benchmark.
+
+        Tuned windows take precedence; otherwise end-to-end benchmarks
+        get a conservative default that discards twice the nominal
+        warm-up transient (validation must never compare warm-up steps
+        against criteria -- §3.4's repeatability guideline 1) and keeps
+        the remaining steps.  Micro-benchmarks run unwindowed.
+        """
+        if spec.name in self.windows:
+            return self.windows[spec.name]
+        if spec.kind is not BenchmarkKind.E2E or spec.e2e_profile is None:
+            return None
+        total = max(m.series_length for m in spec.metrics)
+        warmup = min(2 * spec.e2e_profile.warmup_steps, total - 1)
+        return StepWindow(warmup=warmup, measure=total - warmup)
+
+    def run(self, spec: BenchmarkSpec, node: Node) -> BenchmarkResult:
+        """One benchmark on one node, window policy applied."""
+        window = self.window_for(spec)
+        if spec.kind is BenchmarkKind.E2E and window is not None:
+            raw = run_benchmark(spec, node, self._rng, n_steps=window.total_steps)
+            metrics = {name: window.apply(series)
+                       for name, series in raw.metrics.items()}
+            return BenchmarkResult(benchmark=spec.name, node_id=node.node_id,
+                                   metrics=metrics)
+        return run_benchmark(spec, node, self._rng)
+
+    def run_on_nodes(self, spec: BenchmarkSpec, nodes) -> dict[str, BenchmarkResult]:
+        """One benchmark across many nodes; node id -> result."""
+        return {node.node_id: self.run(spec, node) for node in nodes}
+
+    def run_repeated(self, spec: BenchmarkSpec, node: Node,
+                     repeats: int) -> list[BenchmarkResult]:
+        """Repeated runs on one node (repeatability measurements)."""
+        if repeats < 1:
+            raise BenchmarkError("repeats must be at least 1")
+        return [self.run(spec, node) for _ in range(repeats)]
+
+    def duration_minutes(self, spec: BenchmarkSpec) -> float:
+        """Wall-clock cost of one run, shrunk by a tuned window.
+
+        An end-to-end benchmark's cost scales with the number of steps
+        actually executed relative to its default series length.
+        """
+        window = self.window_for(spec)
+        if spec.kind is BenchmarkKind.E2E and window is not None:
+            default_steps = max(m.series_length for m in spec.metrics)
+            scale = window.total_steps / default_steps
+            return spec.duration_minutes * min(scale, 1.0)
+        return spec.duration_minutes

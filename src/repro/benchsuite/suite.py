@@ -1,0 +1,292 @@
+"""The full validation benchmark set (paper §4, Table 2).
+
+Twenty-four benchmarks in two phases:
+
+* **Single-node phase** -- 14 micro-benchmarks covering individual
+  components and common workload patterns, plus 7 end-to-end training
+  benchmarks over the representative model families (ResNet, DenseNet,
+  VGG, LSTM, BERT, GPT-2, and a long-running GPT-2-large stress run).
+* **Multi-node phase** -- all-pair RDMA scans, GPU collective
+  communication, and multi-node training.
+
+Healthy metric values approximate an A100-80GB 8-GPU VM with 8x200 Gb/s
+InfiniBand.  Component sensitivities encode *which* benchmark catches
+*which* gray failure: the dominant component carries weight ~1.0 and
+cross-terms are kept small enough that a moderate defect on a foreign
+component stays inside the similarity threshold -- mirroring the
+paper's observation that many regressions surface in exactly one
+benchmark (§2.3).  Variance parameters (per-run, per-node) are
+calibrated against the repeatability column of Table 6.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.base import (
+    BenchmarkKind,
+    BenchmarkSpec,
+    E2eProfile,
+    MetricSpec,
+    Phase,
+)
+from repro.hardware.components import Component as C
+
+__all__ = [
+    "full_suite",
+    "suite_by_name",
+    "single_node_suite",
+    "multi_node_suite",
+    "micro_suite",
+    "e2e_suite",
+    "total_metric_count",
+    "total_duration_minutes",
+]
+
+
+def _metric(name, unit, base, *, lower_better=False, noise=0.01,
+            run_cv=0.003, node_cv=0.003, steps=1, sens=None):
+    """Terse MetricSpec constructor for the registry below."""
+    return MetricSpec(
+        name=name,
+        unit=unit,
+        higher_is_better=not lower_better,
+        base_value=base,
+        noise_cv=noise,
+        run_cv=run_cv,
+        node_cv=node_cv,
+        series_length=steps,
+        sensitivity=sens or {},
+    )
+
+
+_E2E_STEPS = 384  # default measured steps for validation runs
+_E2E_FULL_STEPS = 3144  # 72 warmup + 3072 measurement (Table 5 baseline)
+
+_CNN_PROFILE = E2eProfile(warmup_steps=72, period=48, seasonal_amplitude=0.010)
+_TRANSFORMER_PROFILE = E2eProfile(warmup_steps=64, period=64, seasonal_amplitude=0.006)
+_RNN_PROFILE = E2eProfile(warmup_steps=56, period=40, seasonal_amplitude=0.012)
+
+
+def _build_suite() -> tuple[BenchmarkSpec, ...]:
+    micro = Phase.SINGLE_NODE, BenchmarkKind.MICRO
+    e2e = Phase.SINGLE_NODE, BenchmarkKind.E2E
+    multi_micro = Phase.MULTI_NODE, BenchmarkKind.MICRO
+    multi_e2e = Phase.MULTI_NODE, BenchmarkKind.E2E
+
+    def spec(name, phase_kind, minutes, sens, metrics, profile=None, desc=""):
+        phase, kind = phase_kind
+        return BenchmarkSpec(
+            name=name, kind=kind, phase=phase, duration_minutes=minutes,
+            sensitivity=sens, metrics=tuple(metrics), e2e_profile=profile,
+            description=desc,
+        )
+
+    return (
+        # ------------------------- micro: computation -------------------------
+        spec("kernel-launch", micro, 3.0,
+             {C.GPU_COMPUTE: 0.2, C.CPU: 0.3},
+             [_metric("launch_overhead_us", "us", 3.2, lower_better=True,
+                      noise=0.01, run_cv=0.006, node_cv=0.004),
+              _metric("launch_wall_us", "us", 3.7, lower_better=True,
+                      noise=0.01, run_cv=0.006, node_cv=0.004)],
+             desc="CUDA kernel launch overhead"),
+        spec("gemm-flops", micro, 12.0,
+             {C.GPU_COMPUTE: 1.0, C.GPU_MEMORY_BW: 0.1},
+             [_metric("fp64_tflops", "TFLOPS", 19.3, run_cv=0.0035, node_cv=0.0035),
+              _metric("tf32_tflops", "TFLOPS", 148.0, run_cv=0.0035, node_cv=0.0035),
+              _metric("fp16_tflops", "TFLOPS", 288.0, run_cv=0.0035, node_cv=0.0035),
+              _metric("bf16_tflops", "TFLOPS", 280.0, run_cv=0.0035, node_cv=0.0035)],
+             desc="Dense GEMM peak throughput (cutlass/rocBLAS style)"),
+        spec("cublas-function", micro, 10.0,
+             {C.GPU_COMPUTE: 1.0},
+             [_metric("gemm_4096_tflops", "TFLOPS", 142.0, run_cv=0.004, node_cv=0.004),
+              _metric("gemm_8192_tflops", "TFLOPS", 150.0, run_cv=0.004, node_cv=0.004),
+              _metric("batched_gemm_tflops", "TFLOPS", 121.0, run_cv=0.004, node_cv=0.004)],
+             desc="cuBLAS kernels with workload-profiled shapes"),
+        spec("cudnn-function", micro, 10.0,
+             {C.GPU_COMPUTE: 0.9, C.GPU_MEMORY_BW: 0.3},
+             [_metric("conv_fwd_tflops", "TFLOPS", 130.0, run_cv=0.005, node_cv=0.005),
+              _metric("conv_bwd_tflops", "TFLOPS", 118.0, run_cv=0.005, node_cv=0.005)],
+             desc="cuDNN convolution kernels with common shapes"),
+        spec("gpu-burn", micro, 15.0,
+             {C.GPU_COMPUTE: 1.0},
+             [_metric("sustained_tflops", "TFLOPS", 268.0, noise=0.006,
+                      run_cv=0.005, node_cv=0.005, steps=60)],
+             desc="Sustained-load stress; catches thermal instability"),
+        # ------------------------ micro: communication ------------------------
+        spec("cpu-memory-latency", micro, 5.0,
+             {C.DRAM: 1.0, C.CPU: 0.4},
+             [_metric("memory_latency_ns", "ns", 94.0, lower_better=True,
+                      noise=0.012, run_cv=0.0025, node_cv=0.0025),
+              _metric("memory_bw_gbs", "GB/s", 190.0, run_cv=0.0025, node_cv=0.0025)],
+             desc="Intel MLC style CPU memory latency/bandwidth"),
+        spec("mem-bw", micro, 4.0,
+             {C.PCIE: 1.0},
+             [_metric("h2d_bw_gbs", "GB/s", 26.1, run_cv=0.002, node_cv=0.002),
+              _metric("d2h_bw_gbs", "GB/s", 24.3, run_cv=0.002, node_cv=0.002)],
+             desc="Host-to-device / device-to-host copy bandwidth over PCIe"),
+        spec("gpu-copy-bw", micro, 4.0,
+             {C.GPU_MEMORY_BW: 1.0},
+             [_metric("dtod_bw_gbs", "GB/s", 1290.0, run_cv=0.003, node_cv=0.003)],
+             desc="On-device HBM copy bandwidth"),
+        spec("nccl-bw-nvlink", micro, 6.0,
+             {C.NVLINK: 1.0, C.GPU_MEMORY_BW: 0.1},
+             [_metric("allreduce_busbw_gbs", "GB/s", 235.0,
+                      run_cv=0.0007, node_cv=0.0007)],
+             desc="Single-node 8-GPU all-reduce over NVLink"),
+        spec("ib-loopback", micro, 5.0,
+             {C.NIC: 1.0},
+             [_metric("ib_write_bw_gbs", "GB/s", 24.6,
+                      run_cv=0.00025, node_cv=0.00025)],
+             desc="InfiniBand HCA loopback RDMA write (perftest)"),
+        spec("nccl-bw-ib-single", micro, 6.0,
+             {C.IB_LINK: 1.0, C.NIC: 0.12},
+             [_metric("allreduce_busbw_gbs", "GB/s", 22.5,
+                      run_cv=0.0006, node_cv=0.0006)],
+             desc="Single-node all-reduce forced through the IB rail"),
+        # -------------------- micro: overlap and sharding ---------------------
+        spec("matmul-allreduce-overlap", micro, 8.0,
+             {C.OVERLAP_ENGINE: 1.0, C.GPU_COMPUTE: 0.15, C.NVLINK: 0.15},
+             [_metric("overlap_tflops", "TFLOPS", 118.0, noise=0.012,
+                      run_cv=0.004, node_cv=0.004, steps=120)],
+             desc="Concurrent GEMM + all-reduce; exposes L2 interference"),
+        spec("sharding-matmul", micro, 8.0,
+             {C.GPU_COMPUTE: 0.7, C.NVLINK: 0.12},
+             [_metric("sharded_tflops", "TFLOPS", 135.0, noise=0.010,
+                      run_cv=0.004, node_cv=0.004, steps=120)],
+             desc="Tensor-parallel style sharded matmul"),
+        # ------------------------------ micro: disk ---------------------------
+        spec("disk-fio", micro, 12.0,
+             {C.DISK: 1.0},
+             [_metric("seq_read_gbs", "GB/s", 7.0, run_cv=0.006, node_cv=0.006),
+              _metric("seq_write_gbs", "GB/s", 3.1, run_cv=0.006, node_cv=0.006),
+              _metric("rand_read_iops_k", "kIOPS", 650.0, run_cv=0.008, node_cv=0.008),
+              _metric("rand_write_iops_k", "kIOPS", 170.0, run_cv=0.008, node_cv=0.008)],
+             desc="fio random/sequential read/write"),
+        # ------------------------------ end-to-end ----------------------------
+        spec("resnet-models", e2e, 18.0,
+             {C.E2E_CNN_PATH: 1.0, C.GPU_COMPUTE: 0.5, C.GPU_MEMORY_BW: 0.2,
+              C.PCIE: 0.08, C.CPU: 0.05},
+             [_metric("fp32_throughput", "samples/s", 2900.0, noise=0.010,
+                      run_cv=0.0035, node_cv=0.0035, steps=_E2E_STEPS),
+              _metric("fp16_throughput", "samples/s", 5600.0, noise=0.010,
+                      run_cv=0.0035, node_cv=0.0035, steps=_E2E_STEPS)],
+             profile=_CNN_PROFILE,
+             desc="ResNet-50/101/152 multi-GPU training"),
+        spec("densenet-models", e2e, 18.0,
+             {C.E2E_CNN_PATH: 0.3, C.GPU_COMPUTE: 0.5, C.GPU_MEMORY_BW: 0.3,
+              C.PCIE: 0.08},
+             [_metric("fp32_throughput", "samples/s", 1700.0, noise=0.012,
+                      run_cv=0.004, node_cv=0.004, steps=_E2E_STEPS),
+              _metric("fp16_throughput", "samples/s", 3100.0, noise=0.012,
+                      run_cv=0.004, node_cv=0.004, steps=_E2E_STEPS)],
+             profile=_CNN_PROFILE,
+             desc="DenseNet-169/201 multi-GPU training"),
+        spec("vgg-models", e2e, 16.0,
+             {C.E2E_CNN_PATH: 0.25, C.GPU_COMPUTE: 0.6, C.GPU_MEMORY_BW: 0.2,
+              C.PCIE: 0.08},
+             [_metric("fp32_throughput", "samples/s", 1100.0, noise=0.010,
+                      run_cv=0.0035, node_cv=0.0035, steps=_E2E_STEPS),
+              _metric("fp16_throughput", "samples/s", 2200.0, noise=0.010,
+                      run_cv=0.0035, node_cv=0.0035, steps=_E2E_STEPS)],
+             profile=_CNN_PROFILE,
+             desc="VGG-11/13/16/19 multi-GPU training"),
+        spec("lstm-models", e2e, 14.0,
+             {C.E2E_RNN_PATH: 1.0, C.GPU_COMPUTE: 0.4, C.GPU_MEMORY_BW: 0.4},
+             [_metric("fp32_throughput", "samples/s", 1450.0, noise=0.011,
+                      run_cv=0.004, node_cv=0.004, steps=_E2E_STEPS),
+              _metric("fp16_throughput", "samples/s", 2600.0, noise=0.011,
+                      run_cv=0.004, node_cv=0.004, steps=_E2E_STEPS)],
+             profile=_RNN_PROFILE,
+             desc="LSTM training with prevalent hidden sizes"),
+        spec("bert-models", e2e, 22.0,
+             {C.E2E_TRANSFORMER_PATH: 1.0, C.GPU_COMPUTE: 0.5, C.NVLINK: 0.1,
+              C.GPU_MEMORY_BW: 0.3, C.PCIE: 0.08},
+             [_metric("fp32_throughput", "samples/s", 420.0, noise=0.007,
+                      run_cv=0.003, node_cv=0.003, steps=_E2E_STEPS),
+              _metric("fp16_throughput", "samples/s", 980.0, noise=0.007,
+                      run_cv=0.003, node_cv=0.003, steps=_E2E_STEPS)],
+             profile=_TRANSFORMER_PROFILE,
+             desc="BERT base/large pre-training steps"),
+        spec("gpt-models", e2e, 26.0,
+             {C.E2E_TRANSFORMER_PATH: 0.3, C.GPU_COMPUTE: 0.6, C.NVLINK: 0.12,
+              C.GPU_MEMORY: 0.2, C.GPU_MEMORY_BW: 0.3},
+             [_metric("small_throughput", "samples/s", 155.0, noise=0.008,
+                      run_cv=0.003, node_cv=0.003, steps=_E2E_STEPS),
+              _metric("large_throughput", "samples/s", 44.0, noise=0.008,
+                      run_cv=0.003, node_cv=0.003, steps=_E2E_STEPS)],
+             profile=_TRANSFORMER_PROFILE,
+             desc="GPT-2 small/large pre-training steps"),
+        spec("gpt-stress", e2e, 45.0,
+             {C.GPU_COMPUTE: 0.6, C.GPU_MEMORY: 0.8, C.GPU_MEMORY_BW: 0.3},
+             [_metric("tokens_per_s_k", "ktokens/s", 152.0, noise=0.006,
+                      run_cv=0.005, node_cv=0.005, steps=2 * _E2E_STEPS)],
+             profile=_TRANSFORMER_PROFILE,
+             desc="Long-running GPT-2-large stress; catches HBM wear"),
+        # ------------------------------ multi-node ----------------------------
+        spec("all-pair-rdma", multi_micro, 20.0,
+             {C.NIC: 0.3, C.IB_LINK: 1.0},
+             [_metric("pair_bw_gbs", "GB/s", 24.2, run_cv=0.001, node_cv=0.001)],
+             desc="Pairwise RDMA-write scan over the fabric (Appendix A)"),
+        spec("multinode-collectives", multi_micro, 18.0,
+             {C.NIC: 0.3, C.IB_LINK: 1.0},
+             [_metric("allreduce_busbw_gbs", "GB/s", 185.0, run_cv=0.002, node_cv=0.002),
+              _metric("allgather_busbw_gbs", "GB/s", 176.0, run_cv=0.002, node_cv=0.002),
+              _metric("alltoall_busbw_gbs", "GB/s", 92.0, run_cv=0.004, node_cv=0.004)],
+             desc="Multi-node NCCL/RCCL all-reduce, all-gather, all-to-all"),
+        spec("multinode-training", multi_e2e, 30.0,
+             {C.E2E_TRANSFORMER_PATH: 0.3, C.GPU_COMPUTE: 0.4, C.NIC: 0.3,
+              C.IB_LINK: 0.5},
+             [_metric("gpt2_throughput", "samples/s", 38.0, noise=0.008,
+                      run_cv=0.006, node_cv=0.006, steps=_E2E_STEPS)],
+             profile=_TRANSFORMER_PROFILE,
+             desc="Multi-node GPT-2 data-parallel training"),
+    )
+
+
+_SUITE: tuple[BenchmarkSpec, ...] = _build_suite()
+_BY_NAME = {spec.name: spec for spec in _SUITE}
+
+
+def full_suite() -> tuple[BenchmarkSpec, ...]:
+    """All 24 benchmarks of Table 2, single-node phase first."""
+    return _SUITE
+
+
+def suite_by_name(name: str) -> BenchmarkSpec:
+    """Benchmark lookup by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def single_node_suite() -> tuple[BenchmarkSpec, ...]:
+    """Benchmarks of the single-node phase."""
+    return tuple(s for s in _SUITE if s.phase is Phase.SINGLE_NODE)
+
+
+def multi_node_suite() -> tuple[BenchmarkSpec, ...]:
+    """Benchmarks of the multi-node phase."""
+    return tuple(s for s in _SUITE if s.phase is Phase.MULTI_NODE)
+
+
+def micro_suite() -> tuple[BenchmarkSpec, ...]:
+    """Micro-benchmarks only."""
+    return tuple(s for s in _SUITE if s.kind is BenchmarkKind.MICRO)
+
+
+def e2e_suite() -> tuple[BenchmarkSpec, ...]:
+    """End-to-end benchmarks only."""
+    return tuple(s for s in _SUITE if s.kind is BenchmarkKind.E2E)
+
+
+def total_metric_count() -> int:
+    """Number of metrics across the whole set."""
+    return sum(len(s.metrics) for s in _SUITE)
+
+
+def total_duration_minutes() -> float:
+    """Nominal wall-clock cost of a full-set validation, in minutes."""
+    return sum(s.duration_minutes for s in _SUITE)

@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin operational wrappers over the library for the three workflows a
+downstream operator runs most:
+
+* ``screen``   -- build-out screening of a simulated fleet (Table 6 flow);
+* ``simulate`` -- the 30-day policy comparison (Figure 8 / Table 4 flow);
+* ``traces``   -- generate and persist incident/allocation traces.
+
+Every command takes ``--seed`` and prints plain-text tables; exit code
+is non-zero on invalid arguments only (experiments that merely show
+bad hardware still exit 0 -- finding defects is the point).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SuperBench/ANUBIS reproduction: proactive GPU-fleet validation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    screen = sub.add_parser("screen", help="screen a simulated fleet "
+                                           "with the full benchmark set")
+    screen.add_argument("--nodes", type=int, default=120,
+                        help="fleet size (default 120)")
+    screen.add_argument("--learn-on", type=int, default=60,
+                        help="nodes used for offline criteria learning")
+    screen.add_argument("--alpha", type=float, default=0.95,
+                        help="similarity threshold (default 0.95)")
+    screen.add_argument("--seed", type=int, default=0)
+    screen.add_argument("--save-criteria", metavar="PATH", default=None,
+                        help="write learned criteria JSON to PATH")
+
+    simulate = sub.add_parser("simulate", help="run the 30-day policy "
+                                               "comparison simulation")
+    simulate.add_argument("--nodes", type=int, default=48)
+    simulate.add_argument("--days", type=int, default=30)
+    simulate.add_argument("--p0", type=float, default=0.02,
+                          help="Selector residual-probability target")
+    simulate.add_argument("--seed", type=int, default=0)
+
+    traces = sub.add_parser("traces", help="generate synthetic incident "
+                                           "and allocation traces")
+    traces.add_argument("--nodes", type=int, default=200)
+    traces.add_argument("--hours", type=float, default=2400.0)
+    traces.add_argument("--incidents-out", metavar="PATH", default=None)
+    traces.add_argument("--allocations-out", metavar="PATH", default=None)
+    traces.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_screen(args) -> int:
+    from repro.benchsuite.runner import SuiteRunner
+    from repro.benchsuite.suite import full_suite
+    from repro.core.validator import Validator
+    from repro.hardware.fleet import build_fleet
+
+    if args.learn_on < 2 or args.learn_on > args.nodes:
+        print("error: --learn-on must be in [2, --nodes]", file=sys.stderr)
+        return 2
+    fleet = build_fleet(args.nodes, seed=args.seed)
+    validator = Validator(full_suite(), runner=SuiteRunner(seed=args.seed),
+                          alpha=args.alpha)
+    print(f"learning criteria on {args.learn_on} of {args.nodes} nodes...")
+    validator.learn_criteria(fleet.nodes[:args.learn_on])
+    print("screening the fleet...")
+    report = validator.validate(fleet.nodes)
+
+    by_benchmark = report.violations_by_benchmark()
+    print(f"\n{'benchmark':<28} defects")
+    for name, nodes in sorted(by_benchmark.items(), key=lambda kv: -len(kv[1])):
+        print(f"{name:<28} {len(nodes)} "
+              f"({100 * len(nodes) / args.nodes:.2f}%)")
+    flagged = report.defective_nodes
+    print(f"\ntotal: {len(flagged)}/{args.nodes} nodes filtered as defective "
+          f"({100 * len(flagged) / args.nodes:.2f}%)")
+    if args.save_criteria:
+        from repro.core.persistence import save_criteria
+        save_criteria(validator, args.save_criteria)
+        print(f"criteria written to {args.save_criteria}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.simulation.cluster import SimulationConfig
+    from repro.simulation.generator import generate_allocation_trace
+    from repro.simulation.metrics import run_policy_comparison
+
+    horizon = 24.0 * args.days
+    config = SimulationConfig(n_nodes=args.nodes, horizon_hours=horizon,
+                              seed=args.seed)
+    trace = generate_allocation_trace(
+        horizon, jobs_per_hour=args.nodes / 48.0,
+        max_job_nodes=max(2, args.nodes // 4),
+        mean_duration_hours=18.0, seed=args.seed + 1)
+    print(f"simulating {args.days} days x {args.nodes} nodes "
+          f"({len(trace)} jobs) under four policies...")
+    comparison = run_policy_comparison(config, trace, p0=args.p0)
+    print(f"\n{'policy':<10} {'util':>7} {'MTBI(h)':>9} {'val(h)':>8} "
+          f"{'inc/node':>9}")
+    for name in ("absence", "full-set", "selector", "ideal"):
+        result = comparison.results[name]
+        print(f"{name:<10} {100 * result.average_utilization:>6.1f}% "
+              f"{result.mtbi_hours:>9.1f} "
+              f"{result.average_validation_hours:>8.1f} "
+              f"{result.average_incidents:>9.2f}")
+    return 0
+
+
+def _cmd_traces(args) -> int:
+    from repro.simulation.generator import (
+        generate_allocation_trace,
+        generate_incident_trace,
+    )
+
+    incidents = generate_incident_trace(args.nodes, args.hours, seed=args.seed)
+    allocations = generate_allocation_trace(args.hours, seed=args.seed + 1)
+    print(f"generated {len(incidents)} incidents on {args.nodes} nodes and "
+          f"{len(allocations)} allocation requests over {args.hours:.0f} h")
+    if args.incidents_out:
+        incidents.save(args.incidents_out)
+        print(f"incident trace written to {args.incidents_out}")
+    if args.allocations_out:
+        allocations.save(args.allocations_out)
+        print(f"allocation trace written to {args.allocations_out}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "screen": _cmd_screen,
+        "simulate": _cmd_simulate,
+        "traces": _cmd_traces,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""ANUBIS/SuperBench core: Validator, Selector and the system facade."""
+
+from repro.core.criteria import CriteriaResult, learn_criteria
+from repro.core.distance import (
+    cdf_distance,
+    one_sided_distance,
+    one_sided_similarity,
+    pairwise_similarity_matrix,
+    similarity,
+)
+from repro.core.drift import DriftReport, evaluate_drift
+from repro.core.ecdf import Ecdf, as_sample
+from repro.core.persistence import load_criteria, save_criteria
+from repro.core.paramsearch import (
+    estimate_period,
+    search_window,
+    seasonal_decompose,
+    tune_window_across_nodes,
+)
+from repro.core.repeatability import criteria_repeatability, pairwise_repeatability
+from repro.core.selection import (
+    CoverageTable,
+    SelectionResult,
+    joint_incident_probability,
+    select_benchmarks,
+    select_benchmarks_exhaustive,
+)
+from repro.core.selector import NodeStatus, Selector
+from repro.core.system import Anubis, EventKind, ValidationEvent, ValidationOutcome
+from repro.core.validator import (
+    MetricCriteria,
+    ValidationReport,
+    Validator,
+    Violation,
+)
+
+__all__ = [
+    "Anubis",
+    "CoverageTable",
+    "CriteriaResult",
+    "DriftReport",
+    "Ecdf",
+    "EventKind",
+    "MetricCriteria",
+    "NodeStatus",
+    "SelectionResult",
+    "Selector",
+    "ValidationEvent",
+    "ValidationOutcome",
+    "ValidationReport",
+    "Validator",
+    "Violation",
+    "as_sample",
+    "cdf_distance",
+    "criteria_repeatability",
+    "estimate_period",
+    "evaluate_drift",
+    "joint_incident_probability",
+    "learn_criteria",
+    "load_criteria",
+    "one_sided_distance",
+    "one_sided_similarity",
+    "pairwise_repeatability",
+    "pairwise_similarity_matrix",
+    "save_criteria",
+    "search_window",
+    "seasonal_decompose",
+    "select_benchmarks",
+    "select_benchmarks_exhaustive",
+    "similarity",
+    "tune_window_across_nodes",
+]

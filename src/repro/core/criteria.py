@@ -1,0 +1,175 @@
+"""Benchmark criteria learning (paper §3.4, Algorithm 2).
+
+Given one benchmark's result samples from many nodes, the Validator
+learns a *criteria* sample ``S_C`` such that every non-defective sample
+satisfies ``similarity(S_C, S_i) > alpha``.  The algorithm is a
+similarity-based clustering: pick the medoid (the sample maximizing the
+sum of pairwise similarities), exclude everything below the threshold,
+re-pick the medoid among the survivors, and iterate until the surviving
+set is self-consistent.
+
+Two centroid strategies are supported, mirroring the remark in the
+paper's pseudo-code:
+
+* ``"medoid"`` -- the sample with maximal total similarity (default).
+* ``"mean"``   -- the mean in distribution space, realized by pooling
+  the surviving samples (the ECDF of the pooled sample is the average
+  of the member ECDFs when samples have equal length).
+* ``"hybrid"`` -- iterate with the medoid (robust to defective
+  samples polluting a pooled mixture), then return the pool of the
+  surviving healthy samples as the criteria.  The pooled criteria has
+  a much smoother empirical CDF than any single run, which keeps the
+  one-sided online filter's left tail quiet; this is the Validator's
+  default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.distance import pairwise_similarity_matrix, similarity
+from repro.exceptions import CriteriaError
+
+__all__ = ["CriteriaResult", "learn_criteria", "medoid_index"]
+
+_MAX_ITERATIONS = 64
+
+
+@dataclass(frozen=True)
+class CriteriaResult:
+    """Outcome of offline criteria learning for one benchmark metric.
+
+    Attributes
+    ----------
+    criteria:
+        The learned criteria sample ``S_C`` (a 1-D array).
+    defect_indices:
+        Indices (into the input sample list) excluded as defective.
+    healthy_indices:
+        The complement of ``defect_indices``.
+    centroid_index:
+        Index of the medoid sample, or ``None`` when the ``"mean"``
+        centroid (a pooled synthetic sample) was used.
+    iterations:
+        Number of exclude/re-center rounds performed.
+    alpha:
+        The similarity threshold the criteria was learned against.
+    """
+
+    criteria: np.ndarray
+    defect_indices: tuple[int, ...]
+    healthy_indices: tuple[int, ...]
+    centroid_index: int | None
+    iterations: int
+    alpha: float
+    similarities: tuple[float, ...] = field(default=())
+
+    @property
+    def defect_ratio(self) -> float:
+        """Fraction of input samples excluded as defective."""
+        total = len(self.defect_indices) + len(self.healthy_indices)
+        return len(self.defect_indices) / total if total else 0.0
+
+
+def medoid_index(sim_matrix: np.ndarray, active: np.ndarray) -> int:
+    """Index (into the full sample list) of the medoid among ``active``.
+
+    The medoid maximizes the row-sum of pairwise similarities restricted
+    to the active subset -- the ``GetCentroid`` helper of Algorithm 2.
+    """
+    if active.size == 0:
+        raise CriteriaError("cannot take the medoid of an empty sample set")
+    sub = sim_matrix[np.ix_(active, active)]
+    return int(active[int(np.argmax(sub.sum(axis=1)))])
+
+
+def _pooled_sample(samples, active: np.ndarray) -> np.ndarray:
+    """Mean-in-distribution-space centroid: pool the active samples."""
+    return np.sort(np.concatenate([np.asarray(samples[i], dtype=float) for i in active]))
+
+
+def learn_criteria(samples, alpha: float = 0.95, *, centroid: str = "medoid") -> CriteriaResult:
+    """Run Algorithm 2 on ``samples`` and return the learned criteria.
+
+    Parameters
+    ----------
+    samples:
+        Sequence of 1-D benchmark samples, one per node (or per run).
+    alpha:
+        Empirical similarity threshold; samples with
+        ``similarity(S_C, S_i) <= alpha`` are excluded as defects.
+    centroid:
+        ``"medoid"`` or ``"mean"`` (see module docstring).
+
+    Raises
+    ------
+    CriteriaError
+        If fewer than one sample is given, if ``alpha`` is outside
+        ``[0, 1)``, or if the exclusion loop would discard every sample.
+    """
+    if not 0.0 <= alpha < 1.0:
+        raise CriteriaError(f"alpha must be in [0, 1), got {alpha}")
+    if centroid not in ("medoid", "mean", "hybrid"):
+        raise CriteriaError(f"unknown centroid strategy {centroid!r}")
+    n = len(samples)
+    if n == 0:
+        raise CriteriaError("criteria learning needs at least one sample")
+
+    sim_matrix = pairwise_similarity_matrix(samples)
+    all_indices = np.arange(n)
+    iteration_centroid = "medoid" if centroid == "hybrid" else centroid
+
+    def centroid_of(active: np.ndarray) -> tuple[np.ndarray, int | None]:
+        if iteration_centroid == "medoid":
+            idx = medoid_index(sim_matrix, active)
+            return np.sort(np.asarray(samples[idx], dtype=float)), idx
+        return _pooled_sample(samples, active), None
+
+    def sims_to(criteria_sample: np.ndarray, criteria_idx: int | None) -> np.ndarray:
+        if criteria_idx is not None:
+            return sim_matrix[criteria_idx]
+        return np.array([similarity(criteria_sample, s) for s in samples])
+
+    active = all_indices
+    criteria_sample, criteria_idx = centroid_of(active)
+    seen_states: set[tuple] = set()
+    iterations = 0
+    sims = sims_to(criteria_sample, criteria_idx)
+
+    # Algorithm 2 main loop: exclude below-threshold samples relative to
+    # the current centroid, then re-center on the survivors.  A seen-set
+    # guards against the (rare) oscillation between two fixed points.
+    while iterations < _MAX_ITERATIONS:
+        defective = all_indices[sims <= alpha]
+        surviving = all_indices[sims > alpha]
+        if surviving.size == 0:
+            raise CriteriaError(
+                "criteria learning excluded every sample; "
+                f"alpha={alpha} is too strict for this benchmark's variance"
+            )
+        state = (criteria_idx, tuple(defective.tolist()))
+        if np.array_equal(surviving, active) or state in seen_states:
+            active = surviving
+            break
+        seen_states.add(state)
+        active = surviving
+        criteria_sample, criteria_idx = centroid_of(active)
+        sims = sims_to(criteria_sample, criteria_idx)
+        iterations += 1
+
+    defect_indices = tuple(int(i) for i in all_indices if i not in set(active.tolist()))
+    healthy_indices = tuple(int(i) for i in active.tolist())
+    if centroid == "hybrid":
+        criteria_sample = _pooled_sample(samples, active)
+        criteria_idx = None
+    return CriteriaResult(
+        criteria=criteria_sample,
+        defect_indices=defect_indices,
+        healthy_indices=healthy_indices,
+        centroid_index=criteria_idx,
+        iterations=iterations,
+        alpha=alpha,
+        similarities=tuple(float(s) for s in sims),
+    )

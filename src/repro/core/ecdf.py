@@ -1,0 +1,82 @@
+"""Empirical cumulative distribution functions (ECDFs).
+
+The Validator compares benchmark results in *distribution space*
+(paper §3.4): a benchmark run yields a sample -- either a single scalar
+(micro-benchmarks) or a time series of step metrics (end-to-end
+benchmarks) -- and all comparisons are made between the empirical CDFs
+of those samples.  This module provides a small, allocation-conscious
+ECDF representation used by :mod:`repro.core.distance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidSampleError
+
+__all__ = ["Ecdf", "as_sample"]
+
+
+def as_sample(values) -> np.ndarray:
+    """Coerce ``values`` into a validated 1-D float array.
+
+    Raises :class:`InvalidSampleError` when the sample is empty or
+    contains non-finite entries, which is how crashed or hung benchmark
+    runs surface to the Validator.
+    """
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        raise InvalidSampleError("benchmark sample is empty")
+    if not np.all(np.isfinite(arr)):
+        raise InvalidSampleError("benchmark sample contains non-finite values")
+    return arr
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """An empirical CDF over a 1-D sample.
+
+    Attributes
+    ----------
+    points:
+        The sorted sample values (ascending, duplicates preserved).
+    """
+
+    points: np.ndarray
+
+    @classmethod
+    def from_sample(cls, values) -> "Ecdf":
+        """Build an ECDF from raw benchmark output."""
+        return cls(points=np.sort(as_sample(values)))
+
+    @property
+    def n(self) -> int:
+        """Number of observations behind the ECDF."""
+        return int(self.points.size)
+
+    @property
+    def support(self) -> tuple[float, float]:
+        """``(min, max)`` of the observed sample."""
+        return float(self.points[0]), float(self.points[-1])
+
+    def evaluate(self, xs) -> np.ndarray:
+        """Evaluate ``F(x) = P(X <= x)`` at each point of ``xs``.
+
+        The ECDF is right-continuous: ``F(x)`` counts observations
+        less than or equal to ``x``.
+        """
+        xs = np.asarray(xs, dtype=float)
+        counts = np.searchsorted(self.points, xs, side="right")
+        return counts / self.points.size
+
+    def quantile(self, q: float) -> float:
+        """Return the empirical ``q``-quantile (linear interpolation)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(self.points, q))
+
+    def mean(self) -> float:
+        """Arithmetic mean of the underlying sample."""
+        return float(self.points.mean())

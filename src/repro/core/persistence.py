@@ -1,0 +1,83 @@
+"""Criteria persistence: save/load a Validator's learned state.
+
+The paper's Validator learns criteria offline during build-out and
+applies them online for months, refreshing periodically as new data
+arrives -- which requires the criteria to live outside the process.
+This module serializes the ``(benchmark, metric) -> criteria`` map to
+a single JSON document and restores it into a fresh Validator.
+
+Only what the online filter needs is persisted: the criteria sample,
+threshold, and metric polarity.  The learning by-products (defect
+indices, iteration counts) are recomputed on the next offline pass.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.validator import MetricCriteria, Validator
+from repro.exceptions import CriteriaError
+
+__all__ = ["save_criteria", "load_criteria"]
+
+_FORMAT_VERSION = 1
+
+
+def save_criteria(validator: Validator, path) -> None:
+    """Write the validator's learned criteria to ``path`` as JSON."""
+    if not validator.criteria:
+        raise CriteriaError("validator has no learned criteria to save")
+    entries = []
+    for (benchmark, metric), criteria in validator.criteria.items():
+        entries.append({
+            "benchmark": benchmark,
+            "metric": metric,
+            "alpha": criteria.alpha,
+            "higher_is_better": criteria.higher_is_better,
+            "criteria": np.asarray(criteria.criteria, dtype=float).tolist(),
+        })
+    payload = {"version": _FORMAT_VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_criteria(validator: Validator, path) -> int:
+    """Restore criteria from ``path`` into ``validator``.
+
+    Entries for benchmarks outside the validator's suite are skipped
+    (a shrunk suite must not resurrect stale criteria).  Returns the
+    number of entries loaded.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+        if payload.get("version") != _FORMAT_VERSION:
+            raise CriteriaError(
+                f"unsupported criteria file version {payload.get('version')!r}"
+            )
+        entries = payload["entries"]
+    except (OSError, KeyError, TypeError, json.JSONDecodeError) as error:
+        raise CriteriaError(f"malformed criteria file {path}: {error}") from error
+
+    suite_names = {spec.name for spec in validator.suite}
+    loaded = 0
+    for entry in entries:
+        try:
+            benchmark = entry["benchmark"]
+            metric = entry["metric"]
+            criteria = np.asarray(entry["criteria"], dtype=float)
+            alpha = float(entry["alpha"])
+            higher_is_better = bool(entry["higher_is_better"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise CriteriaError(
+                f"malformed criteria entry in {path}: {error}"
+            ) from error
+        if benchmark not in suite_names:
+            continue
+        validator.criteria[(benchmark, metric)] = MetricCriteria(
+            benchmark=benchmark, metric=metric, criteria=criteria,
+            alpha=alpha, higher_is_better=higher_is_better, learning=None,
+        )
+        loaded += 1
+    return loaded

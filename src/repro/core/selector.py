@@ -1,0 +1,127 @@
+"""The Selector (paper §3.3): when to validate, with which benchmarks.
+
+The Selector joins the two offline artifacts -- an incident-probability
+model (Cox-Time) and the historical benchmark coverage table -- with
+the online greedy selection of Algorithm 1:
+
+1. for a validation event over nodes ``N`` with an expected usage
+   duration (job length), query each node's incident probability
+   within that duration from the survival model;
+2. if the joint probability is at most ``p0``, skip validation
+   entirely (saving node hours);
+3. otherwise run Algorithm 1 to pick the cheapest benchmark subset
+   whose historical coverage brings the residual probability below
+   ``p0``.
+
+The Selector also owns *regular validation*: nodes whose predicted
+incident probability over a look-ahead window exceeds ``p0`` are due
+for re-validation even without an allocation event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.selection import (
+    CoverageTable,
+    SelectionResult,
+    select_benchmarks,
+)
+from repro.survival.base import SurvivalModel
+
+__all__ = ["NodeStatus", "Selector"]
+
+
+@dataclass(frozen=True)
+class NodeStatus:
+    """A node's observable status covariates at selection time."""
+
+    node_id: str
+    covariates: np.ndarray
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "covariates", np.asarray(self.covariates, dtype=float).ravel()
+        )
+
+
+class Selector:
+    """Benchmark selection policy bound to a model and coverage history.
+
+    Parameters
+    ----------
+    model:
+        Fitted incident-probability model.
+    coverage:
+        Historical benchmark -> identified-defect table, updated by the
+        caller after every validation.
+    durations:
+        Benchmark name -> running time in minutes.
+    p0:
+        Residual incident-probability target (per validation event).
+    """
+
+    def __init__(self, model: SurvivalModel, coverage: CoverageTable,
+                 durations: dict[str, float], *, p0: float = 0.10):
+        if not 0.0 <= p0 < 1.0:
+            raise ValueError(f"p0 must be in [0, 1), got {p0}")
+        if not durations:
+            raise ValueError("Selector needs benchmark durations")
+        self.model = model
+        self.coverage = coverage
+        self.durations = dict(durations)
+        self.p0 = float(p0)
+        for name in self.durations:
+            self.coverage.ensure_benchmark(name)
+
+    def incident_probabilities(self, statuses: list[NodeStatus],
+                               duration_hours: float) -> np.ndarray:
+        """Per-node P(incident within ``duration_hours``)."""
+        if duration_hours <= 0:
+            raise ValueError("duration_hours must be positive")
+        if not statuses:
+            return np.zeros(0)
+        covariates = np.vstack([s.covariates for s in statuses])
+        return self.model.incident_probability(covariates, duration_hours)
+
+    def select_for_event(self, statuses: list[NodeStatus],
+                         duration_hours: float) -> SelectionResult:
+        """Full Selector decision for one validation event.
+
+        Returns a :class:`SelectionResult`; ``skipped`` means the
+        joint probability was already below ``p0``.
+        """
+        probs = self.incident_probabilities(statuses, duration_hours)
+        return select_benchmarks(probs, self.durations, self.coverage, self.p0)
+
+    def nodes_due_for_regular_validation(self, statuses: list[NodeStatus],
+                                         lookahead_hours: float = 24.0
+                                         ) -> list[NodeStatus]:
+        """Nodes whose individual risk over the look-ahead exceeds p0.
+
+        Used by the periodic check that validates idle-but-risky nodes
+        (workflow step 1 in §3.1).
+        """
+        if not statuses:
+            return []
+        probs = self.incident_probabilities(statuses, lookahead_hours)
+        return [status for status, p in zip(statuses, probs) if p > self.p0]
+
+    def record_validation(self, report, defect_tag=None) -> None:
+        """Fold a :class:`~repro.core.validator.ValidationReport` into
+        the coverage history.
+
+        ``defect_tag`` optionally maps node ids to richer defect keys
+        (e.g. ``(node, incident_index)``) so coverage distinguishes
+        repeat offenders.
+        """
+        by_benchmark = report.violations_by_benchmark()
+        for benchmark in report.benchmarks_run:
+            self.coverage.ensure_benchmark(benchmark)
+        for benchmark, node_ids in by_benchmark.items():
+            if defect_tag is not None:
+                self.coverage.record(benchmark, {defect_tag[n] for n in node_ids})
+            else:
+                self.coverage.record(benchmark, node_ids)

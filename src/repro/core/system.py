@@ -1,0 +1,109 @@
+"""The ANUBIS/SuperBench system facade (paper §3.1, Figure 7).
+
+:class:`Anubis` wires a :class:`~repro.core.selector.Selector` and a
+:class:`~repro.core.validator.Validator` behind the event-driven
+workflow the paper integrates with an orchestration system:
+
+* **node-added / software-upgraded** events validate with the full set
+  (and, during build-out, learn criteria);
+* **job-allocation** events query the Selector: validation may be
+  skipped, or a benchmark subset is executed on the allocated nodes;
+* **incident-reported** events always validate the cordoned nodes;
+* a **periodic tick** re-validates idle nodes whose predicted risk
+  crossed the threshold.
+
+Every executed validation feeds defect outcomes back into the coverage
+table so the Selector evolves with the fleet, and defective nodes are
+handed to the repair system's hot-buffer swap.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.selection import SelectionResult
+from repro.core.selector import NodeStatus, Selector
+from repro.core.validator import ValidationReport, Validator
+
+__all__ = ["EventKind", "ValidationEvent", "ValidationOutcome", "Anubis"]
+
+
+class EventKind(str, enum.Enum):
+    """Orchestration events that can trigger validation (§3.1)."""
+
+    NODE_ADDED = "node-added"
+    SOFTWARE_UPGRADED = "software-upgraded"
+    JOB_ALLOCATION = "job-allocation"
+    INCIDENT_REPORTED = "incident-reported"
+    PERIODIC = "periodic"
+
+
+@dataclass(frozen=True)
+class ValidationEvent:
+    """One incoming event from the orchestration system."""
+
+    kind: EventKind
+    nodes: tuple
+    statuses: tuple[NodeStatus, ...]
+    duration_hours: float = 24.0
+
+    def __post_init__(self):
+        if len(self.nodes) != len(self.statuses):
+            raise ValueError(
+                f"{len(self.nodes)} nodes but {len(self.statuses)} statuses"
+            )
+
+
+@dataclass
+class ValidationOutcome:
+    """What ANUBIS did with an event."""
+
+    event: ValidationEvent
+    selection: SelectionResult | None
+    report: ValidationReport | None
+    defective_node_ids: list[str] = field(default_factory=list)
+
+    @property
+    def skipped(self) -> bool:
+        """True when no benchmark was executed."""
+        return self.report is None
+
+
+class Anubis:
+    """Selector + Validator behind the Figure 7 workflow."""
+
+    def __init__(self, validator: Validator, selector: Selector):
+        self.validator = validator
+        self.selector = selector
+        self.history: list[ValidationOutcome] = []
+
+    def handle(self, event: ValidationEvent) -> ValidationOutcome:
+        """Process one event end to end and return the outcome."""
+        if event.kind in (EventKind.NODE_ADDED, EventKind.SOFTWARE_UPGRADED,
+                          EventKind.INCIDENT_REPORTED):
+            outcome = self._run_validation(event, benchmarks=None, selection=None)
+        else:
+            selection = self.selector.select_for_event(
+                list(event.statuses), event.duration_hours
+            )
+            if selection.skipped or not selection.subset:
+                outcome = ValidationOutcome(event=event, selection=selection,
+                                            report=None)
+            else:
+                outcome = self._run_validation(
+                    event, benchmarks=selection.subset, selection=selection
+                )
+        self.history.append(outcome)
+        return outcome
+
+    def _run_validation(self, event: ValidationEvent, *, benchmarks,
+                        selection) -> ValidationOutcome:
+        report = self.validator.validate(list(event.nodes), benchmarks=benchmarks)
+        self.selector.record_validation(report)
+        return ValidationOutcome(
+            event=event,
+            selection=selection,
+            report=report,
+            defective_node_ids=report.defective_nodes,
+        )

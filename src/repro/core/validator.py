@@ -1,0 +1,241 @@
+"""The Validator (paper §3.4, §4): criteria learning and defect filtering.
+
+The Validator owns two responsibilities:
+
+* **Offline criteria learning** -- during cluster build-out the full
+  benchmark set runs on every node and Algorithm 2 learns one criteria
+  sample per (benchmark, metric).
+* **Online defect filtering** -- a later validation run compares each
+  node's result to the criteria with the one-sided similarity of
+  Eq. (4); a node is defective as soon as *any* selected benchmark
+  metric falls below the threshold.  Benchmark executions that fail
+  outright (empty/NaN samples) are defects by definition.
+
+Execution follows the paper's two-phase, bottom-up order: single-node
+micro-benchmarks, single-node end-to-end, then multi-node -- with
+defective nodes removed after each phase so they cannot pollute
+multi-node results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.benchsuite.base import BenchmarkKind, BenchmarkSpec, Phase
+from repro.benchsuite.runner import SuiteRunner
+from repro.core.criteria import CriteriaResult, learn_criteria
+from repro.core.distance import one_sided_similarity
+from repro.exceptions import CriteriaError, InvalidSampleError
+from repro.core.ecdf import as_sample
+
+__all__ = ["MetricCriteria", "Violation", "ValidationReport", "Validator"]
+
+
+@dataclass(frozen=True)
+class MetricCriteria:
+    """Learned criteria for one benchmark metric."""
+
+    benchmark: str
+    metric: str
+    criteria: object  # 1-D sample array
+    alpha: float
+    higher_is_better: bool
+    learning: CriteriaResult | None = None
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One criteria violation on one node."""
+
+    node_id: str
+    benchmark: str
+    metric: str
+    similarity: float
+    reason: str = "below-threshold"
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one validation run."""
+
+    validated_nodes: list[str]
+    violations: list[Violation] = field(default_factory=list)
+    benchmarks_run: list[str] = field(default_factory=list)
+
+    @property
+    def defective_nodes(self) -> list[str]:
+        """Node ids with at least one violation, in first-seen order."""
+        seen: list[str] = []
+        for violation in self.violations:
+            if violation.node_id not in seen:
+                seen.append(violation.node_id)
+        return seen
+
+    @property
+    def healthy_nodes(self) -> list[str]:
+        """Validated nodes with no violation."""
+        defective = set(self.defective_nodes)
+        return [n for n in self.validated_nodes if n not in defective]
+
+    def violations_by_benchmark(self) -> dict[str, set[str]]:
+        """Benchmark name -> set of node ids it flagged."""
+        result: dict[str, set[str]] = {}
+        for violation in self.violations:
+            result.setdefault(violation.benchmark, set()).add(violation.node_id)
+        return result
+
+
+class Validator:
+    """Runs benchmarks against criteria and filters defective nodes.
+
+    Parameters
+    ----------
+    suite:
+        The benchmark specs this Validator can execute.
+    runner:
+        Execution engine (owns measurement windows and the RNG).
+    alpha:
+        Similarity threshold; the paper uses 0.95.
+    """
+
+    def __init__(self, suite: tuple[BenchmarkSpec, ...], *,
+                 runner: SuiteRunner | None = None, alpha: float = 0.95,
+                 centroid: str = "hybrid"):
+        if not suite:
+            raise ValueError("Validator needs a non-empty benchmark suite")
+        self.suite = tuple(suite)
+        self.runner = runner or SuiteRunner()
+        self.alpha = float(alpha)
+        self.centroid = centroid
+        self.criteria: dict[tuple[str, str], MetricCriteria] = {}
+
+    def spec(self, name: str) -> BenchmarkSpec:
+        """Suite lookup by benchmark name."""
+        for candidate in self.suite:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"benchmark {name!r} is not in this Validator's suite")
+
+    # ------------------------------------------------------------------
+    # Offline criteria learning
+    # ------------------------------------------------------------------
+    def learn_criteria_from_results(self, spec: BenchmarkSpec,
+                                    results: dict[str, object]) -> None:
+        """Learn criteria for one benchmark from node -> result samples.
+
+        ``results`` maps node id to a :class:`BenchmarkResult`; nodes
+        whose samples are invalid are skipped for learning (they will
+        be flagged online).
+        """
+        for metric in spec.metrics:
+            samples = []
+            for result in results.values():
+                try:
+                    samples.append(as_sample(result.sample(metric.name)))
+                except (InvalidSampleError, KeyError):
+                    continue
+            if len(samples) < 2:
+                raise CriteriaError(
+                    f"not enough valid samples to learn criteria for "
+                    f"{spec.name}/{metric.name}"
+                )
+            # Single-value metrics compare cleanest against a single
+            # representative value (the medoid); series metrics use the
+            # configured centroid (pooled by default) whose smoother
+            # CDF keeps the one-sided filter's left tail quiet.
+            is_series = any(np.size(s) > 1 for s in samples)
+            centroid = self.centroid if is_series else "medoid"
+            learned = learn_criteria(samples, self.alpha, centroid=centroid)
+            self.criteria[(spec.name, metric.name)] = MetricCriteria(
+                benchmark=spec.name,
+                metric=metric.name,
+                criteria=learned.criteria,
+                alpha=self.alpha,
+                higher_is_better=metric.higher_is_better,
+                learning=learned,
+            )
+
+    def learn_criteria(self, nodes, benchmarks=None) -> None:
+        """Build-out flow: run benchmarks on ``nodes`` and learn criteria."""
+        for spec in self._resolve(benchmarks):
+            results = self.runner.run_on_nodes(spec, nodes)
+            self.learn_criteria_from_results(spec, results)
+
+    # ------------------------------------------------------------------
+    # Online validation
+    # ------------------------------------------------------------------
+    def check_result(self, spec: BenchmarkSpec, result) -> list[Violation]:
+        """Compare one node's benchmark result to the learned criteria."""
+        violations = []
+        for metric in spec.metrics:
+            key = (spec.name, metric.name)
+            if key not in self.criteria:
+                raise CriteriaError(
+                    f"no criteria learned for {spec.name}/{metric.name}"
+                )
+            criteria = self.criteria[key]
+            try:
+                sample = as_sample(result.sample(metric.name))
+            except (InvalidSampleError, KeyError) as error:
+                violations.append(Violation(
+                    node_id=result.node_id, benchmark=spec.name,
+                    metric=metric.name, similarity=0.0,
+                    reason=f"execution-failure: {error}",
+                ))
+                continue
+            sim = one_sided_similarity(
+                sample, criteria.criteria,
+                higher_is_better=metric.higher_is_better,
+            )
+            if sim <= self.alpha:
+                violations.append(Violation(
+                    node_id=result.node_id, benchmark=spec.name,
+                    metric=metric.name, similarity=sim,
+                ))
+        return violations
+
+    def validate(self, nodes, benchmarks=None) -> ValidationReport:
+        """Run the selected benchmarks on ``nodes`` and filter defects.
+
+        Benchmarks execute phase by phase (single-node micro, then
+        single-node end-to-end, then multi-node) and nodes flagged in
+        an earlier phase are excluded from later phases, matching the
+        paper's §4 execution order.
+        """
+        selected = self._resolve(benchmarks)
+        report = ValidationReport(
+            validated_nodes=[node.node_id for node in nodes],
+            benchmarks_run=[spec.name for spec in selected],
+        )
+        remaining = list(nodes)
+        for phase_specs in self._phases(selected):
+            for spec in phase_specs:
+                for node in remaining:
+                    result = self.runner.run(spec, node)
+                    report.violations.extend(self.check_result(spec, result))
+            flagged = set(report.defective_nodes)
+            remaining = [node for node in remaining if node.node_id not in flagged]
+        return report
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _resolve(self, benchmarks) -> tuple[BenchmarkSpec, ...]:
+        if benchmarks is None:
+            return self.suite
+        resolved = []
+        for item in benchmarks:
+            resolved.append(item if isinstance(item, BenchmarkSpec) else self.spec(item))
+        return tuple(resolved)
+
+    @staticmethod
+    def _phases(specs) -> list[list[BenchmarkSpec]]:
+        """Bucket specs into execution phases in bottom-up order."""
+        single_micro = [s for s in specs
+                        if s.phase is Phase.SINGLE_NODE and s.kind is BenchmarkKind.MICRO]
+        single_e2e = [s for s in specs
+                      if s.phase is Phase.SINGLE_NODE and s.kind is BenchmarkKind.E2E]
+        multi = [s for s in specs if s.phase is Phase.MULTI_NODE]
+        return [bucket for bucket in (single_micro, single_e2e, multi) if bucket]

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+downstream code can catch one base class.  Sub-classes are split by the
+subsystem that raises them; they carry plain messages and never wrap
+internal state, keeping tracebacks readable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class InvalidSampleError(ReproError):
+    """A benchmark sample is empty, non-finite, or otherwise unusable."""
+
+
+class CriteriaError(ReproError):
+    """Criteria learning failed (e.g. every sample was excluded as a defect)."""
+
+
+class ModelNotFittedError(ReproError):
+    """A survival/probability model was queried before :meth:`fit` was called."""
+
+
+class TopologyError(ReproError):
+    """A network topology is malformed or a query on it is unsatisfiable."""
+
+
+class SchedulingError(ReproError):
+    """A pairwise or topology-aware validation schedule cannot be built."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark definition or execution request is invalid."""
+
+
+class SimulationError(ReproError):
+    """The cluster simulator was configured inconsistently."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace record is malformed."""

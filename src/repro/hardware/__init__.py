@@ -1,0 +1,30 @@
+"""Simulated GPU-node hardware substrate."""
+
+from repro.hardware.components import (
+    COMPONENT_CATEGORY,
+    DEFECT_CATALOG,
+    Component,
+    DefectMode,
+    IncidentCategory,
+    defect_mode,
+)
+from repro.hardware.degradation import DEFAULT_CATEGORY_WEIGHTS, WearModel
+from repro.hardware.fleet import Fleet, build_fleet
+from repro.hardware.gpu import GpuMemory, row_remap_regression_probability
+from repro.hardware.node import Node
+
+__all__ = [
+    "COMPONENT_CATEGORY",
+    "DEFAULT_CATEGORY_WEIGHTS",
+    "DEFECT_CATALOG",
+    "Component",
+    "DefectMode",
+    "Fleet",
+    "GpuMemory",
+    "IncidentCategory",
+    "Node",
+    "WearModel",
+    "build_fleet",
+    "defect_mode",
+    "row_remap_regression_probability",
+]

@@ -1,0 +1,119 @@
+"""Fleet construction: populations of nodes with injected gray failures.
+
+The experiment harnesses (Fig 9, Tables 1/5/6) need fleets like the
+paper's: a build-out of a few thousand VMs in which roughly 10% of
+nodes hide some defect.  :func:`build_fleet` draws node-level silicon
+variation and injects defects from :data:`DEFECT_CATALOG` (or a custom
+catalog) independently per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.components import DEFECT_CATALOG, DefectMode
+from repro.hardware.gpu import GpuMemory
+from repro.hardware.node import Node
+
+__all__ = ["Fleet", "build_fleet"]
+
+
+@dataclass
+class Fleet:
+    """A named collection of nodes plus ground-truth bookkeeping."""
+
+    nodes: list[Node]
+
+    def __post_init__(self):
+        seen = set()
+        for node in self.nodes:
+            if node.node_id in seen:
+                raise ValueError(f"duplicate node id {node.node_id!r}")
+            seen.add(node.node_id)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def get(self, node_id: str) -> Node:
+        """Node lookup by id."""
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node
+        raise KeyError(f"no node {node_id!r} in fleet")
+
+    @property
+    def defective_nodes(self) -> list[Node]:
+        """Ground-truth defective nodes (experiment harness use only)."""
+        return [node for node in self.nodes if node.is_defective]
+
+    @property
+    def defect_ratio(self) -> float:
+        """Ground-truth fraction of defective nodes."""
+        if not self.nodes:
+            return 0.0
+        return len(self.defective_nodes) / len(self.nodes)
+
+    def defect_counts(self) -> dict[str, int]:
+        """Histogram of injected defect modes across the fleet."""
+        counts: dict[str, int] = {}
+        for node in self.nodes:
+            for name in node.defects:
+                counts[name] = counts.get(name, 0) + 1
+        return counts
+
+
+def build_fleet(n_nodes: int, *, seed: int = 0,
+                catalog: tuple[DefectMode, ...] = DEFECT_CATALOG,
+                defect_scale: float = 1.0,
+                performance_cv: float = 0.004,
+                hbm_error_rate: float = 0.035) -> Fleet:
+    """Build a fleet of ``n_nodes`` with catalog-driven defect injection.
+
+    Parameters
+    ----------
+    n_nodes:
+        Fleet size.
+    seed:
+        Seed for all randomness (defects, severities, silicon spread).
+    catalog:
+        Defect modes with per-node injection rates.
+    defect_scale:
+        Multiplier on every catalog rate; ``0`` yields a clean fleet.
+    performance_cv:
+        Coefficient of variation of the node-level silicon-lottery
+        factor.
+    hbm_error_rate:
+        Fraction of nodes that accumulated correctable HBM errors
+        during burn-in (Table 1's ~3.4% of nodes with any remapping).
+    """
+    if n_nodes <= 0:
+        raise ValueError("n_nodes must be positive")
+    if defect_scale < 0:
+        raise ValueError("defect_scale must be non-negative")
+    rng = np.random.default_rng(seed)
+    width = max(len(str(n_nodes - 1)), 4)
+
+    nodes: list[Node] = []
+    for i in range(n_nodes):
+        node = Node(
+            node_id=f"node-{i:0{width}d}",
+            gpu_memory=GpuMemory(),
+            performance_spread=float(rng.normal(1.0, performance_cv)),
+        )
+        for mode in catalog:
+            if rng.random() < mode.rate * defect_scale:
+                node.apply_defect(mode, rng)
+        if rng.random() < hbm_error_rate:
+            # Burn-in correctable errors: mostly small counts, a thin
+            # tail above the Table 1 threshold.
+            count = 1 + int(rng.geometric(0.35))
+            if rng.random() < 0.055:
+                count = 11 + int(rng.geometric(0.3))
+            node.gpu_memory.inject_errors(count, rng)
+        nodes.append(node)
+    return Fleet(nodes=nodes)

@@ -1,0 +1,114 @@
+"""GPU HBM row-remapping model (paper §2.2, Table 1).
+
+A100-class GPUs ship redundant rows per HBM bank; correctable memory
+errors are transparently remapped onto spare rows.  The redundancy
+hides the degradation from software -- until spares run low, at which
+point end-to-end workloads start regressing.  Table 1 quantifies this:
+nodes with more than 10 remapped correctable errors regress in
+end-to-end workloads 83.3% of the time versus 5.6% for 1--10 errors.
+
+:class:`GpuMemory` tracks spare-row consumption per bank and exposes
+the regression model used by the fleet builder and the Table 1 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["GpuMemory", "row_remap_regression_probability"]
+
+#: Regression probability for nodes with 1-10 remapped errors (Table 1).
+REGRESSION_PROB_LOW = 0.056
+#: Regression probability for nodes with >10 remapped errors (Table 1).
+REGRESSION_PROB_HIGH = 0.833
+#: Threshold separating the two regimes.
+REMAP_THRESHOLD = 10
+
+
+def row_remap_regression_probability(remapped_errors: int) -> float:
+    """P(end-to-end regression | number of remapped correctable errors).
+
+    Piecewise model straight from Table 1: zero with no remaps, 5.6%
+    for 1--10, 83.3% above 10.
+    """
+    if remapped_errors <= 0:
+        return 0.0
+    if remapped_errors <= REMAP_THRESHOLD:
+        return REGRESSION_PROB_LOW
+    return REGRESSION_PROB_HIGH
+
+
+@dataclass
+class GpuMemory:
+    """HBM stack with redundant rows per bank.
+
+    Attributes
+    ----------
+    banks:
+        Number of HBM banks.
+    spare_rows_per_bank:
+        Redundant rows available in each bank.
+    remapped:
+        Per-bank count of rows consumed by remapping.
+    uncorrectable:
+        Count of errors that arrived after a bank ran out of spares;
+        these surface as failures rather than gray degradation.
+    """
+
+    banks: int = 24
+    spare_rows_per_bank: int = 8
+    remapped: np.ndarray = field(default=None)
+    uncorrectable: int = 0
+
+    def __post_init__(self):
+        if self.banks <= 0 or self.spare_rows_per_bank <= 0:
+            raise ValueError("banks and spare_rows_per_bank must be positive")
+        if self.remapped is None:
+            self.remapped = np.zeros(self.banks, dtype=int)
+        else:
+            self.remapped = np.asarray(self.remapped, dtype=int).copy()
+            if self.remapped.shape != (self.banks,):
+                raise ValueError("remapped must have one entry per bank")
+
+    @property
+    def total_remapped(self) -> int:
+        """Total correctable errors absorbed by row remapping."""
+        return int(self.remapped.sum())
+
+    @property
+    def spare_rows_left(self) -> int:
+        """Unused spare rows across all banks."""
+        capacity = self.banks * self.spare_rows_per_bank
+        return capacity - self.total_remapped
+
+    def record_correctable_error(self, bank: int) -> bool:
+        """Absorb one correctable error in ``bank``.
+
+        Returns ``True`` when the error was remapped onto a spare row
+        and ``False`` when the bank was already exhausted (the error
+        becomes uncorrectable and counts as a hard failure).
+        """
+        if not 0 <= bank < self.banks:
+            raise IndexError(f"bank {bank} out of range [0, {self.banks})")
+        if self.remapped[bank] >= self.spare_rows_per_bank:
+            self.uncorrectable += 1
+            return False
+        self.remapped[bank] += 1
+        return True
+
+    def inject_errors(self, count: int, rng: np.random.Generator) -> int:
+        """Inject ``count`` correctable errors on random banks.
+
+        Returns how many were successfully remapped.
+        """
+        remapped = 0
+        for bank in rng.integers(0, self.banks, size=count):
+            if self.record_correctable_error(int(bank)):
+                remapped += 1
+        return remapped
+
+    def regression_probability(self) -> float:
+        """Table 1 regression model applied to this GPU's remap count."""
+        return row_remap_regression_probability(self.total_remapped)

@@ -1,0 +1,99 @@
+"""Node model: per-component health plus defect bookkeeping.
+
+A :class:`Node` is the unit of validation in the paper -- a GPU VM.
+Its observable surface is deliberately small: benchmarks query
+:meth:`Node.performance_multiplier` with their component-sensitivity
+map, and the measurement model in :mod:`repro.benchsuite` turns that
+multiplier into synthetic metric samples.  Everything the Validator
+and Selector see is derived from those samples and from incident
+events; neither ever reads ``health`` directly, so the substitution
+preserves the paper's information flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.components import Component, DefectMode
+from repro.hardware.gpu import GpuMemory
+
+__all__ = ["Node"]
+
+
+@dataclass
+class Node:
+    """One GPU VM with per-component health in ``(0, 1]``.
+
+    Attributes
+    ----------
+    node_id:
+        Stable identifier (e.g. ``"node-0042"``).
+    health:
+        Component -> health; missing components are implicitly 1.0.
+    defects:
+        Names of injected :class:`DefectMode`\\ s (ground truth, used
+        only by experiment harnesses -- never by the Validator).
+    gpu_memory:
+        HBM row-remapping state (one aggregate stack per node).
+    performance_spread:
+        Node-level silicon-lottery factor around 1.0 applied to every
+        benchmark; models the natural cross-node variation the paper
+        cites (Sinha et al.).
+    """
+
+    node_id: str
+    health: dict[Component, float] = field(default_factory=dict)
+    defects: list[str] = field(default_factory=list)
+    gpu_memory: GpuMemory = field(default_factory=GpuMemory)
+    performance_spread: float = 1.0
+
+    def __post_init__(self):
+        for component, value in self.health.items():
+            if not 0.0 < value <= 1.0:
+                raise ValueError(
+                    f"health for {component} must be in (0, 1], got {value}"
+                )
+
+    @property
+    def is_defective(self) -> bool:
+        """Ground-truth flag: any injected defect or degraded component."""
+        if self.defects:
+            return True
+        return any(h < 1.0 for h in self.health.values())
+
+    def component_health(self, component: Component) -> float:
+        """Health of one component (1.0 when untouched)."""
+        return self.health.get(component, 1.0)
+
+    def apply_defect(self, mode: DefectMode, rng: np.random.Generator) -> None:
+        """Inject a defect: multiply affected component healths down."""
+        for component, multiplier in mode.sampled_health(rng).items():
+            self.health[component] = self.component_health(component) * multiplier
+        self.defects.append(mode.name)
+
+    def repair(self) -> None:
+        """Restore every component to full health and clear defects."""
+        self.health.clear()
+        self.defects.clear()
+        self.gpu_memory = GpuMemory(
+            banks=self.gpu_memory.banks,
+            spare_rows_per_bank=self.gpu_memory.spare_rows_per_bank,
+        )
+
+    def performance_multiplier(self, sensitivity: dict[Component, float]) -> float:
+        """Effective performance factor for a benchmark.
+
+        ``sensitivity`` maps components to exponents ``w``; the
+        multiplier is ``spread * prod(health_c ** w_c)``.  A benchmark
+        insensitive to a degraded component (``w = 0``) is unaffected
+        by it -- the mechanism behind defects that only one benchmark
+        catches (§2.3).
+        """
+        multiplier = self.performance_spread
+        for component, weight in sensitivity.items():
+            if weight == 0.0:
+                continue
+            multiplier *= self.component_health(component) ** weight
+        return multiplier

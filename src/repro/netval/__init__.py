@@ -1,0 +1,11 @@
+"""Networking-validation schedulers (Appendix A)."""
+
+from repro.netval.pairs import round_robin_schedule, validate_schedule
+from repro.netval.topo_aware import quick_scan_schedule, validate_quick_scan
+
+__all__ = [
+    "quick_scan_schedule",
+    "round_robin_schedule",
+    "validate_quick_scan",
+    "validate_schedule",
+]

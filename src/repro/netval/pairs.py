@@ -1,0 +1,91 @@
+"""Full pairwise networking scan in O(n) rounds (Appendix A).
+
+To check the bandwidth between *every* pair of N endpoints, the naive
+sequential scan needs ``N(N-1)/2`` rounds.  The paper schedules all
+pairs into ``N - 1`` rounds of ``N/2`` disjoint pairs each -- the
+*circle method* for round-robin tournaments (Kirkman): fix endpoint 0,
+place the remaining endpoints on a rotating circle, and pair opposite
+positions.  Every pair appears exactly once across the schedule and no
+endpoint appears twice within a round, so all pairs in a round can
+benchmark simultaneously without NIC contention.
+
+Odd endpoint counts get a *bye* (one idle endpoint per round), giving
+``N`` rounds.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SchedulingError
+
+__all__ = ["round_robin_schedule", "validate_schedule"]
+
+
+def round_robin_schedule(endpoints) -> list[list[tuple[int, int]]]:
+    """Schedule all pairs of ``endpoints`` into disjoint-pair rounds.
+
+    Parameters
+    ----------
+    endpoints:
+        Sequence of hashable endpoint identifiers (node indices, NIC
+        ids, ...).  Order does not affect coverage, only pairing.
+
+    Returns
+    -------
+    list of rounds; each round is a list of ``(a, b)`` pairs with no
+    endpoint repeated inside a round.  ``len(rounds)`` is ``N - 1`` for
+    even ``N`` and ``N`` for odd ``N``.
+    """
+    items = list(endpoints)
+    if len(items) < 2:
+        raise SchedulingError("need at least two endpoints to schedule pairs")
+    if len(set(items)) != len(items):
+        raise SchedulingError("endpoints must be unique")
+
+    bye = object()
+    if len(items) % 2 == 1:
+        items = items + [bye]
+    n = len(items)
+
+    # Circle method: index 0 is fixed; the rest rotate one slot per round.
+    fixed = items[0]
+    ring = items[1:]
+    rounds: list[list[tuple[int, int]]] = []
+    for _ in range(n - 1):
+        current = [fixed] + ring
+        round_pairs = []
+        for k in range(n // 2):
+            a, b = current[k], current[n - 1 - k]
+            if a is bye or b is bye:
+                continue
+            round_pairs.append((a, b))
+        rounds.append(round_pairs)
+        ring = ring[-1:] + ring[:-1]
+    return rounds
+
+
+def validate_schedule(endpoints, rounds) -> None:
+    """Assert a schedule covers every pair exactly once, disjointly.
+
+    Raises :class:`SchedulingError` on any violation; used by tests and
+    as a guard before driving real traffic.
+    """
+    items = list(endpoints)
+    expected = {frozenset((a, b)) for i, a in enumerate(items) for b in items[i + 1:]}
+    seen: set[frozenset] = set()
+    for round_index, round_pairs in enumerate(rounds):
+        used: set = set()
+        for a, b in round_pairs:
+            if a == b:
+                raise SchedulingError(f"degenerate pair ({a}, {b}) in round {round_index}")
+            if a in used or b in used:
+                raise SchedulingError(
+                    f"endpoint reused within round {round_index}: ({a}, {b})"
+                )
+            used.update((a, b))
+            key = frozenset((a, b))
+            if key in seen:
+                raise SchedulingError(f"pair ({a}, {b}) scheduled twice")
+            seen.add(key)
+    if seen != expected:
+        missing = expected - seen
+        raise SchedulingError(f"schedule misses {len(missing)} pairs")

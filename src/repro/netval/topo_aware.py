@@ -1,0 +1,104 @@
+"""Topology-aware "quick scan" in O(1) rounds (Appendix A).
+
+For very large fabrics even the O(n)-round full scan is too slow, so
+the paper proposes a *topology-aware* scan whose round count depends
+only on the tree depth, not the node count: one round per hop
+distance.  In the round for hop ``h``, node pairs are selected such
+that every pair is exactly ``h`` switch hops apart (2 = same ToR,
+4 = same pod, 6 = across the core) and every node appears in at most
+one pair -- so all pairs run simultaneously and each round takes one
+benchmark slot regardless of scale.  A k-tier fat-tree needs exactly
+k rounds.
+
+Coverage is per *link tier* rather than per pair: each round exercises
+every node's path up to the corresponding tier once.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SchedulingError
+from repro.topology.fattree import FatTree
+
+__all__ = ["quick_scan_schedule", "validate_quick_scan"]
+
+
+def _pair_within_groups(groups: list[list[int]]) -> list[tuple[int, int]]:
+    """Pair consecutive members inside each group; odd leftovers idle."""
+    pairs = []
+    for members in groups:
+        for i in range(0, len(members) - 1, 2):
+            pairs.append((members[i], members[i + 1]))
+    return pairs
+
+
+def _pair_across_groups(groups: list[list[int]]) -> list[tuple[int, int]]:
+    """Pair members of *different* groups, position-aligned.
+
+    Groups are paired up (group 0 with 1, 2 with 3, ...) and their
+    members are matched by position, so traffic crosses the tier that
+    separates the groups.  Leftover groups/members stay idle.
+    """
+    pairs = []
+    for gi in range(0, len(groups) - 1, 2):
+        left, right = groups[gi], groups[gi + 1]
+        for a, b in zip(left, right):
+            pairs.append((a, b))
+    return pairs
+
+
+def quick_scan_schedule(tree: FatTree) -> dict[int, list[tuple[int, int]]]:
+    """Build the quick-scan rounds for a fat-tree.
+
+    Returns a mapping from hop distance (2, 4, 6) to one round of
+    node-disjoint pairs at exactly that distance.  Rounds for tiers the
+    topology does not have (e.g. hop 6 on a single-pod tree) are
+    omitted.
+    """
+    if tree.config.n_nodes < 2:
+        raise SchedulingError("quick scan needs at least two nodes")
+    rounds: dict[int, list[tuple[int, int]]] = {}
+
+    # Hop 2: pairs inside each ToR.
+    tor_groups = [tree.nodes_in_tor(t) for t in range(tree.n_tors)]
+    hop2 = _pair_within_groups(tor_groups)
+    if hop2:
+        rounds[2] = hop2
+
+    # Hop 4: pairs across ToRs inside each pod.
+    hop4 = []
+    for pod in range(tree.n_pods):
+        groups = [tree.nodes_in_tor(t) for t in tree.tors_in_pod(pod)]
+        hop4.extend(_pair_across_groups(groups))
+    if hop4:
+        rounds[4] = hop4
+
+    # Hop 6: pairs across pods through the core.
+    pod_groups = [
+        [n for t in tree.tors_in_pod(pod) for n in tree.nodes_in_tor(t)]
+        for pod in range(tree.n_pods)
+    ]
+    hop6 = _pair_across_groups(pod_groups)
+    if hop6:
+        rounds[6] = hop6
+
+    return rounds
+
+
+def validate_quick_scan(tree: FatTree, rounds: dict[int, list[tuple[int, int]]]) -> None:
+    """Check quick-scan invariants.
+
+    Every pair in the round for hop ``h`` must be exactly ``h`` hops
+    apart and node-disjoint within the round.  Raises
+    :class:`SchedulingError` on violation.
+    """
+    for hop, pairs in rounds.items():
+        used: set[int] = set()
+        for a, b in pairs:
+            if tree.hop_distance(a, b) != hop:
+                raise SchedulingError(
+                    f"pair ({a}, {b}) is {tree.hop_distance(a, b)} hops, "
+                    f"scheduled in the {hop}-hop round"
+                )
+            if a in used or b in used:
+                raise SchedulingError(f"node reused within {hop}-hop round")
+            used.update((a, b))

@@ -1,0 +1,80 @@
+"""Cluster simulation: traces, policies, repair and the event loop."""
+
+from repro.simulation.cluster import (
+    ClusterSimulator,
+    NodeStats,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.simulation.coverage import (
+    analytic_coverage_table,
+    detection_map,
+    detects,
+    expected_shift,
+)
+from repro.simulation.generator import (
+    CATEGORY_COMPONENTS,
+    TTR_SEGMENTS,
+    generate_allocation_trace,
+    generate_incident_trace,
+    sample_time_to_resolve,
+)
+from repro.simulation.metrics import (
+    PolicyComparison,
+    build_policies,
+    job_time_to_failure_curve,
+    mean_time_between_ith_incidents,
+    run_policy_comparison,
+    suite_durations,
+)
+from repro.simulation.policies import (
+    AbsencePolicy,
+    FullSetPolicy,
+    IdealPolicy,
+    NodeView,
+    PolicyDecision,
+    SelectorPolicy,
+    ValidationPolicy,
+)
+from repro.simulation.repair import RepairSystem, SwapOutcome
+from repro.simulation.traces import (
+    AllocationRecord,
+    AllocationTrace,
+    IncidentRecord,
+    IncidentTrace,
+)
+
+__all__ = [
+    "AbsencePolicy",
+    "AllocationRecord",
+    "AllocationTrace",
+    "CATEGORY_COMPONENTS",
+    "ClusterSimulator",
+    "FullSetPolicy",
+    "IdealPolicy",
+    "IncidentRecord",
+    "IncidentTrace",
+    "NodeStats",
+    "NodeView",
+    "PolicyComparison",
+    "PolicyDecision",
+    "RepairSystem",
+    "SelectorPolicy",
+    "SimulationConfig",
+    "SimulationResult",
+    "SwapOutcome",
+    "TTR_SEGMENTS",
+    "ValidationPolicy",
+    "analytic_coverage_table",
+    "build_policies",
+    "detection_map",
+    "detects",
+    "expected_shift",
+    "generate_allocation_trace",
+    "generate_incident_trace",
+    "job_time_to_failure_curve",
+    "mean_time_between_ith_incidents",
+    "run_policy_comparison",
+    "sample_time_to_resolve",
+    "suite_durations",
+]

@@ -1,0 +1,85 @@
+"""Benchmark detection/coverage bootstrapping for the simulator.
+
+The paper's selection simulation decides whether a chosen benchmark
+subset would have caught a simulated incident "based on coverage from
+historical validation data".  This module derives both views from the
+defect catalog and the benchmark sensitivities:
+
+* :func:`detects` / :func:`detection_map` -- ground truth: which
+  benchmark would flag a defect mode, from the expected metric shift
+  versus the similarity threshold;
+* :func:`analytic_coverage_table` -- a
+  :class:`~repro.core.selection.CoverageTable` seeded with synthetic
+  historical defects in catalog-rate proportions, standing in for the
+  paper's build-out validation dataset.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.base import BenchmarkSpec
+from repro.core.selection import CoverageTable
+from repro.hardware.components import DEFECT_CATALOG, DefectMode
+
+__all__ = ["expected_shift", "detects", "detection_map", "analytic_coverage_table"]
+
+
+def expected_shift(spec: BenchmarkSpec, mode: DefectMode) -> float:
+    """Largest relative metric shift ``mode`` induces on ``spec``.
+
+    The measurement model multiplies throughput by
+    ``prod(health_c ** w_c)``; the shift is ``1 - `` that product,
+    maximized over the benchmark's metrics (latency metrics shift by
+    the same relative amount in the other direction).
+    """
+    worst = 0.0
+    for metric in spec.metrics:
+        sensitivity = spec.metric_sensitivity(metric)
+        product = 1.0
+        for component, health in mode.components.items():
+            weight = sensitivity.get(component, 0.0)
+            if weight:
+                product *= health ** weight
+        worst = max(worst, 1.0 - product)
+    return worst
+
+
+def detects(spec: BenchmarkSpec, mode: DefectMode, alpha: float = 0.95) -> bool:
+    """True when the benchmark's expected shift breaks the threshold.
+
+    A similarity threshold ``alpha`` tolerates relative regressions up
+    to ``1 - alpha`` (the CDF distance of a pure level shift equals the
+    relative shift).
+    """
+    return expected_shift(spec, mode) > (1.0 - alpha)
+
+
+def detection_map(suite, catalog: tuple[DefectMode, ...] = DEFECT_CATALOG,
+                  alpha: float = 0.95) -> dict[str, set[str]]:
+    """Defect mode name -> set of benchmark names that detect it."""
+    return {
+        mode.name: {spec.name for spec in suite if detects(spec, mode, alpha)}
+        for mode in catalog
+    }
+
+
+def analytic_coverage_table(suite, catalog: tuple[DefectMode, ...] = DEFECT_CATALOG,
+                            alpha: float = 0.95, *,
+                            n_reference: int = 10_000) -> CoverageTable:
+    """Synthetic historical coverage table in catalog proportions.
+
+    Creates ``round(rate * n_reference)`` (at least one) historical
+    defect keys per mode and credits them to every detecting
+    benchmark, mirroring a build-out validation dataset.
+    """
+    if n_reference <= 0:
+        raise ValueError("n_reference must be positive")
+    table = CoverageTable()
+    for spec in suite:
+        table.ensure_benchmark(spec.name)
+    detectors = detection_map(suite, catalog, alpha)
+    for mode in catalog:
+        count = max(1, round(mode.rate * n_reference))
+        keys = {(mode.name, i) for i in range(count)}
+        for benchmark in detectors[mode.name]:
+            table.record(benchmark, keys)
+    return table

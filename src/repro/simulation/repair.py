@@ -1,0 +1,92 @@
+"""Repair system: out-for-repair pipeline plus hot buffer (paper §3.1).
+
+The paper's runtime keeps a *defective buffer* of nodes out for repair
+(OFR) and a *hot buffer* of repaired healthy spares.  When validation
+flags a node, the orchestration swaps it with a hot spare in about one
+hour instead of waiting days for troubleshooting.
+
+:class:`RepairSystem` models that: swaps consume hot-buffer stock, the
+defective node enters a repair pipeline, and finished repairs restock
+the buffer.  When the buffer is empty a swap degrades to waiting for
+the node's own repair -- surfacing under-provisioned buffers in the
+simulation metrics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.exceptions import SimulationError
+
+__all__ = ["SwapOutcome", "RepairSystem"]
+
+
+@dataclass(frozen=True)
+class SwapOutcome:
+    """Result of sending one defective node to repair.
+
+    ``available_at`` is when the slot becomes usable again; ``swapped``
+    says whether a hot spare was available (fast path).
+    """
+
+    available_at: float
+    swapped: bool
+
+
+@dataclass
+class RepairSystem:
+    """Hot-buffer swap + repair pipeline.
+
+    Attributes
+    ----------
+    hot_buffer_size:
+        Number of healthy spares initially on the shelf.
+    swap_hours:
+        Time to swap in a hot spare (paper: ~1 hour).
+    repair_hours:
+        Time to repair a defective node before it restocks the buffer.
+    """
+
+    hot_buffer_size: int = 8
+    swap_hours: float = 1.0
+    repair_hours: float = 36.0
+    _stock: int = field(init=False, default=0)
+    _repairs: list[float] = field(init=False, default_factory=list)
+    swaps_served: int = field(init=False, default=0)
+    swaps_missed: int = field(init=False, default=0)
+
+    def __post_init__(self):
+        if self.hot_buffer_size < 0:
+            raise SimulationError("hot_buffer_size must be non-negative")
+        if self.swap_hours <= 0 or self.repair_hours <= 0:
+            raise SimulationError("swap_hours and repair_hours must be positive")
+        self._stock = self.hot_buffer_size
+
+    def _restock(self, now: float) -> None:
+        while self._repairs and self._repairs[0] <= now:
+            heapq.heappop(self._repairs)
+            self._stock += 1
+
+    def available_spares(self, now: float) -> int:
+        """Hot-buffer stock at ``now`` (after restocking)."""
+        self._restock(now)
+        return self._stock
+
+    def send_to_repair(self, now: float) -> SwapOutcome:
+        """Swap a defective node out; returns when the slot is usable.
+
+        Fast path: consume a spare, slot back in ``swap_hours``; the
+        defective unit re-enters the buffer after ``repair_hours``.
+        Slow path (empty buffer): the slot waits for its own unit's
+        repair, which returns directly to the slot instead of the
+        buffer.
+        """
+        self._restock(now)
+        if self._stock > 0:
+            self._stock -= 1
+            self.swaps_served += 1
+            heapq.heappush(self._repairs, now + self.repair_hours)
+            return SwapOutcome(available_at=now + self.swap_hours, swapped=True)
+        self.swaps_missed += 1
+        return SwapOutcome(available_at=now + self.repair_hours, swapped=False)

@@ -1,0 +1,186 @@
+"""Trace records: node incidents and allocation requests (paper §5.1).
+
+The paper's simulations are driven by two proprietary traces collected
+from internal clusters -- a 4-month node incident trace and a job
+allocation-request trace.  These dataclasses define our equivalent
+records plus JSON round-tripping so generated traces can be persisted
+and replayed deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.exceptions import TraceError
+
+__all__ = [
+    "IncidentRecord",
+    "IncidentTrace",
+    "AllocationRecord",
+    "AllocationTrace",
+]
+
+
+@dataclass(frozen=True)
+class IncidentRecord:
+    """One incident event on one node.
+
+    Attributes
+    ----------
+    node_id:
+        The affected node.
+    start_hour / end_hour:
+        When the incident started and when it was resolved (hours from
+        trace start); ``end_hour - start_hour`` is the troubleshooting
+        duration of Figure 2.
+    category:
+        Coarse category (matches :class:`~repro.hardware.components.IncidentCategory`
+        values).
+    component:
+        Finer-grained source component (Figure 1).
+    """
+
+    node_id: str
+    start_hour: float
+    end_hour: float
+    category: str
+    component: str = ""
+
+    def __post_init__(self):
+        if self.end_hour < self.start_hour:
+            raise TraceError(
+                f"incident on {self.node_id} ends ({self.end_hour}) before "
+                f"it starts ({self.start_hour})"
+            )
+
+    @property
+    def duration_hours(self) -> float:
+        """Troubleshooting (time-to-resolve) duration."""
+        return self.end_hour - self.start_hour
+
+
+@dataclass(frozen=True)
+class IncidentTrace:
+    """A collection of incident records over a fixed horizon.
+
+    ``node_attributes`` optionally carries static health telemetry per
+    node (correctable-error rates, thermal margins, link bit-error
+    rates, ...) -- the monitored data the paper's Selector consumes as
+    status covariates alongside incident history.
+    """
+
+    records: tuple[IncidentRecord, ...]
+    horizon_hours: float
+    node_ids: tuple[str, ...] = field(default=())
+    node_attributes: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        records = tuple(sorted(self.records, key=lambda r: (r.start_hour, r.node_id)))
+        object.__setattr__(self, "records", records)
+        if not self.node_ids:
+            ids = tuple(sorted({r.node_id for r in records}))
+            object.__setattr__(self, "node_ids", ids)
+        for record in records:
+            if record.start_hour > self.horizon_hours:
+                raise TraceError(
+                    f"incident at {record.start_hour}h beyond horizon "
+                    f"{self.horizon_hours}h"
+                )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def for_node(self, node_id: str) -> list[IncidentRecord]:
+        """Chronological incidents of one node."""
+        return [r for r in self.records if r.node_id == node_id]
+
+    def category_counts(self) -> dict[str, int]:
+        """Histogram of incident categories."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.category] = counts.get(record.category, 0) + 1
+        return counts
+
+    def component_counts(self) -> dict[str, int]:
+        """Histogram of incident source components (Figure 1)."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.component] = counts.get(record.component, 0) + 1
+        return counts
+
+    def durations(self) -> list[float]:
+        """All troubleshooting durations (Figure 2)."""
+        return [r.duration_hours for r in self.records]
+
+    def save(self, path) -> None:
+        """Write the trace as JSON."""
+        payload = {
+            "horizon_hours": self.horizon_hours,
+            "node_ids": list(self.node_ids),
+            "node_attributes": self.node_attributes,
+            "records": [asdict(r) for r in self.records],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path) -> "IncidentTrace":
+        """Read a trace previously written with :meth:`save`."""
+        try:
+            payload = json.loads(Path(path).read_text())
+            records = tuple(IncidentRecord(**r) for r in payload["records"])
+            return cls(records=records, horizon_hours=payload["horizon_hours"],
+                       node_ids=tuple(payload["node_ids"]),
+                       node_attributes=payload.get("node_attributes", {}))
+        except (KeyError, TypeError, json.JSONDecodeError) as error:
+            raise TraceError(f"malformed incident trace at {path}: {error}") from error
+
+
+@dataclass(frozen=True)
+class AllocationRecord:
+    """One job allocation request."""
+
+    job_id: str
+    submit_hour: float
+    n_nodes: int
+    duration_hours: float
+
+    def __post_init__(self):
+        if self.n_nodes < 1:
+            raise TraceError(f"job {self.job_id} requests {self.n_nodes} nodes")
+        if self.duration_hours <= 0:
+            raise TraceError(f"job {self.job_id} has non-positive duration")
+
+
+@dataclass(frozen=True)
+class AllocationTrace:
+    """A stream of allocation requests over a fixed horizon."""
+
+    records: tuple[AllocationRecord, ...]
+    horizon_hours: float
+
+    def __post_init__(self):
+        records = tuple(sorted(self.records, key=lambda r: (r.submit_hour, r.job_id)))
+        object.__setattr__(self, "records", records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def save(self, path) -> None:
+        """Write the trace as JSON."""
+        payload = {
+            "horizon_hours": self.horizon_hours,
+            "records": [asdict(r) for r in self.records],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path) -> "AllocationTrace":
+        """Read a trace previously written with :meth:`save`."""
+        try:
+            payload = json.loads(Path(path).read_text())
+            records = tuple(AllocationRecord(**r) for r in payload["records"])
+            return cls(records=records, horizon_hours=payload["horizon_hours"])
+        except (KeyError, TypeError, json.JSONDecodeError) as error:
+            raise TraceError(f"malformed allocation trace at {path}: {error}") from error

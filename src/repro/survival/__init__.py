@@ -1,0 +1,27 @@
+"""Incident-probability (survival) models for the Selector."""
+
+from repro.survival.base import HORIZON_HOURS, SurvivalDataset, SurvivalModel
+from repro.survival.coxtime import CoxTimeModel
+from repro.survival.data import STATUS_FEATURES, extract_status_samples
+from repro.survival.exponential import (
+    ExponentialModel,
+    ExponentialPerHour,
+    ExponentialPerIncidentCount,
+)
+from repro.survival.metrics import evaluate_model, tbni_accuracy
+from repro.survival.mlp import Mlp
+
+__all__ = [
+    "HORIZON_HOURS",
+    "STATUS_FEATURES",
+    "CoxTimeModel",
+    "ExponentialModel",
+    "ExponentialPerHour",
+    "ExponentialPerIncidentCount",
+    "Mlp",
+    "SurvivalDataset",
+    "SurvivalModel",
+    "evaluate_model",
+    "extract_status_samples",
+    "tbni_accuracy",
+]

@@ -1,0 +1,155 @@
+"""Common interface for incident-probability (survival) models.
+
+The Selector treats every probability model uniformly (paper §3.3):
+given a node's status covariates it needs
+
+* ``P(T_incident <= t)`` -- the incident CDF ``F(t | x)``, and
+* the expected *time before next incident* (TBNI), truncated at the
+  trace horizon, which is what Table 3's accuracy metric scores.
+
+Models are fit on :class:`SurvivalDataset` -- a matrix of status
+covariates, observed durations until the next incident, and event
+indicators (0 marks right-censored rows).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelNotFittedError
+
+__all__ = ["SurvivalDataset", "SurvivalModel", "HORIZON_HOURS"]
+
+#: Trace length used by the paper to cap TBNI predictions: 2,400 hours.
+HORIZON_HOURS = 2400.0
+
+
+@dataclass(frozen=True)
+class SurvivalDataset:
+    """Aligned arrays describing node status snapshots.
+
+    Attributes
+    ----------
+    covariates:
+        ``(n, d)`` matrix of node statuses (up time, incident counts,
+        per-category MTBI, ...).
+    durations:
+        ``(n,)`` observed time until the next incident (hours).
+    events:
+        ``(n,)`` indicator; 1 = the incident was observed, 0 = censored.
+    feature_names:
+        Optional column names for ``covariates``.
+    """
+
+    covariates: np.ndarray
+    durations: np.ndarray
+    events: np.ndarray
+    feature_names: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        cov = np.atleast_2d(np.asarray(self.covariates, dtype=float))
+        dur = np.asarray(self.durations, dtype=float).ravel()
+        evt = np.asarray(self.events, dtype=float).ravel()
+        if cov.shape[0] != dur.size or dur.size != evt.size:
+            raise ValueError(
+                f"misaligned dataset: {cov.shape[0]} covariate rows, "
+                f"{dur.size} durations, {evt.size} events"
+            )
+        if np.any(dur < 0):
+            raise ValueError("durations must be non-negative")
+        object.__setattr__(self, "covariates", cov)
+        object.__setattr__(self, "durations", dur)
+        object.__setattr__(self, "events", evt)
+
+    def __len__(self) -> int:
+        return int(self.durations.size)
+
+    def split(self, train_fraction: float = 0.8, seed: int = 0
+              ) -> tuple["SurvivalDataset", "SurvivalDataset"]:
+        """Random train/test split (the paper uses 80/20)."""
+        rng = np.random.default_rng(seed)
+        n = len(self)
+        order = rng.permutation(n)
+        cut = int(round(train_fraction * n))
+        train_idx, test_idx = order[:cut], order[cut:]
+        return self.take(train_idx), self.take(test_idx)
+
+    def take(self, indices) -> "SurvivalDataset":
+        """Row subset of the dataset."""
+        idx = np.asarray(indices, dtype=int)
+        return SurvivalDataset(
+            covariates=self.covariates[idx],
+            durations=self.durations[idx],
+            events=self.events[idx],
+            feature_names=self.feature_names,
+        )
+
+    def feature(self, name: str) -> np.ndarray:
+        """Column of ``covariates`` selected by name."""
+        if name not in self.feature_names:
+            raise KeyError(f"unknown feature {name!r}; have {self.feature_names}")
+        return self.covariates[:, self.feature_names.index(name)]
+
+
+class SurvivalModel(abc.ABC):
+    """Abstract incident-probability model."""
+
+    _fitted = False
+
+    @abc.abstractmethod
+    def fit(self, dataset: SurvivalDataset) -> "SurvivalModel":
+        """Fit on training status samples; returns ``self``."""
+
+    @abc.abstractmethod
+    def survival_function(self, covariates: np.ndarray, times: np.ndarray) -> np.ndarray:
+        """``S(t | x)`` evaluated on a grid.
+
+        Returns an ``(n, len(times))`` matrix of survival probabilities.
+        """
+
+    def incident_probability(self, covariates: np.ndarray, t: float) -> np.ndarray:
+        """``P(T_incident <= t | x)`` for each covariate row."""
+        self._require_fitted()
+        times = np.asarray([t], dtype=float)
+        surv = self.survival_function(np.atleast_2d(covariates), times)
+        return 1.0 - surv[:, 0]
+
+    def expected_tbni(self, covariates: np.ndarray,
+                      horizon: float = HORIZON_HOURS) -> np.ndarray:
+        """Expected time before next incident, truncated at ``horizon``.
+
+        Computed as ``E[min(T, horizon)] = integral_0^horizon S(t) dt``
+        on a quantile-spaced grid.
+        """
+        self._require_fitted()
+        covariates = np.atleast_2d(covariates)
+        times = np.linspace(0.0, horizon, 241)
+        surv = self.survival_function(covariates, times)
+        return np.trapezoid(surv, times, axis=1)
+
+    def median_tbni(self, covariates: np.ndarray,
+                    horizon: float = HORIZON_HOURS) -> np.ndarray:
+        """Median time before next incident, truncated at ``horizon``.
+
+        The first grid time where ``S(t) <= 0.5``; the horizon when the
+        survival curve never crosses one half.  Under the paper's
+        L1-style accuracy metric the conditional median is the optimal
+        point prediction, so Table 3 scores models on this predictor.
+        """
+        self._require_fitted()
+        covariates = np.atleast_2d(covariates)
+        times = np.linspace(0.0, horizon, 481)
+        surv = self.survival_function(covariates, times)
+        below = surv <= 0.5
+        medians = np.full(covariates.shape[0], horizon)
+        has_crossing = below.any(axis=1)
+        first_crossing = below.argmax(axis=1)
+        medians[has_crossing] = times[first_crossing[has_crossing]]
+        return medians
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise ModelNotFittedError(f"{type(self).__name__} has not been fit")

@@ -1,0 +1,140 @@
+"""Status-sample extraction from incident traces (paper §5.2).
+
+The Cox-Time evaluation turns an incident trace into *node status
+samples*: snapshots of a node's observable state (total up time, time
+since the last incident, historical incident counts and per-category
+MTBI) paired with the observed *time before next incident* (TBNI).
+The paper extracts 46,808 such samples from its 4-month 1k-node trace;
+this module does the same for ours.
+
+Snapshots are taken at every incident resolution and on a periodic
+grid between incidents, so nodes contribute samples across their whole
+lifetime, not only immediately after failures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.components import IncidentCategory
+from repro.simulation.traces import IncidentTrace
+from repro.survival.base import SurvivalDataset
+
+__all__ = ["extract_status_samples", "STATUS_FEATURES"]
+
+_CATEGORIES = tuple(c.value for c in IncidentCategory)
+
+#: Feature schema of the extracted covariates, in column order.
+STATUS_FEATURES: tuple[str, ...] = (
+    "up_time",
+    "time_since_last",
+    "incident_count",
+    *(f"count_{cat}" for cat in _CATEGORIES),
+    *(f"mtbi_{cat}" for cat in _CATEGORIES),
+)
+
+
+def _snapshot(observe_hour: float, up_time: float, last_end: float | None,
+              counts: dict[str, int]) -> list[float]:
+    """Covariate row for one observation instant."""
+    time_since_last = observe_hour - last_end if last_end is not None else observe_hour
+    total = sum(counts.values())
+    row = [up_time, time_since_last, float(total)]
+    for cat in _CATEGORIES:
+        row.append(float(counts.get(cat, 0)))
+    for cat in _CATEGORIES:
+        count = counts.get(cat, 0)
+        row.append(up_time / count if count else up_time)
+    return row
+
+
+def extract_status_samples(trace: IncidentTrace, *,
+                           snapshot_interval_hours: float = 48.0,
+                           include_censored: bool = True,
+                           censored_tbni: str = "remaining") -> SurvivalDataset:
+    """Build a :class:`SurvivalDataset` of status snapshots from a trace.
+
+    Parameters
+    ----------
+    trace:
+        The incident trace.
+    snapshot_interval_hours:
+        Spacing of the periodic snapshots taken between incidents (in
+        addition to one snapshot right after each resolution).
+    include_censored:
+        Whether to keep snapshots whose next incident falls beyond the
+        trace horizon (kept as right-censored rows).
+    censored_tbni:
+        How a censored row's TBNI is recorded: ``"remaining"`` stores
+        the honest censoring time (observation to horizon; correct for
+        model fitting), ``"horizon"`` stores the full trace length --
+        the paper's Table 3 convention, where "no incident within the
+        trace" counts as the 2,400-hour cap for the accuracy metric.
+    """
+    if snapshot_interval_hours <= 0:
+        raise ValueError("snapshot_interval_hours must be positive")
+    if censored_tbni not in ("remaining", "horizon"):
+        raise ValueError(f"unknown censored_tbni mode {censored_tbni!r}")
+
+    attribute_names: tuple[str, ...] = ()
+    if trace.node_attributes:
+        keys = {k for attrs in trace.node_attributes.values() for k in attrs}
+        attribute_names = tuple(sorted(keys))
+
+    rows: list[list[float]] = []
+    durations: list[float] = []
+    events: list[float] = []
+
+    for node_id in trace.node_ids:
+        attrs = trace.node_attributes.get(node_id, {})
+        attribute_row = [float(attrs.get(name, 0.0)) for name in attribute_names]
+        incidents = trace.for_node(node_id)
+        # Observation instants: trace start, periodic grid, and each
+        # incident resolution.
+        observation_hours = set(
+            np.arange(0.0, trace.horizon_hours, snapshot_interval_hours).tolist()
+        )
+        observation_hours.update(r.end_hour for r in incidents
+                                 if r.end_hour < trace.horizon_hours)
+
+        starts = np.array([r.start_hour for r in incidents])
+        ends = np.array([r.end_hour for r in incidents])
+        categories = [r.category for r in incidents]
+
+        for observe in sorted(observation_hours):
+            # Skip instants inside an ongoing incident: the node is down.
+            inside = np.any((starts < observe) & (ends > observe)) if incidents else False
+            if inside:
+                continue
+            resolved = np.flatnonzero(ends <= observe)
+            counts: dict[str, int] = {}
+            for idx in resolved:
+                counts[categories[idx]] = counts.get(categories[idx], 0) + 1
+            downtime = float(np.sum(ends[resolved] - starts[resolved]))
+            up_time = max(observe - downtime, 0.0)
+            last_end = float(ends[resolved].max()) if resolved.size else None
+
+            upcoming = starts[starts >= observe]
+            if upcoming.size:
+                durations.append(float(upcoming.min() - observe))
+                events.append(1.0)
+            else:
+                if not include_censored:
+                    continue
+                censor_time = trace.horizon_hours - observe
+                if censor_time <= 0:
+                    continue
+                if censored_tbni == "horizon":
+                    durations.append(float(trace.horizon_hours))
+                else:
+                    durations.append(float(censor_time))
+                events.append(0.0)
+            rows.append(_snapshot(observe, up_time, last_end, counts)
+                        + attribute_row)
+
+    return SurvivalDataset(
+        covariates=np.asarray(rows, dtype=float),
+        durations=np.asarray(durations, dtype=float),
+        events=np.asarray(events, dtype=float),
+        feature_names=STATUS_FEATURES + attribute_names,
+    )

@@ -1,0 +1,132 @@
+"""Exponential-distribution baselines for incident prediction (Table 3).
+
+Three baselines from the paper's §5.2 evaluation:
+
+* :class:`ExponentialModel` -- a single constant incident rate
+  ``S(t) = exp(-lambda t)``.
+* :class:`ExponentialPerIncidentCount` -- one rate per historical
+  incident count (informed by Figure 4's MTBI decay).
+* :class:`ExponentialPerHour` -- one rate per current-up-time bucket.
+
+All three are maximum-likelihood under right censoring:
+``lambda = (# events) / (total observed time)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.survival.base import SurvivalDataset, SurvivalModel
+
+__all__ = [
+    "ExponentialModel",
+    "ExponentialPerIncidentCount",
+    "ExponentialPerHour",
+]
+
+_MIN_RATE = 1e-9
+
+
+def _mle_rate(durations: np.ndarray, events: np.ndarray) -> float:
+    """Censoring-aware exponential-rate MLE, floored away from zero."""
+    total_time = float(durations.sum())
+    n_events = float(events.sum())
+    if total_time <= 0.0:
+        return _MIN_RATE
+    return max(n_events / total_time, _MIN_RATE)
+
+
+class ExponentialModel(SurvivalModel):
+    """Constant incident rate across all node statuses."""
+
+    def __init__(self):
+        self.rate_: float | None = None
+
+    def fit(self, dataset: SurvivalDataset) -> "ExponentialModel":
+        self.rate_ = _mle_rate(dataset.durations, dataset.events)
+        self._fitted = True
+        return self
+
+    def survival_function(self, covariates, times) -> np.ndarray:
+        self._require_fitted()
+        covariates = np.atleast_2d(covariates)
+        times = np.asarray(times, dtype=float)
+        surv = np.exp(-self.rate_ * times)
+        return np.tile(surv, (covariates.shape[0], 1))
+
+
+class _GroupedExponential(SurvivalModel):
+    """Shared machinery: one exponential rate per covariate-derived group."""
+
+    def __init__(self, feature_name: str):
+        self.feature_name = feature_name
+        self.rates_: dict[int, float] = {}
+        self.global_rate_: float | None = None
+        self._feature_index: int | None = None
+        self._min_group_size = 10
+
+    def _group_key(self, value: float) -> int:
+        raise NotImplementedError
+
+    def fit(self, dataset: SurvivalDataset):
+        if self.feature_name not in dataset.feature_names:
+            raise KeyError(
+                f"{type(self).__name__} needs feature {self.feature_name!r}; "
+                f"dataset has {dataset.feature_names}"
+            )
+        self._feature_index = dataset.feature_names.index(self.feature_name)
+        values = dataset.covariates[:, self._feature_index]
+        keys = np.array([self._group_key(v) for v in values])
+        self.global_rate_ = _mle_rate(dataset.durations, dataset.events)
+        self.rates_ = {}
+        for key in np.unique(keys):
+            mask = keys == key
+            if mask.sum() >= self._min_group_size:
+                self.rates_[int(key)] = _mle_rate(
+                    dataset.durations[mask], dataset.events[mask]
+                )
+        self._fitted = True
+        return self
+
+    def _rate_for(self, covariate_row: np.ndarray) -> float:
+        key = self._group_key(covariate_row[self._feature_index])
+        return self.rates_.get(key, self.global_rate_)
+
+    def survival_function(self, covariates, times) -> np.ndarray:
+        self._require_fitted()
+        covariates = np.atleast_2d(covariates)
+        times = np.asarray(times, dtype=float)
+        rates = np.array([self._rate_for(row) for row in covariates])
+        return np.exp(-np.outer(rates, times))
+
+
+class ExponentialPerIncidentCount(_GroupedExponential):
+    """One exponential rate per historical incident count.
+
+    Counts above ``max_count`` share one bucket so sparse tails do not
+    produce unstable rates.
+    """
+
+    def __init__(self, feature_name: str = "incident_count", max_count: int = 20):
+        super().__init__(feature_name)
+        self.max_count = max_count
+
+    def _group_key(self, value: float) -> int:
+        return int(min(max(value, 0), self.max_count))
+
+
+class ExponentialPerHour(_GroupedExponential):
+    """One exponential rate per current-up-time bucket.
+
+    The up-time covariate (hours) is bucketed with ``bucket_hours``
+    resolution; each bucket gets its own censoring-aware rate.
+    """
+
+    def __init__(self, feature_name: str = "up_time", bucket_hours: float = 200.0):
+        super().__init__(feature_name)
+        if bucket_hours <= 0:
+            raise ValueError("bucket_hours must be positive")
+        self.bucket_hours = bucket_hours
+
+    def _group_key(self, value: float) -> int:
+        return int(max(value, 0.0) // self.bucket_hours)

@@ -1,0 +1,115 @@
+"""A minimal fully-connected network with manual backpropagation.
+
+The paper trains the Cox-Time model of Kvamme et al. with PyCox; neither
+torch nor pycox is available offline, so this module implements the tiny
+piece of deep learning the Selector needs: a dense ReLU network with an
+Adam optimizer, written directly against NumPy.
+
+The network maps a ``(batch, n_inputs)`` matrix to a ``(batch, 1)``
+column of relative-risk scores ``g(t, x)``.  Training code calls
+:meth:`Mlp.forward`, computes the gradient of the scalar loss with
+respect to the network output, and hands it to :meth:`Mlp.backward`
+followed by :meth:`Mlp.step`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Mlp"]
+
+
+class Mlp:
+    """Dense ReLU network trained with Adam.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Sizes including input and output, e.g. ``[8, 32, 32, 1]``.
+    seed:
+        Seed for He-normal weight initialization.
+    """
+
+    def __init__(self, layer_sizes: list[int], seed: int = 0):
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least an input and an output layer")
+        rng = np.random.default_rng(seed)
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        self._cache: list[np.ndarray] = []
+        self._grads_w = [np.zeros_like(w) for w in self.weights]
+        self._grads_b = [np.zeros_like(b) for b in self.biases]
+        # Adam state.
+        self._m_w = [np.zeros_like(w) for w in self.weights]
+        self._v_w = [np.zeros_like(w) for w in self.weights]
+        self._m_b = [np.zeros_like(b) for b in self.biases]
+        self._v_b = [np.zeros_like(b) for b in self.biases]
+        self._t = 0
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.weights)
+
+    def forward(self, x: np.ndarray, *, train: bool = True) -> np.ndarray:
+        """Forward pass; caches pre-activations when ``train`` is true."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x[None, :]
+        cache = [x]
+        h = x
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = h @ w + b
+            if i < self.n_layers - 1:
+                h = np.maximum(z, 0.0)
+            else:
+                h = z
+            cache.append(h)
+        if train:
+            self._cache = cache
+        return h
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        """Accumulate parameter gradients for the cached forward pass."""
+        if not self._cache:
+            raise RuntimeError("backward called before forward(train=True)")
+        grad = np.asarray(grad_out, dtype=float)
+        if grad.ndim == 1:
+            grad = grad[:, None]
+        for i in reversed(range(self.n_layers)):
+            h_in = self._cache[i]
+            h_out = self._cache[i + 1]
+            if i < self.n_layers - 1:
+                grad = grad * (h_out > 0.0)
+            self._grads_w[i] += h_in.T @ grad
+            self._grads_b[i] += grad.sum(axis=0)
+            if i > 0:
+                grad = grad @ self.weights[i].T
+        self._cache = []
+
+    def step(self, lr: float = 1e-3, weight_decay: float = 0.0,
+             beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8) -> None:
+        """Apply one Adam update using the accumulated gradients."""
+        self._t += 1
+        bias1 = 1.0 - beta1 ** self._t
+        bias2 = 1.0 - beta2 ** self._t
+        for i in range(self.n_layers):
+            gw = self._grads_w[i] + weight_decay * self.weights[i]
+            gb = self._grads_b[i]
+            self._m_w[i] = beta1 * self._m_w[i] + (1 - beta1) * gw
+            self._v_w[i] = beta2 * self._v_w[i] + (1 - beta2) * gw * gw
+            self._m_b[i] = beta1 * self._m_b[i] + (1 - beta1) * gb
+            self._v_b[i] = beta2 * self._v_b[i] + (1 - beta2) * gb * gb
+            self.weights[i] -= lr * (self._m_w[i] / bias1) / (np.sqrt(self._v_w[i] / bias2) + eps)
+            self.biases[i] -= lr * (self._m_b[i] / bias1) / (np.sqrt(self._v_b[i] / bias2) + eps)
+        self.zero_grad()
+
+    def zero_grad(self) -> None:
+        """Reset accumulated gradients."""
+        for g in self._grads_w:
+            g[:] = 0.0
+        for g in self._grads_b:
+            g[:] = 0.0

@@ -1,0 +1,16 @@
+"""Fat-tree network topology and congestion model."""
+
+from repro.topology.congestion import (
+    PairBandwidth,
+    allreduce_pair_bandwidths,
+    nominal_bus_bandwidth,
+)
+from repro.topology.fattree import FatTree, FatTreeConfig
+
+__all__ = [
+    "FatTree",
+    "FatTreeConfig",
+    "PairBandwidth",
+    "allreduce_pair_bandwidths",
+    "nominal_bus_bandwidth",
+]

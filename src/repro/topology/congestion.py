@@ -1,0 +1,115 @@
+"""Flow-level congestion model for concurrent all-reduce pairs.
+
+Reproduces the Figure 3 phenomenon: when many 2-node all-reduce pairs
+run *simultaneously* on a fat-tree, pairs whose traffic crosses a ToR
+with more than half of its redundant uplinks broken see degraded bus
+bandwidth, while the same pairs measured in isolation look healthy.
+
+The model is deliberately simple and matches the paper's empirical
+rule rather than simulating packets:
+
+* a pair inside one ToR never touches uplinks and always achieves the
+  nominal bus bandwidth;
+* a cross-ToR pair traverses the uplinks of both endpoints' ToRs (and
+  the pod/core tier, which stays over-provisioned here);
+* under full concurrency the subscribed demand equals the ToR's
+  *congestion threshold* capacity (``uplinks - redundant/2``), so a
+  ToR with ``alive >= threshold`` is congestion-free and one below it
+  scales every crossing flow by ``alive / threshold``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.topology.fattree import FatTree
+
+__all__ = ["PairBandwidth", "allreduce_pair_bandwidths", "nominal_bus_bandwidth"]
+
+
+def nominal_bus_bandwidth(tree: FatTree) -> float:
+    """Healthy 2-node all-reduce bus bandwidth in GB/s.
+
+    All NICs drive traffic concurrently; bus bandwidth for a 2-node
+    all-reduce approaches the aggregate NIC line rate.  We charge a
+    ~7% protocol efficiency loss, in line with NCCL-tests numbers.
+    """
+    cfg = tree.config
+    line_rate_gbs = cfg.nics_per_node * cfg.link_bandwidth_gbps / 8.0
+    return 0.93 * line_rate_gbs
+
+
+@dataclass(frozen=True)
+class PairBandwidth:
+    """Measured bandwidth of one concurrent node pair."""
+
+    pair: tuple[int, int]
+    bandwidth_gbps: float
+    congested: bool
+
+
+def allreduce_pair_bandwidths(tree: FatTree, pairs, *,
+                              concurrent: bool = True,
+                              noise_cv: float = 0.01,
+                              rng: np.random.Generator | None = None
+                              ) -> list[PairBandwidth]:
+    """Bus bandwidth of each 2-node all-reduce pair.
+
+    Parameters
+    ----------
+    tree:
+        The fat-tree, including current uplink liveness.
+    pairs:
+        Iterable of ``(a, b)`` node pairs.  Pairs must be node-disjoint
+        when ``concurrent`` is true (a node cannot run two all-reduces
+        at once).
+    concurrent:
+        When true, apply the congestion model; when false, each pair is
+        measured alone and only a total-uplink-loss ToR degrades it.
+    noise_cv:
+        Measurement noise (coefficient of variation).
+    rng:
+        Source of measurement noise; deterministic zero-noise when
+        omitted and ``noise_cv`` is 0.
+    """
+    pair_list = [(int(a), int(b)) for a, b in pairs]
+    seen: set[int] = set()
+    for a, b in pair_list:
+        if a == b:
+            raise TopologyError(f"pair ({a}, {b}) is degenerate")
+        if concurrent and (a in seen or b in seen):
+            raise TopologyError("concurrent pairs must be node-disjoint")
+        seen.update((a, b))
+
+    nominal = nominal_bus_bandwidth(tree)
+    threshold = tree.config.congestion_threshold
+    base = tree.config.base_uplinks
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    results = []
+    for a, b in pair_list:
+        tor_a, tor_b = tree.tor_of(a), tree.tor_of(b)
+        scale = 1.0
+        congested = False
+        if tor_a != tor_b:
+            for tor in (tor_a, tor_b):
+                alive = tree.alive_uplinks(tor)
+                if concurrent:
+                    if alive < threshold:
+                        scale = min(scale, alive / threshold)
+                        congested = True
+                else:
+                    # Alone on the fabric, a single pair only needs the
+                    # base (non-redundant) capacity.
+                    if alive < base:
+                        scale = min(scale, alive / base)
+                        congested = True
+        noise = 1.0 + noise_cv * float(rng.standard_normal()) if noise_cv else 1.0
+        bandwidth = max(0.0, nominal * scale * noise)
+        results.append(PairBandwidth(pair=(a, b), bandwidth_gbps=bandwidth,
+                                     congested=congested))
+    return results

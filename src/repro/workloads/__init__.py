@@ -1,0 +1,27 @@
+"""Workload mix and representative model configurations."""
+
+from repro.workloads.distribution import (
+    WORKLOAD_MIX,
+    WorkloadShare,
+    benchmark_coverage_of_mix,
+    family_shares,
+    sample_jobs,
+)
+from repro.workloads.models import (
+    MODEL_ZOO,
+    ModelConfig,
+    model_config,
+    models_for_benchmark,
+)
+
+__all__ = [
+    "MODEL_ZOO",
+    "ModelConfig",
+    "WORKLOAD_MIX",
+    "WorkloadShare",
+    "benchmark_coverage_of_mix",
+    "family_shares",
+    "model_config",
+    "models_for_benchmark",
+    "sample_jobs",
+]

@@ -1,0 +1,90 @@
+"""Workload distribution over a multi-tenant AI cluster (paper §2.3).
+
+Figure 5 of the paper histograms 56k+ GPU jobs into three families --
+Transformers, CNNs and others -- with tens of models inside each and a
+large unidentifiable share (35.5% of Transformers).  The exact numbers
+are not published, so :data:`WORKLOAD_MIX` is a synthetic mix with the
+paper's qualitative structure: Transformers dominate, CNNs second,
+long tails everywhere.  The benchmark-set designer uses the mix to
+verify that the end-to-end benchmarks cover the bulk of jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "WorkloadShare",
+    "WORKLOAD_MIX",
+    "family_shares",
+    "benchmark_coverage_of_mix",
+    "sample_jobs",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadShare:
+    """One workload slice of the cluster job mix.
+
+    Attributes
+    ----------
+    family:
+        "transformer", "cnn" or "other".
+    model:
+        Model label ("bert", "gpt", "unidentified", ...).
+    share:
+        Fraction of all GPU jobs.
+    covering_benchmark:
+        Name of the end-to-end benchmark representing this workload,
+        or empty when only micro-benchmarks cover it.
+    """
+
+    family: str
+    model: str
+    share: float
+    covering_benchmark: str = ""
+
+
+#: Synthetic Figure 5 mix (shares sum to 1).
+WORKLOAD_MIX: tuple[WorkloadShare, ...] = (
+    WorkloadShare("transformer", "gpt", 0.155, "gpt-models"),
+    WorkloadShare("transformer", "bert", 0.120, "bert-models"),
+    WorkloadShare("transformer", "t5", 0.055, "bert-models"),
+    WorkloadShare("transformer", "vit", 0.040, "bert-models"),
+    WorkloadShare("transformer", "unidentified", 0.205, "gpt-models"),
+    WorkloadShare("cnn", "resnet", 0.110, "resnet-models"),
+    WorkloadShare("cnn", "densenet", 0.040, "densenet-models"),
+    WorkloadShare("cnn", "vgg", 0.035, "vgg-models"),
+    WorkloadShare("cnn", "unet", 0.030, "resnet-models"),
+    WorkloadShare("cnn", "unidentified", 0.055, "resnet-models"),
+    WorkloadShare("other", "lstm", 0.045, "lstm-models"),
+    WorkloadShare("other", "recommendation", 0.040, ""),
+    WorkloadShare("other", "reinforcement", 0.025, ""),
+    WorkloadShare("other", "unidentified", 0.045, ""),
+)
+
+
+def family_shares() -> dict[str, float]:
+    """Aggregate share per family (the Figure 5 macro view)."""
+    shares: dict[str, float] = {}
+    for item in WORKLOAD_MIX:
+        shares[item.family] = shares.get(item.family, 0.0) + item.share
+    return shares
+
+
+def benchmark_coverage_of_mix() -> float:
+    """Fraction of jobs represented by some end-to-end benchmark."""
+    return sum(item.share for item in WORKLOAD_MIX if item.covering_benchmark)
+
+
+def sample_jobs(n_jobs: int, seed: int = 0) -> list[WorkloadShare]:
+    """Draw ``n_jobs`` workloads from the mix (synthetic job log)."""
+    if n_jobs <= 0:
+        raise ValueError("n_jobs must be positive")
+    rng = np.random.default_rng(seed)
+    probs = np.array([item.share for item in WORKLOAD_MIX])
+    probs = probs / probs.sum()
+    indices = rng.choice(len(WORKLOAD_MIX), size=n_jobs, p=probs)
+    return [WORKLOAD_MIX[int(i)] for i in indices]

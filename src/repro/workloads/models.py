@@ -1,0 +1,80 @@
+"""Foundational-model configurations for the end-to-end benchmarks.
+
+§3.2: customers tune model parameters (batch size, sequence length,
+precision) for convergence and utilization; the benchmark set freezes
+the *most prevalent* settings per foundational model.  These configs
+document the representative parameters behind each end-to-end
+benchmark in :mod:`repro.benchsuite.suite` and drive the example
+scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ModelConfig", "MODEL_ZOO", "model_config", "models_for_benchmark"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Representative training configuration of one model variant."""
+
+    name: str
+    family: str
+    benchmark: str
+    batch_size: int
+    precision: str = "fp16"
+    sequence_length: int | None = None
+    image_size: int | None = None
+    parameters_m: float = 0.0
+
+    def __post_init__(self):
+        if self.batch_size <= 0:
+            raise ValueError(f"{self.name}: batch size must be positive")
+        if self.precision not in ("fp32", "fp16", "bf16"):
+            raise ValueError(f"{self.name}: unknown precision {self.precision!r}")
+
+
+MODEL_ZOO: tuple[ModelConfig, ...] = (
+    ModelConfig("resnet50", "cnn", "resnet-models", 192, "fp16",
+                image_size=224, parameters_m=25.6),
+    ModelConfig("resnet101", "cnn", "resnet-models", 128, "fp16",
+                image_size=224, parameters_m=44.5),
+    ModelConfig("resnet152", "cnn", "resnet-models", 96, "fp16",
+                image_size=224, parameters_m=60.2),
+    ModelConfig("densenet169", "cnn", "densenet-models", 96, "fp16",
+                image_size=224, parameters_m=14.1),
+    ModelConfig("densenet201", "cnn", "densenet-models", 64, "fp16",
+                image_size=224, parameters_m=20.0),
+    ModelConfig("vgg11", "cnn", "vgg-models", 128, "fp16",
+                image_size=224, parameters_m=132.9),
+    ModelConfig("vgg13", "cnn", "vgg-models", 128, "fp16",
+                image_size=224, parameters_m=133.0),
+    ModelConfig("vgg16", "cnn", "vgg-models", 96, "fp16",
+                image_size=224, parameters_m=138.4),
+    ModelConfig("vgg19", "cnn", "vgg-models", 96, "fp16",
+                image_size=224, parameters_m=143.7),
+    ModelConfig("lstm", "rnn", "lstm-models", 512, "fp16",
+                sequence_length=128, parameters_m=8.6),
+    ModelConfig("bert-base", "transformer", "bert-models", 64, "fp16",
+                sequence_length=128, parameters_m=110.0),
+    ModelConfig("bert-large", "transformer", "bert-models", 32, "fp16",
+                sequence_length=128, parameters_m=340.0),
+    ModelConfig("gpt2-small", "transformer", "gpt-models", 32, "fp16",
+                sequence_length=1024, parameters_m=124.0),
+    ModelConfig("gpt2-large", "transformer", "gpt-models", 8, "fp16",
+                sequence_length=1024, parameters_m=774.0),
+)
+
+
+def model_config(name: str) -> ModelConfig:
+    """Zoo lookup by model name."""
+    for config in MODEL_ZOO:
+        if config.name == name:
+            return config
+    raise KeyError(f"unknown model {name!r}")
+
+
+def models_for_benchmark(benchmark: str) -> list[ModelConfig]:
+    """All model variants represented by one end-to-end benchmark."""
+    return [c for c in MODEL_ZOO if c.benchmark == benchmark]

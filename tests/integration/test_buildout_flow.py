@@ -1,0 +1,76 @@
+"""Integration: the cluster build-out flow (criteria -> screening).
+
+Mirrors the paper's deployment story at miniature scale: build a fleet
+with injected gray failures, learn criteria from a sample of nodes with
+the full benchmark set, then screen the whole fleet and check that the
+Validator finds the planted defects without drowning in false
+positives.
+"""
+
+import numpy as np
+import pytest
+
+from repro.benchsuite.runner import SuiteRunner
+from repro.benchsuite.suite import full_suite
+from repro.core.validator import Validator
+from repro.hardware.fleet import build_fleet
+from repro.simulation.coverage import detection_map
+
+
+@pytest.fixture(scope="module")
+def screening():
+    fleet = build_fleet(150, seed=42)
+    validator = Validator(full_suite(), runner=SuiteRunner(seed=7), alpha=0.95)
+    validator.learn_criteria(fleet.nodes[:80])
+    report = validator.validate(fleet.nodes)
+    return fleet, validator, report
+
+
+class TestBuildOutScreening:
+    def test_all_detectable_defects_found(self, screening):
+        fleet, validator, report = screening
+        detectors = detection_map(full_suite())
+        flagged = set(report.defective_nodes)
+        for node in fleet.defective_nodes:
+            detectable = any(detectors.get(mode) for mode in node.defects)
+            if detectable:
+                assert node.node_id in flagged, (
+                    f"{node.node_id} with {node.defects} escaped screening"
+                )
+
+    def test_false_positive_rate_bounded(self, screening):
+        fleet, validator, report = screening
+        truth = {n.node_id for n in fleet.defective_nodes}
+        false_positives = set(report.defective_nodes) - truth
+        assert len(false_positives) / len(fleet) < 0.08
+
+    def test_defect_attribution_matches_components(self, screening):
+        fleet, validator, report = screening
+        detectors = detection_map(full_suite())
+        by_benchmark = report.violations_by_benchmark()
+        # Every NIC-degraded node must be flagged by ib-loopback
+        # specifically (the paper's component attribution story).
+        for node in fleet.defective_nodes:
+            if node.defects == ["ib_hca_degraded"]:
+                assert node.node_id in by_benchmark.get("ib-loopback", set())
+
+    def test_criteria_learned_for_every_metric(self, screening):
+        _, validator, _ = screening
+        expected = sum(len(s.metrics) for s in full_suite())
+        assert len(validator.criteria) == expected
+
+    def test_repeatability_of_effective_benchmarks(self, screening):
+        """Healthy-node pairwise repeatability (the paper's §3.4
+        definition) stays above the 97.5% floor of Table 6."""
+        from repro.core.repeatability import pairwise_repeatability
+
+        fleet, validator, report = screening
+        flagged = set(report.defective_nodes)
+        healthy_nodes = [n for n in fleet.nodes if n.node_id not in flagged][:25]
+        runner = SuiteRunner(seed=99)
+        for name in ("ib-loopback", "gemm-flops", "bert-models"):
+            spec = validator.spec(name)
+            metric = spec.metrics[0]
+            samples = [runner.run(spec, node).sample(metric.name)
+                       for node in healthy_nodes]
+            assert pairwise_repeatability(samples) > 0.975

@@ -1,0 +1,83 @@
+"""Integration: networking validation over a degraded fat-tree (Fig 3 +
+Appendix A flows)."""
+
+import numpy as np
+import pytest
+
+from repro.benchsuite.multinode import run_all_pair_scan
+from repro.hardware.node import Node
+from repro.netval.pairs import round_robin_schedule, validate_schedule
+from repro.netval.topo_aware import quick_scan_schedule, validate_quick_scan
+from repro.topology.congestion import allreduce_pair_bandwidths
+from repro.topology.fattree import FatTree, FatTreeConfig
+
+
+def paper_testbed():
+    """24 nodes / 6 ToRs / 2 pods with 25% redundant uplinks."""
+    return FatTree(FatTreeConfig(n_nodes=24, nodes_per_tor=4, tors_per_pod=3,
+                                 uplinks_per_tor=20, redundant_uplinks=4))
+
+
+def cross_tor_pairs(tree):
+    """Node-disjoint 2-node pairs that all cross ToR boundaries."""
+    pairs = []
+    for tor in range(0, tree.n_tors, 2):
+        left = tree.nodes_in_tor(tor)
+        right = tree.nodes_in_tor(tor + 1)
+        pairs.extend(zip(left, right))
+    return pairs
+
+
+class TestFigure3Phenomenon:
+    def test_bimodal_cdf_under_redundancy_loss(self):
+        tree = paper_testbed()
+        pairs = cross_tor_pairs(tree)
+        rng = np.random.default_rng(0)
+        healthy = sorted(p.bandwidth_gbps for p in
+                         allreduce_pair_bandwidths(tree, pairs, rng=rng))
+        tree.fail_uplinks(0, 3)
+        tree.fail_uplinks(3, 3)
+        degraded = sorted(p.bandwidth_gbps for p in
+                          allreduce_pair_bandwidths(tree, pairs, rng=rng))
+        # Healthy: tight CDF.  Degraded: a low mode appears.
+        assert (max(healthy) - min(healthy)) / np.mean(healthy) < 0.05
+        assert min(degraded) < 0.97 * min(healthy)
+        assert max(degraded) > 0.99 * min(healthy)  # unaffected pairs intact
+
+    def test_repairing_all_involved_tors_restores_bandwidth(self):
+        tree = paper_testbed()
+        pairs = cross_tor_pairs(tree)
+        tree.fail_uplinks(0, 3)
+        tree.fail_uplinks(3, 3)
+        tree.repair_uplinks(0, 1)  # back to >= 50% of the redundancy
+        tree.repair_uplinks(3, 1)
+        results = allreduce_pair_bandwidths(tree, pairs, noise_cv=0.0)
+        assert all(not r.congested for r in results)
+
+
+class TestAppendixAFlow:
+    def test_full_scan_detects_degraded_endpoint(self):
+        tree = paper_testbed()
+        rng = np.random.default_rng(1)
+        nodes = [Node(node_id=f"n{i}") for i in range(24)]
+        from repro.hardware.components import defect_mode
+        nodes[7].apply_defect(defect_mode("ib_hca_degraded"), rng)
+        scan = run_all_pair_scan(tree, nodes, rng)
+        medians = scan.node_median_bandwidth
+        worst = min(medians, key=medians.get)
+        assert worst == 7
+
+    def test_full_scan_round_count_linear(self):
+        rounds = round_robin_schedule(list(range(24)))
+        assert len(rounds) == 23
+        validate_schedule(list(range(24)), rounds)
+
+    def test_quick_scan_constant_rounds(self):
+        small = paper_testbed()
+        big = FatTree(FatTreeConfig(n_nodes=96, nodes_per_tor=4,
+                                    tors_per_pod=3))
+        rounds_small = quick_scan_schedule(small)
+        rounds_big = quick_scan_schedule(big)
+        validate_quick_scan(small, rounds_small)
+        validate_quick_scan(big, rounds_big)
+        assert len(rounds_small) == len(rounds_big) == 3

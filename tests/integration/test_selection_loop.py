@@ -1,0 +1,82 @@
+"""Integration: the Selector/Validator event loop and the simulation's
+headline ordering (miniature Figure 8 / Table 4)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.cluster import SimulationConfig
+from repro.simulation.generator import generate_allocation_trace
+from repro.simulation.metrics import run_policy_comparison
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    config = SimulationConfig(n_nodes=32, horizon_hours=480.0, seed=11)
+    trace = generate_allocation_trace(480.0, jobs_per_hour=1.4,
+                                      max_job_nodes=8,
+                                      mean_duration_hours=18.0, seed=12)
+    return run_policy_comparison(config, trace, p0=0.02)
+
+
+class TestPolicyOrdering:
+    def test_utilization_ordering(self, comparison):
+        utilization = comparison.utilization_row()
+        assert utilization["ideal"] > utilization["selector"]
+        assert utilization["selector"] > utilization["full-set"]
+        assert utilization["selector"] > utilization["absence"]
+
+    def test_mtbi_ordering(self, comparison):
+        results = comparison.results
+        assert results["selector"].mtbi_hours > 5.0 * results["absence"].mtbi_hours
+        assert results["full-set"].mtbi_hours > 5.0 * results["absence"].mtbi_hours
+
+    def test_selector_saves_validation_time(self, comparison):
+        results = comparison.results
+        saving = 1.0 - (results["selector"].average_validation_hours
+                        / results["full-set"].average_validation_hours)
+        assert saving > 0.5
+
+    def test_validation_reduces_incidents(self, comparison):
+        results = comparison.results
+        assert (results["selector"].average_incidents
+                < 0.5 * results["absence"].average_incidents)
+
+    def test_selector_actually_skips(self, comparison):
+        selector = comparison.results["selector"]
+        assert selector.validations_skipped > 0
+        assert selector.validations_run > 0
+
+    def test_table4_rows_well_formed(self, comparison):
+        rows = comparison.table4_rows()
+        names = [row[0] for row in rows]
+        assert names == ["absence", "full-set", "selector"]
+        absence_row = rows[0]
+        assert absence_row[1] == 0.0  # no validation time
+
+
+class TestSurvivalPipeline:
+    def test_cox_time_beats_global_exponential(self):
+        """Miniature Table 3: the covariate-aware model wins."""
+        from repro.hardware.degradation import WearModel
+        from repro.simulation.generator import generate_incident_trace
+        from repro.survival.coxtime import CoxTimeModel
+        from repro.survival.data import extract_status_samples
+        from repro.survival.exponential import ExponentialModel
+        from repro.survival.metrics import evaluate_model
+
+        wear = WearModel(base_mtbi_hours=5000.0)
+        trace = generate_incident_trace(150, 2400.0, wear=wear,
+                                        frailty_sigma=1.4, gap_shape=3.0,
+                                        seed=21)
+        fit_ds = extract_status_samples(trace, snapshot_interval_hours=96.0)
+        score_ds = extract_status_samples(trace, snapshot_interval_hours=96.0,
+                                          censored_tbni="horizon")
+        train, _ = fit_ds.split(0.8, seed=0)
+        _, test = score_ds.split(0.8, seed=0)
+
+        exponential = ExponentialModel().fit(train)
+        cox = CoxTimeModel(hidden=(32, 32), epochs=30, n_controls=4,
+                           learning_rate=0.01, seed=0).fit(train)
+        acc_exp = evaluate_model(exponential, test, events_only=False)
+        acc_cox = evaluate_model(cox, test, events_only=False)
+        assert acc_cox > acc_exp + 0.02

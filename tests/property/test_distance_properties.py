@@ -1,0 +1,89 @@
+"""Property-based tests for the distance/similarity metrics (Eq. 2-4)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.distance import (
+    cdf_distance,
+    one_sided_distance,
+    similarity,
+)
+
+positive_samples = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=60),
+    elements=st.floats(min_value=0.1, max_value=1e4, allow_nan=False,
+                       allow_infinity=False),
+)
+
+
+@given(positive_samples)
+@settings(max_examples=60, deadline=None)
+def test_self_distance_is_zero(sample):
+    assert cdf_distance(sample, sample) == 0.0
+
+
+@given(positive_samples, positive_samples)
+@settings(max_examples=60, deadline=None)
+def test_distance_symmetric(a, b):
+    assert cdf_distance(a, b) == cdf_distance(b, a)
+
+
+@given(positive_samples, positive_samples)
+@settings(max_examples=60, deadline=None)
+def test_distance_bounded(a, b):
+    d = cdf_distance(a, b)
+    assert 0.0 <= d <= 1.0
+
+
+@given(positive_samples, positive_samples,
+       st.floats(min_value=0.01, max_value=1000.0))
+@settings(max_examples=60, deadline=None)
+def test_distance_scale_invariant(a, b, scale):
+    d1 = cdf_distance(a, b)
+    d2 = cdf_distance(a * scale, b * scale)
+    assert abs(d1 - d2) < 1e-9
+
+
+@given(positive_samples, positive_samples)
+@settings(max_examples=60, deadline=None)
+def test_one_sided_never_exceeds_symmetric(a, b):
+    assert one_sided_distance(a, b) <= cdf_distance(a, b) + 1e-12
+
+
+@given(positive_samples, positive_samples)
+@settings(max_examples=60, deadline=None)
+def test_one_sided_directions_sum_to_symmetric(a, b):
+    """The two one-sided gaps partition the absolute gap."""
+    up = one_sided_distance(a, b, higher_is_better=True)
+    down = one_sided_distance(a, b, higher_is_better=False)
+    assert abs((up + down) - cdf_distance(a, b)) < 1e-9
+
+
+@given(positive_samples)
+@settings(max_examples=60, deadline=None)
+def test_similarity_complement(a):
+    b = a * 0.9
+    assert abs(similarity(a, b) - (1.0 - cdf_distance(a, b))) < 1e-12
+
+
+@given(st.floats(min_value=0.1, max_value=1e4),
+       st.floats(min_value=0.0, max_value=0.99))
+@settings(max_examples=60, deadline=None)
+def test_single_value_distance_is_relative_gap(value, gap):
+    """For singletons, Eq. 2 degenerates to the relative regression."""
+    lower = value * (1.0 - gap)
+    d = cdf_distance([lower], [value])
+    assert abs(d - gap) < 1e-9
+
+
+@given(positive_samples, st.floats(min_value=0.5, max_value=0.99))
+@settings(max_examples=60, deadline=None)
+def test_uniform_degradation_detected_one_sided(sample, factor):
+    """A uniformly slower sample is penalized by the one-sided filter."""
+    degraded = sample * factor
+    assert one_sided_distance(degraded, sample) > 0.0
+    # And the healthy direction is free.
+    assert one_sided_distance(sample, degraded) == 0.0

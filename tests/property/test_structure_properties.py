@@ -1,0 +1,94 @@
+"""Property-based tests for structural invariants: fat-trees, ECDFs,
+measurement model and repair accounting."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ecdf import Ecdf
+from repro.netval.topo_aware import quick_scan_schedule, validate_quick_scan
+from repro.simulation.repair import RepairSystem
+from repro.topology.fattree import FatTree, FatTreeConfig
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=80))
+@settings(max_examples=80, deadline=None)
+def test_ecdf_monotone_and_bounded(values):
+    ecdf = Ecdf.from_sample(values)
+    xs = np.linspace(min(values) - 1.0, max(values) + 1.0, 50)
+    fs = ecdf.evaluate(xs)
+    assert np.all(np.diff(fs) >= -1e-15)
+    assert fs[0] >= 0.0 and fs[-1] == 1.0
+
+
+@given(st.integers(min_value=2, max_value=60),
+       st.integers(min_value=1, max_value=8),
+       st.integers(min_value=1, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_fattree_partitions(n_nodes, nodes_per_tor, tors_per_pod):
+    tree = FatTree(FatTreeConfig(n_nodes=n_nodes, nodes_per_tor=nodes_per_tor,
+                                 tors_per_pod=tors_per_pod))
+    # Every node in exactly one ToR; every ToR in exactly one pod.
+    seen = []
+    for tor in range(tree.n_tors):
+        seen.extend(tree.nodes_in_tor(tor))
+    assert sorted(seen) == tree.nodes
+    for pod in range(tree.n_pods):
+        for tor in tree.tors_in_pod(pod):
+            assert tree.pod_of_tor(tor) == pod
+    # Hop distances are consistent with membership.
+    for a in tree.nodes[: min(6, n_nodes)]:
+        for b in tree.nodes[: min(6, n_nodes)]:
+            if a == b:
+                continue
+            hop = tree.hop_distance(a, b)
+            if tree.tor_of(a) == tree.tor_of(b):
+                assert hop == 2
+            elif tree.pod_of(a) == tree.pod_of(b):
+                assert hop == 4
+            else:
+                assert hop == 6
+
+
+@given(st.integers(min_value=2, max_value=60),
+       st.integers(min_value=2, max_value=8),
+       st.integers(min_value=1, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_quick_scan_always_valid(n_nodes, nodes_per_tor, tors_per_pod):
+    tree = FatTree(FatTreeConfig(n_nodes=n_nodes, nodes_per_tor=nodes_per_tor,
+                                 tors_per_pod=tors_per_pod))
+    rounds = quick_scan_schedule(tree)
+    validate_quick_scan(tree, rounds)
+    assert len(rounds) <= tree.tiers
+
+
+@given(st.integers(min_value=0, max_value=5),
+       st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1,
+                max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_repair_system_times_move_forward(buffer_size, event_times):
+    repair = RepairSystem(hot_buffer_size=buffer_size, swap_hours=1.0,
+                          repair_hours=10.0)
+    for now in sorted(event_times):
+        outcome = repair.send_to_repair(now)
+        assert outcome.available_at > now
+    assert repair.swaps_served + repair.swaps_missed == len(event_times)
+
+
+@given(st.integers(min_value=0, max_value=2 ** 31 - 1),
+       st.floats(min_value=0.3, max_value=1.0))
+@settings(max_examples=40, deadline=None)
+def test_measurement_monotone_in_health(seed, health):
+    """Lower component health never yields better throughput (in
+    expectation-free terms: with identical RNG streams)."""
+    from repro.benchsuite.base import run_benchmark
+    from repro.benchsuite.suite import suite_by_name
+    from repro.hardware.components import Component
+    from repro.hardware.node import Node
+
+    spec = suite_by_name("ib-loopback")
+    healthy = Node(node_id="same")
+    degraded = Node(node_id="same", health={Component.NIC: health})
+    a = run_benchmark(spec, healthy, np.random.default_rng(seed))
+    b = run_benchmark(spec, degraded, np.random.default_rng(seed))
+    assert b.metrics["ib_write_bw_gbs"][0] <= a.metrics["ib_write_bw_gbs"][0] + 1e-9

@@ -1,0 +1,151 @@
+"""Unit tests for the outlier-detection and criteria baselines."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.baselines import (
+    iqr_criteria,
+    kmeans_criteria,
+    margin_ratio,
+)
+from repro.analysis.outliers import OneClassSvm, local_outlier_factor, lof_outliers
+from repro.exceptions import CriteriaError
+
+
+def clustered_points(seed=0):
+    """A dense cluster, a sparse-but-valid group, and one true outlier."""
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(100.0, 0.3, 60)
+    sparse = rng.normal(98.0, 1.5, 8)
+    outlier = np.array([60.0])
+    return np.concatenate([dense, sparse, outlier])
+
+
+class TestLof:
+    def test_true_outlier_has_highest_score(self):
+        points = clustered_points()
+        scores = local_outlier_factor(points, k=10)
+        assert int(np.argmax(scores)) == len(points) - 1
+
+    def test_flags_true_outlier(self):
+        points = clustered_points()
+        outliers = lof_outliers(points, k=10, threshold=1.5)
+        assert len(points) - 1 in outliers
+
+    def test_paper_false_positive_mode(self):
+        # Figure 6's complaint: LOF can mark low-density-but-expected
+        # points (the sparse group) as outliers too.
+        points = clustered_points()
+        outliers = set(lof_outliers(points, k=10, threshold=1.5).tolist())
+        sparse_indices = set(range(60, 68))
+        assert outliers & sparse_indices  # at least one false positive
+
+    def test_uniform_data_scores_near_one(self):
+        rng = np.random.default_rng(1)
+        scores = local_outlier_factor(rng.uniform(0, 1, (100, 2)), k=10)
+        assert np.median(scores) == pytest.approx(1.0, abs=0.15)
+
+    def test_2d_input(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(0, 1, (50, 2))
+        assert local_outlier_factor(points, k=5).shape == (50,)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            local_outlier_factor([1.0])
+
+
+class TestOneClassSvm:
+    def test_flags_far_point(self):
+        rng = np.random.default_rng(3)
+        train = rng.normal(100.0, 1.0, 80)
+        model = OneClassSvm(nu=0.1).fit(train)
+        scores = model.decision_function([100.0, 60.0])
+        assert scores[0] > scores[1]
+        assert scores[1] < 0.0
+
+    def test_training_outlier_fraction_bounded(self):
+        rng = np.random.default_rng(4)
+        train = rng.normal(0.0, 1.0, 100)
+        model = OneClassSvm(nu=0.1).fit(train)
+        flagged = model.outliers(train)
+        assert len(flagged) <= 30  # roughly nu-bounded with slack
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            OneClassSvm().decision_function([1.0])
+
+    def test_invalid_nu_rejected(self):
+        with pytest.raises(ValueError):
+            OneClassSvm(nu=0.0)
+        with pytest.raises(ValueError):
+            OneClassSvm(nu=1.5)
+
+    def test_explicit_gamma(self):
+        rng = np.random.default_rng(5)
+        train = rng.normal(0.0, 1.0, 50)
+        model = OneClassSvm(nu=0.2, gamma=0.5).fit(train)
+        assert model.decision_function([0.0]).shape == (1,)
+
+
+def _series_population(seed=0, n_healthy=20, shifts=(0.8, 0.85)):
+    rng = np.random.default_rng(seed)
+    healthy = [rng.normal(100.0, 1.0, 80) for _ in range(n_healthy)]
+    defective = [rng.normal(100.0 * s, 1.0, 80) for s in shifts]
+    return healthy + defective, list(range(n_healthy, n_healthy + len(shifts)))
+
+
+class TestIqrCriteria:
+    def test_flags_low_mean_samples(self):
+        samples, truth = _series_population()
+        result = iqr_criteria(samples)
+        assert set(result.defect_indices) == set(truth)
+
+    def test_criteria_is_member_sample(self):
+        samples, _ = _series_population()
+        result = iqr_criteria(samples)
+        assert result.criteria.shape == (80,)
+
+    def test_needs_three_samples(self):
+        with pytest.raises(CriteriaError):
+            iqr_criteria([[1.0], [2.0]])
+
+
+class TestKmeansCriteria:
+    def test_flags_minority_cluster(self):
+        samples, truth = _series_population(seed=1)
+        result = kmeans_criteria(samples, seed=0)
+        assert set(result.defect_indices) == set(truth)
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(CriteriaError):
+            kmeans_criteria([[1.0, 2.0], [1.0], [2.0, 3.0]])
+
+    def test_criteria_is_majority_mean(self):
+        samples, _ = _series_population(seed=2)
+        result = kmeans_criteria(samples, seed=0)
+        healthy_matrix = np.array([samples[i] for i in result.healthy_indices])
+        assert np.allclose(result.criteria,
+                           np.sort(healthy_matrix.mean(axis=0)))
+
+
+class TestMarginRatio:
+    def test_no_defects_is_infinite(self):
+        samples, _ = _series_population(seed=3)
+        assert margin_ratio(samples, samples[0], []) == float("inf")
+
+    def test_clear_separation_gives_large_ratio(self):
+        samples, truth = _series_population(seed=4, shifts=(0.7,))
+        from repro.core.criteria import learn_criteria
+        result = learn_criteria(samples, 0.95, centroid="medoid")
+        ratio = margin_ratio(samples, result.criteria, result.defect_indices)
+        assert ratio > 3.0
+
+    def test_marginal_defect_lowers_ratio(self):
+        samples, _ = _series_population(seed=5, shifts=(0.7,))
+        from repro.core.criteria import learn_criteria
+        result = learn_criteria(samples, 0.95, centroid="medoid")
+        clear = margin_ratio(samples, result.criteria, result.defect_indices)
+        # Declare a healthy sample defective: the margin collapses.
+        polluted = list(result.defect_indices) + [0]
+        assert margin_ratio(samples, result.criteria, polluted) < clear

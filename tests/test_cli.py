@@ -1,0 +1,57 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_screen_defaults(self):
+        args = build_parser().parse_args(["screen"])
+        assert args.nodes == 120
+        assert args.alpha == 0.95
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "--days", "7"])
+        assert args.days == 7
+        assert args.p0 == 0.02
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+
+class TestCommands:
+    def test_screen_small_fleet(self, capsys, tmp_path):
+        criteria_path = tmp_path / "criteria.json"
+        code = main(["screen", "--nodes", "24", "--learn-on", "12",
+                     "--seed", "3", "--save-criteria", str(criteria_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total:" in out
+        assert criteria_path.exists()
+
+    def test_screen_invalid_learn_on(self, capsys):
+        assert main(["screen", "--nodes", "10", "--learn-on", "50"]) == 2
+
+    def test_traces_round_trip(self, capsys, tmp_path):
+        incidents = tmp_path / "incidents.json"
+        allocations = tmp_path / "allocations.json"
+        code = main(["traces", "--nodes", "20", "--hours", "400",
+                     "--incidents-out", str(incidents),
+                     "--allocations-out", str(allocations)])
+        assert code == 0
+        from repro.simulation.traces import AllocationTrace, IncidentTrace
+        assert len(IncidentTrace.load(incidents)) > 0
+        assert len(AllocationTrace.load(allocations)) > 0
+
+    def test_simulate_tiny(self, capsys):
+        code = main(["simulate", "--nodes", "8", "--days", "3", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for policy in ("absence", "full-set", "selector", "ideal"):
+            assert policy in out

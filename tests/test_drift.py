@@ -1,0 +1,57 @@
+"""Unit tests for repeatability drift detection (§3.4 guideline 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.drift import evaluate_drift
+from repro.exceptions import InvalidSampleError
+
+
+def samples(level=100.0, sigma=0.3, n_nodes=10, steps=120, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(level, sigma, steps) for _ in range(n_nodes)]
+
+
+class TestEvaluateDrift:
+    def test_no_change_is_healthy(self):
+        report = evaluate_drift(samples(seed=1), samples(seed=2))
+        assert report.healthy
+        assert abs(report.level_shift) < 0.01
+
+    def test_level_shift_triggers_relearn(self):
+        report = evaluate_drift(samples(seed=3), samples(level=95.0, seed=4))
+        assert report.needs_relearn
+        assert report.level_shift == pytest.approx(-0.05, abs=0.005)
+
+    def test_speedup_also_triggers_relearn(self):
+        # A faster driver still invalidates the old criteria.
+        report = evaluate_drift(samples(seed=5), samples(level=106.0, seed=6))
+        assert report.needs_relearn
+        assert report.level_shift > 0.0
+
+    def test_variance_blowup_triggers_retune(self):
+        before = samples(sigma=0.2, seed=7)
+        after = [100.0 * (1 + 0.04 * np.random.default_rng(i).standard_normal(120))
+                 for i in range(10)]
+        report = evaluate_drift(before, after)
+        assert report.needs_retune
+        assert report.repeatability_after < report.repeatability_before
+
+    def test_small_drift_within_margin_is_healthy(self):
+        report = evaluate_drift(samples(seed=8), samples(level=100.5, seed=9))
+        assert not report.needs_relearn
+
+    def test_margin_controls_sensitivity(self):
+        before, after = samples(seed=10), samples(level=98.5, seed=11)
+        strict = evaluate_drift(before, after, margin=0.2)
+        loose = evaluate_drift(before, after, margin=1.0)
+        assert strict.needs_relearn
+        assert not loose.needs_relearn
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(InvalidSampleError):
+            evaluate_drift([samples()[0]], samples())
+
+    def test_invalid_margin_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_drift(samples(), samples(), margin=0.0)

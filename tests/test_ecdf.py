@@ -1,0 +1,64 @@
+"""Unit tests for the ECDF representation."""
+
+import numpy as np
+import pytest
+
+from repro.core.ecdf import Ecdf, as_sample
+from repro.exceptions import InvalidSampleError
+
+
+class TestAsSample:
+    def test_list_coerced_to_float_array(self):
+        arr = as_sample([1, 2, 3])
+        assert arr.dtype == float
+        assert arr.tolist() == [1.0, 2.0, 3.0]
+
+    def test_2d_input_flattened(self):
+        assert as_sample([[1.0, 2.0], [3.0, 4.0]]).shape == (4,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidSampleError):
+            as_sample([])
+
+    def test_inf_rejected(self):
+        with pytest.raises(InvalidSampleError):
+            as_sample([1.0, float("inf")])
+
+    def test_does_not_mutate_input(self):
+        original = np.array([3.0, 1.0, 2.0])
+        as_sample(original)
+        assert original.tolist() == [3.0, 1.0, 2.0]
+
+
+class TestEcdf:
+    def test_points_sorted(self):
+        ecdf = Ecdf.from_sample([3.0, 1.0, 2.0])
+        assert ecdf.points.tolist() == [1.0, 2.0, 3.0]
+
+    def test_evaluate_right_continuous(self):
+        ecdf = Ecdf.from_sample([1.0, 2.0, 3.0, 4.0])
+        assert ecdf.evaluate([2.0]).tolist() == [0.5]
+        assert ecdf.evaluate([1.9]).tolist() == [0.25]
+
+    def test_evaluate_extremes(self):
+        ecdf = Ecdf.from_sample([1.0, 2.0])
+        assert ecdf.evaluate([0.0]).tolist() == [0.0]
+        assert ecdf.evaluate([10.0]).tolist() == [1.0]
+
+    def test_duplicates_preserved(self):
+        ecdf = Ecdf.from_sample([1.0, 1.0, 2.0])
+        assert ecdf.evaluate([1.0]).tolist() == [pytest.approx(2.0 / 3.0)]
+
+    def test_support(self):
+        assert Ecdf.from_sample([5.0, 1.0, 3.0]).support == (1.0, 5.0)
+
+    def test_n(self):
+        assert Ecdf.from_sample([1.0, 2.0, 3.0]).n == 3
+
+    def test_quantile_bounds_checked(self):
+        ecdf = Ecdf.from_sample([1.0, 2.0])
+        with pytest.raises(ValueError):
+            ecdf.quantile(1.5)
+
+    def test_mean(self):
+        assert Ecdf.from_sample([1.0, 3.0]).mean() == 2.0

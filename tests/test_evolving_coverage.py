@@ -1,0 +1,67 @@
+"""Unit tests for the simulator's evolving-coverage loop (§3.1)."""
+
+import pytest
+
+from repro.core.selection import CoverageTable
+from repro.simulation.cluster import ClusterSimulator, SimulationConfig
+from repro.simulation.generator import generate_allocation_trace
+from repro.simulation.metrics import suite_durations
+from repro.simulation.policies import AbsencePolicy, SelectorPolicy
+
+
+def _setup(evolve, coverage=None, seed=5):
+    config = SimulationConfig(n_nodes=16, horizon_hours=360.0, seed=seed)
+    trace = generate_allocation_trace(360.0, jobs_per_hour=1.0,
+                                      max_job_nodes=4,
+                                      mean_duration_hours=12.0, seed=seed + 1)
+    coverage = coverage if coverage is not None else CoverageTable()
+    policy = SelectorPolicy(suite_durations(), coverage, config.wear_model(),
+                            p0=0.02)
+    simulator = ClusterSimulator(config, policy, trace,
+                                 evolve_coverage=evolve)
+    return simulator, coverage
+
+
+class TestEvolvingCoverage:
+    def test_cold_table_grows_when_evolving(self):
+        simulator, coverage = _setup(evolve=True)
+        simulator.run()
+        assert len(coverage.all_defects()) > 0
+
+    def test_cold_table_frozen_without_flag(self):
+        simulator, coverage = _setup(evolve=False)
+        simulator.run()
+        assert len(coverage.all_defects()) == 0
+
+    def test_frozen_cold_start_never_validates(self):
+        simulator, _ = _setup(evolve=False)
+        result = simulator.run()
+        assert result.average_validation_hours == 0.0
+
+    def test_evolving_selector_starts_validating(self):
+        simulator, _ = _setup(evolve=True)
+        result = simulator.run()
+        assert result.average_validation_hours > 0.0
+
+    def test_evolving_reduces_incidents_vs_frozen(self):
+        evolving, _ = _setup(evolve=True)
+        frozen, _ = _setup(evolve=False)
+        assert (evolving.run().average_incidents
+                < frozen.run().average_incidents)
+
+    def test_credited_defects_have_real_detectors(self):
+        simulator, coverage = _setup(evolve=True)
+        simulator.run()
+        for benchmark, defects in coverage.found.items():
+            for mode, _sequence in defects:
+                assert benchmark in simulator.detectors[mode]
+
+    def test_policies_without_coverage_are_safe(self):
+        config = SimulationConfig(n_nodes=8, horizon_hours=120.0, seed=3)
+        trace = generate_allocation_trace(120.0, jobs_per_hour=1.0,
+                                          max_job_nodes=2,
+                                          mean_duration_hours=8.0, seed=4)
+        simulator = ClusterSimulator(config, AbsencePolicy(), trace,
+                                     evolve_coverage=True)
+        result = simulator.run()  # must not crash on a coverage-less policy
+        assert result.policy == "absence"

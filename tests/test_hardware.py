@@ -1,0 +1,209 @@
+"""Unit tests for the hardware substrate: components, GPU memory, nodes,
+degradation and fleets."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.components import (
+    COMPONENT_CATEGORY,
+    DEFECT_CATALOG,
+    Component,
+    IncidentCategory,
+    defect_mode,
+)
+from repro.hardware.degradation import WearModel
+from repro.hardware.fleet import Fleet, build_fleet
+from repro.hardware.gpu import GpuMemory, row_remap_regression_probability
+from repro.hardware.node import Node
+
+
+class TestDefectCatalog:
+    def test_every_component_has_a_category(self):
+        for component in Component:
+            assert component in COMPONENT_CATEGORY
+
+    def test_catalog_rates_are_probabilities(self):
+        for mode in DEFECT_CATALOG:
+            assert 0.0 < mode.rate < 1.0
+
+    def test_catalog_healths_degrade(self):
+        for mode in DEFECT_CATALOG:
+            for health in mode.components.values():
+                assert 0.0 < health < 1.0
+
+    def test_lookup_by_name(self):
+        assert defect_mode("ib_hca_degraded").category is IncidentCategory.NETWORK
+        with pytest.raises(KeyError):
+            defect_mode("nope")
+
+    def test_sampled_health_jitter_bounded(self):
+        rng = np.random.default_rng(0)
+        mode = defect_mode("pcie_downgrade")
+        for _ in range(50):
+            sampled = mode.sampled_health(rng)
+            for value in sampled.values():
+                assert 0.05 <= value <= 1.0
+
+
+class TestGpuMemory:
+    def test_remap_absorbs_errors(self):
+        memory = GpuMemory(banks=2, spare_rows_per_bank=2)
+        assert memory.record_correctable_error(0)
+        assert memory.total_remapped == 1
+        assert memory.uncorrectable == 0
+
+    def test_exhausted_bank_goes_uncorrectable(self):
+        memory = GpuMemory(banks=1, spare_rows_per_bank=1)
+        assert memory.record_correctable_error(0)
+        assert not memory.record_correctable_error(0)
+        assert memory.uncorrectable == 1
+
+    def test_spare_rows_left(self):
+        memory = GpuMemory(banks=2, spare_rows_per_bank=3)
+        memory.record_correctable_error(0)
+        assert memory.spare_rows_left == 5
+
+    def test_bank_bounds_checked(self):
+        memory = GpuMemory(banks=2)
+        with pytest.raises(IndexError):
+            memory.record_correctable_error(2)
+
+    def test_inject_errors_counts_remapped(self):
+        rng = np.random.default_rng(1)
+        memory = GpuMemory(banks=4, spare_rows_per_bank=2)
+        remapped = memory.inject_errors(5, rng)
+        assert remapped <= 5
+        assert memory.total_remapped == remapped
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            GpuMemory(banks=0)
+
+    def test_table1_regression_model(self):
+        assert row_remap_regression_probability(0) == 0.0
+        assert row_remap_regression_probability(5) == pytest.approx(0.056)
+        assert row_remap_regression_probability(11) == pytest.approx(0.833)
+
+    def test_regression_probability_from_state(self):
+        memory = GpuMemory(banks=4, spare_rows_per_bank=8)
+        rng = np.random.default_rng(2)
+        memory.inject_errors(12, rng)
+        assert memory.regression_probability() == pytest.approx(0.833)
+
+
+class TestNode:
+    def test_fresh_node_is_healthy(self):
+        node = Node(node_id="n0")
+        assert not node.is_defective
+        assert node.performance_multiplier({Component.NIC: 1.0}) == 1.0
+
+    def test_apply_defect_reduces_multiplier(self):
+        rng = np.random.default_rng(3)
+        node = Node(node_id="n0")
+        node.apply_defect(defect_mode("ib_hca_degraded"), rng)
+        assert node.is_defective
+        assert node.performance_multiplier({Component.NIC: 1.0}) < 0.9
+
+    def test_insensitive_benchmark_unaffected(self):
+        rng = np.random.default_rng(4)
+        node = Node(node_id="n0")
+        node.apply_defect(defect_mode("disk_slow"), rng)
+        assert node.performance_multiplier({Component.NIC: 1.0}) == 1.0
+
+    def test_sensitivity_exponent_softens_impact(self):
+        node = Node(node_id="n0", health={Component.NIC: 0.5})
+        strong = node.performance_multiplier({Component.NIC: 1.0})
+        weak = node.performance_multiplier({Component.NIC: 0.1})
+        assert weak > strong
+
+    def test_repair_restores_health(self):
+        rng = np.random.default_rng(5)
+        node = Node(node_id="n0")
+        node.apply_defect(defect_mode("pcie_downgrade"), rng)
+        node.gpu_memory.inject_errors(3, rng)
+        node.repair()
+        assert not node.is_defective
+        assert node.gpu_memory.total_remapped == 0
+
+    def test_invalid_health_rejected(self):
+        with pytest.raises(ValueError):
+            Node(node_id="n0", health={Component.NIC: 0.0})
+
+
+class TestWearModel:
+    def test_default_gamma_matches_figure4(self):
+        wear = WearModel()
+        ratio = wear.mean_time_between_incidents(0) / wear.mean_time_between_incidents(19)
+        assert ratio == pytest.approx(719.4 / 151.7, rel=1e-6)
+
+    def test_rate_monotonically_increases(self):
+        wear = WearModel()
+        rates = [wear.incident_rate(i) for i in range(10)]
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_category_weights_normalized(self):
+        wear = WearModel()
+        assert sum(wear.category_weights.values()) == pytest.approx(1.0)
+
+    def test_sampling_reproducible(self):
+        wear = WearModel()
+        a = wear.sample_time_to_incident(2, np.random.default_rng(7))
+        b = wear.sample_time_to_incident(2, np.random.default_rng(7))
+        assert a == b
+
+    def test_job_ttf_scales_inversely_with_nodes(self):
+        wear = WearModel()
+        assert wear.job_time_to_failure(10, 0) == pytest.approx(
+            wear.job_time_to_failure(1, 0) / 10.0
+        )
+        with pytest.raises(ValueError):
+            wear.job_time_to_failure(0, 0)
+
+    def test_invalid_base_rejected(self):
+        with pytest.raises(ValueError):
+            WearModel(base_mtbi_hours=0.0)
+
+
+class TestFleet:
+    def test_build_fleet_size_and_ids_unique(self):
+        fleet = build_fleet(50, seed=0)
+        assert len(fleet) == 50
+        assert len({n.node_id for n in fleet}) == 50
+
+    def test_defect_scale_zero_gives_clean_fleet(self):
+        fleet = build_fleet(100, seed=1, defect_scale=0.0, hbm_error_rate=0.0)
+        assert fleet.defect_ratio == 0.0
+
+    def test_defect_ratio_near_catalog_rates(self):
+        fleet = build_fleet(3000, seed=2)
+        # Catalog union is ~11%; allow generous sampling slack.
+        assert 0.06 < fleet.defect_ratio < 0.18
+
+    def test_get_by_id(self):
+        fleet = build_fleet(10, seed=3)
+        node = fleet.get(fleet.nodes[4].node_id)
+        assert node is fleet.nodes[4]
+        with pytest.raises(KeyError):
+            fleet.get("missing")
+
+    def test_duplicate_ids_rejected(self):
+        node = Node(node_id="dup")
+        with pytest.raises(ValueError):
+            Fleet(nodes=[node, Node(node_id="dup")])
+
+    def test_defect_counts_histogram(self):
+        fleet = build_fleet(2000, seed=4)
+        counts = fleet.defect_counts()
+        assert counts  # something injected
+        assert all(count > 0 for count in counts.values())
+
+    def test_deterministic_given_seed(self):
+        a = build_fleet(100, seed=5)
+        b = build_fleet(100, seed=5)
+        assert [n.defects for n in a] == [n.defects for n in b]
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            build_fleet(0)
+        with pytest.raises(ValueError):
+            build_fleet(10, defect_scale=-1.0)

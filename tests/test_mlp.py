@@ -1,0 +1,79 @@
+"""Unit tests for the minimal NumPy MLP."""
+
+import numpy as np
+import pytest
+
+from repro.survival.mlp import Mlp
+
+
+class TestForward:
+    def test_output_shape(self):
+        net = Mlp([3, 8, 1], seed=0)
+        out = net.forward(np.zeros((5, 3)))
+        assert out.shape == (5, 1)
+
+    def test_1d_input_promoted(self):
+        net = Mlp([3, 1], seed=0)
+        assert net.forward(np.zeros(3)).shape == (1, 1)
+
+    def test_too_few_layers_rejected(self):
+        with pytest.raises(ValueError):
+            Mlp([3])
+
+    def test_deterministic_init(self):
+        a = Mlp([2, 4, 1], seed=7)
+        b = Mlp([2, 4, 1], seed=7)
+        x = np.ones((1, 2))
+        assert np.allclose(a.forward(x), b.forward(x))
+
+
+class TestBackward:
+    def test_backward_requires_forward(self):
+        net = Mlp([2, 1], seed=0)
+        with pytest.raises(RuntimeError):
+            net.backward(np.ones((1, 1)))
+
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(0)
+        net = Mlp([3, 4, 1], seed=1)
+        x = rng.standard_normal((6, 3))
+        # Loss = sum(out); dL/dout = ones.
+        net.forward(x, train=True)
+        net.backward(np.ones((6, 1)))
+        analytic = net._grads_w[0].copy()
+
+        eps = 1e-6
+        w = net.weights[0]
+        numeric = np.zeros_like(w)
+        for i in range(w.shape[0]):
+            for j in range(w.shape[1]):
+                w[i, j] += eps
+                plus = net.forward(x, train=False).sum()
+                w[i, j] -= 2 * eps
+                minus = net.forward(x, train=False).sum()
+                w[i, j] += eps
+                numeric[i, j] = (plus - minus) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+
+class TestTraining:
+    def test_fits_linear_function(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((256, 2))
+        y = (2.0 * x[:, 0] - 1.0 * x[:, 1])[:, None]
+        net = Mlp([2, 16, 1], seed=3)
+        for _ in range(400):
+            out = net.forward(x, train=True)
+            grad = 2.0 * (out - y) / x.shape[0]
+            net.backward(grad)
+            net.step(lr=1e-2)
+        final = net.forward(x, train=False)
+        mse = float(np.mean((final - y) ** 2))
+        assert mse < 0.05
+
+    def test_zero_grad_resets(self):
+        net = Mlp([2, 1], seed=0)
+        net.forward(np.ones((1, 2)), train=True)
+        net.backward(np.ones((1, 1)))
+        net.zero_grad()
+        assert all(np.all(g == 0) for g in net._grads_w)

@@ -1,0 +1,101 @@
+"""Unit tests for multi-node benchmark execution."""
+
+import numpy as np
+import pytest
+
+from repro.benchsuite.multinode import run_all_pair_scan, run_group_collective
+from repro.benchsuite.suite import suite_by_name
+from repro.exceptions import BenchmarkError
+from repro.hardware.components import defect_mode
+from repro.hardware.node import Node
+from repro.topology.fattree import FatTree, FatTreeConfig
+
+
+def _tree(n=8):
+    return FatTree(FatTreeConfig(n_nodes=n, nodes_per_tor=4, tors_per_pod=2,
+                                 uplinks_per_tor=20, redundant_uplinks=4))
+
+
+def _nodes(n=8, bad_nic=None):
+    rng = np.random.default_rng(0)
+    nodes = [Node(node_id=f"n{i}") for i in range(n)]
+    if bad_nic is not None:
+        nodes[bad_nic].apply_defect(defect_mode("ib_hca_degraded"), rng)
+    return nodes
+
+
+class TestAllPairScan:
+    def test_covers_all_pairs(self):
+        result = run_all_pair_scan(_tree(), _nodes(), np.random.default_rng(1))
+        assert len(result.pair_bandwidths) == 8 * 7 // 2
+
+    def test_node_count_mismatch_rejected(self):
+        with pytest.raises(BenchmarkError):
+            run_all_pair_scan(_tree(8), _nodes(6), np.random.default_rng(2))
+
+    def test_bad_nic_localized_by_median(self):
+        result = run_all_pair_scan(_tree(), _nodes(bad_nic=3),
+                                   np.random.default_rng(3))
+        medians = result.node_median_bandwidth
+        assert medians[3] < 0.9 * max(medians.values())
+        # The minimum is NOT a localizer: every partner of the bad
+        # node shares one low pair.
+        mins = result.node_min_bandwidth
+        assert max(mins.values()) < 0.9 * max(medians.values())
+
+    def test_healthy_fabric_uniform_bandwidth(self):
+        result = run_all_pair_scan(_tree(), _nodes(), np.random.default_rng(4),
+                                   noise_cv=0.0)
+        values = list(result.pair_bandwidths.values())
+        assert np.ptp(values) < 0.01 * np.mean(values)
+
+    def test_broken_tor_degrades_crossing_pairs(self):
+        tree = _tree()
+        tree.fail_uplinks(0, 3)
+        result = run_all_pair_scan(tree, _nodes(), np.random.default_rng(5),
+                                   noise_cv=0.0)
+        cross = result.pair_bandwidths[frozenset((0, 4))]
+        intra = result.pair_bandwidths[frozenset((0, 1))]
+        assert cross < intra
+
+
+class TestGroupCollective:
+    def test_slowest_member_dominates(self):
+        spec = suite_by_name("multinode-collectives")
+        tree = _tree()
+        rng = np.random.default_rng(6)
+        healthy = run_group_collective(spec, tree, _nodes(), [0, 1, 4, 5], rng)
+        rng = np.random.default_rng(6)
+        with_bad = run_group_collective(spec, tree,
+                                        _nodes(bad_nic=1), [0, 1, 4, 5], rng)
+        assert (with_bad["allreduce_busbw_gbs"].mean()
+                < healthy["allreduce_busbw_gbs"].mean())
+
+    def test_congestion_scales_group_bandwidth(self):
+        spec = suite_by_name("multinode-collectives")
+        tree = _tree()
+        rng = np.random.default_rng(7)
+        base = run_group_collective(spec, tree, _nodes(), [0, 4], rng)
+        tree.fail_uplinks(0, 4)
+        rng = np.random.default_rng(7)
+        congested = run_group_collective(spec, tree, _nodes(), [0, 4], rng)
+        assert (congested["allreduce_busbw_gbs"].mean()
+                < base["allreduce_busbw_gbs"].mean())
+
+    def test_single_member_rejected(self):
+        spec = suite_by_name("multinode-collectives")
+        with pytest.raises(BenchmarkError):
+            run_group_collective(spec, _tree(), _nodes(), [0],
+                                 np.random.default_rng(8))
+
+    def test_out_of_range_member_rejected(self):
+        spec = suite_by_name("multinode-collectives")
+        with pytest.raises(BenchmarkError):
+            run_group_collective(spec, _tree(), _nodes(), [0, 99],
+                                 np.random.default_rng(9))
+
+    def test_all_metrics_emitted(self):
+        spec = suite_by_name("multinode-collectives")
+        samples = run_group_collective(spec, _tree(), _nodes(), [0, 1],
+                                       np.random.default_rng(10))
+        assert set(samples) == {m.name for m in spec.metrics}

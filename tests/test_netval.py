@@ -1,0 +1,110 @@
+"""Unit tests for the Appendix A networking-validation schedulers."""
+
+import pytest
+
+from repro.exceptions import SchedulingError
+from repro.netval.pairs import round_robin_schedule, validate_schedule
+from repro.netval.topo_aware import quick_scan_schedule, validate_quick_scan
+from repro.topology.fattree import FatTree, FatTreeConfig
+
+
+class TestRoundRobin:
+    def test_even_n_has_n_minus_one_rounds(self):
+        rounds = round_robin_schedule(range(8))
+        assert len(rounds) == 7
+        assert all(len(r) == 4 for r in rounds)
+
+    def test_odd_n_has_n_rounds_with_bye(self):
+        rounds = round_robin_schedule(range(7))
+        assert len(rounds) == 7
+        assert all(len(r) == 3 for r in rounds)
+
+    def test_covers_all_pairs_exactly_once(self):
+        endpoints = list(range(10))
+        rounds = round_robin_schedule(endpoints)
+        validate_schedule(endpoints, rounds)  # raises on violation
+
+    def test_odd_covers_all_pairs(self):
+        endpoints = list(range(9))
+        validate_schedule(endpoints, round_robin_schedule(endpoints))
+
+    def test_two_endpoints(self):
+        rounds = round_robin_schedule(["a", "b"])
+        assert rounds == [[("a", "b")]]
+
+    def test_arbitrary_labels(self):
+        endpoints = ["nic-a", "nic-b", "nic-c", "nic-d"]
+        validate_schedule(endpoints, round_robin_schedule(endpoints))
+
+    def test_duplicate_endpoints_rejected(self):
+        with pytest.raises(SchedulingError):
+            round_robin_schedule([1, 1, 2])
+
+    def test_single_endpoint_rejected(self):
+        with pytest.raises(SchedulingError):
+            round_robin_schedule([1])
+
+
+class TestValidateSchedule:
+    def test_detects_missing_pair(self):
+        with pytest.raises(SchedulingError):
+            validate_schedule([1, 2, 3, 4], [[(1, 2), (3, 4)]])
+
+    def test_detects_reuse_within_round(self):
+        with pytest.raises(SchedulingError):
+            validate_schedule([1, 2, 3], [[(1, 2), (1, 3)], [(2, 3)]])
+
+    def test_detects_duplicate_pair(self):
+        with pytest.raises(SchedulingError):
+            validate_schedule([1, 2], [[(1, 2)], [(2, 1)]])
+
+    def test_detects_degenerate_pair(self):
+        with pytest.raises(SchedulingError):
+            validate_schedule([1, 2], [[(1, 1)]])
+
+
+class TestQuickScan:
+    def tree(self, n_nodes=24):
+        return FatTree(FatTreeConfig(n_nodes=n_nodes, nodes_per_tor=4,
+                                     tors_per_pod=3))
+
+    def test_three_tier_tree_has_three_rounds(self):
+        rounds = quick_scan_schedule(self.tree())
+        assert set(rounds) == {2, 4, 6}
+
+    def test_rounds_are_valid(self):
+        tree = self.tree()
+        validate_quick_scan(tree, quick_scan_schedule(tree))
+
+    def test_round_count_independent_of_scale(self):
+        small = quick_scan_schedule(self.tree(24))
+        big = quick_scan_schedule(FatTree(FatTreeConfig(
+            n_nodes=96, nodes_per_tor=4, tors_per_pod=3)))
+        assert set(small) == set(big)  # O(1) rounds regardless of nodes
+
+    def test_hop2_round_covers_every_node(self):
+        tree = self.tree()
+        rounds = quick_scan_schedule(tree)
+        used = {n for pair in rounds[2] for n in pair}
+        assert used == set(tree.nodes)  # 4 nodes/ToR pair up fully
+
+    def test_single_pod_tree_has_no_hop6(self):
+        tree = FatTree(FatTreeConfig(n_nodes=8, nodes_per_tor=4, tors_per_pod=2))
+        rounds = quick_scan_schedule(tree)
+        assert 6 not in rounds
+        assert set(rounds) <= {2, 4}
+
+    def test_validator_catches_wrong_hop(self):
+        tree = self.tree()
+        with pytest.raises(SchedulingError):
+            validate_quick_scan(tree, {4: [(0, 1)]})  # (0,1) is 2 hops
+
+    def test_validator_catches_node_reuse(self):
+        tree = self.tree()
+        with pytest.raises(SchedulingError):
+            validate_quick_scan(tree, {2: [(0, 1), (1, 2)]})
+
+    def test_tiny_topology_rejected(self):
+        tree = FatTree(FatTreeConfig(n_nodes=1, nodes_per_tor=4))
+        with pytest.raises(SchedulingError):
+            quick_scan_schedule(tree)

@@ -1,0 +1,126 @@
+"""Unit tests for Appendix B benchmark-parameter searching."""
+
+import numpy as np
+import pytest
+
+from repro.core.paramsearch import (
+    estimate_period,
+    search_window,
+    seasonal_decompose,
+    tune_window_across_nodes,
+)
+from repro.exceptions import BenchmarkError
+
+
+def synthetic_series(n=2000, period=48, warmup=100, noise=0.005, seed=0,
+                     amplitude=0.02):
+    """Throughput series: warm-up ramp + seasonal cycle + noise."""
+    rng = np.random.default_rng(seed)
+    steps = np.arange(n)
+    ramp = 1.0 - 0.35 * np.exp(-3.0 * steps / warmup)
+    seasonal = 1.0 + amplitude * np.sin(2 * np.pi * steps / period)
+    return 1000.0 * ramp * seasonal * (1.0 + noise * rng.standard_normal(n))
+
+
+class TestSeasonalDecompose:
+    def test_recovers_seasonal_amplitude(self):
+        series = synthetic_series(noise=0.0005)
+        decomposition = seasonal_decompose(series, 48)
+        seasonal_range = np.ptp(decomposition.seasonal[:48])
+        assert seasonal_range == pytest.approx(0.04, rel=0.15)
+
+    def test_residuals_centered_on_one(self):
+        series = synthetic_series(noise=0.002)
+        decomposition = seasonal_decompose(series, 48)
+        resid = decomposition.resid[np.isfinite(decomposition.resid)]
+        assert resid.mean() == pytest.approx(1.0, abs=0.01)
+
+    def test_trend_follows_ramp(self):
+        series = synthetic_series(noise=0.0)
+        trend = seasonal_decompose(series, 48).trend
+        valid = np.isfinite(trend)
+        assert trend[valid][0] < trend[valid][-1]
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(BenchmarkError):
+            seasonal_decompose([1.0] * 100, 1)
+        with pytest.raises(BenchmarkError):
+            seasonal_decompose([1.0] * 10, 8)
+
+    def test_components_multiply_back(self):
+        series = synthetic_series(noise=0.001)
+        d = seasonal_decompose(series, 48)
+        valid = np.isfinite(d.trend)
+        reconstructed = d.trend[valid] * d.seasonal[valid] * d.resid[valid]
+        assert np.allclose(reconstructed, series[valid], rtol=1e-9)
+
+
+class TestEstimatePeriod:
+    def test_finds_true_period(self):
+        series = synthetic_series(noise=0.002, amplitude=0.03)
+        period = estimate_period(series)
+        assert abs(period - 48) <= 9  # peak or near-harmonic is acceptable
+
+    def test_different_period(self):
+        series = synthetic_series(period=64, noise=0.002, amplitude=0.03)
+        period = estimate_period(series)
+        assert abs(period - 64) <= 12
+
+    def test_short_series_rejected(self):
+        with pytest.raises(BenchmarkError):
+            estimate_period([1.0] * 10)
+
+    def test_constant_series_returns_min_period(self):
+        assert estimate_period([5.0] * 200) == 8
+
+
+class TestSearchWindow:
+    def test_window_skips_warmup(self):
+        series = synthetic_series(warmup=150, noise=0.003)
+        window = search_window(series, 0.95, period=48, min_similar_cycles=8)
+        # The first cycle is deep in the ramp; the window must not
+        # start at step zero.
+        assert window.warmup >= 48
+
+    def test_window_is_self_similar(self):
+        from repro.core.distance import similarity
+        series = synthetic_series(noise=0.003)
+        window = search_window(series, 0.95, period=48, min_similar_cycles=8)
+        kept = window.apply(np.asarray(series))
+        halves = np.array_split(kept, 2)
+        assert similarity(halves[0], halves[1]) > 0.95
+
+    def test_fallback_for_erratic_series(self):
+        rng = np.random.default_rng(1)
+        series = 100.0 * np.exp(rng.standard_normal(400))
+        window = search_window(series, 0.99, period=40)
+        assert window.warmup == 200  # second-half fallback
+        assert window.measure == 200
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(BenchmarkError):
+            search_window([1.0] * 30, 0.95, period=40)
+
+
+class TestTuneAcrossNodes:
+    def test_tuned_window_saves_steps(self):
+        node_series = {f"n{i}": synthetic_series(seed=i, noise=0.003)
+                       for i in range(4)}
+        window = tune_window_across_nodes(node_series, 0.95,
+                                          min_similar_cycles=8)
+        assert window.total_steps < 2000
+
+    def test_tuned_window_keeps_repeatability(self):
+        from repro.core.repeatability import pairwise_repeatability
+        node_series = {f"n{i}": synthetic_series(seed=i, noise=0.003)
+                       for i in range(4)}
+        window = tune_window_across_nodes(node_series, 0.95,
+                                          min_similar_cycles=8)
+        windowed = [window.apply(np.asarray(s)) for s in node_series.values()]
+        full = [np.asarray(s)[200:] for s in node_series.values()]
+        assert (pairwise_repeatability(windowed)
+                >= pairwise_repeatability(full) - 0.01)
+
+    def test_single_node_rejected(self):
+        with pytest.raises(BenchmarkError):
+            tune_window_across_nodes({"n0": synthetic_series()}, 0.95)

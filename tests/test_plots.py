@@ -1,0 +1,64 @@
+"""Unit tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plots import ascii_bars, ascii_cdf
+
+
+class TestAsciiCdf:
+    def test_single_series_renders(self):
+        rng = np.random.default_rng(0)
+        art = ascii_cdf({"healthy": rng.normal(100, 2, 50)})
+        assert "healthy" in art
+        assert "1.00 |" in art and "0.00 |" in art
+
+    def test_two_series_distinct_glyphs(self):
+        rng = np.random.default_rng(1)
+        art = ascii_cdf({"a": rng.normal(100, 1, 30),
+                         "b": rng.normal(80, 1, 30)})
+        assert "*" in art and "o" in art
+
+    def test_shifted_series_separate_vertically(self):
+        art = ascii_cdf({"fast": [100.0] * 5, "slow": [50.0] * 5}, width=40)
+        body = [line for line in art.splitlines() if "|" in line]
+        # 'slow' jumps to F=1 immediately (top row); 'fast' stays at
+        # F=0 across most of the range (bottom row).
+        assert "o" in body[0]
+        assert "*" in body[-1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({})
+
+    def test_too_many_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({f"s{i}": [1.0] for i in range(7)})
+
+    def test_constant_sample_supported(self):
+        art = ascii_cdf({"flat": [5.0, 5.0, 5.0]})
+        assert "flat" in art
+
+    def test_label_appended(self):
+        art = ascii_cdf({"x": [1.0, 2.0]}, x_label="GB/s")
+        assert "GB/s" in art
+
+
+class TestAsciiBars:
+    def test_bar_lengths_proportional(self):
+        art = ascii_bars({"big": 10.0, "small": 5.0}, width=20)
+        lines = art.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_values_printed(self):
+        art = ascii_bars({"a": 1.234}, fmt="{:.1f}")
+        assert "1.2" in art
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars({})
+
+    def test_zero_values_safe(self):
+        art = ascii_bars({"nothing": 0.0})
+        assert "nothing" in art

@@ -1,0 +1,92 @@
+"""Unit tests for the suite runner and measurement windows."""
+
+import numpy as np
+import pytest
+
+from repro.benchsuite.runner import StepWindow, SuiteRunner
+from repro.benchsuite.suite import suite_by_name
+from repro.exceptions import BenchmarkError
+from repro.hardware.node import Node
+
+
+class TestStepWindow:
+    def test_apply_slices_measurement_window(self):
+        window = StepWindow(warmup=3, measure=4)
+        series = np.arange(10.0)
+        assert window.apply(series).tolist() == [3.0, 4.0, 5.0, 6.0]
+
+    def test_short_series_rejected(self):
+        with pytest.raises(BenchmarkError):
+            StepWindow(warmup=5, measure=10).apply(np.arange(8.0))
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(BenchmarkError):
+            StepWindow(warmup=-1, measure=5)
+        with pytest.raises(BenchmarkError):
+            StepWindow(warmup=0, measure=0)
+
+    def test_total_steps(self):
+        assert StepWindow(warmup=10, measure=20).total_steps == 30
+
+
+class TestSuiteRunner:
+    def test_micro_benchmark_unwindowed(self):
+        runner = SuiteRunner(seed=0)
+        assert runner.window_for(suite_by_name("gemm-flops")) is None
+
+    def test_e2e_gets_default_warmup_window(self):
+        runner = SuiteRunner(seed=0)
+        spec = suite_by_name("resnet-models")
+        window = runner.window_for(spec)
+        assert window is not None
+        assert window.warmup == 2 * spec.e2e_profile.warmup_steps
+
+    def test_tuned_window_takes_precedence(self):
+        tuned = StepWindow(warmup=48, measure=96)
+        runner = SuiteRunner(seed=0, windows={"resnet-models": tuned})
+        assert runner.window_for(suite_by_name("resnet-models")) is tuned
+
+    def test_e2e_result_is_windowed(self):
+        runner = SuiteRunner(seed=1)
+        spec = suite_by_name("resnet-models")
+        window = runner.window_for(spec)
+        result = runner.run(spec, Node(node_id="n0"))
+        assert result.sample("fp32_throughput").size == window.measure
+
+    def test_windowed_series_excludes_ramp(self):
+        runner = SuiteRunner(seed=2)
+        spec = suite_by_name("resnet-models")
+        series = runner.run(spec, Node(node_id="n0")).sample("fp32_throughput")
+        # No warm-up transient left: first steps comparable to last.
+        assert series[:10].mean() > 0.95 * series[-10:].mean()
+
+    def test_run_on_nodes_keyed_by_id(self):
+        runner = SuiteRunner(seed=3)
+        nodes = [Node(node_id=f"n{i}") for i in range(3)]
+        results = runner.run_on_nodes(suite_by_name("mem-bw"), nodes)
+        assert set(results) == {"n0", "n1", "n2"}
+
+    def test_run_repeated(self):
+        runner = SuiteRunner(seed=4)
+        results = runner.run_repeated(suite_by_name("mem-bw"),
+                                      Node(node_id="n0"), repeats=5)
+        assert len(results) == 5
+        with pytest.raises(BenchmarkError):
+            runner.run_repeated(suite_by_name("mem-bw"), Node(node_id="n0"), 0)
+
+    def test_tuned_window_shrinks_duration(self):
+        spec = suite_by_name("resnet-models")
+        full_runner = SuiteRunner(seed=5)
+        tuned_runner = SuiteRunner(seed=5, windows={
+            "resnet-models": StepWindow(warmup=48, measure=48)})
+        assert (tuned_runner.duration_minutes(spec)
+                < full_runner.duration_minutes(spec))
+
+    def test_micro_duration_unchanged(self):
+        spec = suite_by_name("gemm-flops")
+        assert SuiteRunner().duration_minutes(spec) == spec.duration_minutes
+
+    def test_set_window(self):
+        runner = SuiteRunner(seed=6)
+        runner.set_window("bert-models", StepWindow(warmup=10, measure=20))
+        assert runner.windows["bert-models"].measure == 20

@@ -1,0 +1,149 @@
+"""Unit tests for Algorithm 1 benchmark selection and coverage."""
+
+import pytest
+
+from repro.core.selection import (
+    CoverageTable,
+    joint_incident_probability,
+    select_benchmarks,
+    select_benchmarks_exhaustive,
+)
+
+
+def make_coverage():
+    """Three benchmarks with overlapping historical defects.
+
+    b1 found {m1, m2} (C = 0.4), b2 found {m2, m3, m4} (C = 0.6),
+    b3 found {m5} (C = 0.2); the full set found 5 defects.
+    """
+    table = CoverageTable()
+    table.record("b1", {"m1", "m2"})
+    table.record("b2", {"m2", "m3", "m4"})
+    table.record("b3", {"m5"})
+    return table
+
+
+class TestCoverageTable:
+    def test_total_defects_is_union(self):
+        assert make_coverage().all_defects() == {"m1", "m2", "m3", "m4", "m5"}
+
+    def test_overlapping_subset_coverage(self):
+        # The paper's worked example: overlapping defects counted once.
+        table = make_coverage()
+        assert table.coverage(["b1", "b2"]) == pytest.approx(0.8)
+
+    def test_single_benchmark_coverage(self):
+        table = make_coverage()
+        assert table.coverage(["b1"]) == pytest.approx(0.4)
+        assert table.coverage(["b2"]) == pytest.approx(0.6)
+
+    def test_full_set_coverage_is_one(self):
+        table = make_coverage()
+        assert table.coverage(["b1", "b2", "b3"]) == pytest.approx(1.0)
+
+    def test_empty_subset_zero(self):
+        assert make_coverage().coverage([]) == 0.0
+
+    def test_no_history_zero(self):
+        assert CoverageTable().coverage(["b1"]) == 0.0
+
+    def test_unknown_benchmark_contributes_nothing(self):
+        table = make_coverage()
+        assert table.coverage(["nope"]) == 0.0
+
+    def test_ensure_benchmark_registers_empty(self):
+        table = CoverageTable()
+        table.ensure_benchmark("b9")
+        assert "b9" in table.benchmarks
+
+    def test_record_merges(self):
+        table = CoverageTable()
+        table.record("b1", {"x"})
+        table.record("b1", {"y"})
+        assert table.found["b1"] == {"x", "y"}
+
+
+class TestJointProbability:
+    def test_empty_is_zero(self):
+        assert joint_incident_probability([]) == 0.0
+
+    def test_single_node(self):
+        assert joint_incident_probability([0.3]) == pytest.approx(0.3)
+
+    def test_two_independent_nodes(self):
+        assert joint_incident_probability([0.5, 0.5]) == pytest.approx(0.75)
+
+    def test_clipped_to_unit_interval(self):
+        assert joint_incident_probability([1.5]) == pytest.approx(1.0)
+
+
+class TestSelectBenchmarks:
+    durations = {"b1": 10.0, "b2": 30.0, "b3": 5.0}
+
+    def test_skip_when_probability_low(self):
+        result = select_benchmarks([0.01], self.durations, make_coverage(), p0=0.10)
+        assert result.skipped
+        assert result.subset == ()
+        assert result.total_time_minutes == 0.0
+
+    def test_selects_until_residual_below_target(self):
+        result = select_benchmarks([0.9], self.durations, make_coverage(), p0=0.2)
+        assert not result.skipped
+        assert result.residual_probability <= 0.2 or set(result.subset) == {
+            "b1", "b2", "b3"}
+
+    def test_greedy_prefers_probability_decrement_per_minute(self):
+        # b1: 0.4 coverage / 10 min = 0.04; b2: 0.6 / 30 = 0.02;
+        # b3: 0.2 / 5 = 0.04.  With ties b1-or-b3 first, b2 must not be
+        # the first pick.
+        result = select_benchmarks([0.9], self.durations, make_coverage(), p0=0.0)
+        assert result.subset[0] in ("b1", "b3")
+
+    def test_full_set_when_target_unreachable(self):
+        result = select_benchmarks([1.0], self.durations, make_coverage(), p0=0.0)
+        assert set(result.subset) == {"b1", "b2", "b3"}
+        assert result.coverage == pytest.approx(1.0)
+
+    def test_residual_probability_formula(self):
+        result = select_benchmarks([0.5], self.durations, make_coverage(), p0=0.05)
+        assert result.residual_probability == pytest.approx(
+            result.initial_probability * (1.0 - result.coverage)
+        )
+
+    def test_negative_p0_rejected(self):
+        with pytest.raises(ValueError):
+            select_benchmarks([0.5], self.durations, make_coverage(), p0=-0.1)
+
+    def test_total_time_is_sum_of_selected(self):
+        result = select_benchmarks([0.9], self.durations, make_coverage(), p0=0.0)
+        assert result.total_time_minutes == pytest.approx(
+            sum(self.durations[n] for n in result.subset)
+        )
+
+
+class TestExhaustiveSelection:
+    durations = {"b1": 10.0, "b2": 30.0, "b3": 5.0}
+
+    def test_matches_or_beats_greedy_time(self):
+        coverage = make_coverage()
+        for p0 in (0.0, 0.1, 0.3, 0.5):
+            greedy = select_benchmarks([0.9], self.durations, coverage, p0=p0)
+            optimal = select_benchmarks_exhaustive([0.9], self.durations,
+                                                   coverage, p0=p0)
+            if (greedy.residual_probability <= p0
+                    and optimal.residual_probability <= p0):
+                assert optimal.total_time_minutes <= greedy.total_time_minutes
+
+    def test_skip_when_below_target(self):
+        result = select_benchmarks_exhaustive([0.01], self.durations,
+                                              make_coverage(), p0=0.5)
+        assert result.skipped
+
+    def test_too_many_candidates_rejected(self):
+        table = CoverageTable()
+        durations = {}
+        for i in range(21):
+            table.record(f"b{i}", {f"m{i}"})
+            durations[f"b{i}"] = 1.0
+        with pytest.raises(ValueError):
+            select_benchmarks_exhaustive([0.9], durations, table, p0=0.1)

@@ -1,0 +1,178 @@
+"""Unit tests for the Selector and the Anubis system facade."""
+
+import numpy as np
+import pytest
+
+from repro.benchsuite.base import (
+    BenchmarkKind,
+    BenchmarkSpec,
+    MetricSpec,
+    Phase,
+)
+from repro.benchsuite.runner import SuiteRunner
+from repro.core.selection import CoverageTable
+from repro.core.selector import NodeStatus, Selector
+from repro.core.system import Anubis, EventKind, ValidationEvent
+from repro.core.validator import Validator
+from repro.hardware.components import Component, defect_mode
+from repro.hardware.node import Node
+from repro.survival.base import SurvivalDataset
+from repro.survival.exponential import ExponentialModel
+
+
+def _fitted_model(rate=0.01, seed=0):
+    rng = np.random.default_rng(seed)
+    n = 200
+    ds = SurvivalDataset(
+        covariates=rng.uniform(0, 1, (n, 3)),
+        durations=rng.exponential(1.0 / rate, n),
+        events=np.ones(n),
+        feature_names=("a", "b", "c"),
+    )
+    return ExponentialModel().fit(ds)
+
+
+def _coverage():
+    table = CoverageTable()
+    table.record("fast-wide", {f"d{i}" for i in range(8)})
+    table.record("slow-narrow", {"d0", "d99"})
+    return table
+
+
+def _statuses(n):
+    return [NodeStatus(node_id=f"n{i}", covariates=np.zeros(3)) for i in range(n)]
+
+
+class TestSelector:
+    durations = {"fast-wide": 5.0, "slow-narrow": 60.0}
+
+    def make(self, p0=0.10, rate=0.01):
+        return Selector(_fitted_model(rate=rate), _coverage(), self.durations,
+                        p0=p0)
+
+    def test_invalid_p0_rejected(self):
+        with pytest.raises(ValueError):
+            Selector(_fitted_model(), _coverage(), self.durations, p0=1.0)
+
+    def test_empty_durations_rejected(self):
+        with pytest.raises(ValueError):
+            Selector(_fitted_model(), _coverage(), {})
+
+    def test_incident_probabilities_shape(self):
+        selector = self.make()
+        probs = selector.incident_probabilities(_statuses(4), 24.0)
+        assert probs.shape == (4,)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().incident_probabilities(_statuses(1), 0.0)
+
+    def test_short_job_skips_validation(self):
+        selector = self.make(p0=0.20, rate=0.001)
+        result = selector.select_for_event(_statuses(1), 1.0)
+        assert result.skipped
+
+    def test_long_job_selects_subset(self):
+        selector = self.make(p0=0.05, rate=0.01)
+        result = selector.select_for_event(_statuses(8), 200.0)
+        assert not result.skipped
+        assert "fast-wide" in result.subset  # best coverage per minute
+
+    def test_regular_validation_flags_risky_nodes(self):
+        selector = self.make(p0=0.05, rate=0.01)
+        due = selector.nodes_due_for_regular_validation(_statuses(3),
+                                                        lookahead_hours=100.0)
+        assert len(due) == 3  # exponential risk over 100 h >> 0.05
+
+    def test_record_validation_updates_coverage(self):
+        selector = self.make()
+        from repro.core.validator import ValidationReport, Violation
+        report = ValidationReport(validated_nodes=["n1"],
+                                  benchmarks_run=["fast-wide"])
+        report.violations = [Violation("n1", "fast-wide", "m", 0.5)]
+        before = len(selector.coverage.found["fast-wide"])
+        selector.record_validation(report)
+        assert len(selector.coverage.found["fast-wide"]) == before + 1
+
+
+def _tiny_suite():
+    return (
+        BenchmarkSpec(
+            name="fast-wide", kind=BenchmarkKind.MICRO, phase=Phase.SINGLE_NODE,
+            duration_minutes=5.0, sensitivity={Component.NIC: 1.0},
+            metrics=(MetricSpec(name="bw", unit="GB/s", base_value=25.0,
+                                noise_cv=0.001, run_cv=0.0005, node_cv=0.0005),),
+        ),
+        BenchmarkSpec(
+            name="slow-narrow", kind=BenchmarkKind.MICRO, phase=Phase.SINGLE_NODE,
+            duration_minutes=60.0, sensitivity={Component.DISK: 1.0},
+            metrics=(MetricSpec(name="iops", unit="kIOPS", base_value=650.0,
+                                noise_cv=0.005, run_cv=0.002, node_cv=0.002),),
+        ),
+    )
+
+
+class TestAnubis:
+    def make_system(self, p0=0.10, rate=0.01, seed=0):
+        validator = Validator(_tiny_suite(), runner=SuiteRunner(seed=seed))
+        healthy = [Node(node_id=f"h{i}") for i in range(10)]
+        validator.learn_criteria(healthy)
+        selector = Selector(_fitted_model(rate=rate), _coverage(),
+                            {"fast-wide": 5.0, "slow-narrow": 60.0}, p0=p0)
+        return Anubis(validator, selector), healthy
+
+    def test_node_added_runs_full_set(self):
+        system, healthy = self.make_system()
+        event = ValidationEvent(kind=EventKind.NODE_ADDED,
+                                nodes=tuple(healthy[:2]),
+                                statuses=tuple(_statuses(2)))
+        outcome = system.handle(event)
+        assert not outcome.skipped
+        assert set(outcome.report.benchmarks_run) == {"fast-wide", "slow-narrow"}
+
+    def test_job_allocation_can_skip(self):
+        system, healthy = self.make_system(p0=0.5, rate=0.0001)
+        event = ValidationEvent(kind=EventKind.JOB_ALLOCATION,
+                                nodes=tuple(healthy[:2]),
+                                statuses=tuple(_statuses(2)),
+                                duration_hours=1.0)
+        outcome = system.handle(event)
+        assert outcome.skipped
+        assert outcome.selection is not None and outcome.selection.skipped
+
+    def test_job_allocation_validates_risky_nodes(self):
+        system, healthy = self.make_system(p0=0.01, rate=0.05)
+        rng = np.random.default_rng(5)
+        bad = Node(node_id="bad")
+        bad.apply_defect(defect_mode("ib_hca_degraded"), rng)
+        event = ValidationEvent(kind=EventKind.JOB_ALLOCATION,
+                                nodes=(healthy[0], bad),
+                                statuses=tuple(_statuses(2)),
+                                duration_hours=100.0)
+        outcome = system.handle(event)
+        assert not outcome.skipped
+        assert "bad" in outcome.defective_node_ids
+
+    def test_incident_event_always_validates(self):
+        system, healthy = self.make_system(p0=0.9, rate=0.00001)
+        event = ValidationEvent(kind=EventKind.INCIDENT_REPORTED,
+                                nodes=(healthy[0],),
+                                statuses=tuple(_statuses(1)))
+        outcome = system.handle(event)
+        assert not outcome.skipped
+
+    def test_history_accumulates(self):
+        system, healthy = self.make_system()
+        event = ValidationEvent(kind=EventKind.NODE_ADDED,
+                                nodes=(healthy[0],),
+                                statuses=tuple(_statuses(1)))
+        system.handle(event)
+        system.handle(event)
+        assert len(system.history) == 2
+
+    def test_mismatched_event_rejected(self):
+        with pytest.raises(ValueError):
+            ValidationEvent(kind=EventKind.NODE_ADDED,
+                            nodes=(Node(node_id="x"),),
+                            statuses=tuple(_statuses(2)))

@@ -1,0 +1,105 @@
+"""Unit tests for status-sample extraction and the TBNI accuracy metric."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.traces import IncidentRecord, IncidentTrace
+from repro.survival.data import STATUS_FEATURES, extract_status_samples
+from repro.survival.metrics import tbni_accuracy
+
+
+def two_node_trace():
+    records = (
+        IncidentRecord("node-0", 100.0, 110.0, "gpu"),
+        IncidentRecord("node-0", 300.0, 330.0, "network"),
+        IncidentRecord("node-1", 500.0, 520.0, "gpu"),
+    )
+    return IncidentTrace(records=records, horizon_hours=1000.0,
+                         node_ids=("node-0", "node-1"))
+
+
+class TestExtraction:
+    def test_feature_schema(self):
+        ds = extract_status_samples(two_node_trace(), snapshot_interval_hours=200.0)
+        assert ds.feature_names == STATUS_FEATURES
+        assert ds.covariates.shape[1] == len(STATUS_FEATURES)
+
+    def test_first_snapshot_tbni(self):
+        ds = extract_status_samples(two_node_trace(), snapshot_interval_hours=5000.0)
+        # node-0's t=0 snapshot: TBNI = 100 h (first incident).
+        first = np.flatnonzero((ds.covariates[:, 0] == 0.0) & (ds.events == 1.0))
+        assert 100.0 in ds.durations[first]
+
+    def test_snapshot_inside_incident_skipped(self):
+        trace = IncidentTrace(
+            records=(IncidentRecord("node-0", 90.0, 150.0, "gpu"),),
+            horizon_hours=400.0, node_ids=("node-0",),
+        )
+        ds = extract_status_samples(trace, snapshot_interval_hours=100.0)
+        # The t=100 snapshot falls inside the incident -> dropped; the
+        # remaining snapshots are t=0 (event), t=150 resolution, t=200,
+        # t=300 (censored).
+        assert not np.any(np.isclose(ds.durations, 50.0) & (ds.events == 0))
+
+    def test_censored_rows_present_by_default(self):
+        ds = extract_status_samples(two_node_trace(), snapshot_interval_hours=200.0)
+        assert np.any(ds.events == 0.0)
+
+    def test_censored_excluded_when_requested(self):
+        ds = extract_status_samples(two_node_trace(), snapshot_interval_hours=200.0,
+                                    include_censored=False)
+        assert np.all(ds.events == 1.0)
+
+    def test_censored_horizon_convention(self):
+        ds = extract_status_samples(two_node_trace(), snapshot_interval_hours=200.0,
+                                    censored_tbni="horizon")
+        censored = ds.durations[ds.events == 0.0]
+        assert np.all(censored == 1000.0)
+
+    def test_incident_count_covariate_grows(self):
+        ds = extract_status_samples(two_node_trace(), snapshot_interval_hours=200.0)
+        count_col = list(STATUS_FEATURES).index("incident_count")
+        node0_late = ds.covariates[ds.covariates[:, count_col] == 2.0]
+        assert node0_late.size > 0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            extract_status_samples(two_node_trace(), snapshot_interval_hours=0.0)
+
+    def test_invalid_censor_mode_rejected(self):
+        with pytest.raises(ValueError):
+            extract_status_samples(two_node_trace(), censored_tbni="nope")
+
+    def test_telemetry_attributes_appended(self):
+        trace = IncidentTrace(
+            records=(IncidentRecord("node-0", 10.0, 12.0, "gpu"),),
+            horizon_hours=100.0, node_ids=("node-0",),
+            node_attributes={"node-0": {"telemetry_ecc_rate": 1.5}},
+        )
+        ds = extract_status_samples(trace, snapshot_interval_hours=50.0)
+        assert "telemetry_ecc_rate" in ds.feature_names
+        assert np.all(ds.feature("telemetry_ecc_rate") == 1.5)
+
+
+class TestTbniAccuracy:
+    def test_perfect_prediction(self):
+        assert tbni_accuracy([100.0], [100.0]) == pytest.approx(1.0)
+
+    def test_capping(self):
+        # Both sides capped at the horizon -> perfect despite huge raw values.
+        assert tbni_accuracy([9999.0], [5000.0]) == pytest.approx(1.0)
+
+    def test_worst_case_zero(self):
+        assert tbni_accuracy([0.0], [2400.0]) == pytest.approx(0.0)
+
+    def test_average_over_samples(self):
+        acc = tbni_accuracy([0.0, 2400.0], [2400.0, 2400.0])
+        assert acc == pytest.approx(0.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            tbni_accuracy([1.0, 2.0], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tbni_accuracy([], [])

@@ -1,0 +1,173 @@
+"""Unit tests for the survival models (exponential baselines, Cox-Time)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelNotFittedError
+from repro.survival.base import SurvivalDataset
+from repro.survival.coxtime import CoxTimeModel
+from repro.survival.exponential import (
+    ExponentialModel,
+    ExponentialPerHour,
+    ExponentialPerIncidentCount,
+)
+
+
+def exponential_dataset(rate=0.01, n=400, seed=0, feature_names=("up_time",
+                                                                 "incident_count")):
+    rng = np.random.default_rng(seed)
+    durations = rng.exponential(1.0 / rate, size=n)
+    covariates = np.column_stack([
+        rng.uniform(0, 1000, n),
+        rng.integers(0, 5, n).astype(float),
+    ])
+    return SurvivalDataset(covariates=covariates, durations=durations,
+                           events=np.ones(n), feature_names=feature_names)
+
+
+class TestSurvivalDataset:
+    def test_misaligned_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            SurvivalDataset(covariates=np.zeros((3, 2)), durations=[1.0, 2.0],
+                            events=[1.0, 1.0])
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            SurvivalDataset(covariates=np.zeros((1, 1)), durations=[-1.0],
+                            events=[1.0])
+
+    def test_split_is_partition(self):
+        ds = exponential_dataset(n=100)
+        train, test = ds.split(0.8, seed=1)
+        assert len(train) == 80
+        assert len(test) == 20
+
+    def test_feature_lookup(self):
+        ds = exponential_dataset(n=10)
+        assert ds.feature("up_time").shape == (10,)
+        with pytest.raises(KeyError):
+            ds.feature("nope")
+
+    def test_take_subset(self):
+        ds = exponential_dataset(n=10)
+        sub = ds.take([0, 2, 4])
+        assert len(sub) == 3
+
+
+class TestExponentialModel:
+    def test_recovers_rate(self):
+        ds = exponential_dataset(rate=0.01, n=2000)
+        model = ExponentialModel().fit(ds)
+        assert model.rate_ == pytest.approx(0.01, rel=0.1)
+
+    def test_survival_function_shape(self):
+        ds = exponential_dataset(n=50)
+        model = ExponentialModel().fit(ds)
+        surv = model.survival_function(ds.covariates[:5], np.array([0.0, 100.0]))
+        assert surv.shape == (5, 2)
+        assert np.allclose(surv[:, 0], 1.0)
+
+    def test_expected_tbni_matches_mean(self):
+        ds = exponential_dataset(rate=0.01, n=2000)
+        model = ExponentialModel().fit(ds)
+        # E[min(T, 2400)] for Exp(0.01) = 100 * (1 - exp(-24)) ~= 100.
+        tbni = model.expected_tbni(ds.covariates[:1])
+        assert tbni[0] == pytest.approx(100.0, rel=0.15)
+
+    def test_median_is_ln2_over_rate(self):
+        ds = exponential_dataset(rate=0.01, n=2000)
+        model = ExponentialModel().fit(ds)
+        median = model.median_tbni(ds.covariates[:1])
+        assert median[0] == pytest.approx(np.log(2) / model.rate_, rel=0.10)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            ExponentialModel().expected_tbni(np.zeros((1, 2)))
+
+    def test_incident_probability_monotone_in_time(self):
+        ds = exponential_dataset(n=100)
+        model = ExponentialModel().fit(ds)
+        p_short = model.incident_probability(ds.covariates[:1], 10.0)
+        p_long = model.incident_probability(ds.covariates[:1], 1000.0)
+        assert p_short[0] < p_long[0]
+
+
+class TestGroupedExponential:
+    def test_per_count_learns_group_rates(self):
+        rng = np.random.default_rng(2)
+        n = 3000
+        counts = rng.integers(0, 2, n).astype(float)
+        rates = np.where(counts == 0, 0.001, 0.05)
+        durations = rng.exponential(1.0 / rates)
+        ds = SurvivalDataset(
+            covariates=np.column_stack([np.zeros(n), counts]),
+            durations=durations, events=np.ones(n),
+            feature_names=("up_time", "incident_count"),
+        )
+        model = ExponentialPerIncidentCount().fit(ds)
+        assert model.rates_[0] == pytest.approx(0.001, rel=0.2)
+        assert model.rates_[1] == pytest.approx(0.05, rel=0.2)
+
+    def test_per_count_missing_feature_rejected(self):
+        ds = exponential_dataset(feature_names=("a", "b"))
+        with pytest.raises(KeyError):
+            ExponentialPerIncidentCount().fit(ds)
+
+    def test_unseen_group_falls_back_to_global(self):
+        ds = exponential_dataset(n=200)
+        model = ExponentialPerIncidentCount().fit(ds)
+        covariate = np.array([[0.0, 19.0]])  # count never seen
+        surv = model.survival_function(covariate, np.array([100.0]))
+        assert 0.0 < surv[0, 0] < 1.0
+
+    def test_per_hour_bucketing(self):
+        model = ExponentialPerHour(bucket_hours=100.0)
+        assert model._group_key(250.0) == 2
+        assert model._group_key(0.0) == 0
+
+    def test_per_hour_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            ExponentialPerHour(bucket_hours=0.0)
+
+
+class TestCoxTime:
+    def test_learns_covariate_dependent_hazard(self):
+        # Two populations with 10x different rates, flagged by one
+        # binary covariate: Cox-Time must separate their TBNI.
+        rng = np.random.default_rng(3)
+        n = 2000
+        flag = rng.integers(0, 2, n).astype(float)
+        rates = np.where(flag == 0, 0.002, 0.02)
+        durations = rng.exponential(1.0 / rates)
+        ds = SurvivalDataset(
+            covariates=np.column_stack([flag, rng.standard_normal(n)]),
+            durations=durations, events=np.ones(n),
+            feature_names=("flag", "noise"),
+        )
+        model = CoxTimeModel(hidden=(16,), epochs=15, seed=0).fit(ds)
+        healthy = model.expected_tbni(np.array([[0.0, 0.0]]))[0]
+        lemon = model.expected_tbni(np.array([[1.0, 0.0]]))[0]
+        assert healthy > 2.0 * lemon
+
+    def test_survival_function_monotone_decreasing(self):
+        ds = exponential_dataset(n=500, seed=4)
+        model = CoxTimeModel(hidden=(8,), epochs=5, seed=1).fit(ds)
+        times = np.linspace(0.0, 2400.0, 20)
+        surv = model.survival_function(ds.covariates[:3], times)
+        assert np.all(np.diff(surv, axis=1) <= 1e-12)
+        assert np.all(surv <= 1.0) and np.all(surv >= 0.0)
+
+    def test_no_events_rejected(self):
+        ds = SurvivalDataset(covariates=np.zeros((5, 2)),
+                             durations=np.ones(5), events=np.zeros(5))
+        with pytest.raises(ValueError):
+            CoxTimeModel(epochs=1).fit(ds)
+
+    def test_loss_decreases(self):
+        ds = exponential_dataset(n=1000, seed=5)
+        model = CoxTimeModel(hidden=(16,), epochs=10, seed=2).fit(ds)
+        assert model.loss_history_[-1] <= model.loss_history_[0]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            CoxTimeModel().survival_function(np.zeros((1, 2)), np.array([1.0]))

@@ -1,0 +1,153 @@
+"""Unit tests for the fat-tree topology and congestion model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.congestion import (
+    allreduce_pair_bandwidths,
+    nominal_bus_bandwidth,
+)
+from repro.topology.fattree import FatTree, FatTreeConfig
+
+
+def _testbed():
+    """The paper's 24-node, 25%-redundant-uplink testbed shape."""
+    return FatTree(FatTreeConfig(n_nodes=24, nodes_per_tor=4, tors_per_pod=3,
+                                 uplinks_per_tor=20, redundant_uplinks=4))
+
+
+class TestFatTreeStructure:
+    def test_tor_and_pod_counts(self):
+        tree = _testbed()
+        assert tree.n_tors == 6
+        assert tree.n_pods == 2
+
+    def test_every_node_has_a_tor(self):
+        tree = _testbed()
+        for node in tree.nodes:
+            assert 0 <= tree.tor_of(node) < tree.n_tors
+
+    def test_nodes_in_tor_partition(self):
+        tree = _testbed()
+        all_nodes = [n for t in range(tree.n_tors) for n in tree.nodes_in_tor(t)]
+        assert sorted(all_nodes) == tree.nodes
+
+    def test_hop_distances(self):
+        tree = _testbed()
+        assert tree.hop_distance(0, 1) == 2     # same ToR
+        assert tree.hop_distance(0, 4) == 4     # same pod, different ToR
+        assert tree.hop_distance(0, 23) == 6    # across pods
+
+    def test_hop_distance_self_rejected(self):
+        with pytest.raises(TopologyError):
+            _testbed().hop_distance(3, 3)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(TopologyError):
+            _testbed().tor_of(99)
+
+    def test_graph_tiers(self):
+        tree = _testbed()
+        tiers = {d["tier"] for _, d in tree.graph.nodes(data=True)}
+        assert tiers == {"node", "tor", "agg", "core"}
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(TopologyError):
+            FatTreeConfig(n_nodes=0)
+        with pytest.raises(TopologyError):
+            FatTreeConfig(redundant_uplinks=30, uplinks_per_tor=20)
+
+
+class TestUplinkState:
+    def test_fail_and_repair(self):
+        tree = _testbed()
+        tree.fail_uplinks(0, 3)
+        assert tree.alive_uplinks(0) == 17
+        tree.repair_uplinks(0, 2)
+        assert tree.alive_uplinks(0) == 19
+        tree.repair_uplinks(0)
+        assert tree.alive_uplinks(0) == 20
+
+    def test_cannot_fail_more_than_alive(self):
+        tree = _testbed()
+        with pytest.raises(TopologyError):
+            tree.fail_uplinks(0, 21)
+
+    def test_cannot_over_repair(self):
+        tree = _testbed()
+        with pytest.raises(TopologyError):
+            tree.repair_uplinks(0, 1)
+
+    def test_congestion_threshold_is_half_redundancy(self):
+        tree = _testbed()
+        # threshold = 20 - 4/2 = 18 alive
+        tree.fail_uplinks(0, 2)
+        assert not tree.congested(0)
+        tree.fail_uplinks(0, 1)
+        assert tree.congested(0)
+
+    def test_redundancy_ratio(self):
+        tree = _testbed()
+        assert tree.redundancy_ratio(0) == 1.0
+        tree.fail_uplinks(0, 2)
+        assert tree.redundancy_ratio(0) == pytest.approx(0.5)
+
+
+class TestCongestionModel:
+    def test_nominal_bandwidth_positive(self):
+        assert nominal_bus_bandwidth(_testbed()) > 100.0
+
+    def test_healthy_fabric_full_bandwidth(self):
+        tree = _testbed()
+        pairs = [(0, 4), (1, 5)]
+        results = allreduce_pair_bandwidths(tree, pairs, noise_cv=0.0)
+        nominal = nominal_bus_bandwidth(tree)
+        for r in results:
+            assert r.bandwidth_gbps == pytest.approx(nominal)
+            assert not r.congested
+
+    def test_intra_tor_pair_never_congested(self):
+        tree = _testbed()
+        tree.fail_uplinks(0, 4)  # kill all redundancy on ToR 0
+        results = allreduce_pair_bandwidths(tree, [(0, 1)], noise_cv=0.0)
+        assert not results[0].congested
+
+    def test_broken_redundancy_degrades_crossing_pairs(self):
+        tree = _testbed()
+        tree.fail_uplinks(0, 3)  # below the threshold of 18
+        results = allreduce_pair_bandwidths(tree, [(0, 4)], noise_cv=0.0)
+        assert results[0].congested
+        assert results[0].bandwidth_gbps < nominal_bus_bandwidth(tree)
+
+    def test_half_redundancy_boundary_is_safe(self):
+        tree = _testbed()
+        tree.fail_uplinks(0, 2)  # exactly half the redundancy: still fine
+        results = allreduce_pair_bandwidths(tree, [(0, 4)], noise_cv=0.0)
+        assert not results[0].congested
+
+    def test_isolated_pair_tolerates_redundancy_loss(self):
+        tree = _testbed()
+        tree.fail_uplinks(0, 4)  # all redundancy gone, base capacity intact
+        results = allreduce_pair_bandwidths(tree, [(0, 4)], concurrent=False,
+                                            noise_cv=0.0)
+        assert not results[0].congested
+
+    def test_concurrent_pairs_must_be_disjoint(self):
+        with pytest.raises(TopologyError):
+            allreduce_pair_bandwidths(_testbed(), [(0, 4), (0, 5)])
+
+    def test_degenerate_pair_rejected(self):
+        with pytest.raises(TopologyError):
+            allreduce_pair_bandwidths(_testbed(), [(1, 1)])
+
+    def test_worst_tor_dominates(self):
+        tree = _testbed()
+        tree.fail_uplinks(0, 4)
+        tree.fail_uplinks(1, 3)
+        result = allreduce_pair_bandwidths(tree, [(0, 4)], noise_cv=0.0)[0]
+        threshold = tree.config.congestion_threshold
+        expected_scale = tree.alive_uplinks(0) / threshold
+        assert result.bandwidth_gbps == pytest.approx(
+            nominal_bus_bandwidth(tree) * expected_scale
+        )

@@ -1,0 +1,189 @@
+"""Unit tests for trace records, persistence and the trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceError
+from repro.hardware.components import IncidentCategory
+from repro.hardware.degradation import WearModel
+from repro.simulation.generator import (
+    CATEGORY_COMPONENTS,
+    TTR_SEGMENTS,
+    generate_allocation_trace,
+    generate_incident_trace,
+    sample_time_to_resolve,
+)
+from repro.simulation.traces import (
+    AllocationRecord,
+    AllocationTrace,
+    IncidentRecord,
+    IncidentTrace,
+)
+
+
+class TestRecords:
+    def test_incident_duration(self):
+        record = IncidentRecord("n0", 10.0, 16.0, "gpu")
+        assert record.duration_hours == 6.0
+
+    def test_incident_end_before_start_rejected(self):
+        with pytest.raises(TraceError):
+            IncidentRecord("n0", 10.0, 5.0, "gpu")
+
+    def test_allocation_validation(self):
+        with pytest.raises(TraceError):
+            AllocationRecord("j0", 0.0, 0, 1.0)
+        with pytest.raises(TraceError):
+            AllocationRecord("j0", 0.0, 1, 0.0)
+
+
+class TestIncidentTrace:
+    def test_records_sorted_by_start(self):
+        trace = IncidentTrace(
+            records=(IncidentRecord("b", 20.0, 21.0, "gpu"),
+                     IncidentRecord("a", 10.0, 11.0, "gpu")),
+            horizon_hours=100.0,
+        )
+        assert trace.records[0].node_id == "a"
+
+    def test_node_ids_inferred(self):
+        trace = IncidentTrace(
+            records=(IncidentRecord("x", 1.0, 2.0, "gpu"),),
+            horizon_hours=10.0,
+        )
+        assert trace.node_ids == ("x",)
+
+    def test_incident_beyond_horizon_rejected(self):
+        with pytest.raises(TraceError):
+            IncidentTrace(records=(IncidentRecord("x", 20.0, 21.0, "gpu"),),
+                          horizon_hours=10.0)
+
+    def test_category_and_component_counts(self):
+        trace = IncidentTrace(
+            records=(IncidentRecord("x", 1.0, 2.0, "gpu", "gpu_sm"),
+                     IncidentRecord("x", 3.0, 4.0, "gpu", "gpu_sm"),
+                     IncidentRecord("y", 5.0, 6.0, "network", "ib_link")),
+            horizon_hours=10.0,
+        )
+        assert trace.category_counts() == {"gpu": 2, "network": 1}
+        assert trace.component_counts()["gpu_sm"] == 2
+
+    def test_round_trip_json(self, tmp_path):
+        trace = generate_incident_trace(10, 500.0, seed=1)
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = IncidentTrace.load(path)
+        assert loaded.records == trace.records
+        assert loaded.node_attributes == trace.node_attributes
+
+    def test_load_malformed_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(TraceError):
+            IncidentTrace.load(path)
+
+
+class TestAllocationTrace:
+    def test_round_trip_json(self, tmp_path):
+        trace = generate_allocation_trace(100.0, seed=2)
+        path = tmp_path / "alloc.json"
+        trace.save(path)
+        loaded = AllocationTrace.load(path)
+        assert loaded.records == trace.records
+
+    def test_sorted_by_submit(self):
+        trace = AllocationTrace(
+            records=(AllocationRecord("b", 5.0, 1, 1.0),
+                     AllocationRecord("a", 1.0, 1, 1.0)),
+            horizon_hours=10.0,
+        )
+        assert trace.records[0].job_id == "a"
+
+
+class TestTtrMixture:
+    def test_segment_probabilities_sum_to_one(self):
+        assert sum(seg[2] for seg in TTR_SEGMENTS) == pytest.approx(1.0)
+
+    def test_figure2_tail_shares(self):
+        # P(> 1 day) = 38.1%, P(> 2 weeks) = 10.3%.
+        over_day = sum(p for lo, hi, p in TTR_SEGMENTS if lo >= 24.0)
+        over_2wk = sum(p for lo, hi, p in TTR_SEGMENTS if lo >= 336.0)
+        assert over_day == pytest.approx(0.381)
+        assert over_2wk == pytest.approx(0.103)
+
+    def test_sampled_durations_in_range(self):
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            value = sample_time_to_resolve(rng)
+            assert 0.25 <= value <= 720.0
+
+    def test_empirical_tail_matches(self):
+        rng = np.random.default_rng(4)
+        values = np.array([sample_time_to_resolve(rng) for _ in range(6000)])
+        assert np.mean(values > 24.0) == pytest.approx(0.381, abs=0.03)
+        assert np.mean(values > 336.0) == pytest.approx(0.103, abs=0.02)
+
+
+class TestIncidentGenerator:
+    def test_deterministic_given_seed(self):
+        a = generate_incident_trace(20, 500.0, seed=5)
+        b = generate_incident_trace(20, 500.0, seed=5)
+        assert a.records == b.records
+
+    def test_every_category_has_component_labels(self):
+        for category in IncidentCategory:
+            assert CATEGORY_COMPONENTS[category]
+
+    def test_components_match_category_table(self):
+        trace = generate_incident_trace(50, 2000.0, seed=6)
+        for record in trace.records:
+            category = IncidentCategory(record.category)
+            assert record.component in CATEGORY_COMPONENTS[category]
+
+    def test_wear_shortens_gaps(self):
+        wear = WearModel(base_mtbi_hours=100.0)
+        trace = generate_incident_trace(400, 4000.0, wear=wear,
+                                        frailty_sigma=0.0, seed=7)
+        from repro.simulation.metrics import mean_time_between_ith_incidents
+        gaps = mean_time_between_ith_incidents(trace, max_index=8)
+        assert gaps[0] > gaps[5]
+
+    def test_telemetry_correlates_with_incident_count(self):
+        trace = generate_incident_trace(300, 2400.0, frailty_sigma=1.2, seed=8)
+        counts = np.array([len(trace.for_node(n)) for n in trace.node_ids])
+        ecc = np.array([trace.node_attributes[n]["telemetry_ecc_rate"]
+                        for n in trace.node_ids])
+        correlation = np.corrcoef(counts, ecc)[0, 1]
+        assert correlation > 0.3
+
+    def test_telemetry_disabled(self):
+        trace = generate_incident_trace(5, 100.0, telemetry=False, seed=9)
+        assert trace.node_attributes == {}
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            generate_incident_trace(0, 100.0)
+        with pytest.raises(ValueError):
+            generate_incident_trace(10, 100.0, gap_shape=0.0)
+
+
+class TestAllocationGenerator:
+    def test_sizes_are_powers_of_two(self):
+        trace = generate_allocation_trace(300.0, max_job_nodes=32, seed=10)
+        sizes = {r.n_nodes for r in trace.records}
+        assert sizes <= {1, 2, 4, 8, 16, 32}
+
+    def test_small_jobs_dominate(self):
+        trace = generate_allocation_trace(2000.0, seed=11)
+        sizes = np.array([r.n_nodes for r in trace.records])
+        assert np.median(sizes) <= 2
+
+    def test_mean_duration_close_to_requested(self):
+        trace = generate_allocation_trace(5000.0, mean_duration_hours=10.0,
+                                          seed=12)
+        durations = np.array([r.duration_hours for r in trace.records])
+        assert durations.mean() == pytest.approx(10.0, rel=0.25)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            generate_allocation_trace(0.0)

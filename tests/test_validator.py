@@ -1,0 +1,150 @@
+"""Unit tests for the Validator: criteria learning and defect filtering."""
+
+import numpy as np
+import pytest
+
+from repro.benchsuite.base import (
+    BenchmarkKind,
+    BenchmarkResult,
+    BenchmarkSpec,
+    E2eProfile,
+    MetricSpec,
+    Phase,
+)
+from repro.benchsuite.runner import SuiteRunner
+from repro.core.validator import ValidationReport, Validator, Violation
+from repro.exceptions import CriteriaError
+from repro.hardware.components import Component, defect_mode
+from repro.hardware.node import Node
+
+
+def tiny_suite():
+    """Two benchmarks: a NIC micro and a CNN end-to-end."""
+    micro = BenchmarkSpec(
+        name="tiny-loopback", kind=BenchmarkKind.MICRO, phase=Phase.SINGLE_NODE,
+        duration_minutes=2.0, sensitivity={Component.NIC: 1.0},
+        metrics=(MetricSpec(name="bw", unit="GB/s", base_value=25.0,
+                            noise_cv=0.001, run_cv=0.0005, node_cv=0.0005),),
+    )
+    e2e = BenchmarkSpec(
+        name="tiny-resnet", kind=BenchmarkKind.E2E, phase=Phase.SINGLE_NODE,
+        duration_minutes=5.0,
+        sensitivity={Component.E2E_CNN_PATH: 1.0, Component.GPU_COMPUTE: 0.5},
+        metrics=(MetricSpec(name="throughput", unit="samples/s", base_value=2900.0,
+                            noise_cv=0.008, run_cv=0.003, node_cv=0.003,
+                            series_length=160),),
+        e2e_profile=E2eProfile(warmup_steps=24, period=16),
+    )
+    return (micro, e2e)
+
+
+def make_fleet(n_healthy=12, defects=()):
+    rng = np.random.default_rng(0)
+    nodes = [Node(node_id=f"h-{i}") for i in range(n_healthy)]
+    for index, mode_name in enumerate(defects):
+        node = Node(node_id=f"d-{index}")
+        node.apply_defect(defect_mode(mode_name), rng)
+        nodes.append(node)
+    return nodes
+
+
+class TestCriteriaLearning:
+    def test_learn_creates_criteria_per_metric(self):
+        validator = Validator(tiny_suite(), runner=SuiteRunner(seed=1))
+        validator.learn_criteria(make_fleet())
+        assert ("tiny-loopback", "bw") in validator.criteria
+        assert ("tiny-resnet", "throughput") in validator.criteria
+
+    def test_check_without_criteria_raises(self):
+        validator = Validator(tiny_suite())
+        result = BenchmarkResult(benchmark="tiny-loopback", node_id="x",
+                                 metrics={"bw": np.array([25.0])})
+        with pytest.raises(CriteriaError):
+            validator.check_result(validator.spec("tiny-loopback"), result)
+
+    def test_unknown_benchmark_lookup(self):
+        validator = Validator(tiny_suite())
+        with pytest.raises(KeyError):
+            validator.spec("nope")
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            Validator(())
+
+
+class TestValidation:
+    def test_healthy_fleet_mostly_passes(self):
+        validator = Validator(tiny_suite(), runner=SuiteRunner(seed=2))
+        fleet = make_fleet(n_healthy=16)
+        validator.learn_criteria(fleet)
+        report = validator.validate(fleet)
+        assert len(report.defective_nodes) <= 1  # allow one unlucky node
+
+    def test_nic_defect_caught_by_loopback_only(self):
+        validator = Validator(tiny_suite(), runner=SuiteRunner(seed=3))
+        fleet = make_fleet(n_healthy=14, defects=("ib_hca_degraded",))
+        validator.learn_criteria(fleet[:14])
+        report = validator.validate(fleet)
+        assert "d-0" in report.defective_nodes
+        benchmarks = {v.benchmark for v in report.violations if v.node_id == "d-0"}
+        assert "tiny-loopback" in benchmarks
+
+    def test_cnn_path_defect_caught_by_e2e_only(self):
+        validator = Validator(tiny_suite(), runner=SuiteRunner(seed=4))
+        fleet = make_fleet(n_healthy=14, defects=("cnn_path_regression",))
+        validator.learn_criteria(fleet[:14])
+        report = validator.validate(fleet)
+        benchmarks = {v.benchmark for v in report.violations if v.node_id == "d-0"}
+        assert benchmarks == {"tiny-resnet"}
+
+    def test_subset_validation_runs_only_selected(self):
+        validator = Validator(tiny_suite(), runner=SuiteRunner(seed=5))
+        fleet = make_fleet()
+        validator.learn_criteria(fleet)
+        report = validator.validate(fleet, benchmarks=["tiny-loopback"])
+        assert report.benchmarks_run == ["tiny-loopback"]
+
+    def test_execution_failure_flags_node(self):
+        validator = Validator(tiny_suite(), runner=SuiteRunner(seed=6))
+        fleet = make_fleet()
+        validator.learn_criteria(fleet)
+        bad = BenchmarkResult(benchmark="tiny-loopback", node_id="crash",
+                              metrics={"bw": np.array([])})
+        violations = validator.check_result(validator.spec("tiny-loopback"), bad)
+        assert len(violations) == 1
+        assert "execution-failure" in violations[0].reason
+
+    def test_nan_result_flags_node(self):
+        validator = Validator(tiny_suite(), runner=SuiteRunner(seed=7))
+        fleet = make_fleet()
+        validator.learn_criteria(fleet)
+        bad = BenchmarkResult(benchmark="tiny-loopback", node_id="hang",
+                              metrics={"bw": np.array([float("nan")])})
+        violations = validator.check_result(validator.spec("tiny-loopback"), bad)
+        assert violations and violations[0].similarity == 0.0
+
+
+class TestValidationReport:
+    def test_defective_nodes_deduplicated_in_order(self):
+        report = ValidationReport(validated_nodes=["a", "b"])
+        report.violations = [
+            Violation("b", "x", "m", 0.5),
+            Violation("a", "x", "m", 0.5),
+            Violation("b", "y", "m", 0.4),
+        ]
+        assert report.defective_nodes == ["b", "a"]
+
+    def test_healthy_nodes_complement(self):
+        report = ValidationReport(validated_nodes=["a", "b", "c"])
+        report.violations = [Violation("b", "x", "m", 0.5)]
+        assert report.healthy_nodes == ["a", "c"]
+
+    def test_violations_by_benchmark(self):
+        report = ValidationReport(validated_nodes=["a", "b"])
+        report.violations = [
+            Violation("a", "x", "m", 0.5),
+            Violation("b", "x", "m", 0.5),
+            Violation("a", "y", "m", 0.4),
+        ]
+        grouped = report.violations_by_benchmark()
+        assert grouped == {"x": {"a", "b"}, "y": {"a"}}

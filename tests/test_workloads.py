@@ -1,0 +1,83 @@
+"""Unit tests for the workload mix and model zoo."""
+
+import pytest
+
+from repro.workloads.distribution import (
+    WORKLOAD_MIX,
+    benchmark_coverage_of_mix,
+    family_shares,
+    sample_jobs,
+)
+from repro.workloads.models import MODEL_ZOO, model_config, models_for_benchmark
+
+
+class TestDistribution:
+    def test_shares_sum_to_one(self):
+        assert sum(item.share for item in WORKLOAD_MIX) == pytest.approx(1.0)
+
+    def test_three_families(self):
+        shares = family_shares()
+        assert set(shares) == {"transformer", "cnn", "other"}
+
+    def test_transformers_dominate(self):
+        shares = family_shares()
+        assert shares["transformer"] > shares["cnn"] > shares["other"]
+
+    def test_unidentified_share_substantial(self):
+        # The paper: 35.5% of Transformers are unidentifiable.
+        transformer_total = family_shares()["transformer"]
+        unknown = sum(i.share for i in WORKLOAD_MIX
+                      if i.family == "transformer" and i.model == "unidentified")
+        assert 0.25 < unknown / transformer_total < 0.45
+
+    def test_e2e_benchmarks_cover_most_jobs(self):
+        assert benchmark_coverage_of_mix() > 0.8
+
+    def test_covering_benchmarks_exist_in_suite(self):
+        from repro.benchsuite.suite import suite_by_name
+        for item in WORKLOAD_MIX:
+            if item.covering_benchmark:
+                suite_by_name(item.covering_benchmark)  # raises if missing
+
+    def test_sample_jobs_follows_mix(self):
+        jobs = sample_jobs(5000, seed=0)
+        gpt_share = sum(1 for j in jobs if j.model == "gpt") / len(jobs)
+        assert gpt_share == pytest.approx(0.155, abs=0.03)
+
+    def test_sample_jobs_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            sample_jobs(0)
+
+
+class TestModelZoo:
+    def test_lookup(self):
+        config = model_config("bert-large")
+        assert config.parameters_m == 340.0
+        with pytest.raises(KeyError):
+            model_config("nope")
+
+    def test_all_benchmarks_resolvable(self):
+        from repro.benchsuite.suite import suite_by_name
+        for config in MODEL_ZOO:
+            suite_by_name(config.benchmark)
+
+    def test_models_for_benchmark(self):
+        resnets = models_for_benchmark("resnet-models")
+        assert {m.name for m in resnets} == {"resnet50", "resnet101", "resnet152"}
+
+    def test_transformers_have_sequence_length(self):
+        for config in MODEL_ZOO:
+            if config.family == "transformer":
+                assert config.sequence_length is not None
+
+    def test_cnns_have_image_size(self):
+        for config in MODEL_ZOO:
+            if config.family == "cnn":
+                assert config.image_size == 224
+
+    def test_invalid_config_rejected(self):
+        from repro.workloads.models import ModelConfig
+        with pytest.raises(ValueError):
+            ModelConfig("x", "cnn", "resnet-models", 0)
+        with pytest.raises(ValueError):
+            ModelConfig("x", "cnn", "resnet-models", 8, precision="int4")
