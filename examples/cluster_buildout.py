@@ -11,7 +11,6 @@ Run:  python examples/cluster_buildout.py [n_nodes]
 
 import sys
 
-import numpy as np
 
 from repro import Validator, build_fleet, full_suite
 from repro.benchsuite import SuiteRunner

@@ -38,6 +38,9 @@ Subpackages
     LOF / One-Class SVM / IQR / k-means baselines.
 ``repro.workloads``
     Cluster workload mix and representative model zoo.
+``repro.service``
+    Durable, parallel validation control plane: prioritized event
+    queue, thread-pool executor, node lifecycle, JSONL journal.
 """
 
 from repro.benchsuite import SuiteRunner, full_suite, suite_by_name
@@ -58,6 +61,13 @@ from repro.core import (
     similarity,
 )
 from repro.hardware import Fleet, Node, WearModel, build_fleet
+from repro.service import (
+    NodeState,
+    PoolConfig,
+    ServiceConfig,
+    ValidationPool,
+    ValidationService,
+)
 from repro.simulation import (
     ClusterSimulator,
     SimulationConfig,
@@ -79,14 +89,19 @@ __all__ = [
     "FatTreeConfig",
     "Fleet",
     "Node",
+    "NodeState",
     "NodeStatus",
+    "PoolConfig",
     "SelectionResult",
     "Selector",
+    "ServiceConfig",
     "SimulationConfig",
     "SuiteRunner",
     "SurvivalDataset",
     "ValidationEvent",
+    "ValidationPool",
     "ValidationReport",
+    "ValidationService",
     "Validator",
     "WearModel",
     "__version__",

@@ -14,6 +14,8 @@ Validator's failure paths can be exercised deterministically:
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro.benchsuite.base import BenchmarkResult, BenchmarkSpec
@@ -55,13 +57,23 @@ class FaultInjectingRunner(SuiteRunner):
         self.hang_rate = hang_rate
         self.garbage_rate = garbage_rate
         self.fault_nodes = set(fault_nodes) if fault_nodes is not None else None
-        self._fault_rng = np.random.default_rng(seed + 0x5EED)
         self.injected: list[tuple[str, str, str]] = []  # (node, benchmark, kind)
 
-    def _draw_fault(self, node: Node) -> str | None:
+    def _draw_fault(self, spec: BenchmarkSpec, node: Node,
+                    repeat: int) -> str | None:
+        """Order-independent fault lottery for one execution.
+
+        Keyed like the measurement stream -- (seed, node, benchmark,
+        repeat) -- so whether a run faults does not depend on which
+        other nodes ran before it, sequentially or in parallel.
+        """
         if self.fault_nodes is not None and node.node_id not in self.fault_nodes:
             return None
-        roll = float(self._fault_rng.random())
+        entropy = (self.seed + 0x5EED,
+                   zlib.crc32(node.node_id.encode()),
+                   zlib.crc32(spec.name.encode()),
+                   repeat)
+        roll = float(np.random.default_rng(np.random.SeedSequence(entropy)).random())
         if roll < self.crash_rate:
             return "crash"
         if roll < self.crash_rate + self.hang_rate:
@@ -72,7 +84,8 @@ class FaultInjectingRunner(SuiteRunner):
 
     def run(self, spec: BenchmarkSpec, node: Node) -> BenchmarkResult:
         result = super().run(spec, node)
-        fault = self._draw_fault(node)
+        repeat = self._repeat_counts[(node.node_id, spec.name)] - 1
+        fault = self._draw_fault(spec, node, repeat)
         if fault is None:
             return result
         self.injected.append((node.node_id, spec.name, fault))

@@ -11,6 +11,7 @@ plug in.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -62,10 +63,18 @@ class StepWindow:
 class SuiteRunner:
     """Executes benchmarks on nodes with optional per-benchmark windows.
 
+    Measurement noise is drawn from a *per-(node, benchmark) child
+    stream* derived from the seed, the node id, the benchmark name and
+    a per-pair repeat counter -- never from one shared stream.  A
+    node's result therefore does not depend on how many other nodes
+    ran before it: sequential sweeps, reordered sweeps and parallel
+    sweeps (see :mod:`repro.service.pool`) produce bit-identical
+    results, while repeated runs on one node still vary run-to-run.
+
     Parameters
     ----------
     seed:
-        Seed for the measurement-noise stream.
+        Root seed for the measurement-noise streams.
     windows:
         Benchmark name -> :class:`StepWindow`; end-to-end benchmarks
         without an entry run their default series length and keep all
@@ -74,8 +83,33 @@ class SuiteRunner:
 
     def __init__(self, *, seed: int = 0,
                  windows: dict[str, StepWindow] | None = None):
-        self._rng = np.random.default_rng(seed)
+        self.seed = int(seed)
         self.windows = dict(windows or {})
+        self._repeat_counts: dict[tuple[str, str], int] = {}
+
+    def _measurement_rng(self, spec: BenchmarkSpec,
+                         node: Node) -> np.random.Generator:
+        """Child generator for one (node, benchmark) execution.
+
+        The entropy is keyed on stable identifiers (crc32, like the
+        silicon-lottery factor in :mod:`repro.benchsuite.base`) plus a
+        repeat counter, so the i-th run of a benchmark on a node draws
+        the same noise no matter which other (node, benchmark) pairs
+        ran before or concurrently.
+        """
+        key = (node.node_id, spec.name)
+        repeat = self._repeat_counts.get(key, 0)
+        self._repeat_counts[key] = repeat + 1
+        entropy = (self.seed,
+                   zlib.crc32(node.node_id.encode()),
+                   zlib.crc32(spec.name.encode()),
+                   repeat)
+        return np.random.default_rng(np.random.SeedSequence(entropy))
+
+    def reset_streams(self) -> None:
+        """Forget repeat counters: the next run of every (node,
+        benchmark) pair draws its first-run noise again."""
+        self._repeat_counts.clear()
 
     def set_window(self, benchmark_name: str, window: StepWindow) -> None:
         """Install a tuned measurement window for one benchmark."""
@@ -101,13 +135,14 @@ class SuiteRunner:
     def run(self, spec: BenchmarkSpec, node: Node) -> BenchmarkResult:
         """One benchmark on one node, window policy applied."""
         window = self.window_for(spec)
+        rng = self._measurement_rng(spec, node)
         if spec.kind is BenchmarkKind.E2E and window is not None:
-            raw = run_benchmark(spec, node, self._rng, n_steps=window.total_steps)
+            raw = run_benchmark(spec, node, rng, n_steps=window.total_steps)
             metrics = {name: window.apply(series)
                        for name, series in raw.metrics.items()}
             return BenchmarkResult(benchmark=spec.name, node_id=node.node_id,
                                    metrics=metrics)
-        return run_benchmark(spec, node, self._rng)
+        return run_benchmark(spec, node, rng)
 
     def run_on_nodes(self, spec: BenchmarkSpec, nodes) -> dict[str, BenchmarkResult]:
         """One benchmark across many nodes; node id -> result."""

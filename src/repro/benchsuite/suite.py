@@ -100,7 +100,8 @@ def _build_suite() -> tuple[BenchmarkSpec, ...]:
              {C.GPU_COMPUTE: 1.0},
              [_metric("gemm_4096_tflops", "TFLOPS", 142.0, run_cv=0.004, node_cv=0.004),
               _metric("gemm_8192_tflops", "TFLOPS", 150.0, run_cv=0.004, node_cv=0.004),
-              _metric("batched_gemm_tflops", "TFLOPS", 121.0, run_cv=0.004, node_cv=0.004)],
+              _metric("batched_gemm_tflops", "TFLOPS", 121.0, run_cv=0.004,
+                      node_cv=0.004)],
              desc="cuBLAS kernels with workload-profiled shapes"),
         spec("cudnn-function", micro, 10.0,
              {C.GPU_COMPUTE: 0.9, C.GPU_MEMORY_BW: 0.3},
@@ -160,7 +161,8 @@ def _build_suite() -> tuple[BenchmarkSpec, ...]:
              [_metric("seq_read_gbs", "GB/s", 7.0, run_cv=0.006, node_cv=0.006),
               _metric("seq_write_gbs", "GB/s", 3.1, run_cv=0.006, node_cv=0.006),
               _metric("rand_read_iops_k", "kIOPS", 650.0, run_cv=0.008, node_cv=0.008),
-              _metric("rand_write_iops_k", "kIOPS", 170.0, run_cv=0.008, node_cv=0.008)],
+              _metric("rand_write_iops_k", "kIOPS", 170.0, run_cv=0.008,
+                      node_cv=0.008)],
              desc="fio random/sequential read/write"),
         # ------------------------------ end-to-end ----------------------------
         spec("resnet-models", e2e, 18.0,
@@ -229,8 +231,10 @@ def _build_suite() -> tuple[BenchmarkSpec, ...]:
              desc="Pairwise RDMA-write scan over the fabric (Appendix A)"),
         spec("multinode-collectives", multi_micro, 18.0,
              {C.NIC: 0.3, C.IB_LINK: 1.0},
-             [_metric("allreduce_busbw_gbs", "GB/s", 185.0, run_cv=0.002, node_cv=0.002),
-              _metric("allgather_busbw_gbs", "GB/s", 176.0, run_cv=0.002, node_cv=0.002),
+             [_metric("allreduce_busbw_gbs", "GB/s", 185.0, run_cv=0.002,
+                      node_cv=0.002),
+              _metric("allgather_busbw_gbs", "GB/s", 176.0, run_cv=0.002,
+                      node_cv=0.002),
               _metric("alltoall_busbw_gbs", "GB/s", 92.0, run_cv=0.004, node_cv=0.004)],
              desc="Multi-node NCCL/RCCL all-reduce, all-gather, all-to-all"),
         spec("multinode-training", multi_e2e, 30.0,

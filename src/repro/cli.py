@@ -5,7 +5,9 @@ downstream operator runs most:
 
 * ``screen``   -- build-out screening of a simulated fleet (Table 6 flow);
 * ``simulate`` -- the 30-day policy comparison (Figure 8 / Table 4 flow);
-* ``traces``   -- generate and persist incident/allocation traces.
+* ``traces``   -- generate and persist incident/allocation traces;
+* ``serve``    -- the durable validation control plane over a synthetic
+  event stream (the §3.1 service loop).
 
 Every command takes ``--seed`` and prints plain-text tables; exit code
 is non-zero on invalid arguments only (experiments that merely show
@@ -54,6 +56,22 @@ def build_parser() -> argparse.ArgumentParser:
     traces.add_argument("--incidents-out", metavar="PATH", default=None)
     traces.add_argument("--allocations-out", metavar="PATH", default=None)
     traces.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser("serve", help="run the validation control plane "
+                                         "against a simulated fleet")
+    serve.add_argument("--nodes", type=int, default=64,
+                       help="fleet size (default 64)")
+    serve.add_argument("--events", type=int, default=200,
+                       help="synthetic orchestration events to replay")
+    serve.add_argument("--journal", metavar="DIR", default=None,
+                       help="journal directory (enables durable state)")
+    serve.add_argument("--learn-on", type=int, default=16,
+                       help="nodes used for offline criteria learning")
+    serve.add_argument("--workers", type=int, default=8,
+                       help="parallel validation workers")
+    serve.add_argument("--p0", type=float, default=0.10,
+                       help="Selector residual-probability target")
+    serve.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -134,6 +152,93 @@ def _cmd_traces(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import numpy as np
+
+    from repro.benchsuite.runner import SuiteRunner
+    from repro.benchsuite.suite import full_suite
+    from repro.core.selector import NodeStatus, Selector
+    from repro.core.system import Anubis, EventKind, ValidationEvent
+    from repro.core.validator import Validator
+    from repro.hardware.fleet import build_fleet
+    from repro.service import PoolConfig, ServiceConfig, ValidationService
+    from repro.simulation import analytic_coverage_table, suite_durations
+    from repro.simulation.generator import generate_incident_trace
+    from repro.survival import extract_status_samples
+    from repro.survival.exponential import ExponentialModel
+
+    if args.learn_on < 2 or args.learn_on > args.nodes:
+        print("error: --learn-on must be in [2, --nodes]", file=sys.stderr)
+        return 2
+    if args.events < 1 or args.workers < 1:
+        print("error: --events and --workers must be positive", file=sys.stderr)
+        return 2
+
+    fleet = build_fleet(args.nodes, seed=args.seed)
+    suite = full_suite()
+    validator = Validator(suite, runner=SuiteRunner(seed=args.seed))
+    print(f"learning criteria on {args.learn_on} of {args.nodes} nodes...")
+    validator.learn_criteria(fleet.nodes[:args.learn_on])
+
+    trace = generate_incident_trace(max(args.nodes, 50), 2400.0,
+                                    seed=args.seed + 1)
+    dataset = extract_status_samples(trace)
+    model = ExponentialModel().fit(dataset)
+    selector = Selector(model, analytic_coverage_table(suite),
+                        suite_durations(suite), p0=args.p0)
+    anubis = Anubis(validator, selector)
+    service = ValidationService(
+        anubis, fleet.nodes, journal_dir=args.journal,
+        config=ServiceConfig(pool=PoolConfig(max_workers=args.workers)),
+    )
+
+    # Synthetic orchestration stream: mostly job allocations, plus
+    # periodic checks, incident reports and node additions.
+    rng = np.random.default_rng(args.seed + 2)
+    n_samples = len(dataset)
+    kinds = rng.choice(4, size=args.events, p=[0.70, 0.15, 0.10, 0.05])
+    print(f"submitting {args.events} events over {args.nodes} nodes...")
+    for kind_index in kinds:
+        if kind_index == 0:
+            kind = EventKind.JOB_ALLOCATION
+            width = 1 + int(rng.integers(0, max(args.nodes // 8, 1)))
+            duration = float(rng.lognormal(2.0, 1.0))
+        elif kind_index == 1:
+            kind = EventKind.PERIODIC
+            width, duration = 1 + int(rng.integers(0, 4)), 24.0
+        elif kind_index == 2:
+            kind = EventKind.INCIDENT_REPORTED
+            width, duration = 1, 24.0
+        else:
+            kind = EventKind.NODE_ADDED
+            width, duration = 1 + int(rng.integers(0, 2)), 24.0
+        picks = rng.choice(args.nodes, size=min(width, args.nodes),
+                           replace=False)
+        members = [fleet.nodes[int(i)] for i in picks]
+        statuses = tuple(
+            NodeStatus(node_id=node.node_id,
+                       covariates=dataset.covariates[
+                           int(rng.integers(0, n_samples))])
+            for node in members
+        )
+        service.submit(ValidationEvent(kind=kind, nodes=tuple(members),
+                                       statuses=statuses,
+                                       duration_hours=duration))
+
+    results = service.drain()
+    quarantined = sorted({n for r in results for n in r.quarantined})
+    print(f"\nprocessed {len(results)} events "
+          f"({service.queue.coalesced_total} coalesced away)\n")
+    print(service.metrics.format_table())
+    counts = service.lifecycle.counts()
+    print("\nlifecycle:", " ".join(f"{k}={v}" for k, v in counts.items()))
+    if quarantined:
+        print(f"quarantined this run: {', '.join(quarantined)}")
+    if args.journal:
+        print(f"journal: {service.store.path}")
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -141,6 +246,7 @@ def main(argv=None) -> int:
         "screen": _cmd_screen,
         "simulate": _cmd_simulate,
         "traces": _cmd_traces,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -10,7 +10,12 @@ from repro.core.distance import (
 )
 from repro.core.drift import DriftReport, evaluate_drift
 from repro.core.ecdf import Ecdf, as_sample
-from repro.core.persistence import load_criteria, save_criteria
+from repro.core.persistence import (
+    apply_criteria_payload,
+    criteria_payload,
+    load_criteria,
+    save_criteria,
+)
 from repro.core.paramsearch import (
     estimate_period,
     search_window,
@@ -26,7 +31,14 @@ from repro.core.selection import (
     select_benchmarks_exhaustive,
 )
 from repro.core.selector import NodeStatus, Selector
-from repro.core.system import Anubis, EventKind, ValidationEvent, ValidationOutcome
+from repro.core.system import (
+    FULL_VALIDATION_KINDS,
+    Anubis,
+    EventKind,
+    ValidationEvent,
+    ValidationOutcome,
+    ValidationPlan,
+)
 from repro.core.validator import (
     MetricCriteria,
     ValidationReport,
@@ -41,17 +53,21 @@ __all__ = [
     "DriftReport",
     "Ecdf",
     "EventKind",
+    "FULL_VALIDATION_KINDS",
     "MetricCriteria",
     "NodeStatus",
     "SelectionResult",
     "Selector",
     "ValidationEvent",
     "ValidationOutcome",
+    "ValidationPlan",
     "ValidationReport",
     "Validator",
     "Violation",
+    "apply_criteria_payload",
     "as_sample",
     "cdf_distance",
+    "criteria_payload",
     "criteria_repeatability",
     "estimate_period",
     "evaluate_drift",

@@ -87,10 +87,12 @@ def medoid_index(sim_matrix: np.ndarray, active: np.ndarray) -> int:
 
 def _pooled_sample(samples, active: np.ndarray) -> np.ndarray:
     """Mean-in-distribution-space centroid: pool the active samples."""
-    return np.sort(np.concatenate([np.asarray(samples[i], dtype=float) for i in active]))
+    return np.sort(
+        np.concatenate([np.asarray(samples[i], dtype=float) for i in active]))
 
 
-def learn_criteria(samples, alpha: float = 0.95, *, centroid: str = "medoid") -> CriteriaResult:
+def learn_criteria(samples, alpha: float = 0.95, *,
+                   centroid: str = "medoid") -> CriteriaResult:
     """Run Algorithm 2 on ``samples`` and return the learned criteria.
 
     Parameters

@@ -119,9 +119,11 @@ def one_sided_distance(observed, reference, *, higher_is_better: bool = True) ->
     return _cdf_gap_integral(observed, reference, signed_direction=direction)
 
 
-def one_sided_similarity(observed, reference, *, higher_is_better: bool = True) -> float:
+def one_sided_similarity(observed, reference, *,
+                         higher_is_better: bool = True) -> float:
     """``1 - one_sided_distance``; compared against the threshold alpha."""
-    return 1.0 - one_sided_distance(observed, reference, higher_is_better=higher_is_better)
+    return 1.0 - one_sided_distance(observed, reference,
+                                    higher_is_better=higher_is_better)
 
 
 def pairwise_similarity_matrix(samples) -> np.ndarray:

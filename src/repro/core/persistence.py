@@ -21,13 +21,18 @@ import numpy as np
 from repro.core.validator import MetricCriteria, Validator
 from repro.exceptions import CriteriaError
 
-__all__ = ["save_criteria", "load_criteria"]
+__all__ = ["save_criteria", "load_criteria", "criteria_payload",
+           "apply_criteria_payload"]
 
 _FORMAT_VERSION = 1
 
 
-def save_criteria(validator: Validator, path) -> None:
-    """Write the validator's learned criteria to ``path`` as JSON."""
+def criteria_payload(validator: Validator) -> dict:
+    """The validator's learned criteria as a JSON-serializable dict.
+
+    The same document :func:`save_criteria` writes to disk; the
+    service journal embeds it directly in snapshot records.
+    """
     if not validator.criteria:
         raise CriteriaError("validator has no learned criteria to save")
     entries = []
@@ -39,26 +44,25 @@ def save_criteria(validator: Validator, path) -> None:
             "higher_is_better": criteria.higher_is_better,
             "criteria": np.asarray(criteria.criteria, dtype=float).tolist(),
         })
-    payload = {"version": _FORMAT_VERSION, "entries": entries}
-    Path(path).write_text(json.dumps(payload))
+    return {"version": _FORMAT_VERSION, "entries": entries}
 
 
-def load_criteria(validator: Validator, path) -> int:
-    """Restore criteria from ``path`` into ``validator``.
+def apply_criteria_payload(validator: Validator, payload: dict, *,
+                           source: str = "<payload>") -> int:
+    """Restore criteria from a :func:`criteria_payload` document.
 
     Entries for benchmarks outside the validator's suite are skipped
     (a shrunk suite must not resurrect stale criteria).  Returns the
     number of entries loaded.
     """
     try:
-        payload = json.loads(Path(path).read_text())
         if payload.get("version") != _FORMAT_VERSION:
             raise CriteriaError(
                 f"unsupported criteria file version {payload.get('version')!r}"
             )
         entries = payload["entries"]
-    except (OSError, KeyError, TypeError, json.JSONDecodeError) as error:
-        raise CriteriaError(f"malformed criteria file {path}: {error}") from error
+    except (KeyError, TypeError, AttributeError) as error:
+        raise CriteriaError(f"malformed criteria file {source}: {error}") from error
 
     suite_names = {spec.name for spec in validator.suite}
     loaded = 0
@@ -71,7 +75,7 @@ def load_criteria(validator: Validator, path) -> int:
             higher_is_better = bool(entry["higher_is_better"])
         except (KeyError, TypeError, ValueError) as error:
             raise CriteriaError(
-                f"malformed criteria entry in {path}: {error}"
+                f"malformed criteria entry in {source}: {error}"
             ) from error
         if benchmark not in suite_names:
             continue
@@ -81,3 +85,20 @@ def load_criteria(validator: Validator, path) -> int:
         )
         loaded += 1
     return loaded
+
+
+def save_criteria(validator: Validator, path) -> None:
+    """Write the validator's learned criteria to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(criteria_payload(validator)))
+
+
+def load_criteria(validator: Validator, path) -> int:
+    """Restore criteria from ``path`` into ``validator``.
+
+    See :func:`apply_criteria_payload` for skip semantics.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise CriteriaError(f"malformed criteria file {path}: {error}") from error
+    return apply_criteria_payload(validator, payload, source=str(path))

@@ -20,13 +20,15 @@ handed to the repair system's hot-buffer swap.
 from __future__ import annotations
 
 import enum
+from collections import Counter, deque
 from dataclasses import dataclass, field
 
 from repro.core.selection import SelectionResult
 from repro.core.selector import NodeStatus, Selector
 from repro.core.validator import ValidationReport, Validator
 
-__all__ = ["EventKind", "ValidationEvent", "ValidationOutcome", "Anubis"]
+__all__ = ["EventKind", "FULL_VALIDATION_KINDS", "ValidationEvent",
+           "ValidationPlan", "ValidationOutcome", "Anubis"]
 
 
 class EventKind(str, enum.Enum):
@@ -37,6 +39,14 @@ class EventKind(str, enum.Enum):
     JOB_ALLOCATION = "job-allocation"
     INCIDENT_REPORTED = "incident-reported"
     PERIODIC = "periodic"
+
+
+#: Event kinds that always validate with the full benchmark set,
+#: bypassing the Selector (§3.1 workflow steps 2-4).
+FULL_VALIDATION_KINDS = frozenset({
+    EventKind.NODE_ADDED, EventKind.SOFTWARE_UPGRADED,
+    EventKind.INCIDENT_REPORTED,
+})
 
 
 @dataclass(frozen=True)
@@ -55,6 +65,27 @@ class ValidationEvent:
             )
 
 
+@dataclass(frozen=True)
+class ValidationPlan:
+    """The policy decision for one event, before any benchmark runs.
+
+    Splitting the decision from the execution lets alternative
+    execution engines (the parallel service pool) apply exactly the
+    same policy the synchronous facade applies.
+    """
+
+    event: ValidationEvent
+    selection: SelectionResult | None
+    benchmarks: tuple | None  # None means the full set
+
+    @property
+    def validates(self) -> bool:
+        """True when this plan calls for executing benchmarks."""
+        return self.selection is None or (
+            not self.selection.skipped and bool(self.selection.subset)
+        )
+
+
 @dataclass
 class ValidationOutcome:
     """What ANUBIS did with an event."""
@@ -71,31 +102,82 @@ class ValidationOutcome:
 
 
 class Anubis:
-    """Selector + Validator behind the Figure 7 workflow."""
+    """Selector + Validator behind the Figure 7 workflow.
 
-    def __init__(self, validator: Validator, selector: Selector):
+    Parameters
+    ----------
+    validator, selector:
+        The two §3 subsystems.
+    history_limit:
+        Maximum retained :class:`ValidationOutcome` objects; older
+        outcomes are evicted (a long-running service would otherwise
+        grow without bound).  ``None`` keeps everything.  Aggregate
+        counters survive eviction -- see :meth:`history_summary`.
+    """
+
+    def __init__(self, validator: Validator, selector: Selector, *,
+                 history_limit: int | None = 10_000):
         self.validator = validator
         self.selector = selector
-        self.history: list[ValidationOutcome] = []
+        self.history: deque[ValidationOutcome] = deque(maxlen=history_limit)
+        self._events_by_kind: Counter[str] = Counter()
+        self._events_skipped = 0
+        self._events_validated = 0
+        self._defects_flagged = 0
+
+    def plan(self, event: ValidationEvent) -> ValidationPlan:
+        """Decide what (if anything) to run for one event.
+
+        Full-validation kinds bypass the Selector; job allocations and
+        periodic checks are risk-gated and may select a subset or skip
+        entirely.  No benchmark is executed.
+        """
+        if event.kind in FULL_VALIDATION_KINDS:
+            return ValidationPlan(event=event, selection=None, benchmarks=None)
+        selection = self.selector.select_for_event(
+            list(event.statuses), event.duration_hours
+        )
+        benchmarks = (tuple(selection.subset)
+                      if not selection.skipped and selection.subset else None)
+        return ValidationPlan(event=event, selection=selection,
+                              benchmarks=benchmarks)
 
     def handle(self, event: ValidationEvent) -> ValidationOutcome:
         """Process one event end to end and return the outcome."""
-        if event.kind in (EventKind.NODE_ADDED, EventKind.SOFTWARE_UPGRADED,
-                          EventKind.INCIDENT_REPORTED):
-            outcome = self._run_validation(event, benchmarks=None, selection=None)
+        plan = self.plan(event)
+        if not plan.validates:
+            outcome = ValidationOutcome(event=event, selection=plan.selection,
+                                        report=None)
         else:
-            selection = self.selector.select_for_event(
-                list(event.statuses), event.duration_hours
-            )
-            if selection.skipped or not selection.subset:
-                outcome = ValidationOutcome(event=event, selection=selection,
-                                            report=None)
-            else:
-                outcome = self._run_validation(
-                    event, benchmarks=selection.subset, selection=selection
-                )
-        self.history.append(outcome)
+            outcome = self._run_validation(event, benchmarks=plan.benchmarks,
+                                           selection=plan.selection)
+        self.record(outcome)
         return outcome
+
+    def record(self, outcome: ValidationOutcome) -> None:
+        """Fold one outcome into the history and aggregate counters.
+
+        :meth:`handle` calls this itself; external execution engines
+        (the service control plane) call it after running a plan so
+        the facade's history stays authoritative either way.
+        """
+        self.history.append(outcome)
+        self._events_by_kind[outcome.event.kind.value] += 1
+        if outcome.skipped:
+            self._events_skipped += 1
+        else:
+            self._events_validated += 1
+            self._defects_flagged += len(outcome.defective_node_ids)
+
+    def history_summary(self) -> dict:
+        """Aggregate event statistics, independent of history eviction."""
+        return {
+            "events": sum(self._events_by_kind.values()),
+            "validated": self._events_validated,
+            "skipped": self._events_skipped,
+            "defective_nodes_flagged": self._defects_flagged,
+            "by_kind": dict(self._events_by_kind),
+        }
 
     def _run_validation(self, event: ValidationEvent, *, benchmarks,
                         selection) -> ValidationOutcome:

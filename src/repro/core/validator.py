@@ -159,7 +159,7 @@ class Validator:
 
     def learn_criteria(self, nodes, benchmarks=None) -> None:
         """Build-out flow: run benchmarks on ``nodes`` and learn criteria."""
-        for spec in self._resolve(benchmarks):
+        for spec in self.resolve(benchmarks):
             results = self.runner.run_on_nodes(spec, nodes)
             self.learn_criteria_from_results(spec, results)
 
@@ -204,13 +204,13 @@ class Validator:
         an earlier phase are excluded from later phases, matching the
         paper's §4 execution order.
         """
-        selected = self._resolve(benchmarks)
+        selected = self.resolve(benchmarks)
         report = ValidationReport(
             validated_nodes=[node.node_id for node in nodes],
             benchmarks_run=[spec.name for spec in selected],
         )
         remaining = list(nodes)
-        for phase_specs in self._phases(selected):
+        for phase_specs in self.execution_phases(selected):
             for spec in phase_specs:
                 for node in remaining:
                     result = self.runner.run(spec, node)
@@ -222,19 +222,26 @@ class Validator:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _resolve(self, benchmarks) -> tuple[BenchmarkSpec, ...]:
+    def resolve(self, benchmarks) -> tuple[BenchmarkSpec, ...]:
+        """Resolve names/specs (or ``None`` = full suite) to specs."""
         if benchmarks is None:
             return self.suite
         resolved = []
         for item in benchmarks:
-            resolved.append(item if isinstance(item, BenchmarkSpec) else self.spec(item))
+            resolved.append(item if isinstance(item, BenchmarkSpec)
+                            else self.spec(item))
         return tuple(resolved)
 
     @staticmethod
-    def _phases(specs) -> list[list[BenchmarkSpec]]:
-        """Bucket specs into execution phases in bottom-up order."""
+    def execution_phases(specs) -> list[list[BenchmarkSpec]]:
+        """Bucket specs into execution phases in bottom-up order.
+
+        Public so alternative execution engines (the service pool) can
+        reproduce the exact phase semantics of :meth:`validate`.
+        """
         single_micro = [s for s in specs
-                        if s.phase is Phase.SINGLE_NODE and s.kind is BenchmarkKind.MICRO]
+                        if s.phase is Phase.SINGLE_NODE
+                        and s.kind is BenchmarkKind.MICRO]
         single_e2e = [s for s in specs
                       if s.phase is Phase.SINGLE_NODE and s.kind is BenchmarkKind.E2E]
         multi = [s for s in specs if s.phase is Phase.MULTI_NODE]

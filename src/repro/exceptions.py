@@ -43,3 +43,15 @@ class SimulationError(ReproError):
 
 class TraceError(ReproError):
     """A trace file or trace record is malformed."""
+
+
+class ServiceError(ReproError):
+    """The validation control plane was driven inconsistently."""
+
+
+class LifecycleError(ServiceError):
+    """An illegal node state-machine transition was requested."""
+
+
+class JournalError(ServiceError):
+    """The service journal cannot be written or replayed."""

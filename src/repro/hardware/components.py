@@ -18,7 +18,7 @@ ratio with the per-benchmark ordering of Table 6.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "Component",

@@ -76,7 +76,8 @@ def validate_schedule(endpoints, rounds) -> None:
         used: set = set()
         for a, b in round_pairs:
             if a == b:
-                raise SchedulingError(f"degenerate pair ({a}, {b}) in round {round_index}")
+                raise SchedulingError(
+                    f"degenerate pair ({a}, {b}) in round {round_index}")
             if a in used or b in used:
                 raise SchedulingError(
                     f"endpoint reused within round {round_index}: ({a}, {b})"

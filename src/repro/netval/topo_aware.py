@@ -84,7 +84,8 @@ def quick_scan_schedule(tree: FatTree) -> dict[int, list[tuple[int, int]]]:
     return rounds
 
 
-def validate_quick_scan(tree: FatTree, rounds: dict[int, list[tuple[int, int]]]) -> None:
+def validate_quick_scan(tree: FatTree,
+                        rounds: dict[int, list[tuple[int, int]]]) -> None:
     """Check quick-scan invariants.
 
     Every pair in the round for hop ``h`` must be exactly ``h`` hops

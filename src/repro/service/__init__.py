@@ -1,0 +1,67 @@
+"""Durable, parallel validation control plane (the operational layer).
+
+The paper runs SuperBench/ANUBIS as a long-lived service wired into a
+cluster orchestrator; this subpackage supplies that missing layer
+around the in-process facade:
+
+``repro.service.queue``
+    Risk-prioritized, coalescing event queue.
+``repro.service.pool``
+    Parallel benchmark executor with timeouts, retries and crash
+    isolation.
+``repro.service.lifecycle``
+    Enforced node state machine (HEALTHY -> SCHEDULED -> VALIDATING ->
+    QUARANTINED -> IN_REPAIR -> RETURNING).
+``repro.service.store``
+    Append-only JSONL journal with embedded criteria snapshots.
+``repro.service.controlplane``
+    :class:`ValidationService` -- the tick/drain orchestrator with
+    per-event metrics and kill-and-restart recovery.
+"""
+
+from repro.service.controlplane import (
+    ServiceConfig,
+    ServiceMetrics,
+    TickResult,
+    ValidationService,
+)
+from repro.service.lifecycle import (
+    LEGAL_TRANSITIONS,
+    NodeLifecycle,
+    NodeState,
+    Transition,
+)
+from repro.service.pool import (
+    BenchmarkRun,
+    PoolConfig,
+    SweepResult,
+    ValidationPool,
+)
+from repro.service.queue import EventQueue, QueuedEvent
+from repro.service.store import (
+    JournalRecord,
+    JournalStore,
+    event_from_payload,
+    event_to_payload,
+)
+
+__all__ = [
+    "BenchmarkRun",
+    "EventQueue",
+    "JournalRecord",
+    "JournalStore",
+    "LEGAL_TRANSITIONS",
+    "NodeLifecycle",
+    "NodeState",
+    "PoolConfig",
+    "QueuedEvent",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "SweepResult",
+    "TickResult",
+    "Transition",
+    "ValidationPool",
+    "ValidationService",
+    "event_from_payload",
+    "event_to_payload",
+]

@@ -1,0 +1,490 @@
+"""The validation control plane: a durable service around Anubis.
+
+:class:`ValidationService` turns the synchronous
+:class:`~repro.core.system.Anubis` facade into the operational loop
+the paper deploys (§3.1 Figure 7, §4): orchestration events are
+*submitted* into a risk-prioritized queue (coalescing repeats), a
+``tick`` pops the riskiest event, applies exactly the facade's policy
+via :meth:`Anubis.plan`, executes it on the parallel
+:class:`~repro.service.pool.ValidationPool`, and walks every touched
+node through the enforced lifecycle state machine.  All of it is
+journaled through :class:`~repro.service.store.JournalStore`, so a
+killed service recovers its queue, lifecycle states, learned criteria
+and coverage history from disk.
+
+The service separates three clocks deliberately:
+
+* *queue latency* -- submit to pop, per event;
+* *validation wall-clock* -- parallel sweep duration, per event;
+* *repair pipeline* -- quarantined nodes advance one lifecycle stage
+  per tick (QUARANTINED -> IN_REPAIR -> RETURNING -> HEALTHY),
+  mirroring the hot-buffer swap flow without wall-clock coupling.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.persistence import apply_criteria_payload, criteria_payload
+from repro.core.system import (
+    FULL_VALIDATION_KINDS,
+    Anubis,
+    EventKind,
+    ValidationEvent,
+    ValidationOutcome,
+)
+from repro.core.validator import ValidationReport, Violation
+from repro.exceptions import ServiceError
+from repro.service.lifecycle import NodeLifecycle, NodeState
+from repro.service.pool import PoolConfig, ValidationPool
+from repro.service.queue import EventQueue, QueuedEvent
+from repro.service.store import (
+    JournalStore,
+    event_from_payload,
+    event_to_payload,
+)
+
+__all__ = ["ServiceConfig", "ServiceMetrics", "TickResult", "ValidationService"]
+
+#: Lifecycle stages a node moves through after quarantine, advanced
+#: one stage per tick (later stages first so one tick moves one stage).
+_REPAIR_PIPELINE = (
+    (NodeState.RETURNING, NodeState.HEALTHY, "repair-complete"),
+    (NodeState.IN_REPAIR, NodeState.RETURNING, "repair-finished"),
+    (NodeState.QUARANTINED, NodeState.IN_REPAIR, "repair-started"),
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Control-plane knobs.
+
+    Attributes
+    ----------
+    pool:
+        Parallel-executor configuration.
+    snapshot_every:
+        Journal a fresh criteria snapshot every N completed events
+        (cheap insurance against criteria refreshed out-of-band).
+    full_validation_priority:
+        Queue priority for kinds that bypass the Selector
+        (incident-reported, node-added, software-upgraded); above the
+        [0, 1] probability range so they always jump the queue.
+    """
+
+    pool: PoolConfig = field(default_factory=PoolConfig)
+    snapshot_every: int = 25
+    full_validation_priority: float = 2.0
+
+    def __post_init__(self):
+        if self.snapshot_every < 1:
+            raise ServiceError("snapshot_every must be at least 1")
+
+
+@dataclass
+class ServiceMetrics:
+    """Aggregate per-event service statistics."""
+
+    events_submitted: int = 0
+    events_coalesced: int = 0
+    events_processed: int = 0
+    policy_skips: int = 0
+    validations_run: int = 0
+    nodes_validated: int = 0
+    nodes_quarantined: int = 0
+    queue_latencies: list[float] = field(default_factory=list)
+    validation_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def defect_rate(self) -> float:
+        """Quarantined node-slots per validated node-slot."""
+        return self.nodes_quarantined / max(self.nodes_validated, 1)
+
+    def summary(self) -> dict:
+        latencies = self.queue_latencies
+        walls = self.validation_seconds
+        return {
+            "events_submitted": self.events_submitted,
+            "events_coalesced": self.events_coalesced,
+            "events_processed": self.events_processed,
+            "policy_skips": self.policy_skips,
+            "validations_run": self.validations_run,
+            "nodes_validated": self.nodes_validated,
+            "nodes_quarantined": self.nodes_quarantined,
+            "defect_rate": self.defect_rate,
+            "queue_latency_mean_s": (sum(latencies) / len(latencies)
+                                     if latencies else 0.0),
+            "queue_latency_max_s": max(latencies, default=0.0),
+            "validation_mean_s": (sum(walls) / len(walls) if walls else 0.0),
+            "validation_total_s": sum(walls),
+        }
+
+    def format_table(self) -> str:
+        summary = self.summary()
+        lines = []
+        for key, value in summary.items():
+            if isinstance(value, float):
+                lines.append(f"{key:<24} {value:.4f}")
+            else:
+                lines.append(f"{key:<24} {value}")
+        return "\n".join(lines)
+
+
+@dataclass
+class TickResult:
+    """What one tick did."""
+
+    event_id: int
+    outcome: ValidationOutcome
+    queue_latency_seconds: float
+    validation_seconds: float
+    quarantined: list[str] = field(default_factory=list)
+    skipped_nodes: list[str] = field(default_factory=list)
+
+
+class ValidationService:
+    """Durable, parallel control plane around one Anubis facade.
+
+    Parameters
+    ----------
+    anubis:
+        The policy facade (Validator + Selector).  The service drives
+        :meth:`Anubis.plan` and :meth:`Anubis.record` so the facade's
+        history and summary stay authoritative.
+    nodes:
+        The fleet this service validates; journaled events reference
+        these nodes by id.
+    journal_dir:
+        Directory for the journal; ``None`` runs purely in memory.
+        When the directory already holds a journal, the service
+        recovers queue, lifecycle, criteria and coverage from it.
+    config:
+        Control-plane knobs; see :class:`ServiceConfig`.
+    clock:
+        Monotonic-seconds source (injectable for tests).
+    """
+
+    def __init__(self, anubis: Anubis, nodes, *, journal_dir=None,
+                 config: ServiceConfig | None = None, clock=time.monotonic):
+        self.anubis = anubis
+        self.fleet_index = {node.node_id: node for node in nodes}
+        self.config = config or ServiceConfig()
+        self.clock = clock
+        self.queue = EventQueue()
+        self.lifecycle = NodeLifecycle()
+        self.pool = ValidationPool(self.config.pool)
+        self.metrics = ServiceMetrics()
+        self._completed_since_snapshot = 0
+        self._have_snapshot = False
+        self._recovering = False
+        self.store = (JournalStore(journal_dir)
+                      if journal_dir is not None else None)
+        if self.store is not None:
+            self._recover()
+            self._maybe_snapshot(force=not self._have_snapshot)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def submit(self, event: ValidationEvent) -> QueuedEvent:
+        """Queue one orchestration event, risk-prioritized.
+
+        Repeat events for the same (kind, node set) coalesce into the
+        already-pending entry.  Healthy nodes move to SCHEDULED.
+        """
+        for node in event.nodes:
+            if node.node_id not in self.fleet_index:
+                raise ServiceError(
+                    f"event references node {node.node_id!r} outside the "
+                    f"service fleet")
+        priority = self._priority(event)
+        entry, created = self.queue.push(event, priority,
+                                         enqueued_at=self.clock())
+        self.metrics.events_submitted += 1
+        if created:
+            self._journal("event-enqueued", {
+                "event_id": entry.event_id,
+                "priority": entry.priority,
+                "event": event_to_payload(event),
+            })
+            for node in event.nodes:
+                if self.lifecycle.state(node.node_id) is NodeState.HEALTHY:
+                    self._transition(node.node_id, NodeState.SCHEDULED,
+                                     reason=f"event-{entry.event_id}")
+        else:
+            self.metrics.events_coalesced += 1
+            self._journal("event-coalesced", {
+                "event_id": entry.event_id,
+                "priority": entry.priority,
+                "duration_hours": entry.event.duration_hours,
+            })
+        return entry
+
+    def schedule_periodic(self, statuses, *,
+                          lookahead_hours: float = 24.0) -> QueuedEvent | None:
+        """Enqueue one PERIODIC event for nodes due re-validation.
+
+        Runs the Selector's regular-validation check (§3.1 step 1) over
+        ``statuses`` and submits a single event covering every node
+        whose predicted risk crossed p0.  Returns ``None`` when no
+        node is due.
+        """
+        due = self.anubis.selector.nodes_due_for_regular_validation(
+            list(statuses), lookahead_hours)
+        due = [s for s in due
+               if self.lifecycle.state(s.node_id) is NodeState.HEALTHY]
+        if not due:
+            return None
+        event = ValidationEvent(
+            kind=EventKind.PERIODIC,
+            nodes=tuple(self.fleet_index[s.node_id] for s in due),
+            statuses=tuple(due),
+            duration_hours=lookahead_hours,
+        )
+        return self.submit(event)
+
+    def _priority(self, event: ValidationEvent) -> float:
+        if event.kind in FULL_VALIDATION_KINDS:
+            return self.config.full_validation_priority
+        if not event.statuses:
+            return 0.0
+        probs = self.anubis.selector.incident_probabilities(
+            list(event.statuses), event.duration_hours)
+        return float(probs.max()) if probs.size else 0.0
+
+    # ------------------------------------------------------------------
+    # Processing
+    # ------------------------------------------------------------------
+    def tick(self) -> TickResult | None:
+        """Advance repairs one stage, then process the riskiest event.
+
+        Returns ``None`` when the queue was empty (repairs still
+        advanced).
+        """
+        self._advance_repairs()
+        entry = self.queue.pop()
+        if entry is None:
+            return None
+        queue_latency = max(self.clock() - entry.enqueued_at, 0.0)
+        event = entry.event
+
+        eligible = []
+        skipped_nodes = []
+        for node in event.nodes:
+            # HEALTHY is eligible too: an overlapping earlier event may
+            # have validated the node and returned it to the pool while
+            # this event sat queued.
+            if self.lifecycle.state(node.node_id) in (NodeState.SCHEDULED,
+                                                      NodeState.HEALTHY):
+                eligible.append(node)
+            else:
+                # Node drifted into the repair pipeline while the event
+                # was queued; validating it now would be illegal.
+                skipped_nodes.append(node.node_id)
+
+        plan = self.anubis.plan(event)
+        validation_seconds = 0.0
+        quarantined: list[str] = []
+        if not plan.validates or not eligible:
+            for node in eligible:
+                if self.lifecycle.state(node.node_id) is NodeState.SCHEDULED:
+                    self._transition(node.node_id, NodeState.HEALTHY,
+                                     reason="selector-skip")
+            outcome = ValidationOutcome(event=event, selection=plan.selection,
+                                        report=None)
+            self.metrics.policy_skips += 1
+        else:
+            for node in eligible:
+                if self.lifecycle.state(node.node_id) is NodeState.HEALTHY:
+                    self._transition(node.node_id, NodeState.SCHEDULED,
+                                     reason=f"event-{entry.event_id}")
+                self._transition(node.node_id, NodeState.VALIDATING,
+                                 reason=f"event-{entry.event_id}")
+            started = self.clock()
+            report, _sweeps = self.pool.validate(
+                self.anubis.validator, eligible, plan.benchmarks)
+            validation_seconds = max(self.clock() - started, 0.0)
+            self.anubis.selector.record_validation(report)
+            outcome = ValidationOutcome(
+                event=event, selection=plan.selection, report=report,
+                defective_node_ids=report.defective_nodes,
+            )
+            defective = set(report.defective_nodes)
+            for node in eligible:
+                if node.node_id in defective:
+                    self._transition(node.node_id, NodeState.QUARANTINED,
+                                     reason=f"event-{entry.event_id}")
+                    quarantined.append(node.node_id)
+                else:
+                    self._transition(node.node_id, NodeState.HEALTHY,
+                                     reason="validation-passed")
+            self.metrics.validations_run += 1
+            self.metrics.nodes_validated += len(eligible)
+            self.metrics.nodes_quarantined += len(quarantined)
+            self.metrics.validation_seconds.append(validation_seconds)
+
+        self.anubis.record(outcome)
+        self.metrics.events_processed += 1
+        self.metrics.queue_latencies.append(queue_latency)
+        self._journal("event-completed", {
+            "event_id": entry.event_id,
+            "kind": event.kind.value,
+            "skipped": outcome.skipped,
+            "validated_nodes": (list(outcome.report.validated_nodes)
+                                if outcome.report else []),
+            "benchmarks_run": (list(outcome.report.benchmarks_run)
+                               if outcome.report else []),
+            "violations": ([[v.node_id, v.benchmark, v.metric, v.reason]
+                            for v in outcome.report.violations]
+                           if outcome.report else []),
+            "defective": list(outcome.defective_node_ids),
+            "queue_latency_seconds": queue_latency,
+            "validation_seconds": validation_seconds,
+        })
+        self._completed_since_snapshot += 1
+        if self._completed_since_snapshot >= self.config.snapshot_every:
+            self._maybe_snapshot(force=True)
+        return TickResult(
+            event_id=entry.event_id,
+            outcome=outcome,
+            queue_latency_seconds=queue_latency,
+            validation_seconds=validation_seconds,
+            quarantined=quarantined,
+            skipped_nodes=skipped_nodes,
+        )
+
+    def drain(self, *, max_ticks: int = 100_000) -> list[TickResult]:
+        """Tick until the queue is empty and every repair completed."""
+        results: list[TickResult] = []
+        for _ in range(max_ticks):
+            result = self.tick()
+            if result is not None:
+                results.append(result)
+                continue
+            if not self._repairs_in_flight():
+                return results
+        raise ServiceError(f"drain did not converge in {max_ticks} ticks")
+
+    def _repairs_in_flight(self) -> bool:
+        return any(
+            self.lifecycle.nodes_in(state)
+            for state in (NodeState.QUARANTINED, NodeState.IN_REPAIR,
+                          NodeState.RETURNING)
+        )
+
+    def _advance_repairs(self) -> None:
+        for current, target, reason in _REPAIR_PIPELINE:
+            for node_id in self.lifecycle.nodes_in(current):
+                self._transition(node_id, target, reason=reason)
+
+    # ------------------------------------------------------------------
+    # Criteria management
+    # ------------------------------------------------------------------
+    def learn_criteria(self, nodes, benchmarks=None) -> None:
+        """Offline criteria learning, snapshotted to the journal."""
+        self.anubis.validator.learn_criteria(nodes, benchmarks)
+        self._maybe_snapshot(force=True)
+
+    def _maybe_snapshot(self, *, force: bool = False) -> None:
+        if self.store is None or self._recovering:
+            return
+        if not self.anubis.validator.criteria:
+            return
+        if not force:
+            return
+        self.store.append("criteria-snapshot",
+                          criteria_payload(self.anubis.validator))
+        self._have_snapshot = True
+        self._completed_since_snapshot = 0
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def _journal(self, kind: str, payload: dict) -> None:
+        if self.store is not None and not self._recovering:
+            self.store.append(kind, payload)
+
+    def _transition(self, node_id: str, new: NodeState, *,
+                    reason: str = "") -> None:
+        applied = self.lifecycle.transition(node_id, new, reason=reason)
+        self._journal("transition", {
+            "node_id": node_id,
+            "old": applied.old.value,
+            "new": applied.new.value,
+            "reason": reason,
+        })
+
+    def _recover(self) -> None:
+        """Rebuild queue, lifecycle, criteria and coverage from disk."""
+        records = self.store.replay()
+        if not records:
+            return
+        self._recovering = True
+        pending: dict[int, dict] = {}
+        max_event_id = 0
+        try:
+            for record in records:
+                payload = record.payload
+                if record.kind == "criteria-snapshot":
+                    apply_criteria_payload(self.anubis.validator, payload,
+                                           source=str(self.store.path))
+                    self._have_snapshot = True
+                elif record.kind == "transition":
+                    self.lifecycle.transition(
+                        payload["node_id"], NodeState(payload["new"]),
+                        reason=payload.get("reason", ""))
+                elif record.kind == "event-enqueued":
+                    event_id = int(payload["event_id"])
+                    max_event_id = max(max_event_id, event_id)
+                    pending[event_id] = {
+                        "event": payload["event"],
+                        "priority": float(payload["priority"]),
+                    }
+                elif record.kind == "event-coalesced":
+                    event_id = int(payload["event_id"])
+                    if event_id in pending:
+                        pending[event_id]["priority"] = max(
+                            pending[event_id]["priority"],
+                            float(payload["priority"]))
+                        pending[event_id]["event"]["duration_hours"] = max(
+                            float(pending[event_id]["event"]["duration_hours"]),
+                            float(payload.get("duration_hours", 0.0)))
+                elif record.kind == "event-completed":
+                    event_id = int(payload["event_id"])
+                    max_event_id = max(max_event_id, event_id)
+                    pending.pop(event_id, None)
+                    self._replay_completed(payload)
+            for event_id in sorted(pending):
+                info = pending[event_id]
+                event = event_from_payload(info["event"], self.fleet_index)
+                self.queue.push(event, info["priority"], event_id=event_id,
+                                enqueued_at=self.clock())
+            self.queue.reserve_ids(max_event_id)
+        finally:
+            self._recovering = False
+
+    def _replay_completed(self, payload: dict) -> None:
+        """Re-apply one completed event's side effects (coverage,
+        aggregate metrics) without re-running anything."""
+        self.metrics.events_processed += 1
+        self.metrics.queue_latencies.append(
+            float(payload.get("queue_latency_seconds", 0.0)))
+        if payload.get("skipped", False):
+            self.metrics.policy_skips += 1
+            return
+        report = ValidationReport(
+            validated_nodes=list(payload.get("validated_nodes", [])),
+            benchmarks_run=list(payload.get("benchmarks_run", [])),
+            violations=[
+                Violation(node_id=v[0], benchmark=v[1], metric=v[2],
+                          similarity=0.0, reason=v[3])
+                for v in payload.get("violations", [])
+            ],
+        )
+        self.anubis.selector.record_validation(report)
+        self.metrics.validations_run += 1
+        self.metrics.nodes_validated += len(report.validated_nodes)
+        self.metrics.nodes_quarantined += len(payload.get("defective", []))
+        self.metrics.validation_seconds.append(
+            float(payload.get("validation_seconds", 0.0)))

@@ -1,0 +1,116 @@
+"""Explicit node state machine for the validation control plane.
+
+The paper's deployment moves nodes through a fixed operational cycle:
+healthy nodes are scheduled for validation, validated nodes either
+return to the healthy pool or are quarantined, quarantined nodes go
+through repair (hot-buffer swap or ticket) and return.  The seed
+reproduction kept these states implicit -- scattered across
+``simulation.cluster`` bookkeeping and ``core.system`` outcome lists.
+:class:`NodeLifecycle` makes them first-class and *enforced*: only the
+transitions in :data:`LEGAL_TRANSITIONS` are allowed, every transition
+is sequence-numbered for journaling, and a service restart can replay
+the journal to recover the exact fleet state.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.exceptions import LifecycleError
+
+__all__ = ["NodeState", "LEGAL_TRANSITIONS", "Transition", "NodeLifecycle"]
+
+
+class NodeState(str, enum.Enum):
+    """Where a node sits in the validation/repair cycle."""
+
+    HEALTHY = "healthy"
+    SCHEDULED = "scheduled"
+    VALIDATING = "validating"
+    QUARANTINED = "quarantined"
+    IN_REPAIR = "in-repair"
+    RETURNING = "returning"
+
+
+#: The legal edges of the state machine::
+#:
+#:     HEALTHY -> SCHEDULED -> VALIDATING -> QUARANTINED -> IN_REPAIR
+#:        ^           |            |                            |
+#:        |           v            v                            v
+#:        +------- (skip) ---- (passed) <------------------ RETURNING
+#:
+#: SCHEDULED -> HEALTHY covers events the Selector decided to skip;
+#: RETURNING -> SCHEDULED covers re-validation of repaired nodes
+#: before they rejoin the pool.
+LEGAL_TRANSITIONS: dict[NodeState, frozenset[NodeState]] = {
+    NodeState.HEALTHY: frozenset({NodeState.SCHEDULED}),
+    NodeState.SCHEDULED: frozenset({NodeState.VALIDATING, NodeState.HEALTHY}),
+    NodeState.VALIDATING: frozenset({NodeState.HEALTHY, NodeState.QUARANTINED}),
+    NodeState.QUARANTINED: frozenset({NodeState.IN_REPAIR}),
+    NodeState.IN_REPAIR: frozenset({NodeState.RETURNING}),
+    NodeState.RETURNING: frozenset({NodeState.HEALTHY, NodeState.SCHEDULED}),
+}
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One applied state change, in journal order."""
+
+    seq: int
+    node_id: str
+    old: NodeState
+    new: NodeState
+    reason: str = ""
+
+
+class NodeLifecycle:
+    """Tracks and enforces per-node states.
+
+    Nodes never seen before are :attr:`NodeState.HEALTHY`; the class
+    therefore needs no up-front fleet registration and works for
+    fleets that grow while the service runs.
+    """
+
+    def __init__(self):
+        self._states: dict[str, NodeState] = {}
+        self._seq = 0
+        self.transitions: list[Transition] = []
+
+    def state(self, node_id: str) -> NodeState:
+        """Current state of one node (HEALTHY if never seen)."""
+        return self._states.get(node_id, NodeState.HEALTHY)
+
+    def transition(self, node_id: str, new: NodeState, *,
+                   reason: str = "") -> Transition:
+        """Apply one state change, enforcing legality."""
+        old = self.state(node_id)
+        if new not in LEGAL_TRANSITIONS[old]:
+            raise LifecycleError(
+                f"illegal transition {old.value} -> {new.value} "
+                f"for node {node_id!r}" + (f" ({reason})" if reason else "")
+            )
+        self._seq += 1
+        applied = Transition(seq=self._seq, node_id=node_id, old=old,
+                             new=new, reason=reason)
+        self._states[node_id] = new
+        self.transitions.append(applied)
+        return applied
+
+    def nodes_in(self, state: NodeState) -> list[str]:
+        """Node ids currently in ``state``, in first-transition order.
+
+        HEALTHY only lists nodes that have transitioned at least once
+        (untouched nodes are implicitly healthy and unknown here).
+        """
+        return [n for n, s in self._states.items() if s is state]
+
+    def counts(self) -> dict[str, int]:
+        """State value -> number of known nodes in it."""
+        counter = Counter(s.value for s in self._states.values())
+        return {state.value: counter.get(state.value, 0) for state in NodeState}
+
+    def states(self) -> dict[str, NodeState]:
+        """Snapshot of every explicitly-tracked node's state."""
+        return dict(self._states)

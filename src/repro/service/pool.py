@@ -1,0 +1,280 @@
+"""Parallel benchmark execution with timeouts, retries and isolation.
+
+The synchronous :class:`~repro.core.validator.Validator` runs one
+benchmark on one node at a time; a fleet sweep is a long serial loop
+and a single hung execution stalls everything behind it.
+:class:`ValidationPool` fans the same work out across a thread pool
+with three operational guarantees:
+
+* **per-benchmark timeouts** -- a (node, benchmark) execution that
+  exceeds its deadline is abandoned and recorded as an execution
+  failure; the sweep keeps going;
+* **bounded retries with exponential backoff** -- transient crashes
+  (raised exceptions) are retried up to ``max_attempts`` times;
+* **crash isolation** -- an exception or hang in one execution never
+  propagates to other nodes' work.
+
+Because :class:`~repro.benchsuite.runner.SuiteRunner` draws from
+per-(node, benchmark) child streams, a parallel sweep is bit-identical
+to a sequential one for every execution that succeeds on its first
+attempt -- scheduling order does not leak into results.
+
+Python threads cannot be killed, so a timed-out execution's thread
+keeps running in the background until its benchmark returns; the pool
+merely stops waiting for it.  Each sweep uses a fresh executor so
+abandoned threads never occupy a later sweep's workers.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro.benchsuite.base import BenchmarkResult, BenchmarkSpec
+from repro.core.validator import ValidationReport, Validator, Violation
+from repro.exceptions import ServiceError
+
+__all__ = ["PoolConfig", "BenchmarkRun", "SweepResult", "ValidationPool"]
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Execution knobs of the parallel pool.
+
+    Attributes
+    ----------
+    max_workers:
+        Thread-pool width per sweep.
+    benchmark_timeout_seconds:
+        Deadline for one (node, benchmark) execution, measured from
+        the moment it starts on a worker; ``None`` disables timeouts.
+    max_attempts:
+        Total tries per execution (1 = no retries).
+    backoff_base_seconds / backoff_multiplier:
+        Retry *i* (i >= 2) sleeps ``base * multiplier**(i - 2)``
+        before re-running.
+    sweep_timeout_seconds:
+        Hard deadline for a whole sweep; unresolved executions are
+        abandoned as timed out when it passes.  Guards the pathological
+        case of every worker hanging at once.  ``None`` disables it.
+    poll_interval_seconds:
+        Coordinator wake-up granularity for deadline checks.
+    """
+
+    max_workers: int = 8
+    benchmark_timeout_seconds: float | None = 30.0
+    max_attempts: int = 3
+    backoff_base_seconds: float = 0.05
+    backoff_multiplier: float = 2.0
+    sweep_timeout_seconds: float | None = None
+    poll_interval_seconds: float = 0.02
+
+    def __post_init__(self):
+        if self.max_workers < 1:
+            raise ServiceError("max_workers must be at least 1")
+        if self.max_attempts < 1:
+            raise ServiceError("max_attempts must be at least 1")
+        if self.backoff_base_seconds < 0 or self.backoff_multiplier < 1.0:
+            raise ServiceError("invalid backoff configuration")
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Sleep before ``attempt`` (1-based; the first try never waits)."""
+        if attempt <= 1:
+            return 0.0
+        return self.backoff_base_seconds * self.backoff_multiplier ** (attempt - 2)
+
+
+@dataclass
+class BenchmarkRun:
+    """Final state of one (node, benchmark) cell of a sweep."""
+
+    node_id: str
+    benchmark: str
+    result: BenchmarkResult | None = None
+    attempts: int = 0
+    error: str | None = None
+    timed_out: bool = False
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+@dataclass
+class SweepResult:
+    """All cells of one parallel sweep."""
+
+    runs: list[BenchmarkRun] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def __post_init__(self):
+        self._by_cell = {(r.node_id, r.benchmark): r for r in self.runs}
+
+    def run_for(self, node_id: str, benchmark: str) -> BenchmarkRun:
+        return self._by_cell[(node_id, benchmark)]
+
+    @property
+    def failed_runs(self) -> list[BenchmarkRun]:
+        return [r for r in self.runs if not r.ok]
+
+    @property
+    def failed_node_ids(self) -> list[str]:
+        seen: list[str] = []
+        for run in self.runs:
+            if not run.ok and run.node_id not in seen:
+                seen.append(run.node_id)
+        return seen
+
+
+@dataclass
+class _Task:
+    run: BenchmarkRun
+    spec: BenchmarkSpec
+    node: object
+    attempt: int
+    submitted_at: float
+    started_at: list  # single-slot box written by the worker thread
+
+
+class ValidationPool:
+    """Parallel fleet-sweep engine reusing a Validator's policy."""
+
+    def __init__(self, config: PoolConfig | None = None):
+        self.config = config or PoolConfig()
+
+    # ------------------------------------------------------------------
+    # Raw sweeps
+    # ------------------------------------------------------------------
+    def run_benchmarks(self, specs, nodes, runner) -> SweepResult:
+        """Run every benchmark in ``specs`` on every node, in parallel.
+
+        Never raises for per-cell failures: each cell ends with either
+        a result or an ``error``/``timed_out`` record.
+        """
+        cfg = self.config
+        specs = list(specs)
+        nodes = list(nodes)
+        runs = [BenchmarkRun(node_id=node.node_id, benchmark=spec.name)
+                for spec in specs for node in nodes]
+        by_cell = {(r.node_id, r.benchmark): r for r in runs}
+        sweep_start = time.monotonic()
+
+        executor = ThreadPoolExecutor(max_workers=cfg.max_workers)
+        active: dict = {}
+
+        def submit(spec, node, attempt):
+            run = by_cell[(node.node_id, spec.name)]
+            run.attempts = attempt
+            task = _Task(run=run, spec=spec, node=node, attempt=attempt,
+                         submitted_at=time.monotonic(), started_at=[None])
+            future = executor.submit(self._execute, runner, task)
+            active[future] = task
+
+        try:
+            for spec in specs:
+                for node in nodes:
+                    submit(spec, node, attempt=1)
+
+            while active:
+                done, _ = wait(list(active), timeout=cfg.poll_interval_seconds,
+                               return_when=FIRST_COMPLETED)
+                now = time.monotonic()
+                for future in done:
+                    task = active.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        task.run.result = future.result()
+                        task.run.error = None
+                        task.run.wall_seconds = now - sweep_start
+                    elif task.attempt < cfg.max_attempts:
+                        submit(task.spec, task.node, task.attempt + 1)
+                    else:
+                        task.run.error = f"{type(error).__name__}: {error}"
+                        task.run.wall_seconds = now - sweep_start
+                # Deadline scan: abandon cells whose execution started
+                # too long ago (the thread itself cannot be killed).
+                for future, task in list(active.items()):
+                    started = task.started_at[0]
+                    expired = (
+                        cfg.benchmark_timeout_seconds is not None
+                        and started is not None
+                        and now - started > cfg.benchmark_timeout_seconds
+                    )
+                    sweep_expired = (
+                        cfg.sweep_timeout_seconds is not None
+                        and now - sweep_start > cfg.sweep_timeout_seconds
+                    )
+                    if not expired and not sweep_expired:
+                        continue
+                    del active[future]
+                    future.cancel()
+                    if expired and task.attempt < cfg.max_attempts:
+                        submit(task.spec, task.node, task.attempt + 1)
+                        continue
+                    task.run.timed_out = True
+                    task.run.error = (
+                        f"timeout after {cfg.benchmark_timeout_seconds}s"
+                        if expired else
+                        f"sweep timeout after {cfg.sweep_timeout_seconds}s"
+                    )
+                    task.run.wall_seconds = now - sweep_start
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+        return SweepResult(runs=runs,
+                           wall_seconds=time.monotonic() - sweep_start)
+
+    def _execute(self, runner, task: _Task):
+        backoff = self.config.backoff_seconds(task.attempt)
+        if backoff > 0.0:
+            time.sleep(backoff)
+        # The deadline clock starts when the benchmark actually starts,
+        # not when the cell was queued behind a busy pool.
+        task.started_at[0] = time.monotonic()
+        return runner.run(task.spec, task.node)
+
+    # ------------------------------------------------------------------
+    # Validator-equivalent sweeps
+    # ------------------------------------------------------------------
+    def validate(self, validator: Validator, nodes,
+                 benchmarks=None) -> tuple[ValidationReport, list[SweepResult]]:
+        """Parallel equivalent of :meth:`Validator.validate`.
+
+        Phase semantics are preserved exactly: single-node micro, then
+        single-node end-to-end, then multi-node, with nodes flagged in
+        an earlier phase excluded from later phases.  Violations are
+        appended in the sequential engine's (benchmark, node) order, so
+        a fully-healthy parallel report is identical to a sequential
+        one.  Cells that exhausted retries or timed out become
+        ``execution-failure`` violations (defects by definition).
+        """
+        selected = validator.resolve(benchmarks)
+        report = ValidationReport(
+            validated_nodes=[node.node_id for node in nodes],
+            benchmarks_run=[spec.name for spec in selected],
+        )
+        sweeps: list[SweepResult] = []
+        remaining = list(nodes)
+        for phase_specs in validator.execution_phases(selected):
+            if not remaining:
+                break
+            sweep = self.run_benchmarks(phase_specs, remaining, validator.runner)
+            sweeps.append(sweep)
+            for spec in phase_specs:
+                for node in remaining:
+                    run = sweep.run_for(node.node_id, spec.name)
+                    if run.ok:
+                        report.violations.extend(
+                            validator.check_result(spec, run.result))
+                    else:
+                        for metric in spec.metrics:
+                            report.violations.append(Violation(
+                                node_id=node.node_id, benchmark=spec.name,
+                                metric=metric.name, similarity=0.0,
+                                reason=f"execution-failure: {run.error}",
+                            ))
+            flagged = set(report.defective_nodes)
+            remaining = [n for n in remaining if n.node_id not in flagged]
+        return report, sweeps

@@ -1,0 +1,114 @@
+"""Risk-prioritized event queue with coalescing (service ingest side).
+
+Orchestrators emit far more validation triggers than a fleet can
+absorb: repeated job allocations on the same nodes, periodic ticks
+that re-flag the same risky node, incident storms.  The queue orders
+pending :class:`~repro.core.system.ValidationEvent`s by the
+Selector-predicted incident probability (highest risk first, FIFO
+within ties) and *coalesces* repeats -- an event for the same (kind,
+node set) that is already pending merges into the existing entry
+instead of growing the queue, keeping the higher priority and longer
+usage duration of the two.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, replace
+
+from repro.core.system import ValidationEvent
+
+__all__ = ["QueuedEvent", "EventQueue"]
+
+
+def _coalesce_key(event: ValidationEvent) -> tuple:
+    node_ids = tuple(sorted(getattr(n, "node_id", str(n)) for n in event.nodes))
+    return (event.kind.value, node_ids)
+
+
+@dataclass
+class QueuedEvent:
+    """One pending queue entry (possibly several coalesced events)."""
+
+    event_id: int
+    event: ValidationEvent
+    priority: float
+    enqueued_at: float = 0.0
+    coalesced: int = 0  # how many later duplicates merged into this entry
+
+    @property
+    def sort_key(self) -> tuple[float, int]:
+        """Max-priority first; FIFO by event id within a priority."""
+        return (-self.priority, self.event_id)
+
+
+class EventQueue:
+    """Priority queue keyed on predicted incident probability.
+
+    The heap holds ``(sort_key, entry)`` tuples; priority *raises*
+    (from coalescing) push a fresh tuple and the stale one is lazily
+    discarded on pop, so both push and pop stay O(log n).
+    """
+
+    def __init__(self):
+        self._heap: list[tuple[tuple[float, int], QueuedEvent]] = []
+        self._pending: dict[tuple, QueuedEvent] = {}
+        self._ids = itertools.count(1)
+        self.coalesced_total = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def next_event_id(self) -> int:
+        """Allocate a fresh event id (used by recovery to stay ahead
+        of journaled ids)."""
+        return next(self._ids)
+
+    def reserve_ids(self, up_to: int) -> None:
+        """Ensure future ids are strictly greater than ``up_to``."""
+        self._ids = itertools.count(up_to + 1)
+
+    def push(self, event: ValidationEvent, priority: float, *,
+             event_id: int | None = None,
+             enqueued_at: float = 0.0) -> tuple[QueuedEvent, bool]:
+        """Enqueue (or coalesce) one event.
+
+        Returns ``(entry, created)``; ``created`` is False when the
+        event merged into an already-pending entry for the same
+        (kind, node set).
+        """
+        key = _coalesce_key(event)
+        existing = self._pending.get(key)
+        if existing is not None:
+            existing.coalesced += 1
+            self.coalesced_total += 1
+            if event.duration_hours > existing.event.duration_hours:
+                existing.event = replace(
+                    existing.event, duration_hours=event.duration_hours)
+            if priority > existing.priority:
+                existing.priority = priority
+                heapq.heappush(self._heap, (existing.sort_key, existing))
+            return existing, False
+        entry = QueuedEvent(
+            event_id=event_id if event_id is not None else self.next_event_id(),
+            event=event, priority=float(priority), enqueued_at=enqueued_at,
+        )
+        self._pending[key] = entry
+        heapq.heappush(self._heap, (entry.sort_key, entry))
+        return entry, True
+
+    def pop(self) -> QueuedEvent | None:
+        """Highest-priority pending entry, or ``None`` when empty."""
+        while self._heap:
+            sort_key, entry = heapq.heappop(self._heap)
+            key = _coalesce_key(entry.event)
+            if self._pending.get(key) is not entry or sort_key != entry.sort_key:
+                continue  # stale tuple from a coalesced priority raise
+            del self._pending[key]
+            return entry
+        return None
+
+    def pending(self) -> list[QueuedEvent]:
+        """Pending entries in pop order (does not consume the queue)."""
+        return sorted(self._pending.values(), key=lambda e: e.sort_key)

@@ -1,0 +1,160 @@
+"""Durable service state: an append-only JSONL journal.
+
+Everything the control plane must survive a restart with is journaled
+as one JSON object per line in ``journal.jsonl`` under the store
+directory: enqueued/coalesced/completed events, lifecycle transitions
+and periodic learned-criteria snapshots (embedded via
+:func:`~repro.core.persistence.criteria_payload`, the same document
+``save_criteria`` writes).  Recovery replays the journal in order --
+transitions re-apply legally because they were legal when written,
+pending events are re-queued with their journaled priorities, and the
+latest criteria snapshot restores the Validator.
+
+A crash can truncate the final line mid-write.  Replay therefore
+*skips* undecodable lines with a logged warning instead of failing:
+losing the last record is recoverable, refusing to restart is not.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.selector import NodeStatus
+from repro.core.system import EventKind, ValidationEvent
+from repro.exceptions import JournalError
+
+__all__ = ["JournalRecord", "JournalStore", "event_to_payload",
+           "event_from_payload"]
+
+logger = logging.getLogger(__name__)
+
+JOURNAL_FILENAME = "journal.jsonl"
+
+
+def event_to_payload(event: ValidationEvent) -> dict:
+    """Serialize one event to plain JSON types.
+
+    Nodes are stored by id only -- the service re-binds ids against
+    its fleet on recovery, so heavyweight node state never enters the
+    journal.
+    """
+    return {
+        "kind": event.kind.value,
+        "nodes": [node.node_id for node in event.nodes],
+        "statuses": [
+            {"node_id": status.node_id,
+             "covariates": np.asarray(status.covariates, dtype=float).tolist()}
+            for status in event.statuses
+        ],
+        "duration_hours": event.duration_hours,
+    }
+
+
+def event_from_payload(payload: dict, fleet_index: dict) -> ValidationEvent:
+    """Rebuild an event from its journal payload.
+
+    ``fleet_index`` maps node id -> :class:`~repro.hardware.node.Node`;
+    ids no longer present in the fleet raise :class:`JournalError`
+    (a journal must never silently validate the wrong hardware).
+    """
+    try:
+        nodes = []
+        for node_id in payload["nodes"]:
+            if node_id not in fleet_index:
+                raise JournalError(
+                    f"journaled event references unknown node {node_id!r}")
+            nodes.append(fleet_index[node_id])
+        statuses = tuple(
+            NodeStatus(node_id=s["node_id"],
+                       covariates=np.asarray(s["covariates"], dtype=float))
+            for s in payload["statuses"]
+        )
+        return ValidationEvent(
+            kind=EventKind(payload["kind"]),
+            nodes=tuple(nodes),
+            statuses=statuses,
+            duration_hours=float(payload["duration_hours"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise JournalError(f"malformed event payload: {error}") from error
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One replayed journal line."""
+
+    seq: int
+    kind: str
+    payload: dict
+
+
+class JournalStore:
+    """Append-only journal under one directory.
+
+    Appends are flushed line-by-line so at most the final record can
+    be lost to a crash.
+    """
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / JOURNAL_FILENAME
+        self._seq = self._last_seq_on_disk()
+
+    def _last_seq_on_disk(self) -> int:
+        last = 0
+        for record in self.replay():
+            last = max(last, record.seq)
+        return last
+
+    @property
+    def next_seq(self) -> int:
+        return self._seq + 1
+
+    def append(self, kind: str, payload: dict) -> int:
+        """Append one record, flushed; returns its sequence number."""
+        self._seq += 1
+        line = json.dumps({"seq": self._seq, "kind": kind, "payload": payload})
+        try:
+            with self.path.open("a") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+        except OSError as error:
+            raise JournalError(f"cannot append to {self.path}: {error}") from error
+        return self._seq
+
+    def replay(self) -> list[JournalRecord]:
+        """All decodable records in append order.
+
+        Corrupted or truncated lines (a crash mid-append) are skipped
+        with a warning rather than raised -- recovery must always make
+        progress from what *was* durably written.
+        """
+        if not self.path.exists():
+            return []
+        records: list[JournalRecord] = []
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError as error:
+            raise JournalError(f"cannot read {self.path}: {error}") from error
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                raw = json.loads(line)
+                record = JournalRecord(seq=int(raw["seq"]),
+                                       kind=str(raw["kind"]),
+                                       payload=dict(raw["payload"]))
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    ValueError) as error:
+                logger.warning(
+                    "skipping corrupted journal line %d of %s: %s",
+                    lineno, self.path, error)
+                continue
+            records.append(record)
+        return records

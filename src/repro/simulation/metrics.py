@@ -13,7 +13,8 @@ import numpy as np
 
 from repro.benchsuite.suite import full_suite
 from repro.core.selection import CoverageTable
-from repro.simulation.cluster import ClusterSimulator, SimulationConfig, SimulationResult
+from repro.simulation.cluster import (ClusterSimulator, SimulationConfig,
+                                      SimulationResult)
 from repro.simulation.coverage import analytic_coverage_table
 from repro.simulation.policies import (
     AbsencePolicy,

@@ -183,4 +183,5 @@ class AllocationTrace:
             records = tuple(AllocationRecord(**r) for r in payload["records"])
             return cls(records=records, horizon_hours=payload["horizon_hours"])
         except (KeyError, TypeError, json.JSONDecodeError) as error:
-            raise TraceError(f"malformed allocation trace at {path}: {error}") from error
+            raise TraceError(
+                f"malformed allocation trace at {path}: {error}") from error

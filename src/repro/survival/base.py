@@ -104,7 +104,8 @@ class SurvivalModel(abc.ABC):
         """Fit on training status samples; returns ``self``."""
 
     @abc.abstractmethod
-    def survival_function(self, covariates: np.ndarray, times: np.ndarray) -> np.ndarray:
+    def survival_function(self, covariates: np.ndarray,
+                          times: np.ndarray) -> np.ndarray:
         """``S(t | x)`` evaluated on a grid.
 
         Returns an ``(n, len(times))`` matrix of survival probabilities.

@@ -103,7 +103,8 @@ def extract_status_samples(trace: IncidentTrace, *,
 
         for observe in sorted(observation_hours):
             # Skip instants inside an ongoing incident: the node is down.
-            inside = np.any((starts < observe) & (ends > observe)) if incidents else False
+            inside = (np.any((starts < observe) & (ends > observe))
+                      if incidents else False)
             if inside:
                 continue
             resolved = np.flatnonzero(ends <= observe)

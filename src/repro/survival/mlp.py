@@ -103,8 +103,10 @@ class Mlp:
             self._v_w[i] = beta2 * self._v_w[i] + (1 - beta2) * gw * gw
             self._m_b[i] = beta1 * self._m_b[i] + (1 - beta1) * gb
             self._v_b[i] = beta2 * self._v_b[i] + (1 - beta2) * gb * gb
-            self.weights[i] -= lr * (self._m_w[i] / bias1) / (np.sqrt(self._v_w[i] / bias2) + eps)
-            self.biases[i] -= lr * (self._m_b[i] / bias1) / (np.sqrt(self._v_b[i] / bias2) + eps)
+            self.weights[i] -= (lr * (self._m_w[i] / bias1)
+                                / (np.sqrt(self._v_w[i] / bias2) + eps))
+            self.biases[i] -= (lr * (self._m_b[i] / bias1)
+                               / (np.sqrt(self._v_b[i] / bias2) + eps))
         self.zero_grad()
 
     def zero_grad(self) -> None:

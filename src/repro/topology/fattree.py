@@ -15,7 +15,7 @@ grouping used by the Appendix A quick scan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 

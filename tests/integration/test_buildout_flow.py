@@ -7,7 +7,6 @@ Validator finds the planted defects without drowning in false
 positives.
 """
 
-import numpy as np
 import pytest
 
 from repro.benchsuite.runner import SuiteRunner

@@ -2,7 +2,6 @@
 Appendix A flows)."""
 
 import numpy as np
-import pytest
 
 from repro.benchsuite.multinode import run_all_pair_scan
 from repro.hardware.node import Node

@@ -1,7 +1,6 @@
 """Integration: the Selector/Validator event loop and the simulation's
 headline ordering (miniature Figure 8 / Table 4)."""
 
-import numpy as np
 import pytest
 
 from repro.simulation.cluster import SimulationConfig

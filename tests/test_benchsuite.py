@@ -23,7 +23,7 @@ from repro.benchsuite.suite import (
     total_metric_count,
 )
 from repro.exceptions import BenchmarkError
-from repro.hardware.components import Component, defect_mode
+from repro.hardware.components import defect_mode
 from repro.hardware.node import Node
 
 

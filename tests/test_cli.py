@@ -24,6 +24,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["explode"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.nodes == 64
+        assert args.events == 200
+        assert args.journal is None
+        assert args.workers == 8
+
 
 class TestCommands:
     def test_screen_small_fleet(self, capsys, tmp_path):
@@ -55,3 +62,22 @@ class TestCommands:
         out = capsys.readouterr().out
         for policy in ("absence", "full-set", "selector", "ideal"):
             assert policy in out
+
+    def test_serve_small_fleet(self, capsys, tmp_path):
+        journal_dir = tmp_path / "journal"
+        code = main(["serve", "--nodes", "8", "--events", "12",
+                     "--learn-on", "4", "--workers", "4",
+                     "--journal", str(journal_dir), "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "defect_rate" in out
+        assert "queue_latency_mean_s" in out
+        assert "lifecycle:" in out
+        assert (journal_dir / "journal.jsonl").exists()
+
+    def test_serve_invalid_learn_on(self, capsys):
+        assert main(["serve", "--nodes", "4", "--learn-on", "50"]) == 2
+
+    def test_serve_invalid_events(self, capsys):
+        assert main(["serve", "--nodes", "8", "--learn-on", "4",
+                     "--events", "0"]) == 2

@@ -1,6 +1,5 @@
 """Unit tests for the simulator's evolving-coverage loop (§3.1)."""
 
-import pytest
 
 from repro.core.selection import CoverageTable
 from repro.simulation.cluster import ClusterSimulator, SimulationConfig

@@ -133,7 +133,8 @@ class TestNode:
 class TestWearModel:
     def test_default_gamma_matches_figure4(self):
         wear = WearModel()
-        ratio = wear.mean_time_between_incidents(0) / wear.mean_time_between_incidents(19)
+        ratio = (wear.mean_time_between_incidents(0)
+                 / wear.mean_time_between_incidents(19))
         assert ratio == pytest.approx(719.4 / 151.7, rel=1e-6)
 
     def test_rate_monotonically_increases(self):

@@ -90,3 +90,54 @@ class TestSuiteRunner:
         runner = SuiteRunner(seed=6)
         runner.set_window("bert-models", StepWindow(warmup=10, measure=20))
         assert runner.windows["bert-models"].measure == 20
+
+
+class TestStreamIndependence:
+    """A node's result must not depend on sweep order (service pool
+    prerequisite): per-(node, benchmark) child streams."""
+
+    def test_result_independent_of_node_order(self):
+        spec = suite_by_name("mem-bw")
+        nodes = [Node(node_id=f"n{i}") for i in range(5)]
+        forward = SuiteRunner(seed=7).run_on_nodes(spec, nodes)
+        backward = SuiteRunner(seed=7).run_on_nodes(spec, list(reversed(nodes)))
+        for node_id, result in forward.items():
+            for name, series in result.metrics.items():
+                np.testing.assert_array_equal(series,
+                                              backward[node_id].metrics[name])
+
+    def test_result_independent_of_benchmark_order(self):
+        specs = [suite_by_name("mem-bw"), suite_by_name("gemm-flops")]
+        node = Node(node_id="n0")
+        a_runner = SuiteRunner(seed=8)
+        a = {spec.name: a_runner.run(spec, node) for spec in specs}
+        b_runner = SuiteRunner(seed=8)
+        b = {spec.name: b_runner.run(spec, node) for spec in reversed(specs)}
+        for name in a:
+            for metric, series in a[name].metrics.items():
+                np.testing.assert_array_equal(series, b[name].metrics[metric])
+
+    def test_repeats_still_vary(self):
+        runner = SuiteRunner(seed=9)
+        spec = suite_by_name("mem-bw")
+        first, second = runner.run_repeated(spec, Node(node_id="n0"), 2)
+        assert not np.array_equal(first.sample("h2d_bw_gbs"),
+                                  second.sample("h2d_bw_gbs"))
+
+    def test_reset_streams_replays_first_run(self):
+        runner = SuiteRunner(seed=10)
+        spec = suite_by_name("mem-bw")
+        node = Node(node_id="n0")
+        first = runner.run(spec, node)
+        runner.reset_streams()
+        replay = runner.run(spec, node)
+        np.testing.assert_array_equal(first.sample("h2d_bw_gbs"),
+                                      replay.sample("h2d_bw_gbs"))
+
+    def test_different_seeds_differ(self):
+        spec = suite_by_name("mem-bw")
+        node = Node(node_id="n0")
+        a = SuiteRunner(seed=11).run(spec, node)
+        b = SuiteRunner(seed=12).run(spec, node)
+        assert not np.array_equal(a.sample("h2d_bw_gbs"),
+                                  b.sample("h2d_bw_gbs"))

@@ -176,3 +176,54 @@ class TestAnubis:
             ValidationEvent(kind=EventKind.NODE_ADDED,
                             nodes=(Node(node_id="x"),),
                             statuses=tuple(_statuses(2)))
+
+    def test_history_is_bounded(self):
+        system, healthy = self.make_system()
+        system.history = type(system.history)(maxlen=3)
+        event = ValidationEvent(kind=EventKind.NODE_ADDED,
+                                nodes=(healthy[0],),
+                                statuses=tuple(_statuses(1)))
+        for _ in range(5):
+            system.handle(event)
+        assert len(system.history) == 3
+        # Aggregate counters survive eviction.
+        assert system.history_summary()["events"] == 5
+
+    def test_history_limit_constructor_arg(self):
+        validator = Validator(_tiny_suite(), runner=SuiteRunner(seed=0))
+        selector = Selector(_fitted_model(rate=0.01), _coverage(),
+                            {"fast-wide": 5.0, "slow-narrow": 60.0})
+        bounded = Anubis(validator, selector, history_limit=2)
+        assert bounded.history.maxlen == 2
+        unbounded = Anubis(validator, selector, history_limit=None)
+        assert unbounded.history.maxlen is None
+
+    def test_history_summary_counts_by_kind(self):
+        system, healthy = self.make_system(p0=0.5, rate=0.0001)
+        full = ValidationEvent(kind=EventKind.NODE_ADDED,
+                               nodes=(healthy[0],),
+                               statuses=tuple(_statuses(1)))
+        skippable = ValidationEvent(kind=EventKind.JOB_ALLOCATION,
+                                    nodes=(healthy[1],),
+                                    statuses=tuple(_statuses(1)),
+                                    duration_hours=1.0)
+        system.handle(full)
+        system.handle(skippable)
+        summary = system.history_summary()
+        assert summary["events"] == 2
+        assert summary["validated"] == 1
+        assert summary["skipped"] == 1
+        assert summary["by_kind"]["node-added"] == 1
+        assert summary["by_kind"]["job-allocation"] == 1
+
+    def test_plan_then_record_matches_handle(self):
+        system, healthy = self.make_system()
+        event = ValidationEvent(kind=EventKind.NODE_ADDED,
+                                nodes=(healthy[0],),
+                                statuses=tuple(_statuses(1)))
+        plan = system.plan(event)
+        assert plan.validates
+        assert plan.selection is None  # full-set kinds bypass the Selector
+        handled = system.handle(event)
+        assert not handled.skipped
+        assert system.history_summary()["events"] == 1  # plan alone records nothing

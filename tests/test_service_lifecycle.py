@@ -1,0 +1,89 @@
+"""Unit tests: the enforced node lifecycle state machine."""
+
+import pytest
+
+from repro.exceptions import LifecycleError
+from repro.service import LEGAL_TRANSITIONS, NodeLifecycle, NodeState
+
+
+class TestNodeLifecycle:
+    def test_unseen_nodes_are_healthy(self):
+        lifecycle = NodeLifecycle()
+        assert lifecycle.state("node-x") is NodeState.HEALTHY
+        assert lifecycle.states() == {}
+
+    def test_full_quarantine_cycle(self):
+        lifecycle = NodeLifecycle()
+        for state in (NodeState.SCHEDULED, NodeState.VALIDATING,
+                      NodeState.QUARANTINED, NodeState.IN_REPAIR,
+                      NodeState.RETURNING, NodeState.HEALTHY):
+            lifecycle.transition("n1", state)
+        assert lifecycle.state("n1") is NodeState.HEALTHY
+        assert [t.new for t in lifecycle.transitions][-1] is NodeState.HEALTHY
+
+    def test_skip_path(self):
+        lifecycle = NodeLifecycle()
+        lifecycle.transition("n1", NodeState.SCHEDULED)
+        lifecycle.transition("n1", NodeState.HEALTHY, reason="selector-skip")
+        assert lifecycle.state("n1") is NodeState.HEALTHY
+
+    def test_returning_can_be_rescheduled(self):
+        lifecycle = NodeLifecycle()
+        for state in (NodeState.SCHEDULED, NodeState.VALIDATING,
+                      NodeState.QUARANTINED, NodeState.IN_REPAIR,
+                      NodeState.RETURNING):
+            lifecycle.transition("n1", state)
+        lifecycle.transition("n1", NodeState.SCHEDULED)
+        assert lifecycle.state("n1") is NodeState.SCHEDULED
+
+    @pytest.mark.parametrize("bad", [
+        NodeState.VALIDATING,   # healthy cannot jump straight to validating
+        NodeState.QUARANTINED,  # nor to quarantine
+        NodeState.IN_REPAIR,
+        NodeState.RETURNING,
+    ])
+    def test_illegal_from_healthy(self, bad):
+        lifecycle = NodeLifecycle()
+        with pytest.raises(LifecycleError):
+            lifecycle.transition("n1", bad)
+
+    def test_illegal_transition_does_not_mutate(self):
+        lifecycle = NodeLifecycle()
+        lifecycle.transition("n1", NodeState.SCHEDULED)
+        with pytest.raises(LifecycleError):
+            lifecycle.transition("n1", NodeState.IN_REPAIR)
+        assert lifecycle.state("n1") is NodeState.SCHEDULED
+        assert len(lifecycle.transitions) == 1
+
+    def test_transitions_are_sequence_numbered(self):
+        lifecycle = NodeLifecycle()
+        lifecycle.transition("a", NodeState.SCHEDULED)
+        lifecycle.transition("b", NodeState.SCHEDULED)
+        lifecycle.transition("a", NodeState.VALIDATING)
+        assert [t.seq for t in lifecycle.transitions] == [1, 2, 3]
+        assert lifecycle.transitions[2].node_id == "a"
+
+    def test_counts_and_nodes_in(self):
+        lifecycle = NodeLifecycle()
+        lifecycle.transition("a", NodeState.SCHEDULED)
+        lifecycle.transition("b", NodeState.SCHEDULED)
+        lifecycle.transition("b", NodeState.VALIDATING)
+        counts = lifecycle.counts()
+        assert counts["scheduled"] == 1
+        assert counts["validating"] == 1
+        assert counts["healthy"] == 0  # untouched nodes are implicit
+        assert lifecycle.nodes_in(NodeState.SCHEDULED) == ["a"]
+        assert lifecycle.nodes_in(NodeState.VALIDATING) == ["b"]
+
+    def test_legal_transitions_cover_every_state(self):
+        assert set(LEGAL_TRANSITIONS) == set(NodeState)
+        # Every state can eventually reach HEALTHY again.
+        reachable = {NodeState.HEALTHY}
+        frontier = [NodeState.HEALTHY]
+        while frontier:
+            state = frontier.pop()
+            for src, targets in LEGAL_TRANSITIONS.items():
+                if state in targets and src not in reachable:
+                    reachable.add(src)
+                    frontier.append(src)
+        assert reachable == set(NodeState)

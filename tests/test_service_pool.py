@@ -1,0 +1,216 @@
+"""Unit tests: the parallel validation pool (timeouts, retries,
+sequential equivalence)."""
+
+import threading
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.benchsuite.runner import SuiteRunner
+from repro.benchsuite.suite import full_suite
+from repro.core.validator import Validator
+from repro.exceptions import ServiceError
+from repro.hardware.fleet import build_fleet
+from repro.service import PoolConfig, ValidationPool
+
+
+@dataclass(frozen=True)
+class FakeSpec:
+    name: str
+
+
+@dataclass(frozen=True)
+class FakeNode:
+    node_id: str
+
+
+class ScriptedRunner:
+    """Fake runner: fails / hangs per (node, benchmark) as scripted."""
+
+    def __init__(self, *, fail_times=None, hang=None, hang_seconds=5.0):
+        self.fail_times = dict(fail_times or {})  # cell -> failures left
+        self.hang = set(hang or ())
+        self.hang_seconds = hang_seconds
+        self.calls = []
+        self._lock = threading.Lock()
+
+    def run(self, spec, node):
+        cell = (node.node_id, spec.name)
+        with self._lock:
+            self.calls.append(cell)
+            failures_left = self.fail_times.get(cell, 0)
+            if failures_left > 0:
+                self.fail_times[cell] = failures_left - 1
+        if failures_left > 0:
+            raise RuntimeError(f"transient fault on {cell}")
+        if cell in self.hang:
+            time.sleep(self.hang_seconds)
+        return f"result:{node.node_id}:{spec.name}"
+
+
+SPECS = [FakeSpec("bench-a"), FakeSpec("bench-b")]
+NODES = [FakeNode(f"n{i}") for i in range(4)]
+
+
+def fast_config(**overrides):
+    defaults = dict(max_workers=4, benchmark_timeout_seconds=0.25,
+                    max_attempts=3, backoff_base_seconds=0.0,
+                    poll_interval_seconds=0.01)
+    defaults.update(overrides)
+    return PoolConfig(**defaults)
+
+
+class TestPoolConfig:
+    def test_backoff_schedule(self):
+        config = PoolConfig(backoff_base_seconds=0.1, backoff_multiplier=3.0)
+        assert config.backoff_seconds(1) == 0.0
+        assert config.backoff_seconds(2) == pytest.approx(0.1)
+        assert config.backoff_seconds(3) == pytest.approx(0.3)
+        assert config.backoff_seconds(4) == pytest.approx(0.9)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_workers": 0},
+        {"max_attempts": 0},
+        {"backoff_base_seconds": -1.0},
+        {"backoff_multiplier": 0.5},
+    ])
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ServiceError):
+            PoolConfig(**kwargs)
+
+
+class TestRunBenchmarks:
+    def test_all_cells_succeed(self):
+        runner = ScriptedRunner()
+        sweep = ValidationPool(fast_config()).run_benchmarks(
+            SPECS, NODES, runner)
+        assert len(sweep.runs) == len(SPECS) * len(NODES)
+        for run in sweep.runs:
+            assert run.ok and run.attempts == 1 and not run.timed_out
+            assert run.result == f"result:{run.node_id}:{run.benchmark}"
+        assert sweep.failed_runs == []
+
+    def test_transient_failure_is_retried(self):
+        runner = ScriptedRunner(fail_times={("n0", "bench-a"): 2})
+        sweep = ValidationPool(fast_config()).run_benchmarks(
+            SPECS, NODES, runner)
+        run = sweep.run_for("n0", "bench-a")
+        assert run.ok and run.attempts == 3
+
+    def test_exhausted_retries_recorded_not_raised(self):
+        runner = ScriptedRunner(fail_times={("n0", "bench-a"): 99})
+        sweep = ValidationPool(fast_config(max_attempts=2)).run_benchmarks(
+            SPECS, NODES, runner)
+        run = sweep.run_for("n0", "bench-a")
+        assert not run.ok and run.attempts == 2
+        assert "transient fault" in run.error
+        assert sweep.failed_node_ids == ["n0"]
+
+    def test_crash_isolation(self):
+        runner = ScriptedRunner(fail_times={("n1", "bench-b"): 99})
+        sweep = ValidationPool(fast_config(max_attempts=1)).run_benchmarks(
+            SPECS, NODES, runner)
+        others = [r for r in sweep.runs
+                  if (r.node_id, r.benchmark) != ("n1", "bench-b")]
+        assert all(r.ok for r in others)
+
+    def test_hang_times_out_and_sweep_completes(self):
+        runner = ScriptedRunner(hang={("n2", "bench-a")}, hang_seconds=5.0)
+        start = time.monotonic()
+        sweep = ValidationPool(fast_config(max_attempts=1)).run_benchmarks(
+            SPECS, NODES, runner)
+        elapsed = time.monotonic() - start
+        hung = sweep.run_for("n2", "bench-a")
+        assert hung.timed_out and not hung.ok
+        assert "timeout" in hung.error
+        assert elapsed < 4.0  # did not wait out the 5 s hang
+        others = [r for r in sweep.runs
+                  if (r.node_id, r.benchmark) != ("n2", "bench-a")]
+        assert all(r.ok for r in others)
+
+
+@pytest.fixture(scope="module")
+def parallel_vs_sequential():
+    """Two validators with identical criteria: one driven sequentially,
+    one through the pool."""
+    fleet = build_fleet(16, seed=3)
+    suite = full_suite()
+    sequential = Validator(suite, runner=SuiteRunner(seed=7))
+    parallel = Validator(suite, runner=SuiteRunner(seed=7))
+    sequential.learn_criteria(fleet.nodes[:8])
+    parallel.learn_criteria(fleet.nodes[:8])
+    return fleet, sequential, parallel
+
+
+def violation_tuples(report, node_ids=None):
+    return [(v.node_id, v.benchmark, v.metric, v.similarity, v.reason)
+            for v in report.violations
+            if node_ids is None or v.node_id in node_ids]
+
+
+class TestSequentialEquivalence:
+    def test_parallel_report_is_bit_identical(self, parallel_vs_sequential):
+        fleet, sequential, parallel = parallel_vs_sequential
+        expected = sequential.validate(fleet.nodes)
+        pool = ValidationPool(PoolConfig(max_workers=8,
+                                         benchmark_timeout_seconds=None))
+        actual, sweeps = pool.validate(parallel, fleet.nodes)
+        assert actual.validated_nodes == expected.validated_nodes
+        assert actual.benchmarks_run == expected.benchmarks_run
+        assert violation_tuples(actual) == violation_tuples(expected)
+        assert actual.defective_nodes == expected.defective_nodes
+        assert sweeps and all(not s.failed_runs for s in sweeps)
+
+
+class HangingSuiteRunner(SuiteRunner):
+    """Real runner that hangs on one (node, benchmark) cell."""
+
+    def __init__(self, hang_node, hang_benchmark, hang_seconds=5.0, **kwargs):
+        super().__init__(**kwargs)
+        self.hang_node = hang_node
+        self.hang_benchmark = hang_benchmark
+        self.hang_seconds = hang_seconds
+
+    def run(self, spec, node):
+        if (node.node_id == self.hang_node
+                and spec.name == self.hang_benchmark):
+            time.sleep(self.hang_seconds)
+        return super().run(spec, node)
+
+
+class TestHangingBenchmarkSweep:
+    def test_sixteen_node_sweep_survives_one_hung_node(self):
+        """Acceptance flow: inject a hang into a 16-node sweep; the
+        sweep completes, the hung node is flagged, and every healthy
+        node's results are bit-identical to the sequential engine's."""
+        fleet = build_fleet(16, seed=3)
+        suite = full_suite()
+        hang_node = fleet.nodes[12].node_id
+
+        sequential = Validator(suite, runner=SuiteRunner(seed=7))
+        sequential.learn_criteria(fleet.nodes[:8])
+        expected = sequential.validate(fleet.nodes)
+
+        hung_runner = HangingSuiteRunner(hang_node, suite[0].name,
+                                         hang_seconds=5.0, seed=7)
+        parallel = Validator(suite, runner=hung_runner)
+        parallel.learn_criteria(fleet.nodes[:8])
+        pool = ValidationPool(PoolConfig(
+            max_workers=8, benchmark_timeout_seconds=0.5, max_attempts=1,
+            poll_interval_seconds=0.01))
+        start = time.monotonic()
+        actual, _sweeps = pool.validate(parallel, fleet.nodes)
+        assert time.monotonic() - start < 30.0  # sweep completed
+
+        assert hang_node in actual.defective_nodes
+        hung_violations = [v for v in actual.violations
+                           if v.node_id == hang_node]
+        assert any("execution-failure" in v.reason for v in hung_violations)
+
+        healthy = (set(expected.validated_nodes)
+                   - set(expected.defective_nodes)
+                   - set(actual.defective_nodes))
+        assert len(healthy) >= 8
+        assert (violation_tuples(actual, healthy)
+                == violation_tuples(expected, healthy))

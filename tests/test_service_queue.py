@@ -1,0 +1,109 @@
+"""Unit tests: the risk-prioritized, coalescing event queue."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.selector import NodeStatus
+from repro.core.system import EventKind, ValidationEvent
+from repro.service import EventQueue
+
+
+@dataclass(frozen=True)
+class FakeNode:
+    node_id: str
+
+
+def make_event(node_ids, kind=EventKind.JOB_ALLOCATION, duration=24.0):
+    nodes = tuple(FakeNode(n) for n in node_ids)
+    statuses = tuple(
+        NodeStatus(node_id=n, covariates=np.zeros(3)) for n in node_ids)
+    return ValidationEvent(kind=kind, nodes=nodes, statuses=statuses,
+                           duration_hours=duration)
+
+
+class TestPriorityOrdering:
+    def test_highest_priority_pops_first(self):
+        queue = EventQueue()
+        queue.push(make_event(["a"]), 0.1)
+        queue.push(make_event(["b"]), 0.9)
+        queue.push(make_event(["c"]), 0.5)
+        order = [queue.pop().event.nodes[0].node_id for _ in range(3)]
+        assert order == ["b", "c", "a"]
+        assert queue.pop() is None
+
+    def test_fifo_within_equal_priority(self):
+        queue = EventQueue()
+        for name in ("a", "b", "c"):
+            queue.push(make_event([name]), 0.5)
+        order = [queue.pop().event.nodes[0].node_id for _ in range(3)]
+        assert order == ["a", "b", "c"]
+
+    def test_pending_is_pop_order_without_consuming(self):
+        queue = EventQueue()
+        queue.push(make_event(["a"]), 0.2)
+        queue.push(make_event(["b"]), 0.8)
+        assert [e.priority for e in queue.pending()] == [0.8, 0.2]
+        assert len(queue) == 2
+
+
+class TestCoalescing:
+    def test_same_kind_and_nodeset_coalesces(self):
+        queue = EventQueue()
+        first, created = queue.push(make_event(["a", "b"]), 0.3)
+        second, created2 = queue.push(make_event(["b", "a"]), 0.2)
+        assert created and not created2
+        assert second is first
+        assert len(queue) == 1
+        assert first.coalesced == 1
+        assert queue.coalesced_total == 1
+
+    def test_different_kind_does_not_coalesce(self):
+        queue = EventQueue()
+        queue.push(make_event(["a"]), 0.3)
+        queue.push(make_event(["a"], kind=EventKind.PERIODIC), 0.3)
+        assert len(queue) == 2
+
+    def test_coalescing_keeps_max_priority_and_duration(self):
+        queue = EventQueue()
+        entry, _ = queue.push(make_event(["a"], duration=12.0), 0.3)
+        queue.push(make_event(["a"], duration=48.0), 0.1)
+        assert entry.priority == 0.3
+        assert entry.event.duration_hours == 48.0
+        queue.push(make_event(["a"], duration=6.0), 0.7)
+        assert entry.priority == 0.7
+        assert entry.event.duration_hours == 48.0
+
+    def test_priority_raise_reorders_queue(self):
+        queue = EventQueue()
+        queue.push(make_event(["low"]), 0.2)
+        queue.push(make_event(["high"]), 0.5)
+        # Coalesced duplicate raises "low" above "high".
+        queue.push(make_event(["low"]), 0.9)
+        popped = [queue.pop().event.nodes[0].node_id for _ in range(2)]
+        assert popped == ["low", "high"]
+        # The stale heap tuple for "low" must not pop a second copy.
+        assert queue.pop() is None
+
+    def test_popped_entry_no_longer_coalesces(self):
+        queue = EventQueue()
+        queue.push(make_event(["a"]), 0.3)
+        queue.pop()
+        _, created = queue.push(make_event(["a"]), 0.3)
+        assert created
+        assert len(queue) == 1
+
+
+class TestEventIds:
+    def test_ids_are_monotonic(self):
+        queue = EventQueue()
+        first, _ = queue.push(make_event(["a"]), 0.1)
+        second, _ = queue.push(make_event(["b"]), 0.1)
+        assert second.event_id > first.event_id
+
+    def test_reserve_ids_skips_past_journaled_ids(self):
+        queue = EventQueue()
+        queue.push(make_event(["a"]), 0.1, event_id=7)
+        queue.reserve_ids(7)
+        entry, _ = queue.push(make_event(["b"]), 0.1)
+        assert entry.event_id == 8

@@ -1,0 +1,113 @@
+"""Unit tests: the append-only JSONL journal and event serialization."""
+
+import json
+import logging
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core.selector import NodeStatus
+from repro.core.system import EventKind, ValidationEvent
+from repro.exceptions import JournalError
+from repro.service import JournalStore, event_from_payload, event_to_payload
+
+
+@dataclass(frozen=True)
+class FakeNode:
+    node_id: str
+
+
+def make_event(node_ids, kind=EventKind.JOB_ALLOCATION):
+    nodes = tuple(FakeNode(n) for n in node_ids)
+    statuses = tuple(
+        NodeStatus(node_id=n, covariates=np.arange(3, dtype=float))
+        for n in node_ids)
+    return ValidationEvent(kind=kind, nodes=nodes, statuses=statuses,
+                           duration_hours=36.0)
+
+
+class TestEventSerialization:
+    def test_round_trip(self):
+        event = make_event(["n1", "n2"], kind=EventKind.INCIDENT_REPORTED)
+        index = {"n1": FakeNode("n1"), "n2": FakeNode("n2")}
+        rebuilt = event_from_payload(event_to_payload(event), index)
+        assert rebuilt.kind is EventKind.INCIDENT_REPORTED
+        assert [n.node_id for n in rebuilt.nodes] == ["n1", "n2"]
+        assert rebuilt.duration_hours == 36.0
+        for status, original in zip(rebuilt.statuses, event.statuses):
+            np.testing.assert_array_equal(status.covariates,
+                                          original.covariates)
+
+    def test_payload_is_json_serializable(self):
+        payload = event_to_payload(make_event(["n1"]))
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_unknown_node_raises(self):
+        event = make_event(["n1"])
+        with pytest.raises(JournalError, match="unknown node"):
+            event_from_payload(event_to_payload(event), {})
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(JournalError, match="malformed"):
+            event_from_payload({"kind": "job-allocation"}, {})
+
+
+class TestJournalStore:
+    def test_append_and_replay(self, tmp_path):
+        store = JournalStore(tmp_path)
+        store.append("alpha", {"x": 1})
+        store.append("beta", {"y": [1, 2]})
+        records = store.replay()
+        assert [(r.seq, r.kind) for r in records] == [(1, "alpha"), (2, "beta")]
+        assert records[1].payload == {"y": [1, 2]}
+
+    def test_sequence_continues_across_restart(self, tmp_path):
+        JournalStore(tmp_path).append("alpha", {})
+        reopened = JournalStore(tmp_path)
+        assert reopened.next_seq == 2
+        assert reopened.append("beta", {}) == 2
+
+    def test_empty_directory_replays_nothing(self, tmp_path):
+        assert JournalStore(tmp_path).replay() == []
+
+    def test_truncated_last_line_is_skipped_with_warning(self, tmp_path,
+                                                         caplog):
+        store = JournalStore(tmp_path)
+        store.append("alpha", {"x": 1})
+        store.append("beta", {"x": 2})
+        # Simulate a crash mid-append: chop the final line in half.
+        text = store.path.read_text()
+        store.path.write_text(text[:len(text) - 12])
+        with caplog.at_level(logging.WARNING):
+            records = JournalStore(tmp_path).replay()
+        assert [r.kind for r in records] == ["alpha"]
+        assert any("corrupted journal line" in r.message
+                   for r in caplog.records)
+
+    def test_corrupt_middle_line_is_skipped(self, tmp_path, caplog):
+        store = JournalStore(tmp_path)
+        store.append("alpha", {})
+        with store.path.open("a") as handle:
+            handle.write("{not json at all\n")
+        store.append("beta", {})
+        with caplog.at_level(logging.WARNING):
+            records = JournalStore(tmp_path).replay()
+        assert [r.kind for r in records] == ["alpha", "beta"]
+
+    def test_wrong_shape_line_is_skipped(self, tmp_path, caplog):
+        store = JournalStore(tmp_path)
+        with store.path.open("a") as handle:
+            handle.write(json.dumps({"seq": 1}) + "\n")  # missing fields
+        with caplog.at_level(logging.WARNING):
+            assert JournalStore(tmp_path).replay() == []
+        assert any("corrupted journal line" in r.message
+                   for r in caplog.records)
+
+    def test_seq_recovery_ignores_corrupt_tail(self, tmp_path):
+        store = JournalStore(tmp_path)
+        store.append("alpha", {})
+        with store.path.open("a") as handle:
+            handle.write('{"seq": 99, "kind": "beta"')  # truncated
+        reopened = JournalStore(tmp_path)
+        assert reopened.next_seq == 2

@@ -26,7 +26,6 @@ from repro.simulation.metrics import (
 from repro.simulation.policies import (
     AbsencePolicy,
     FullSetPolicy,
-    IdealPolicy,
     NodeView,
     SelectorPolicy,
 )

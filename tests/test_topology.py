@@ -1,6 +1,5 @@
 """Unit tests for the fat-tree topology and congestion model."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import TopologyError
