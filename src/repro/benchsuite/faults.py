@@ -94,7 +94,10 @@ class FaultInjectingRunner(SuiteRunner):
             if fault == "crash":
                 corrupted[name] = np.array([])
             elif fault == "hang":
-                corrupted[name] = np.full_like(series, np.nan)
+                # dtype=float: np.nan cast into an integer series would
+                # raise (or wrap to a garbage value on older numpy)
+                # instead of producing the intended all-NaN metrics.
+                corrupted[name] = np.full_like(series, np.nan, dtype=float)
             else:
                 corrupted[name] = np.zeros_like(series)
         return BenchmarkResult(benchmark=spec.name, node_id=node.node_id,

@@ -72,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--p0", type=float, default=0.10,
                        help="Selector residual-probability target")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--chaos-seed", type=int, default=None, metavar="SEED",
+                       help="install the seeded chaos harness (executor "
+                            "crashes, journal write faults, tick/repair "
+                            "faults, and -- with --journal -- simulated "
+                            "process kills with restart-from-journal)")
     return parser
 
 
@@ -160,8 +165,14 @@ def _cmd_serve(args) -> int:
     from repro.core.selector import NodeStatus, Selector
     from repro.core.system import Anubis, EventKind, ValidationEvent
     from repro.core.validator import Validator
+    from repro.exceptions import ServiceError
     from repro.hardware.fleet import build_fleet
-    from repro.service import PoolConfig, ServiceConfig, ValidationService
+    from repro.service import (
+        PoolConfig,
+        ServiceConfig,
+        SimulatedKill,
+        ValidationService,
+    )
     from repro.simulation import analytic_coverage_table, suite_durations
     from repro.simulation.generator import generate_incident_trace
     from repro.survival import extract_status_samples
@@ -187,17 +198,16 @@ def _cmd_serve(args) -> int:
     selector = Selector(model, analytic_coverage_table(suite),
                         suite_durations(suite), p0=args.p0)
     anubis = Anubis(validator, selector)
-    service = ValidationService(
-        anubis, fleet.nodes, journal_dir=args.journal,
-        config=ServiceConfig(pool=PoolConfig(max_workers=args.workers)),
-    )
+    config = ServiceConfig(pool=PoolConfig(max_workers=args.workers))
+    service = ValidationService(anubis, fleet.nodes,
+                                journal_dir=args.journal, config=config)
 
     # Synthetic orchestration stream: mostly job allocations, plus
     # periodic checks, incident reports and node additions.
     rng = np.random.default_rng(args.seed + 2)
     n_samples = len(dataset)
     kinds = rng.choice(4, size=args.events, p=[0.70, 0.15, 0.10, 0.05])
-    print(f"submitting {args.events} events over {args.nodes} nodes...")
+    events = []
     for kind_index in kinds:
         if kind_index == 0:
             kind = EventKind.JOB_ALLOCATION
@@ -221,11 +231,67 @@ def _cmd_serve(args) -> int:
                            int(rng.integers(0, n_samples))])
             for node in members
         )
-        service.submit(ValidationEvent(kind=kind, nodes=tuple(members),
-                                       statuses=statuses,
-                                       duration_hours=duration))
+        events.append(ValidationEvent(kind=kind, nodes=tuple(members),
+                                      statuses=statuses,
+                                      duration_hours=duration))
 
-    results = service.drain()
+    from collections import Counter
+
+    chaos = None
+    restarts = 0
+    injections = Counter()
+
+    def install(target):
+        nonlocal chaos
+        if args.chaos_seed is None:
+            return
+        from repro.service.chaos import ChaosPlan, install_chaos
+
+        if chaos is not None:
+            injections.update(chaos.injections)
+
+        # The seed shifts per incarnation so a restarted service does
+        # not deterministically die at the same journal append again.
+        chaos = install_chaos(target, ChaosPlan(
+            seed=args.chaos_seed + restarts,
+            executor_crash_rate=0.02,
+            journal_error_rate=0.02,
+            tick_error_rate=0.02,
+            repair_failure_rate=0.05,
+            kill_rate=0.01 if args.journal else 0.0,
+        ))
+
+    install(service)
+    print(f"submitting {args.events} events over {args.nodes} nodes..."
+          + (" (chaos on)" if chaos else ""))
+    results = []
+    submitted = 0
+    dropped = 0
+    while True:
+        try:
+            while submitted < len(events):
+                try:
+                    service.submit(events[submitted])
+                except ServiceError:
+                    # Injected journal fault rejected the enqueue; the
+                    # entry was rolled back, so the event is simply lost
+                    # to this run (a real orchestrator would retry).
+                    dropped += 1
+                submitted += 1
+            results.extend(service.drain())
+            break
+        except SimulatedKill:
+            restarts += 1
+            if restarts > 50:
+                print("error: chaos kept killing the service", file=sys.stderr)
+                return 1
+            print(f"chaos: simulated process kill #{restarts}; "
+                  f"restarting from journal...")
+            service = ValidationService(anubis, fleet.nodes,
+                                        journal_dir=args.journal,
+                                        config=config)
+            install(service)
+
     quarantined = sorted({n for r in results for n in r.quarantined})
     print(f"\nprocessed {len(results)} events "
           f"({service.queue.coalesced_total} coalesced away)\n")
@@ -234,6 +300,12 @@ def _cmd_serve(args) -> int:
     print("\nlifecycle:", " ".join(f"{k}={v}" for k, v in counts.items()))
     if quarantined:
         print(f"quarantined this run: {', '.join(quarantined)}")
+    if chaos is not None:
+        injections.update(chaos.injections)
+        fired = " ".join(f"{k}={v}" for k, v in sorted(injections.items()))
+        print(f"chaos injections: {fired or 'none'} (restarts={restarts})")
+        if service.dead_letters():
+            print(f"dead-lettered events: {len(service.dead_letters())}")
     if args.journal:
         print(f"journal: {service.store.path}")
     return 0

@@ -55,3 +55,7 @@ class LifecycleError(ServiceError):
 
 class JournalError(ServiceError):
     """The service journal cannot be written or replayed."""
+
+
+class ChaosError(ServiceError):
+    """A fault injected by the chaos harness (:mod:`repro.service.chaos`)."""

@@ -5,20 +5,33 @@ cluster orchestrator; this subpackage supplies that missing layer
 around the in-process facade:
 
 ``repro.service.queue``
-    Risk-prioritized, coalescing event queue.
+    Risk-prioritized, coalescing event queue with a dead-letter side
+    for poison events.
 ``repro.service.pool``
-    Parallel benchmark executor with timeouts, retries and crash
-    isolation.
+    Parallel benchmark executor with timeouts, retries, crash
+    isolation and per-benchmark circuit breakers.
 ``repro.service.lifecycle``
     Enforced node state machine (HEALTHY -> SCHEDULED -> VALIDATING ->
-    QUARANTINED -> IN_REPAIR -> RETURNING).
+    QUARANTINED -> IN_REPAIR -> RETURNING) plus flap damping.
 ``repro.service.store``
-    Append-only JSONL journal with embedded criteria snapshots.
+    Append-only, CRC32-checksummed JSONL journal with embedded
+    criteria snapshots, optional fsync and atomic compaction.
 ``repro.service.controlplane``
     :class:`ValidationService` -- the tick/drain orchestrator with
-    per-event metrics and kill-and-restart recovery.
+    per-event metrics, failure containment and kill-and-restart
+    recovery.
+``repro.service.chaos``
+    Deterministic, seeded fault injection against all of the above.
 """
 
+from repro.service.chaos import (
+    ChaosJournalStore,
+    ChaosMonkey,
+    ChaosPlan,
+    ChaosRunner,
+    SimulatedKill,
+    install_chaos,
+)
 from repro.service.controlplane import (
     ServiceConfig,
     ServiceMetrics,
@@ -27,17 +40,21 @@ from repro.service.controlplane import (
 )
 from repro.service.lifecycle import (
     LEGAL_TRANSITIONS,
+    FlapDamper,
     NodeLifecycle,
     NodeState,
     Transition,
 )
 from repro.service.pool import (
     BenchmarkRun,
+    BreakerState,
+    BreakerTransition,
+    CircuitBreaker,
     PoolConfig,
     SweepResult,
     ValidationPool,
 )
-from repro.service.queue import EventQueue, QueuedEvent
+from repro.service.queue import DeadLetter, EventQueue, QueuedEvent
 from repro.service.store import (
     JournalRecord,
     JournalStore,
@@ -47,7 +64,16 @@ from repro.service.store import (
 
 __all__ = [
     "BenchmarkRun",
+    "BreakerState",
+    "BreakerTransition",
+    "ChaosJournalStore",
+    "ChaosMonkey",
+    "ChaosPlan",
+    "ChaosRunner",
+    "CircuitBreaker",
+    "DeadLetter",
     "EventQueue",
+    "FlapDamper",
     "JournalRecord",
     "JournalStore",
     "LEGAL_TRANSITIONS",
@@ -57,6 +83,7 @@ __all__ = [
     "QueuedEvent",
     "ServiceConfig",
     "ServiceMetrics",
+    "SimulatedKill",
     "SweepResult",
     "TickResult",
     "Transition",
@@ -64,4 +91,5 @@ __all__ = [
     "ValidationService",
     "event_from_payload",
     "event_to_payload",
+    "install_chaos",
 ]

@@ -1,0 +1,336 @@
+"""Deterministic fault injection for the validation control plane.
+
+The paper's central claim is that proactive validation catches the
+failures reactive monitoring misses (§3.4 counts crashes and hangs as
+defects in their own right).  That claim obligates the validator to
+survive the same failure modes itself -- so this module turns the
+control plane's own machinery against it, deterministically:
+
+* **executor faults** -- benchmark executions crash or hang
+  (:class:`ChaosRunner` wraps the Validator's runner);
+* **journal write faults** -- ``append`` raises
+  :class:`~repro.exceptions.JournalError`
+  (:class:`ChaosJournalStore` wraps the service's store);
+* **simulated process kills** -- ``append`` raises
+  :class:`SimulatedKill` *instead of writing*, modelling ``kill -9``
+  between any two journal records.  ``SimulatedKill`` subclasses
+  ``BaseException`` so no ``except Exception`` handler in the service
+  can accidentally "survive" its own death;
+* **poison events and tick faults** -- the service's ``tick_hook``
+  raises before processing;
+* **repair faults** -- the service's ``repair_hook`` raises before a
+  lifecycle advance.
+
+Everything is driven by a :class:`ChaosPlan`: a frozen, seeded
+description of *what* to inject at *which* rate.  Every probabilistic
+draw uses a keyed RNG -- ``SeedSequence((seed, crc32(part), ...))``
+over the identity of the decision point (node, benchmark, call index,
+append counter, ...) -- the same idiom
+:class:`~repro.benchsuite.runner.SuiteRunner` uses for measurement
+noise.  Two runs with the same plan therefore inject the *same*
+faults at the *same* points regardless of thread scheduling, so a
+chaos soak is replayable and its assertions can be exact.
+
+Usage::
+
+    plan = ChaosPlan(seed=7, executor_crash_rate=0.05,
+                     journal_error_rate=0.02)
+    monkey = install_chaos(service, plan)
+    try:
+        ...drive the service...
+    finally:
+        monkey.uninstall()
+
+``monkey.injections`` counts what actually fired, keyed by fault
+kind, so tests can assert the storm really happened.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.system import ValidationEvent
+from repro.exceptions import ChaosError, JournalError, ServiceError
+
+__all__ = ["SimulatedKill", "ChaosPlan", "ChaosRunner", "ChaosJournalStore",
+           "ChaosMonkey", "install_chaos", "poison_key"]
+
+
+class SimulatedKill(BaseException):
+    """A simulated ``kill -9`` of the service process.
+
+    Deliberately a ``BaseException`` (like ``SystemExit``), *not* a
+    :class:`~repro.exceptions.ReproError`: the control plane's
+    failure-containment handlers catch ``Exception``, and a process
+    kill is precisely the failure no handler gets to contain.  Tests
+    catch it at the top level and model the "restart" by building a
+    fresh service over the same journal directory.
+    """
+
+
+def poison_key(event: ValidationEvent) -> tuple:
+    """The identity under which chaos recognises an event.
+
+    Matches the queue's coalescing key -- (kind value, sorted node
+    ids) -- rather than the event id, because a submit rolled back by
+    an injected journal fault and then retried is assigned a *new* id;
+    the logical event is the same.
+    """
+    return (event.kind.value,
+            tuple(sorted(node.node_id for node in event.nodes)))
+
+
+def _entropy(parts) -> list[int]:
+    return [part if isinstance(part, int) else zlib.crc32(str(part).encode())
+            for part in parts]
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """What to inject, at which rate, under which seed.
+
+    All rates are probabilities in [0, 1] drawn from a keyed RNG, so
+    the same plan injects identically across runs.  Deterministic
+    (non-probabilistic) faults:
+
+    * ``kill_after_appends=N`` kills the process on the (N+1)-th
+      journal append of this incarnation -- drive N over every value
+      up to the uninterrupted run's append count and you have tested a
+      crash between *every* pair of journal records;
+    * ``poison_event_keys`` always fail in the tick hook (until the
+      service dead-letters them);
+    * ``broken_benchmarks`` crash their first
+      ``broken_benchmark_crashes`` executions, then heal -- the exact
+      shape circuit breakers exist for (harness regression, then a
+      fixed image).
+    """
+
+    seed: int
+    executor_crash_rate: float = 0.0
+    executor_hang_rate: float = 0.0
+    hang_seconds: float = 1.0
+    journal_error_rate: float = 0.0
+    kill_rate: float = 0.0
+    kill_after_appends: int | None = None
+    repair_failure_rate: float = 0.0
+    tick_error_rate: float = 0.0
+    poison_event_keys: frozenset = frozenset()
+    broken_benchmarks: frozenset = frozenset()
+    broken_benchmark_crashes: int = 0
+    fault_nodes: frozenset | None = None
+
+    def __post_init__(self):
+        for name in ("executor_crash_rate", "executor_hang_rate",
+                     "journal_error_rate", "kill_rate",
+                     "repair_failure_rate", "tick_error_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ServiceError(f"{name} must be in [0, 1], got {rate}")
+        if self.hang_seconds < 0:
+            raise ServiceError("hang_seconds must be non-negative")
+        if self.kill_after_appends is not None and self.kill_after_appends < 0:
+            raise ServiceError("kill_after_appends must be non-negative")
+        if self.broken_benchmark_crashes < 0:
+            raise ServiceError("broken_benchmark_crashes must be non-negative")
+
+    def chance(self, rate: float, *key) -> bool:
+        """One keyed Bernoulli draw: does the fault at ``key`` fire?
+
+        ``key`` identifies the decision point (fault kind plus node /
+        benchmark / counter parts); equal keys always draw the same
+        answer for the same plan.
+        """
+        if rate <= 0.0:
+            return False
+        rng = np.random.default_rng(
+            np.random.SeedSequence((self.seed, *_entropy(key))))
+        return bool(rng.random() < rate)
+
+
+class ChaosRunner:
+    """Delegating runner wrapper that injects executor faults.
+
+    Crash and hang draws are keyed by (node, benchmark, per-cell call
+    index), so retries of the same cell re-draw independently but
+    deterministically, and thread scheduling cannot change which calls
+    fault.  ``broken_benchmarks`` crash unconditionally for their
+    first ``broken_benchmark_crashes`` executions (counted
+    per-benchmark across the wrapper's lifetime), then heal.
+
+    Everything except :meth:`run` passes through to the wrapped
+    runner, so the Validator's policy helpers keep working.
+    """
+
+    def __init__(self, runner, plan: ChaosPlan, monkey: "ChaosMonkey"):
+        self._runner = runner
+        self.plan = plan
+        self._monkey = monkey
+        self._lock = threading.Lock()
+        self._cell_calls: Counter = Counter()
+        self._broken_crashes: Counter = Counter()
+
+    def run(self, spec, node):
+        plan = self.plan
+        with self._lock:
+            if (spec.name in plan.broken_benchmarks
+                    and self._broken_crashes[spec.name]
+                    < plan.broken_benchmark_crashes):
+                self._broken_crashes[spec.name] += 1
+                self._monkey.count("broken_benchmark_crash")
+                raise ChaosError(
+                    f"injected harness regression in benchmark {spec.name!r}")
+            call = self._cell_calls[(node.node_id, spec.name)]
+            self._cell_calls[(node.node_id, spec.name)] += 1
+        if plan.fault_nodes is None or node.node_id in plan.fault_nodes:
+            if plan.chance(plan.executor_crash_rate, "executor-crash",
+                           node.node_id, spec.name, call):
+                self._monkey.count("executor_crash")
+                raise ChaosError(
+                    f"injected executor crash: {spec.name} on {node.node_id}")
+            if plan.chance(plan.executor_hang_rate, "executor-hang",
+                           node.node_id, spec.name, call):
+                self._monkey.count("executor_hang")
+                # A hang is a sleep well past the pool's benchmark
+                # timeout; the pool abandons the cell (Python threads
+                # cannot be killed) and this thread finishes late into
+                # a discarded future.  It must fail rather than run:
+                # a late execution through the wrapped runner would
+                # race later sweeps of the same cell for its repeat
+                # counter and perturb the keyed measurement stream.
+                time.sleep(plan.hang_seconds)
+                raise ChaosError(
+                    f"injected executor hang: {spec.name} on {node.node_id}")
+        return self._runner.run(spec, node)
+
+    def __getattr__(self, name):
+        return getattr(self._runner, name)
+
+
+class ChaosJournalStore:
+    """Delegating journal wrapper injecting write faults and kills.
+
+    Both are decided *before* the underlying write, per this
+    incarnation's append counter: a :class:`SimulatedKill` models the
+    process dying between two durable records, an injected
+    :class:`~repro.exceptions.JournalError` models a full disk or I/O
+    error the process survives.  Replay, rewrite and every attribute
+    besides :meth:`append` pass through untouched.
+    """
+
+    def __init__(self, store, plan: ChaosPlan, monkey: "ChaosMonkey"):
+        self._store = store
+        self.plan = plan
+        self._monkey = monkey
+        self.appends = 0
+
+    def append(self, kind: str, payload: dict, *, fsync=None) -> int:
+        self.appends += 1
+        count = self.appends
+        plan = self.plan
+        if (plan.kill_after_appends is not None
+                and count > plan.kill_after_appends):
+            self._monkey.count("kill")
+            raise SimulatedKill(
+                f"simulated process kill before journal append #{count}")
+        if plan.chance(plan.kill_rate, "kill", count):
+            self._monkey.count("kill")
+            raise SimulatedKill(
+                f"simulated process kill before journal append #{count}")
+        if plan.chance(plan.journal_error_rate, "journal-error", count, kind):
+            self._monkey.count("journal_error")
+            raise JournalError(
+                f"injected journal write fault (append #{count}, "
+                f"kind {kind!r})")
+        return self._store.append(kind, payload, fsync=fsync)
+
+    def __getattr__(self, name):
+        return getattr(self._store, name)
+
+
+class ChaosMonkey:
+    """One installed chaos plan: the hooks, wrappers and tally.
+
+    ``injections`` counts every fault that actually fired, keyed by
+    kind (``executor_crash``, ``executor_hang``, ``journal_error``,
+    ``kill``, ``poison_tick``, ``tick_error``, ``repair_failure``,
+    ``broken_benchmark_crash``) -- the evidence a soak test needs that
+    its storm was real.
+    """
+
+    def __init__(self, service, plan: ChaosPlan):
+        self.service = service
+        self.plan = plan
+        self.injections: Counter = Counter()
+        self._lock = threading.Lock()
+        self._repair_calls: Counter = Counter()
+        self._original_runner = None
+        self._original_store = None
+        self._installed = False
+
+    def count(self, kind: str) -> None:
+        with self._lock:
+            self.injections[kind] += 1
+
+    # -- hooks wired into the service ----------------------------------
+    def tick_hook(self, entry) -> None:
+        key = poison_key(entry.event)
+        if key in self.plan.poison_event_keys:
+            self.count("poison_tick")
+            raise ChaosError(
+                f"injected poison event {key[0]} on nodes {list(key[1])}")
+        if self.plan.chance(self.plan.tick_error_rate, "tick-error",
+                            key[0], *key[1], entry.attempts):
+            self.count("tick_error")
+            raise ChaosError(
+                f"injected tick fault for event {entry.event_id} "
+                f"(attempt {entry.attempts + 1})")
+
+    def repair_hook(self, node_id: str, target) -> None:
+        with self._lock:
+            attempt = self._repair_calls[(node_id, target.value)]
+            self._repair_calls[(node_id, target.value)] += 1
+        if self.plan.chance(self.plan.repair_failure_rate, "repair",
+                            node_id, target.value, attempt):
+            self.count("repair_failure")
+            raise ChaosError(
+                f"injected repair failure: {node_id} -> {target.value}")
+
+    # -- install / uninstall -------------------------------------------
+    def install(self) -> "ChaosMonkey":
+        if self._installed:
+            return self
+        validator = self.service.anubis.validator
+        self._original_runner = validator.runner
+        validator.runner = ChaosRunner(validator.runner, self.plan, self)
+        if self.service.store is not None:
+            self._original_store = self.service.store
+            self.service.store = ChaosJournalStore(
+                self.service.store, self.plan, self)
+        self.service.tick_hook = self.tick_hook
+        self.service.repair_hook = self.repair_hook
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the service's collaborators (idempotent)."""
+        if not self._installed:
+            return
+        self.service.anubis.validator.runner = self._original_runner
+        if self._original_store is not None:
+            self.service.store = self._original_store
+        self.service.tick_hook = None
+        self.service.repair_hook = None
+        self._installed = False
+
+
+def install_chaos(service, plan: ChaosPlan) -> ChaosMonkey:
+    """Wrap ``service``'s collaborators per ``plan``; returns the
+    installed :class:`ChaosMonkey` (call :meth:`ChaosMonkey.uninstall`
+    to restore)."""
+    return ChaosMonkey(service, plan).install()

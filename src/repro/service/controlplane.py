@@ -19,6 +19,34 @@ The service separates three clocks deliberately:
 * *repair pipeline* -- quarantined nodes advance one lifecycle stage
   per tick (QUARANTINED -> IN_REPAIR -> RETURNING -> HEALTHY),
   mirroring the hot-buffer swap flow without wall-clock coupling.
+
+The paper's premise cuts both ways: a validator policing a
+gray-failing fleet must itself survive the failure modes it detects
+(§3.4 counts crashes and hangs as defects).  The control plane is
+therefore hardened against its *own* machinery failing:
+
+* a tick that raises (journal write fault, poison event, injected
+  chaos) releases the event's nodes, re-queues the event, and after
+  ``max_event_attempts`` failed ticks parks it in the dead-letter
+  queue instead of retrying forever;
+* repair-stage failures are absorbed and retried next tick;
+* nodes that flap through quarantine are held down exponentially
+  (:class:`~repro.service.lifecycle.FlapDamper`);
+* recovery resets nodes stranded in VALIDATING/SCHEDULED by a
+  mid-tick crash, and replays transitions *forced* so a journal
+  record lost to a write fault cannot wedge a restart;
+* ``compact_every`` bounds journal growth by periodically rewriting
+  it as a state snapshot plus the still-pending events.
+
+Event processing is **at-least-once**: a crash after validation ran
+but before its completion record landed re-runs the event on
+recovery.  Re-validation is safe -- it touches no cluster state
+beyond coverage counters and may re-quarantine an already-defective
+node, which the lifecycle absorbs.
+
+Fault injection for all of this lives in
+:mod:`repro.service.chaos`; the ``tick_hook`` / ``repair_hook``
+attributes are its (and any test's) seams into the loop.
 """
 
 from __future__ import annotations
@@ -35,10 +63,10 @@ from repro.core.system import (
     ValidationOutcome,
 )
 from repro.core.validator import ValidationReport, Violation
-from repro.exceptions import ServiceError
-from repro.service.lifecycle import NodeLifecycle, NodeState
+from repro.exceptions import JournalError, ServiceError
+from repro.service.lifecycle import FlapDamper, NodeLifecycle, NodeState
 from repro.service.pool import PoolConfig, ValidationPool
-from repro.service.queue import EventQueue, QueuedEvent
+from repro.service.queue import DeadLetter, EventQueue, QueuedEvent
 from repro.service.store import (
     JournalStore,
     event_from_payload,
@@ -55,6 +83,14 @@ _REPAIR_PIPELINE = (
     (NodeState.QUARANTINED, NodeState.IN_REPAIR, "repair-started"),
 )
 
+#: Integer metric counters carried through snapshot compaction.
+_SNAPSHOT_METRIC_FIELDS = (
+    "events_submitted", "events_coalesced", "events_processed",
+    "policy_skips", "validations_run", "nodes_validated",
+    "nodes_quarantined", "tick_failures", "events_dead_lettered",
+    "repair_failures",
+)
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -63,7 +99,7 @@ class ServiceConfig:
     Attributes
     ----------
     pool:
-        Parallel-executor configuration.
+        Parallel-executor configuration (including circuit breakers).
     snapshot_every:
         Journal a fresh criteria snapshot every N completed events
         (cheap insurance against criteria refreshed out-of-band).
@@ -71,15 +107,52 @@ class ServiceConfig:
         Queue priority for kinds that bypass the Selector
         (incident-reported, node-added, software-upgraded); above the
         [0, 1] probability range so they always jump the queue.
+    max_event_attempts:
+        Failed processing attempts before an event is parked in the
+        dead-letter queue instead of retried (1 = no retries).
+    journal_fsync:
+        Force every journal append to stable storage (durability over
+        throughput); the default flushes to the OS only.
+    compact_every:
+        Rewrite the journal as a snapshot every N completed events so
+        recovery cost and disk use stay bounded; ``None`` disables
+        compaction.
+    flap_base_holddown_ticks / flap_multiplier / flap_max_holddown_ticks:
+        Exponential hold-down for nodes flapping through quarantine:
+        the K-th quarantine holds the node for
+        ``base * multiplier**(K-1)`` ticks, capped.
+    flap_forgive_after_ticks:
+        Quarantine-free ticks after which a node's flap count is
+        forgiven; ``None`` never forgives.
     """
 
     pool: PoolConfig = field(default_factory=PoolConfig)
     snapshot_every: int = 25
     full_validation_priority: float = 2.0
+    max_event_attempts: int = 3
+    journal_fsync: bool = False
+    compact_every: int | None = None
+    flap_base_holddown_ticks: int = 1
+    flap_multiplier: float = 2.0
+    flap_max_holddown_ticks: int = 32
+    flap_forgive_after_ticks: int | None = None
 
     def __post_init__(self):
         if self.snapshot_every < 1:
             raise ServiceError("snapshot_every must be at least 1")
+        if self.max_event_attempts < 1:
+            raise ServiceError("max_event_attempts must be at least 1")
+        if self.compact_every is not None and self.compact_every < 1:
+            raise ServiceError("compact_every must be at least 1")
+
+    def build_damper(self) -> FlapDamper:
+        """The flap damper these knobs describe (validates them too)."""
+        return FlapDamper(
+            base_holddown_ticks=self.flap_base_holddown_ticks,
+            multiplier=self.flap_multiplier,
+            max_holddown_ticks=self.flap_max_holddown_ticks,
+            forgive_after_ticks=self.flap_forgive_after_ticks,
+        )
 
 
 @dataclass
@@ -93,6 +166,10 @@ class ServiceMetrics:
     validations_run: int = 0
     nodes_validated: int = 0
     nodes_quarantined: int = 0
+    tick_failures: int = 0
+    events_dead_lettered: int = 0
+    repair_failures: int = 0
+    journal_compactions: int = 0
     queue_latencies: list[float] = field(default_factory=list)
     validation_seconds: list[float] = field(default_factory=list)
 
@@ -112,6 +189,10 @@ class ServiceMetrics:
             "validations_run": self.validations_run,
             "nodes_validated": self.nodes_validated,
             "nodes_quarantined": self.nodes_quarantined,
+            "tick_failures": self.tick_failures,
+            "events_dead_lettered": self.events_dead_lettered,
+            "repair_failures": self.repair_failures,
+            "journal_compactions": self.journal_compactions,
             "defect_rate": self.defect_rate,
             "queue_latency_mean_s": (sum(latencies) / len(latencies)
                                      if latencies else 0.0),
@@ -133,14 +214,21 @@ class ServiceMetrics:
 
 @dataclass
 class TickResult:
-    """What one tick did."""
+    """What one tick did.
+
+    ``failed`` ticks carry no outcome: the event's processing raised,
+    its nodes were released, and the event was re-queued (or
+    dead-lettered once out of attempts).
+    """
 
     event_id: int
-    outcome: ValidationOutcome
+    outcome: ValidationOutcome | None
     queue_latency_seconds: float
     validation_seconds: float
     quarantined: list[str] = field(default_factory=list)
     skipped_nodes: list[str] = field(default_factory=list)
+    failed: bool = False
+    error: str | None = None
 
 
 class ValidationService:
@@ -163,6 +251,17 @@ class ValidationService:
         Control-plane knobs; see :class:`ServiceConfig`.
     clock:
         Monotonic-seconds source (injectable for tests).
+
+    Attributes
+    ----------
+    tick_hook:
+        Optional callable ``(entry) -> None`` invoked after an event
+        is popped, before processing; raising fails the tick.  Fault
+        injection seam (see :mod:`repro.service.chaos`).
+    repair_hook:
+        Optional callable ``(node_id, target_state) -> None`` invoked
+        before each repair-pipeline advance; raising skips the
+        advance for this tick (retried next tick).
     """
 
     def __init__(self, anubis: Anubis, nodes, *, journal_dir=None,
@@ -173,12 +272,17 @@ class ValidationService:
         self.clock = clock
         self.queue = EventQueue()
         self.lifecycle = NodeLifecycle()
+        self.damper = self.config.build_damper()
         self.pool = ValidationPool(self.config.pool)
         self.metrics = ServiceMetrics()
+        self.tick_hook = None
+        self.repair_hook = None
         self._completed_since_snapshot = 0
+        self._completed_since_compaction = 0
         self._have_snapshot = False
         self._recovering = False
-        self.store = (JournalStore(journal_dir)
+        self.store = (JournalStore(journal_dir,
+                                   fsync=self.config.journal_fsync)
                       if journal_dir is not None else None)
         if self.store is not None:
             self._recover()
@@ -192,6 +296,11 @@ class ValidationService:
 
         Repeat events for the same (kind, node set) coalesce into the
         already-pending entry.  Healthy nodes move to SCHEDULED.
+
+        If the enqueue record cannot be journaled, the entry is rolled
+        back out of the queue and the error re-raised: an event must
+        never be accepted in memory only, or a restart would silently
+        drop it.
         """
         for node in event.nodes:
             if node.node_id not in self.fleet_index:
@@ -201,18 +310,23 @@ class ValidationService:
         priority = self._priority(event)
         entry, created = self.queue.push(event, priority,
                                          enqueued_at=self.clock())
-        self.metrics.events_submitted += 1
         if created:
-            self._journal("event-enqueued", {
-                "event_id": entry.event_id,
-                "priority": entry.priority,
-                "event": event_to_payload(event),
-            })
+            try:
+                self._journal("event-enqueued", {
+                    "event_id": entry.event_id,
+                    "priority": entry.priority,
+                    "event": event_to_payload(event),
+                })
+            except JournalError:
+                self.queue.remove(entry)
+                raise
+            self.metrics.events_submitted += 1
             for node in event.nodes:
                 if self.lifecycle.state(node.node_id) is NodeState.HEALTHY:
                     self._transition(node.node_id, NodeState.SCHEDULED,
                                      reason=f"event-{entry.event_id}")
         else:
+            self.metrics.events_submitted += 1
             self.metrics.events_coalesced += 1
             self._journal("event-coalesced", {
                 "event_id": entry.event_id,
@@ -260,12 +374,26 @@ class ValidationService:
         """Advance repairs one stage, then process the riskiest event.
 
         Returns ``None`` when the queue was empty (repairs still
-        advanced).
+        advanced).  A processing failure does not propagate: the
+        event's nodes are released, the event is re-queued (or
+        dead-lettered after ``max_event_attempts``), and a ``failed``
+        result is returned.  Only a simulated process kill
+        (:class:`~repro.service.chaos.SimulatedKill`, a
+        ``BaseException``) escapes, exactly like a real ``kill -9``
+        would.
         """
         self._advance_repairs()
         entry = self.queue.pop()
         if entry is None:
             return None
+        try:
+            if self.tick_hook is not None:
+                self.tick_hook(entry)
+            return self._process(entry)
+        except Exception as error:
+            return self._fail_tick(entry, error)
+
+    def _process(self, entry: QueuedEvent) -> TickResult:
         queue_latency = max(self.clock() - entry.enqueued_at, 0.0)
         event = entry.event
 
@@ -286,6 +414,7 @@ class ValidationService:
         plan = self.anubis.plan(event)
         validation_seconds = 0.0
         quarantined: list[str] = []
+        short_circuited: list[str] = []
         if not plan.validates or not eligible:
             for node in eligible:
                 if self.lifecycle.state(node.node_id) is NodeState.SCHEDULED:
@@ -302,9 +431,12 @@ class ValidationService:
                 self._transition(node.node_id, NodeState.VALIDATING,
                                  reason=f"event-{entry.event_id}")
             started = self.clock()
-            report, _sweeps = self.pool.validate(
+            report, sweeps = self.pool.validate(
                 self.anubis.validator, eligible, plan.benchmarks)
             validation_seconds = max(self.clock() - started, 0.0)
+            short_circuited = sorted({
+                run.benchmark for sweep in sweeps
+                for run in sweep.short_circuited_runs})
             self.anubis.selector.record_validation(report)
             outcome = ValidationOutcome(
                 event=event, selection=plan.selection, report=report,
@@ -315,6 +447,7 @@ class ValidationService:
                 if node.node_id in defective:
                     self._transition(node.node_id, NodeState.QUARANTINED,
                                      reason=f"event-{entry.event_id}")
+                    self.damper.record_quarantine(node.node_id)
                     quarantined.append(node.node_id)
                 else:
                     self._transition(node.node_id, NodeState.HEALTHY,
@@ -339,11 +472,17 @@ class ValidationService:
                             for v in outcome.report.violations]
                            if outcome.report else []),
             "defective": list(outcome.defective_node_ids),
+            "short_circuited": short_circuited,
             "queue_latency_seconds": queue_latency,
             "validation_seconds": validation_seconds,
         })
         self._completed_since_snapshot += 1
-        if self._completed_since_snapshot >= self.config.snapshot_every:
+        self._completed_since_compaction += 1
+        if (self.config.compact_every is not None
+                and self._completed_since_compaction
+                >= self.config.compact_every):
+            self.compact_journal()
+        elif self._completed_since_snapshot >= self.config.snapshot_every:
             self._maybe_snapshot(force=True)
         return TickResult(
             event_id=entry.event_id,
@@ -354,8 +493,57 @@ class ValidationService:
             skipped_nodes=skipped_nodes,
         )
 
+    def _fail_tick(self, entry: QueuedEvent, error: Exception) -> TickResult:
+        """Contain one failed processing attempt.
+
+        Releases the event's nodes (SCHEDULED/VALIDATING back to
+        HEALTHY -- QUARANTINED nodes flagged before the failure keep
+        their verdict), then re-queues the event or, once its attempts
+        are exhausted, parks it in the dead-letter queue.  Journaling
+        here is best-effort: the failure being handled may *be* a
+        journal fault, and a lost record is healed by forced replay
+        plus the recovery reset.
+        """
+        self.metrics.tick_failures += 1
+        reason = f"{type(error).__name__}: {error}"
+        for node in entry.event.nodes:
+            if self.lifecycle.state(node.node_id) in (NodeState.SCHEDULED,
+                                                      NodeState.VALIDATING):
+                self._transition_best_effort(node.node_id, NodeState.HEALTHY,
+                                             reason="tick-failed")
+        entry.attempts += 1
+        if entry.attempts >= self.config.max_event_attempts:
+            self.queue.dead_letter(entry, reason)
+            self.metrics.events_dead_lettered += 1
+            self._journal_best_effort("event-dead-lettered", {
+                "event_id": entry.event_id,
+                "attempts": entry.attempts,
+                "priority": entry.priority,
+                "reason": reason,
+                "event": event_to_payload(entry.event),
+            })
+        else:
+            self.queue.requeue(entry)
+            self._journal_best_effort("event-failed", {
+                "event_id": entry.event_id,
+                "attempts": entry.attempts,
+                "error": reason,
+            })
+        return TickResult(
+            event_id=entry.event_id,
+            outcome=None,
+            queue_latency_seconds=max(self.clock() - entry.enqueued_at, 0.0),
+            validation_seconds=0.0,
+            failed=True,
+            error=reason,
+        )
+
     def drain(self, *, max_ticks: int = 100_000) -> list[TickResult]:
-        """Tick until the queue is empty and every repair completed."""
+        """Tick until the queue is empty and every repair completed.
+
+        Dead-lettered events do not block draining -- that is the
+        point of the dead-letter queue.
+        """
         results: list[TickResult] = []
         for _ in range(max_ticks):
             result = self.tick()
@@ -366,6 +554,10 @@ class ValidationService:
                 return results
         raise ServiceError(f"drain did not converge in {max_ticks} ticks")
 
+    def dead_letters(self) -> list[DeadLetter]:
+        """Parked poison events (inspection API)."""
+        return self.queue.dead_letters()
+
     def _repairs_in_flight(self) -> bool:
         return any(
             self.lifecycle.nodes_in(state)
@@ -374,9 +566,22 @@ class ValidationService:
         )
 
     def _advance_repairs(self) -> None:
+        self.damper.tick()
         for current, target, reason in _REPAIR_PIPELINE:
             for node_id in self.lifecycle.nodes_in(current):
-                self._transition(node_id, target, reason=reason)
+                if (current is NodeState.QUARANTINED
+                        and not self.damper.ready(node_id)):
+                    continue  # flap hold-down: stay quarantined
+                if self.repair_hook is not None:
+                    try:
+                        self.repair_hook(node_id, target)
+                    except Exception:
+                        # Repair-stage failure: the node stays at its
+                        # current stage and the advance retries next
+                        # tick.
+                        self.metrics.repair_failures += 1
+                        continue
+                self._transition_best_effort(node_id, target, reason=reason)
 
     # ------------------------------------------------------------------
     # Criteria management
@@ -401,9 +606,66 @@ class ValidationService:
     # ------------------------------------------------------------------
     # Durability
     # ------------------------------------------------------------------
+    def compact_journal(self) -> int:
+        """Rewrite the journal as a snapshot of live state.
+
+        The replacement journal holds the latest criteria snapshot, a
+        ``state-snapshot`` record (lifecycle states, flap counts,
+        aggregate metrics, dead letters, id high-water mark) and one
+        ``event-enqueued`` record per still-pending event -- so its
+        size tracks live state, not uptime.  Returns the number of
+        records written (0 without a store).
+        """
+        if self.store is None or self._recovering:
+            return 0
+        records: list[tuple[str, dict]] = []
+        if self.anubis.validator.criteria:
+            records.append(("criteria-snapshot",
+                            criteria_payload(self.anubis.validator)))
+        records.append(("state-snapshot", self._state_snapshot()))
+        for entry in self.queue.pending():
+            records.append(("event-enqueued", {
+                "event_id": entry.event_id,
+                "priority": entry.priority,
+                "attempts": entry.attempts,
+                "event": event_to_payload(entry.event),
+            }))
+        count = self.store.rewrite(records)
+        self.metrics.journal_compactions += 1
+        self._have_snapshot = bool(self.anubis.validator.criteria)
+        self._completed_since_snapshot = 0
+        self._completed_since_compaction = 0
+        return count
+
+    def _state_snapshot(self) -> dict:
+        return {
+            "states": {node_id: state.value
+                       for node_id, state in self.lifecycle.states().items()},
+            "flap_counts": self.damper.flap_counts(),
+            "last_event_id": self.queue.last_event_id,
+            "dead_letters": [{
+                "event_id": letter.entry.event_id,
+                "priority": letter.entry.priority,
+                "attempts": letter.entry.attempts,
+                "reason": letter.reason,
+                "event": event_to_payload(letter.entry.event),
+            } for letter in self.queue.dead_letters()],
+            "metrics": {name: getattr(self.metrics, name)
+                        for name in _SNAPSHOT_METRIC_FIELDS},
+        }
+
     def _journal(self, kind: str, payload: dict) -> None:
         if self.store is not None and not self._recovering:
             self.store.append(kind, payload)
+
+    def _journal_best_effort(self, kind: str, payload: dict) -> bool:
+        """Journal if possible; a write fault must not mask the
+        failure currently being handled."""
+        try:
+            self._journal(kind, payload)
+            return True
+        except JournalError:
+            return False
 
     def _transition(self, node_id: str, new: NodeState, *,
                     reason: str = "") -> None:
@@ -415,11 +677,23 @@ class ValidationService:
             "reason": reason,
         })
 
+    def _transition_best_effort(self, node_id: str, new: NodeState, *,
+                                reason: str = "") -> None:
+        """Apply a transition whose journal record may be sacrificed.
+
+        Used on failure-handling paths: the in-memory state must
+        advance even when the journal is refusing writes.  A lost
+        record leaves a gap that recovery heals with a forced replay
+        plus the stranded-node reset.
+        """
+        try:
+            self._transition(node_id, new, reason=reason)
+        except JournalError:
+            pass
+
     def _recover(self) -> None:
         """Rebuild queue, lifecycle, criteria and coverage from disk."""
         records = self.store.replay()
-        if not records:
-            return
         self._recovering = True
         pending: dict[int, dict] = {}
         max_event_id = 0
@@ -430,16 +704,27 @@ class ValidationService:
                     apply_criteria_payload(self.anubis.validator, payload,
                                            source=str(self.store.path))
                     self._have_snapshot = True
+                elif record.kind == "state-snapshot":
+                    max_event_id = max(
+                        max_event_id, self._apply_state_snapshot(payload))
                 elif record.kind == "transition":
+                    # Forced: a journal write fault may have eaten an
+                    # intermediate record, and refusing to restart
+                    # over the gap would turn one lost line into a
+                    # permanently wedged service.
+                    new = NodeState(payload["new"])
                     self.lifecycle.transition(
-                        payload["node_id"], NodeState(payload["new"]),
-                        reason=payload.get("reason", ""))
+                        payload["node_id"], new,
+                        reason=payload.get("reason", ""), force=True)
+                    if new is NodeState.QUARANTINED:
+                        self.damper.record_quarantine(payload["node_id"])
                 elif record.kind == "event-enqueued":
                     event_id = int(payload["event_id"])
                     max_event_id = max(max_event_id, event_id)
                     pending[event_id] = {
                         "event": payload["event"],
                         "priority": float(payload["priority"]),
+                        "attempts": int(payload.get("attempts", 0)),
                     }
                 elif record.kind == "event-coalesced":
                     event_id = int(payload["event_id"])
@@ -450,6 +735,24 @@ class ValidationService:
                         pending[event_id]["event"]["duration_hours"] = max(
                             float(pending[event_id]["event"]["duration_hours"]),
                             float(payload.get("duration_hours", 0.0)))
+                elif record.kind == "event-failed":
+                    event_id = int(payload["event_id"])
+                    if event_id in pending:
+                        pending[event_id]["attempts"] = max(
+                            pending[event_id]["attempts"],
+                            int(payload.get("attempts", 0)))
+                elif record.kind == "event-dead-lettered":
+                    event_id = int(payload["event_id"])
+                    max_event_id = max(max_event_id, event_id)
+                    pending.pop(event_id, None)
+                    event = event_from_payload(payload["event"],
+                                               self.fleet_index)
+                    entry = QueuedEvent(
+                        event_id=event_id, event=event,
+                        priority=float(payload.get("priority", 0.0)),
+                        attempts=int(payload.get("attempts", 0)))
+                    self.queue.dead_letter(entry, payload.get("reason", ""))
+                    self.metrics.events_dead_lettered += 1
                 elif record.kind == "event-completed":
                     event_id = int(payload["event_id"])
                     max_event_id = max(max_event_id, event_id)
@@ -458,11 +761,60 @@ class ValidationService:
             for event_id in sorted(pending):
                 info = pending[event_id]
                 event = event_from_payload(info["event"], self.fleet_index)
-                self.queue.push(event, info["priority"], event_id=event_id,
-                                enqueued_at=self.clock())
+                entry, _created = self.queue.push(
+                    event, info["priority"], event_id=event_id,
+                    enqueued_at=self.clock())
+                entry.attempts = info["attempts"]
             self.queue.reserve_ids(max_event_id)
         finally:
             self._recovering = False
+        self._reset_interrupted_nodes()
+
+    def _apply_state_snapshot(self, payload: dict) -> int:
+        """Install one compacted ``state-snapshot`` record; returns
+        the snapshot's event-id high-water mark."""
+        self.lifecycle.restore({
+            node_id: NodeState(value)
+            for node_id, value in payload.get("states", {}).items()})
+        self.damper.restore(payload.get("flap_counts", {}))
+        for name, value in payload.get("metrics", {}).items():
+            if name in _SNAPSHOT_METRIC_FIELDS:
+                setattr(self.metrics, name, int(value))
+        for letter in payload.get("dead_letters", []):
+            event = event_from_payload(letter["event"], self.fleet_index)
+            entry = QueuedEvent(
+                event_id=int(letter["event_id"]), event=event,
+                priority=float(letter.get("priority", 0.0)),
+                attempts=int(letter.get("attempts", 0)))
+            self.queue.dead_letter(entry, letter.get("reason", ""))
+        return int(payload.get("last_event_id", 0))
+
+    def _reset_interrupted_nodes(self) -> None:
+        """Heal nodes stranded by a mid-tick crash.
+
+        A node left VALIDATING has no durably-recorded verdict -- the
+        process died mid-validation -- so it returns to the healthy
+        pool and will be re-validated when its (still pending) event
+        is re-ticked.  A node left SCHEDULED with no pending event
+        covering it would otherwise sit in SCHEDULED forever.
+        """
+        covered = {node.node_id
+                   for entry in self.queue.pending()
+                   for node in entry.event.nodes}
+        for node_id in list(self.lifecycle.nodes_in(NodeState.VALIDATING)):
+            self._transition_best_effort(node_id, NodeState.HEALTHY,
+                                         reason="crash-recovery")
+        for node_id in list(self.lifecycle.nodes_in(NodeState.SCHEDULED)):
+            if node_id not in covered:
+                self._transition_best_effort(node_id, NodeState.HEALTHY,
+                                             reason="crash-recovery")
+        for node_id, state in self.lifecycle.states().items():
+            if state is NodeState.QUARANTINED:
+                # Conservative: serve the full hold-down again rather
+                # than guess how much elapsed before the crash.
+                self.damper.arm(node_id)
+            else:
+                self.damper.release(node_id)
 
     def _replay_completed(self, payload: dict) -> None:
         """Re-apply one completed event's side effects (coverage,

@@ -10,17 +10,32 @@ reproduction kept these states implicit -- scattered across
 transitions in :data:`LEGAL_TRANSITIONS` are allowed, every transition
 is sequence-numbered for journaling, and a service restart can replay
 the journal to recover the exact fleet state.
+
+Two escape hatches exist for crash recovery only: ``force=True``
+applies a transition whose *old* state no longer matches the legal
+graph (a journal record was lost to a write fault between an applied
+in-memory transition and its append), and :meth:`restore` installs a
+full state snapshot from a compacted journal.  Neither is for live
+operation.
+
+:class:`FlapDamper` adds flap damping on top of the state machine: a
+node that keeps oscillating QUARANTINED -> ... -> HEALTHY ->
+QUARANTINED is held in quarantine with an exponentially growing
+hold-down before the repair pipeline will touch it again, so a
+marginal node cannot churn through hot-buffer swaps tick after tick.
 """
 
 from __future__ import annotations
 
 import enum
+import math
 from collections import Counter
 from dataclasses import dataclass
 
-from repro.exceptions import LifecycleError
+from repro.exceptions import LifecycleError, ServiceError
 
-__all__ = ["NodeState", "LEGAL_TRANSITIONS", "Transition", "NodeLifecycle"]
+__all__ = ["NodeState", "LEGAL_TRANSITIONS", "Transition", "NodeLifecycle",
+           "FlapDamper"]
 
 
 class NodeState(str, enum.Enum):
@@ -63,6 +78,7 @@ class Transition:
     old: NodeState
     new: NodeState
     reason: str = ""
+    forced: bool = False
 
 
 class NodeLifecycle:
@@ -83,20 +99,41 @@ class NodeLifecycle:
         return self._states.get(node_id, NodeState.HEALTHY)
 
     def transition(self, node_id: str, new: NodeState, *,
-                   reason: str = "") -> Transition:
-        """Apply one state change, enforcing legality."""
+                   reason: str = "", force: bool = False) -> Transition:
+        """Apply one state change, enforcing legality.
+
+        ``force=True`` skips the legality check; it exists for journal
+        replay, where a lost record can leave a gap between the
+        replayed old state and the next journaled transition.  The
+        applied transition still records the actual old state and is
+        marked ``forced``.
+        """
         old = self.state(node_id)
+        forced = False
         if new not in LEGAL_TRANSITIONS[old]:
-            raise LifecycleError(
-                f"illegal transition {old.value} -> {new.value} "
-                f"for node {node_id!r}" + (f" ({reason})" if reason else "")
-            )
+            if not force:
+                raise LifecycleError(
+                    f"illegal transition {old.value} -> {new.value} "
+                    f"for node {node_id!r}"
+                    + (f" ({reason})" if reason else "")
+                )
+            forced = True
         self._seq += 1
         applied = Transition(seq=self._seq, node_id=node_id, old=old,
-                             new=new, reason=reason)
+                             new=new, reason=reason, forced=forced)
         self._states[node_id] = new
         self.transitions.append(applied)
         return applied
+
+    def restore(self, states: dict[str, NodeState]) -> None:
+        """Install a full state snapshot (compacted-journal recovery).
+
+        Replaces all tracked states without legality checks and
+        without appending transitions; only recovery may call this,
+        before any live transition is applied.
+        """
+        self._states = {node_id: NodeState(state)
+                        for node_id, state in states.items()}
 
     def nodes_in(self, state: NodeState) -> list[str]:
         """Node ids currently in ``state``, in first-transition order.
@@ -114,3 +151,98 @@ class NodeLifecycle:
     def states(self) -> dict[str, NodeState]:
         """Snapshot of every explicitly-tracked node's state."""
         return dict(self._states)
+
+
+class FlapDamper:
+    """Exponential hold-down for nodes that flap through quarantine.
+
+    Each time a node is quarantined its flap count rises and it is
+    *held* in QUARANTINED for ``base * multiplier**(count - 1)`` ticks
+    (capped at ``max_holddown_ticks``) before the repair pipeline may
+    advance it.  A node that stays out of quarantine for
+    ``forgive_after_ticks`` ticks has its flap count forgiven, so one
+    bad week years ago does not penalise a since-repaired node.
+
+    The damper counts *service ticks*, not wall-clock: the control
+    plane calls :meth:`tick` once per service tick, keeping damping
+    deterministic and replayable.
+    """
+
+    def __init__(self, *, base_holddown_ticks: int = 1,
+                 multiplier: float = 2.0, max_holddown_ticks: int = 64,
+                 forgive_after_ticks: int | None = None):
+        if base_holddown_ticks < 1:
+            raise ServiceError("base_holddown_ticks must be at least 1")
+        if multiplier < 1.0:
+            raise ServiceError("flap multiplier must be at least 1")
+        if max_holddown_ticks < base_holddown_ticks:
+            raise ServiceError(
+                "max_holddown_ticks must be at least base_holddown_ticks")
+        if forgive_after_ticks is not None and forgive_after_ticks < 1:
+            raise ServiceError("forgive_after_ticks must be at least 1")
+        self.base_holddown_ticks = int(base_holddown_ticks)
+        self.multiplier = float(multiplier)
+        self.max_holddown_ticks = int(max_holddown_ticks)
+        self.forgive_after_ticks = forgive_after_ticks
+        self._flap_counts: dict[str, int] = {}
+        self._holddowns: dict[str, int] = {}
+        self._last_quarantine_tick: dict[str, int] = {}
+        self._tick = 0
+
+    def holddown_for(self, count: int) -> int:
+        """Hold-down length (ticks) for a node's ``count``-th flap."""
+        raw = self.base_holddown_ticks * self.multiplier ** (count - 1)
+        return min(int(math.ceil(raw)), self.max_holddown_ticks)
+
+    def record_quarantine(self, node_id: str) -> int:
+        """Register one quarantine; returns the armed hold-down."""
+        last = self._last_quarantine_tick.get(node_id)
+        if (self.forgive_after_ticks is not None and last is not None
+                and self._tick - last >= self.forgive_after_ticks):
+            self._flap_counts[node_id] = 0
+        count = self._flap_counts.get(node_id, 0) + 1
+        self._flap_counts[node_id] = count
+        self._last_quarantine_tick[node_id] = self._tick
+        holddown = self.holddown_for(count)
+        self._holddowns[node_id] = holddown
+        return holddown
+
+    def tick(self) -> None:
+        """Advance one service tick; hold-downs decay toward ready."""
+        self._tick += 1
+        for node_id, remaining in list(self._holddowns.items()):
+            if remaining > 0:
+                self._holddowns[node_id] = remaining - 1
+
+    def ready(self, node_id: str) -> bool:
+        """May the repair pipeline advance this node out of quarantine?"""
+        return self._holddowns.get(node_id, 0) <= 0
+
+    def holddown_remaining(self, node_id: str) -> int:
+        return self._holddowns.get(node_id, 0)
+
+    def flap_count(self, node_id: str) -> int:
+        return self._flap_counts.get(node_id, 0)
+
+    def flap_counts(self) -> dict[str, int]:
+        """Snapshot of all non-zero flap counts (for journaling)."""
+        return {n: c for n, c in self._flap_counts.items() if c > 0}
+
+    def arm(self, node_id: str) -> int:
+        """Re-arm the hold-down from the current flap count.
+
+        Recovery calls this for nodes still QUARANTINED after replay:
+        the conservative choice is to serve the full hold-down again
+        rather than guess how much of it elapsed before the crash.
+        """
+        holddown = self.holddown_for(max(self._flap_counts.get(node_id, 0), 1))
+        self._holddowns[node_id] = holddown
+        return holddown
+
+    def release(self, node_id: str) -> None:
+        """Clear any pending hold-down (node no longer quarantined)."""
+        self._holddowns.pop(node_id, None)
+
+    def restore(self, flap_counts: dict[str, int]) -> None:
+        """Install flap counts from a compacted-journal snapshot."""
+        self._flap_counts = {n: int(c) for n, c in flap_counts.items()}

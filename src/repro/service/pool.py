@@ -4,7 +4,7 @@ The synchronous :class:`~repro.core.validator.Validator` runs one
 benchmark on one node at a time; a fleet sweep is a long serial loop
 and a single hung execution stalls everything behind it.
 :class:`ValidationPool` fans the same work out across a thread pool
-with three operational guarantees:
+with four operational guarantees:
 
 * **per-benchmark timeouts** -- a (node, benchmark) execution that
   exceeds its deadline is abandoned and recorded as an execution
@@ -12,7 +12,15 @@ with three operational guarantees:
 * **bounded retries with exponential backoff** -- transient crashes
   (raised exceptions) are retried up to ``max_attempts`` times;
 * **crash isolation** -- an exception or hang in one execution never
-  propagates to other nodes' work.
+  propagates to other nodes' work;
+* **per-benchmark circuit breakers** -- a benchmark whose executions
+  fail *fleet-wide* for ``breaker_failure_threshold`` consecutive
+  sweeps is almost certainly broken itself (harness regression, bad
+  container image), not evidence of fleet-wide hardware failure.  Its
+  breaker opens: later sweeps short-circuit the benchmark instead of
+  burning a timeout per node and quarantining the whole fleet.  After
+  ``breaker_cooldown_sweeps`` the breaker half-opens and probes one
+  node; a successful probe closes it again.
 
 Because :class:`~repro.benchsuite.runner.SuiteRunner` draws from
 per-(node, benchmark) child streams, a parallel sweep is bit-identical
@@ -27,6 +35,7 @@ abandoned threads never occupy a later sweep's workers.
 
 from __future__ import annotations
 
+import enum
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -35,7 +44,8 @@ from repro.benchsuite.base import BenchmarkResult, BenchmarkSpec
 from repro.core.validator import ValidationReport, Validator, Violation
 from repro.exceptions import ServiceError
 
-__all__ = ["PoolConfig", "BenchmarkRun", "SweepResult", "ValidationPool"]
+__all__ = ["PoolConfig", "BenchmarkRun", "SweepResult", "ValidationPool",
+           "BreakerState", "BreakerTransition", "CircuitBreaker"]
 
 
 @dataclass(frozen=True)
@@ -58,8 +68,17 @@ class PoolConfig:
         Hard deadline for a whole sweep; unresolved executions are
         abandoned as timed out when it passes.  Guards the pathological
         case of every worker hanging at once.  ``None`` disables it.
+        When set, it must be at least ``benchmark_timeout_seconds`` --
+        a sweep deadline shorter than one execution's deadline would
+        silently make the per-benchmark timeout unreachable.
     poll_interval_seconds:
-        Coordinator wake-up granularity for deadline checks.
+        Coordinator wake-up granularity for deadline checks; must be
+        positive (a zero interval busy-spins the coordinator).
+    breaker_failure_threshold:
+        Consecutive *fleet-wide* execution failures of one benchmark
+        before its circuit breaker opens; ``None`` disables breakers.
+    breaker_cooldown_sweeps:
+        Sweeps an open breaker skips before half-opening to probe.
     """
 
     max_workers: int = 8
@@ -69,6 +88,8 @@ class PoolConfig:
     backoff_multiplier: float = 2.0
     sweep_timeout_seconds: float | None = None
     poll_interval_seconds: float = 0.02
+    breaker_failure_threshold: int | None = None
+    breaker_cooldown_sweeps: int = 1
 
     def __post_init__(self):
         if self.max_workers < 1:
@@ -77,12 +98,98 @@ class PoolConfig:
             raise ServiceError("max_attempts must be at least 1")
         if self.backoff_base_seconds < 0 or self.backoff_multiplier < 1.0:
             raise ServiceError("invalid backoff configuration")
+        if self.poll_interval_seconds <= 0:
+            raise ServiceError("poll_interval_seconds must be positive")
+        if (self.sweep_timeout_seconds is not None
+                and self.benchmark_timeout_seconds is not None
+                and self.sweep_timeout_seconds < self.benchmark_timeout_seconds):
+            raise ServiceError(
+                "sweep_timeout_seconds must be at least "
+                "benchmark_timeout_seconds")
+        if (self.breaker_failure_threshold is not None
+                and self.breaker_failure_threshold < 1):
+            raise ServiceError("breaker_failure_threshold must be at least 1")
+        if self.breaker_cooldown_sweeps < 1:
+            raise ServiceError("breaker_cooldown_sweeps must be at least 1")
 
     def backoff_seconds(self, attempt: int) -> float:
         """Sleep before ``attempt`` (1-based; the first try never waits)."""
         if attempt <= 1:
             return 0.0
         return self.backoff_base_seconds * self.backoff_multiplier ** (attempt - 2)
+
+
+class BreakerState(str, enum.Enum):
+    """Circuit-breaker states (standard three-state breaker)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One breaker state change, in occurrence order."""
+
+    benchmark: str
+    old: BreakerState
+    new: BreakerState
+    reason: str = ""
+
+
+class CircuitBreaker:
+    """Per-benchmark breaker over consecutive fleet-wide failures.
+
+    The unit of evidence is one *sweep*: a sweep where every executed
+    (node, benchmark) cell of this benchmark failed is a fleet-wide
+    failure; any cell succeeding resets the consecutive count.  A
+    fleet-wide failure indicts the benchmark, not the fleet.
+    """
+
+    def __init__(self, benchmark: str, *, failure_threshold: int,
+                 cooldown_sweeps: int):
+        self.benchmark = benchmark
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_sweeps = int(cooldown_sweeps)
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self._cooldown_left = 0
+        self.transitions: list[BreakerTransition] = []
+
+    def _set(self, new: BreakerState, reason: str) -> None:
+        if new is self.state:
+            return
+        self.transitions.append(BreakerTransition(
+            benchmark=self.benchmark, old=self.state, new=new, reason=reason))
+        self.state = new
+
+    def before_sweep(self) -> str:
+        """Gate one sweep: ``"run"``, ``"probe"`` or ``"skip"``."""
+        if self.state is BreakerState.CLOSED:
+            return "run"
+        if self.state is BreakerState.HALF_OPEN:
+            return "probe"
+        self._cooldown_left -= 1
+        if self._cooldown_left <= 0:
+            self._set(BreakerState.HALF_OPEN, reason="cooldown-elapsed")
+            return "probe"
+        return "skip"
+
+    def record(self, fleet_wide_failure: bool) -> None:
+        """Fold one executed sweep's outcome into the breaker."""
+        if fleet_wide_failure:
+            self.consecutive_failures += 1
+            if self.state is BreakerState.HALF_OPEN:
+                self._cooldown_left = self.cooldown_sweeps
+                self._set(BreakerState.OPEN, reason="probe-failed")
+            elif (self.state is BreakerState.CLOSED
+                    and self.consecutive_failures >= self.failure_threshold):
+                self._cooldown_left = self.cooldown_sweeps
+                self._set(BreakerState.OPEN, reason="failure-threshold")
+        else:
+            self.consecutive_failures = 0
+            if self.state is BreakerState.HALF_OPEN:
+                self._set(BreakerState.CLOSED, reason="probe-succeeded")
 
 
 @dataclass
@@ -95,6 +202,7 @@ class BenchmarkRun:
     attempts: int = 0
     error: str | None = None
     timed_out: bool = False
+    short_circuited: bool = False  # skipped by an open circuit breaker
     wall_seconds: float = 0.0
 
     @property
@@ -117,13 +225,17 @@ class SweepResult:
 
     @property
     def failed_runs(self) -> list[BenchmarkRun]:
-        return [r for r in self.runs if not r.ok]
+        return [r for r in self.runs if not r.ok and not r.short_circuited]
+
+    @property
+    def short_circuited_runs(self) -> list[BenchmarkRun]:
+        return [r for r in self.runs if r.short_circuited]
 
     @property
     def failed_node_ids(self) -> list[str]:
         seen: list[str] = []
-        for run in self.runs:
-            if not run.ok and run.node_id not in seen:
+        for run in self.failed_runs:
+            if run.node_id not in seen:
                 seen.append(run.node_id)
         return seen
 
@@ -143,6 +255,32 @@ class ValidationPool:
 
     def __init__(self, config: PoolConfig | None = None):
         self.config = config or PoolConfig()
+        #: Lazily-created per-benchmark breakers (empty when disabled).
+        self.breakers: dict[str, CircuitBreaker] = {}
+
+    # ------------------------------------------------------------------
+    # Circuit breakers
+    # ------------------------------------------------------------------
+    def breaker_for(self, benchmark: str) -> CircuitBreaker | None:
+        """This benchmark's breaker, created on first use; ``None``
+        when breakers are disabled by configuration."""
+        if self.config.breaker_failure_threshold is None:
+            return None
+        breaker = self.breakers.get(benchmark)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                benchmark,
+                failure_threshold=self.config.breaker_failure_threshold,
+                cooldown_sweeps=self.config.breaker_cooldown_sweeps)
+            self.breakers[benchmark] = breaker
+        return breaker
+
+    def breaker_transitions(self) -> list[BreakerTransition]:
+        """Every breaker state change so far, grouped by benchmark."""
+        transitions: list[BreakerTransition] = []
+        for name in sorted(self.breakers):
+            transitions.extend(self.breakers[name].transitions)
+        return transitions
 
     # ------------------------------------------------------------------
     # Raw sweeps
@@ -151,7 +289,8 @@ class ValidationPool:
         """Run every benchmark in ``specs`` on every node, in parallel.
 
         Never raises for per-cell failures: each cell ends with either
-        a result or an ``error``/``timed_out`` record.
+        a result, an ``error``/``timed_out`` record, or a
+        ``short_circuited`` marker from an open circuit breaker.
         """
         cfg = self.config
         specs = list(specs)
@@ -160,6 +299,29 @@ class ValidationPool:
                 for spec in specs for node in nodes]
         by_cell = {(r.node_id, r.benchmark): r for r in runs}
         sweep_start = time.monotonic()
+
+        # Breaker gating: "skip" short-circuits every cell, "probe"
+        # runs the first node only (half-open), "run" runs everything.
+        modes: dict[str, str] = {}
+        for spec in specs:
+            breaker = self.breaker_for(spec.name)
+            modes[spec.name] = breaker.before_sweep() if breaker else "run"
+        probe_node_id = nodes[0].node_id if nodes else None
+
+        def runnable(spec, node) -> bool:
+            mode = modes[spec.name]
+            if mode == "run":
+                return True
+            if mode == "probe":
+                return node.node_id == probe_node_id
+            return False
+
+        for run in runs:
+            spec_mode = modes[run.benchmark]
+            if spec_mode == "skip" or (spec_mode == "probe"
+                                       and run.node_id != probe_node_id):
+                run.short_circuited = True
+                run.error = "circuit-open"
 
         executor = ThreadPoolExecutor(max_workers=cfg.max_workers)
         active: dict = {}
@@ -175,7 +337,8 @@ class ValidationPool:
         try:
             for spec in specs:
                 for node in nodes:
-                    submit(spec, node, attempt=1)
+                    if runnable(spec, node):
+                        submit(spec, node, attempt=1)
 
             while active:
                 done, _ = wait(list(active), timeout=cfg.poll_interval_seconds,
@@ -223,6 +386,21 @@ class ValidationPool:
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
 
+        # Fold each executed benchmark's fleet-wide outcome into its
+        # breaker; skipped benchmarks contribute no evidence.
+        if cfg.breaker_failure_threshold is not None:
+            for spec in specs:
+                if modes[spec.name] == "skip":
+                    continue
+                executed = [by_cell[(node.node_id, spec.name)]
+                            for node in nodes
+                            if not by_cell[(node.node_id, spec.name)
+                                           ].short_circuited]
+                if not executed:
+                    continue
+                breaker = self.breaker_for(spec.name)
+                breaker.record(all(not run.ok for run in executed))
+
         return SweepResult(runs=runs,
                            wall_seconds=time.monotonic() - sweep_start)
 
@@ -249,6 +427,13 @@ class ValidationPool:
         a fully-healthy parallel report is identical to a sequential
         one.  Cells that exhausted retries or timed out become
         ``execution-failure`` violations (defects by definition).
+
+        Cells short-circuited by an open breaker produce *no*
+        violation -- an open breaker means the benchmark itself is
+        suspect, and quarantining the fleet on its word would be the
+        exact false-positive storm the breaker exists to stop.
+        Benchmarks that never executed on any node are removed from
+        ``benchmarks_run`` so coverage accounting stays honest.
         """
         selected = validator.resolve(benchmarks)
         report = ValidationReport(
@@ -257,6 +442,8 @@ class ValidationPool:
         )
         sweeps: list[SweepResult] = []
         remaining = list(nodes)
+        executed_benchmarks: set[str] = set()
+        short_circuited_benchmarks: set[str] = set()
         for phase_specs in validator.execution_phases(selected):
             if not remaining:
                 break
@@ -265,6 +452,10 @@ class ValidationPool:
             for spec in phase_specs:
                 for node in remaining:
                     run = sweep.run_for(node.node_id, spec.name)
+                    if run.short_circuited:
+                        short_circuited_benchmarks.add(spec.name)
+                        continue
+                    executed_benchmarks.add(spec.name)
                     if run.ok:
                         report.violations.extend(
                             validator.check_result(spec, run.result))
@@ -277,4 +468,7 @@ class ValidationPool:
                             ))
             flagged = set(report.defective_nodes)
             remaining = [n for n in remaining if n.node_id not in flagged]
+        fully_skipped = short_circuited_benchmarks - executed_benchmarks
+        report.benchmarks_run = [name for name in report.benchmarks_run
+                                 if name not in fully_skipped]
         return report, sweeps

@@ -1,4 +1,4 @@
-"""Risk-prioritized event queue with coalescing (service ingest side).
+"""Risk-prioritized event queue with coalescing and a dead-letter side.
 
 Orchestrators emit far more validation triggers than a fleet can
 absorb: repeated job allocations on the same nodes, periodic ticks
@@ -9,6 +9,14 @@ within ties) and *coalesces* repeats -- an event for the same (kind,
 node set) that is already pending merges into the existing entry
 instead of growing the queue, keeping the higher priority and longer
 usage duration of the two.
+
+The dead-letter side handles *poison* events: an entry whose
+processing keeps failing is eventually parked as a
+:class:`DeadLetter` instead of being retried forever, where it stays
+inspectable (:meth:`EventQueue.dead_letters`) without blocking the
+rest of the queue.  The control plane decides *when* to park (after
+``max_event_attempts`` failed ticks); the queue only provides the
+mechanism.
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ from dataclasses import dataclass, replace
 
 from repro.core.system import ValidationEvent
 
-__all__ = ["QueuedEvent", "EventQueue"]
+__all__ = ["QueuedEvent", "DeadLetter", "EventQueue"]
 
 
 def _coalesce_key(event: ValidationEvent) -> tuple:
@@ -36,11 +44,24 @@ class QueuedEvent:
     priority: float
     enqueued_at: float = 0.0
     coalesced: int = 0  # how many later duplicates merged into this entry
+    attempts: int = 0   # failed processing attempts so far
 
     @property
     def sort_key(self) -> tuple[float, int]:
         """Max-priority first; FIFO by event id within a priority."""
         return (-self.priority, self.event_id)
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One poison event, parked after repeated processing failures."""
+
+    entry: QueuedEvent
+    reason: str = ""
+
+    @property
+    def event_id(self) -> int:
+        return self.entry.event_id
 
 
 class EventQueue:
@@ -54,8 +75,13 @@ class EventQueue:
     def __init__(self):
         self._heap: list[tuple[tuple[float, int], QueuedEvent]] = []
         self._pending: dict[tuple, QueuedEvent] = {}
+        self._dead: list[DeadLetter] = []
         self._ids = itertools.count(1)
         self.coalesced_total = 0
+        #: Highest event id handed out or reserved so far -- the
+        #: high-water mark a snapshot must persist so a recovered
+        #: queue never reuses an id.
+        self.last_event_id = 0
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -63,11 +89,14 @@ class EventQueue:
     def next_event_id(self) -> int:
         """Allocate a fresh event id (used by recovery to stay ahead
         of journaled ids)."""
-        return next(self._ids)
+        event_id = next(self._ids)
+        self.last_event_id = max(self.last_event_id, event_id)
+        return event_id
 
     def reserve_ids(self, up_to: int) -> None:
         """Ensure future ids are strictly greater than ``up_to``."""
         self._ids = itertools.count(up_to + 1)
+        self.last_event_id = max(self.last_event_id, up_to)
 
     def push(self, event: ValidationEvent, priority: float, *,
              event_id: int | None = None,
@@ -98,6 +127,39 @@ class EventQueue:
         heapq.heappush(self._heap, (entry.sort_key, entry))
         return entry, True
 
+    def requeue(self, entry: QueuedEvent) -> QueuedEvent:
+        """Re-insert a popped entry (after a failed processing attempt).
+
+        Keeps the entry's id, priority and attempt count.  If a fresh
+        entry for the same (kind, node set) was submitted while this
+        one was being processed, the two merge: the pending entry
+        survives and inherits the higher attempt count and priority.
+        """
+        key = _coalesce_key(entry.event)
+        existing = self._pending.get(key)
+        if existing is not None:
+            existing.attempts = max(existing.attempts, entry.attempts)
+            if entry.priority > existing.priority:
+                existing.priority = entry.priority
+                heapq.heappush(self._heap, (existing.sort_key, existing))
+            return existing
+        self._pending[key] = entry
+        heapq.heappush(self._heap, (entry.sort_key, entry))
+        return entry
+
+    def remove(self, entry: QueuedEvent) -> bool:
+        """Withdraw a pending entry (journal-failure rollback).
+
+        Returns False when the entry is no longer pending (already
+        popped, or superseded).  The heap tuple is discarded lazily by
+        :meth:`pop`, like a stale priority raise.
+        """
+        key = _coalesce_key(entry.event)
+        if self._pending.get(key) is not entry:
+            return False
+        del self._pending[key]
+        return True
+
     def pop(self) -> QueuedEvent | None:
         """Highest-priority pending entry, or ``None`` when empty."""
         while self._heap:
@@ -112,3 +174,16 @@ class EventQueue:
     def pending(self) -> list[QueuedEvent]:
         """Pending entries in pop order (does not consume the queue)."""
         return sorted(self._pending.values(), key=lambda e: e.sort_key)
+
+    # ------------------------------------------------------------------
+    # Dead letters
+    # ------------------------------------------------------------------
+    def dead_letter(self, entry: QueuedEvent, reason: str = "") -> DeadLetter:
+        """Park one poison entry; it will never be popped again."""
+        letter = DeadLetter(entry=entry, reason=reason)
+        self._dead.append(letter)
+        return letter
+
+    def dead_letters(self) -> list[DeadLetter]:
+        """Parked poison events, oldest first (inspection API)."""
+        return list(self._dead)

@@ -1,14 +1,32 @@
-"""Durable service state: an append-only JSONL journal.
+"""Durable service state: an append-only, checksummed JSONL journal.
 
 Everything the control plane must survive a restart with is journaled
 as one JSON object per line in ``journal.jsonl`` under the store
-directory: enqueued/coalesced/completed events, lifecycle transitions
-and periodic learned-criteria snapshots (embedded via
+directory: enqueued/coalesced/completed/failed events, lifecycle
+transitions, dead-letter parkings and periodic learned-criteria
+snapshots (embedded via
 :func:`~repro.core.persistence.criteria_payload`, the same document
 ``save_criteria`` writes).  Recovery replays the journal in order --
-transitions re-apply legally because they were legal when written,
-pending events are re-queued with their journaled priorities, and the
-latest criteria snapshot restores the Validator.
+transitions re-apply (forced where fault-tolerant continuation left a
+gap), pending events are re-queued with their journaled priorities,
+and the latest criteria snapshot restores the Validator.
+
+Three hardening layers keep the journal trustworthy and bounded:
+
+* **CRC32 record checksums** -- every record carries a checksum over
+  its canonical JSON body, so a line that is *decodable but corrupted*
+  (bit rot, partial overwrite that still parses) is detected and
+  skipped instead of silently replayed.  Records written before
+  checksumming existed (no ``crc`` field) still replay.
+* **Optional fsync-on-append** -- by default appends are flushed to
+  the OS (at most the final record is lost to a *process* crash);
+  with ``fsync=True`` each record is forced to stable storage before
+  ``append`` returns, surviving a *machine* crash at a throughput
+  cost.  The trade-off is an explicit per-store or per-append choice.
+* **Snapshot compaction** -- :meth:`rewrite` atomically replaces the
+  journal with a compact set of snapshot records (write to a temp
+  file, fsync, rename), so recovery cost and disk use stay bounded by
+  live state rather than by service uptime.
 
 A crash can truncate the final line mid-write.  Replay therefore
 *skips* undecodable lines with a logged warning instead of failing:
@@ -19,6 +37,8 @@ from __future__ import annotations
 
 import json
 import logging
+import os
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -29,7 +49,7 @@ from repro.core.system import EventKind, ValidationEvent
 from repro.exceptions import JournalError
 
 __all__ = ["JournalRecord", "JournalStore", "event_to_payload",
-           "event_from_payload"]
+           "event_from_payload", "record_crc"]
 
 logger = logging.getLogger(__name__)
 
@@ -84,6 +104,17 @@ def event_from_payload(payload: dict, fleet_index: dict) -> ValidationEvent:
         raise JournalError(f"malformed event payload: {error}") from error
 
 
+def record_crc(seq: int, kind: str, payload: dict) -> int:
+    """Checksum over one record's canonical JSON body.
+
+    Canonical form (sorted keys, no whitespace) makes the checksum
+    independent of how the surrounding line happened to be formatted.
+    """
+    body = json.dumps([seq, kind, payload], sort_keys=True,
+                      separators=(",", ":"))
+    return zlib.crc32(body.encode())
+
+
 @dataclass(frozen=True)
 class JournalRecord:
     """One replayed journal line."""
@@ -96,14 +127,24 @@ class JournalRecord:
 class JournalStore:
     """Append-only journal under one directory.
 
-    Appends are flushed line-by-line so at most the final record can
-    be lost to a crash.
+    Parameters
+    ----------
+    directory:
+        Journal directory (created if missing).
+    fsync:
+        Default durability of :meth:`append`: ``False`` flushes to the
+        OS only (fast, loses at most the final record to a process
+        crash), ``True`` forces every record to stable storage.
     """
 
-    def __init__(self, directory):
+    def __init__(self, directory, *, fsync: bool = False):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.path = self.directory / JOURNAL_FILENAME
+        self.fsync = bool(fsync)
+        #: Decodable-but-corrupt lines (checksum mismatches) seen by
+        #: the most recent :meth:`replay`.
+        self.corrupt_records = 0
         self._seq = self._last_seq_on_disk()
 
     def _last_seq_on_disk(self) -> int:
@@ -116,25 +157,67 @@ class JournalStore:
     def next_seq(self) -> int:
         return self._seq + 1
 
-    def append(self, kind: str, payload: dict) -> int:
-        """Append one record, flushed; returns its sequence number."""
-        self._seq += 1
-        line = json.dumps({"seq": self._seq, "kind": kind, "payload": payload})
+    def append(self, kind: str, payload: dict, *,
+               fsync: bool | None = None) -> int:
+        """Append one checksummed record; returns its sequence number.
+
+        ``fsync`` overrides the store default for this one append
+        (``None`` keeps the store default).
+        """
+        seq = self._seq + 1
+        line = json.dumps({"seq": seq, "kind": kind, "payload": payload,
+                           "crc": record_crc(seq, kind, payload)})
+        effective_fsync = self.fsync if fsync is None else bool(fsync)
         try:
             with self.path.open("a") as handle:
                 handle.write(line + "\n")
                 handle.flush()
+                if effective_fsync:
+                    os.fsync(handle.fileno())
         except OSError as error:
             raise JournalError(f"cannot append to {self.path}: {error}") from error
-        return self._seq
+        self._seq = seq
+        return seq
+
+    def rewrite(self, records) -> int:
+        """Atomically replace the journal with ``records`` (compaction).
+
+        ``records`` is an iterable of ``(kind, payload)`` pairs --
+        typically a state snapshot plus the still-pending events.  The
+        replacement journal is written to a temporary file, fsynced,
+        and renamed over the old one, so a crash at any point leaves
+        either the old journal or the new one, never a mix.  Sequence
+        numbers restart at 1; returns the number of records written.
+        """
+        tmp_path = self.path.with_suffix(".jsonl.tmp")
+        count = 0
+        try:
+            with tmp_path.open("w") as handle:
+                for kind, payload in records:
+                    count += 1
+                    line = json.dumps({
+                        "seq": count, "kind": kind, "payload": payload,
+                        "crc": record_crc(count, kind, payload)})
+                    handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path)
+        except OSError as error:
+            raise JournalError(
+                f"cannot compact journal {self.path}: {error}") from error
+        self._seq = count
+        return count
 
     def replay(self) -> list[JournalRecord]:
-        """All decodable records in append order.
+        """All decodable, checksum-valid records in append order.
 
-        Corrupted or truncated lines (a crash mid-append) are skipped
-        with a warning rather than raised -- recovery must always make
-        progress from what *was* durably written.
+        Truncated lines (a crash mid-append) and checksum mismatches
+        (corruption of a decodable line) are skipped with a warning
+        rather than raised -- recovery must always make progress from
+        what *was* durably and correctly written.  Checksum mismatches
+        are additionally counted in :attr:`corrupt_records`.
         """
+        self.corrupt_records = 0
         if not self.path.exists():
             return []
         records: list[JournalRecord] = []
@@ -155,6 +238,16 @@ class JournalStore:
                 logger.warning(
                     "skipping corrupted journal line %d of %s: %s",
                     lineno, self.path, error)
+                continue
+            # Records from before checksumming carry no "crc"; accept
+            # them rather than invalidating every pre-existing journal.
+            if "crc" in raw and int(raw["crc"]) != record_crc(
+                    record.seq, record.kind, record.payload):
+                self.corrupt_records += 1
+                logger.warning(
+                    "skipping checksum-mismatched journal line %d of %s "
+                    "(seq %d, kind %r)", lineno, self.path, record.seq,
+                    record.kind)
                 continue
             records.append(record)
         return records

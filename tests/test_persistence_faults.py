@@ -95,6 +95,28 @@ class TestFaultInjection:
         result = runner.run(suite_by_name("mem-bw"), Node(node_id="n0"))
         assert np.all(np.isnan(result.sample("h2d_bw_gbs")))
 
+    def test_hang_handles_integer_metric_series(self, monkeypatch):
+        """Regression: the hang fault used ``np.full_like(series,
+        np.nan)``, which raises on an integer-dtype series (NaN cannot
+        be cast to int) -- it must coerce to float instead."""
+        from repro.benchsuite.base import BenchmarkResult
+
+        original = SuiteRunner.run
+
+        def int_run(self, spec, node):
+            result = original(self, spec, node)
+            return BenchmarkResult(
+                benchmark=result.benchmark, node_id=result.node_id,
+                metrics={name: np.asarray(np.round(series), dtype=np.int64)
+                         for name, series in result.metrics.items()})
+
+        monkeypatch.setattr(SuiteRunner, "run", int_run)
+        runner = FaultInjectingRunner(hang_rate=1.0, seed=3)
+        result = runner.run(suite_by_name("mem-bw"), Node(node_id="n0"))
+        corrupted = result.sample("h2d_bw_gbs")
+        assert corrupted.dtype.kind == "f"
+        assert np.all(np.isnan(corrupted))
+
     def test_fault_scoping_to_nodes(self):
         runner = FaultInjectingRunner(crash_rate=1.0, fault_nodes={"bad"}, seed=4)
         ok = runner.run(suite_by_name("mem-bw"), Node(node_id="good"))

@@ -1,9 +1,15 @@
-"""Unit tests: the enforced node lifecycle state machine."""
+"""Unit tests: the enforced node lifecycle state machine and the
+flap damper."""
 
 import pytest
 
-from repro.exceptions import LifecycleError
-from repro.service import LEGAL_TRANSITIONS, NodeLifecycle, NodeState
+from repro.exceptions import LifecycleError, ServiceError
+from repro.service import (
+    LEGAL_TRANSITIONS,
+    FlapDamper,
+    NodeLifecycle,
+    NodeState,
+)
 
 
 class TestNodeLifecycle:
@@ -87,3 +93,136 @@ class TestNodeLifecycle:
                     reachable.add(src)
                     frontier.append(src)
         assert reachable == set(NodeState)
+
+    def test_every_illegal_edge_raises(self):
+        """Exhaustive sweep: every (state, state) pair outside the
+        legal graph raises and leaves the node untouched."""
+        for old in NodeState:
+            for new in NodeState:
+                if new in LEGAL_TRANSITIONS[old]:
+                    continue
+                lifecycle = NodeLifecycle()
+                if old is not NodeState.HEALTHY:
+                    lifecycle.transition("n", old, force=True)
+                with pytest.raises(LifecycleError):
+                    lifecycle.transition("n", new)
+                assert lifecycle.state("n") is old
+
+    def test_illegal_error_names_states_and_reason(self):
+        lifecycle = NodeLifecycle()
+        with pytest.raises(LifecycleError,
+                           match="healthy -> in-repair.*why-not"):
+            lifecycle.transition("n1", NodeState.IN_REPAIR, reason="why-not")
+
+    def test_self_transition_is_illegal(self):
+        lifecycle = NodeLifecycle()
+        with pytest.raises(LifecycleError):
+            lifecycle.transition("n1", NodeState.HEALTHY)
+
+
+class TestForceAndRestore:
+    def test_forced_transition_applies_and_is_marked(self):
+        lifecycle = NodeLifecycle()
+        applied = lifecycle.transition("n1", NodeState.QUARANTINED,
+                                       force=True)
+        assert applied.forced
+        assert applied.old is NodeState.HEALTHY  # the actual old state
+        assert lifecycle.state("n1") is NodeState.QUARANTINED
+
+    def test_forced_legal_transition_is_not_marked(self):
+        lifecycle = NodeLifecycle()
+        applied = lifecycle.transition("n1", NodeState.SCHEDULED, force=True)
+        assert not applied.forced
+
+    def test_restore_installs_snapshot_without_transitions(self):
+        lifecycle = NodeLifecycle()
+        lifecycle.restore({"a": NodeState.QUARANTINED,
+                           "b": NodeState.VALIDATING})
+        assert lifecycle.state("a") is NodeState.QUARANTINED
+        assert lifecycle.state("b") is NodeState.VALIDATING
+        assert lifecycle.transitions == []
+        # Restored states are live: legality is enforced from them.
+        lifecycle.transition("a", NodeState.IN_REPAIR)
+        with pytest.raises(LifecycleError):
+            lifecycle.transition("b", NodeState.IN_REPAIR)
+
+
+class TestFlapDamper:
+    def test_holddown_grows_exponentially_and_caps(self):
+        damper = FlapDamper(base_holddown_ticks=2, multiplier=2.0,
+                            max_holddown_ticks=10)
+        assert [damper.holddown_for(k) for k in (1, 2, 3, 4)] == [2, 4, 8, 10]
+
+    def test_quarantines_arm_growing_holddowns(self):
+        damper = FlapDamper(base_holddown_ticks=1, multiplier=2.0,
+                            max_holddown_ticks=64)
+        assert damper.record_quarantine("n") == 1
+        assert damper.record_quarantine("n") == 2
+        assert damper.record_quarantine("n") == 4
+        assert damper.flap_count("n") == 3
+
+    def test_ready_after_holddown_ticks(self):
+        damper = FlapDamper(base_holddown_ticks=2, multiplier=2.0)
+        damper.record_quarantine("n")
+        assert not damper.ready("n")
+        damper.tick()
+        assert not damper.ready("n")
+        damper.tick()
+        assert damper.ready("n")
+
+    def test_unknown_node_is_ready(self):
+        assert FlapDamper().ready("never-seen")
+
+    def test_forgiveness_resets_flap_count(self):
+        damper = FlapDamper(base_holddown_ticks=1, multiplier=2.0,
+                            forgive_after_ticks=5)
+        damper.record_quarantine("n")
+        damper.record_quarantine("n")
+        assert damper.flap_count("n") == 2
+        for _ in range(5):
+            damper.tick()
+        # Quiet for the forgiveness window: counted as a first flap.
+        assert damper.record_quarantine("n") == 1
+
+    def test_no_forgiveness_inside_window(self):
+        damper = FlapDamper(base_holddown_ticks=1, multiplier=2.0,
+                            forgive_after_ticks=5)
+        damper.record_quarantine("n")
+        damper.tick()
+        assert damper.record_quarantine("n") == 2
+
+    def test_arm_and_release(self):
+        damper = FlapDamper(base_holddown_ticks=3, multiplier=2.0)
+        damper.record_quarantine("n")
+        damper.tick()
+        damper.tick()
+        assert damper.holddown_remaining("n") == 1
+        assert damper.arm("n") == 3     # recovery re-arms in full
+        assert damper.holddown_remaining("n") == 3
+        damper.release("n")
+        assert damper.ready("n")
+
+    def test_arm_without_history_uses_first_flap(self):
+        damper = FlapDamper(base_holddown_ticks=2, multiplier=2.0)
+        assert damper.arm("n") == 2
+
+    def test_snapshot_round_trip(self):
+        damper = FlapDamper()
+        damper.record_quarantine("a")
+        damper.record_quarantine("a")
+        damper.record_quarantine("b")
+        restored = FlapDamper()
+        restored.restore(damper.flap_counts())
+        assert restored.flap_count("a") == 2
+        assert restored.flap_count("b") == 1
+        assert restored.flap_counts() == {"a": 2, "b": 1}
+
+    @pytest.mark.parametrize("kwargs", [
+        {"base_holddown_ticks": 0},
+        {"multiplier": 0.5},
+        {"base_holddown_ticks": 4, "max_holddown_ticks": 2},
+        {"forgive_after_ticks": 0},
+    ])
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ServiceError):
+            FlapDamper(**kwargs)

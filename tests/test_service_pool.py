@@ -12,7 +12,12 @@ from repro.benchsuite.suite import full_suite
 from repro.core.validator import Validator
 from repro.exceptions import ServiceError
 from repro.hardware.fleet import build_fleet
-from repro.service import PoolConfig, ValidationPool
+from repro.service import (
+    BreakerState,
+    CircuitBreaker,
+    PoolConfig,
+    ValidationPool,
+)
 
 
 @dataclass(frozen=True)
@@ -74,10 +79,20 @@ class TestPoolConfig:
         {"max_attempts": 0},
         {"backoff_base_seconds": -1.0},
         {"backoff_multiplier": 0.5},
+        {"poll_interval_seconds": 0.0},
+        {"poll_interval_seconds": -0.01},
+        {"sweep_timeout_seconds": 1.0, "benchmark_timeout_seconds": 2.0},
+        {"breaker_failure_threshold": 0},
+        {"breaker_cooldown_sweeps": 0},
     ])
     def test_invalid_config_rejected(self, kwargs):
         with pytest.raises(ServiceError):
             PoolConfig(**kwargs)
+
+    def test_sweep_timeout_at_least_benchmark_timeout_accepted(self):
+        config = PoolConfig(benchmark_timeout_seconds=2.0,
+                            sweep_timeout_seconds=2.0)
+        assert config.sweep_timeout_seconds == 2.0
 
 
 class TestRunBenchmarks:
@@ -128,6 +143,163 @@ class TestRunBenchmarks:
         others = [r for r in sweep.runs
                   if (r.node_id, r.benchmark) != ("n2", "bench-a")]
         assert all(r.ok for r in others)
+
+
+class TestCircuitBreaker:
+    def test_exact_transition_sequence(self):
+        """CLOSED -(2 failures)-> OPEN -(cooldown)-> HALF_OPEN
+        -(probe fails)-> OPEN -(cooldown)-> HALF_OPEN -(probe ok)->
+        CLOSED, with the exact reasons in order."""
+        breaker = CircuitBreaker("b", failure_threshold=2, cooldown_sweeps=1)
+        assert breaker.before_sweep() == "run"
+        breaker.record(True)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.before_sweep() == "run"
+        breaker.record(True)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.before_sweep() == "probe"   # cooldown of 1 elapsed
+        breaker.record(True)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.before_sweep() == "probe"
+        breaker.record(False)
+        assert breaker.state is BreakerState.CLOSED
+        assert [(t.old.value, t.new.value, t.reason)
+                for t in breaker.transitions] == [
+            ("closed", "open", "failure-threshold"),
+            ("open", "half-open", "cooldown-elapsed"),
+            ("half-open", "open", "probe-failed"),
+            ("open", "half-open", "cooldown-elapsed"),
+            ("half-open", "closed", "probe-succeeded"),
+        ]
+
+    def test_open_breaker_skips_for_cooldown_sweeps(self):
+        breaker = CircuitBreaker("b", failure_threshold=1, cooldown_sweeps=3)
+        assert breaker.before_sweep() == "run"
+        breaker.record(True)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.before_sweep() == "skip"
+        assert breaker.before_sweep() == "skip"
+        assert breaker.before_sweep() == "probe"
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker("b", failure_threshold=2, cooldown_sweeps=1)
+        breaker.record(True)
+        breaker.record(False)
+        breaker.record(True)
+        assert breaker.state is BreakerState.CLOSED
+
+    def breaker_pool(self, **overrides):
+        return ValidationPool(fast_config(
+            max_attempts=1, breaker_failure_threshold=2,
+            breaker_cooldown_sweeps=1, **overrides))
+
+    def all_a_cells_fail(self):
+        return ScriptedRunner(fail_times={
+            (node.node_id, "bench-a"): 99 for node in NODES})
+
+    def test_fleet_wide_failure_opens_and_probes(self):
+        pool = self.breaker_pool()
+        runner = self.all_a_cells_fail()
+
+        # Two fleet-wide failing sweeps open bench-a's breaker; bench-b
+        # (passing everywhere) stays closed.
+        for _ in range(2):
+            sweep = pool.run_benchmarks(SPECS, NODES, runner)
+            assert all(not sweep.run_for(n.node_id, "bench-a").ok
+                       for n in NODES)
+        assert pool.breakers["bench-a"].state is BreakerState.OPEN
+        assert pool.breakers["bench-b"].state is BreakerState.CLOSED
+
+        # Next sweep half-opens: one probe cell executes (and fails),
+        # every other bench-a cell is short-circuited, bench-b runs.
+        sweep = pool.run_benchmarks(SPECS, NODES, runner)
+        probe = sweep.run_for(NODES[0].node_id, "bench-a")
+        assert not probe.ok and not probe.short_circuited
+        short = sweep.short_circuited_runs
+        assert {(r.node_id, r.benchmark) for r in short} == {
+            (n.node_id, "bench-a") for n in NODES[1:]}
+        assert all(r.error == "circuit-open" for r in short)
+        assert short[0] not in sweep.failed_runs
+        assert pool.breakers["bench-a"].state is BreakerState.OPEN
+
+        # Heal the benchmark: the next probe succeeds and closes the
+        # breaker; the sweep after runs everything again.
+        runner.fail_times.clear()
+        sweep = pool.run_benchmarks(SPECS, NODES, runner)
+        assert sweep.run_for(NODES[0].node_id, "bench-a").ok
+        assert pool.breakers["bench-a"].state is BreakerState.CLOSED
+        sweep = pool.run_benchmarks(SPECS, NODES, runner)
+        assert all(r.ok for r in sweep.runs)
+
+    def test_single_node_failure_is_not_fleet_wide(self):
+        pool = self.breaker_pool()
+        runner = ScriptedRunner(fail_times={("n0", "bench-a"): 99})
+        for _ in range(3):
+            pool.run_benchmarks(SPECS, NODES, runner)
+        assert pool.breakers["bench-a"].state is BreakerState.CLOSED
+
+    def test_breakers_disabled_by_default(self):
+        pool = ValidationPool(fast_config(max_attempts=1))
+        pool.run_benchmarks(SPECS, NODES, self.all_a_cells_fail())
+        assert pool.breakers == {}
+        assert pool.breaker_for("bench-a") is None
+
+    def test_breaker_transitions_grouped_by_benchmark(self):
+        pool = self.breaker_pool()
+        runner = ScriptedRunner(fail_times={
+            (node.node_id, spec.name): 99
+            for node in NODES for spec in SPECS})
+        for _ in range(2):
+            pool.run_benchmarks(SPECS, NODES, runner)
+        transitions = pool.breaker_transitions()
+        assert [t.benchmark for t in transitions] == ["bench-a", "bench-b"]
+        assert all(t.new is BreakerState.OPEN for t in transitions)
+
+
+class TestShortCircuitedValidate:
+    def test_open_breaker_produces_no_violations(self):
+        """A benchmark broken fleet-wide trips its breaker; the next
+        validate() short-circuits it with no violations and drops it
+        from benchmarks_run -- the breaker exists so a harness
+        regression cannot quarantine the fleet."""
+        fleet = build_fleet(6, seed=3)
+        suite = full_suite()
+        broken = suite[0].name
+
+        class BrokenBenchmarkRunner(SuiteRunner):
+            def __init__(self, **kwargs):
+                super().__init__(**kwargs)
+                self.healed = True  # healthy while criteria are learned
+
+            def run(self, spec, node):
+                if spec.name == broken and not self.healed:
+                    raise RuntimeError("harness regression")
+                return super().run(spec, node)
+
+        runner = BrokenBenchmarkRunner(seed=7)
+        validator = Validator(suite, runner=runner)
+        validator.learn_criteria(fleet.nodes[:4])
+        runner.healed = False  # the regression ships
+        pool = ValidationPool(PoolConfig(
+            max_workers=4, benchmark_timeout_seconds=None, max_attempts=1,
+            poll_interval_seconds=0.01, breaker_failure_threshold=1,
+            breaker_cooldown_sweeps=1))
+
+        # Sweep 1: the broken benchmark fails fleet-wide -- executed
+        # cells still yield execution-failure violations -- and the
+        # breaker opens.
+        report, _ = pool.validate(validator, fleet.nodes, [broken])
+        assert all(v.benchmark == broken for v in report.violations)
+        assert pool.breakers[broken].state is BreakerState.OPEN
+
+        # Sweep 2 (still broken, half-open probe fails): only the
+        # probe cell may produce violations; short-circuited cells
+        # produce none, and the never-executed benchmark would be
+        # dropped from benchmarks_run if nothing ran.
+        report, sweeps = pool.validate(validator, fleet.nodes, [broken])
+        violating = {v.node_id for v in report.violations}
+        assert violating <= {fleet.nodes[0].node_id}
+        assert len(sweeps[0].short_circuited_runs) == len(fleet.nodes) - 1
 
 
 @pytest.fixture(scope="module")

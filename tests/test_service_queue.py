@@ -107,3 +107,107 @@ class TestEventIds:
         queue.reserve_ids(7)
         entry, _ = queue.push(make_event(["b"]), 0.1)
         assert entry.event_id == 8
+
+    def test_last_event_id_tracks_high_water_mark(self):
+        queue = EventQueue()
+        queue.push(make_event(["a"]), 0.1)
+        queue.push(make_event(["b"]), 0.1)
+        assert queue.last_event_id == 2
+        queue.reserve_ids(9)
+        assert queue.last_event_id == 9
+        entry, _ = queue.push(make_event(["c"]), 0.1)
+        assert entry.event_id == 10 and queue.last_event_id == 10
+
+
+class TestRequeueAndRemove:
+    def test_requeue_keeps_identity_and_attempts(self):
+        queue = EventQueue()
+        entry, _ = queue.push(make_event(["a"]), 0.6)
+        popped = queue.pop()
+        popped.attempts = 2
+        queue.requeue(popped)
+        again = queue.pop()
+        assert again is popped
+        assert again.event_id == entry.event_id and again.attempts == 2
+        assert queue.pop() is None
+
+    def test_requeue_merges_into_fresh_pending_duplicate(self):
+        queue = EventQueue()
+        queue.push(make_event(["a"]), 0.9)
+        popped = queue.pop()
+        popped.attempts = 2
+        # A fresh duplicate was submitted while the entry was being
+        # processed; the pending entry survives the merge.
+        fresh, created = queue.push(make_event(["a"]), 0.3)
+        assert created
+        merged = queue.requeue(popped)
+        assert merged is fresh
+        assert merged.attempts == 2            # inherits the failures
+        assert merged.priority == 0.9          # and the higher priority
+        assert len(queue) == 1
+        assert queue.pop() is fresh and queue.pop() is None
+
+    def test_remove_withdraws_pending_entry(self):
+        queue = EventQueue()
+        entry, _ = queue.push(make_event(["a"]), 0.5)
+        assert queue.remove(entry)
+        assert len(queue) == 0
+        assert queue.pop() is None             # stale heap tuple discarded
+        assert not queue.remove(entry)         # already gone
+
+    def test_removed_key_accepts_fresh_entry(self):
+        queue = EventQueue()
+        entry, _ = queue.push(make_event(["a"]), 0.5)
+        queue.remove(entry)
+        fresh, created = queue.push(make_event(["a"]), 0.5)
+        assert created and fresh is not entry
+        assert queue.pop() is fresh
+
+
+class TestDeadLetters:
+    def test_dead_letter_parks_popped_entry(self):
+        queue = EventQueue()
+        queue.push(make_event(["a"]), 0.5)
+        entry = queue.pop()
+        entry.attempts = 3
+        letter = queue.dead_letter(entry, "ChaosError: poison")
+        assert queue.dead_letters() == [letter]
+        assert letter.event_id == entry.event_id
+        assert letter.reason == "ChaosError: poison"
+        assert len(queue) == 0 and queue.pop() is None
+
+    def test_dead_letters_accumulate_in_order(self):
+        queue = EventQueue()
+        for name in ("a", "b"):
+            queue.push(make_event([name]), 0.5)
+            queue.dead_letter(queue.pop(), f"poison-{name}")
+        assert [dl.reason for dl in queue.dead_letters()] == [
+            "poison-a", "poison-b"]
+
+    def test_dead_lettered_key_accepts_fresh_entry(self):
+        queue = EventQueue()
+        queue.push(make_event(["a"]), 0.5)
+        queue.dead_letter(queue.pop(), "poison")
+        fresh, created = queue.push(make_event(["a"]), 0.5)
+        assert created
+        assert queue.pop() is fresh
+
+
+class TestEdgeCases:
+    def test_empty_node_set_events_coalesce(self):
+        queue = EventQueue()
+        first, created = queue.push(make_event([], kind=EventKind.PERIODIC),
+                                    0.2)
+        second, created2 = queue.push(make_event([], kind=EventKind.PERIODIC),
+                                      0.4)
+        assert created and not created2
+        assert second is first and first.priority == 0.4
+        assert len(queue) == 1
+
+    def test_duplicate_submit_pops_exactly_once(self):
+        queue = EventQueue()
+        queue.push(make_event(["a", "b"]), 0.5)
+        _, created = queue.push(make_event(["a", "b"]), 0.5)
+        assert not created
+        assert queue.pop() is not None
+        assert queue.pop() is None

@@ -11,6 +11,7 @@ from repro.core.selector import NodeStatus
 from repro.core.system import EventKind, ValidationEvent
 from repro.exceptions import JournalError
 from repro.service import JournalStore, event_from_payload, event_to_payload
+from repro.service.store import record_crc
 
 
 @dataclass(frozen=True)
@@ -111,3 +112,103 @@ class TestJournalStore:
             handle.write('{"seq": 99, "kind": "beta"')  # truncated
         reopened = JournalStore(tmp_path)
         assert reopened.next_seq == 2
+
+
+class TestChecksums:
+    def test_every_record_carries_a_crc(self, tmp_path):
+        store = JournalStore(tmp_path)
+        store.append("alpha", {"x": 1})
+        raw = json.loads(store.path.read_text())
+        assert raw["crc"] == record_crc(1, "alpha", {"x": 1})
+
+    def test_decodable_but_corrupted_line_is_skipped(self, tmp_path, caplog):
+        """Bit rot that still parses as JSON: without the checksum this
+        record would silently replay with the wrong payload."""
+        store = JournalStore(tmp_path)
+        store.append("alpha", {"x": 1})
+        store.append("beta", {"x": 2})
+        lines = store.path.read_text().splitlines()
+        lines[0] = lines[0].replace('"x": 1', '"x": 7')  # still valid JSON
+        store.path.write_text("\n".join(lines) + "\n")
+        reopened = JournalStore(tmp_path)
+        with caplog.at_level(logging.WARNING):
+            records = reopened.replay()
+        assert [r.kind for r in records] == ["beta"]
+        assert reopened.corrupt_records == 1
+        assert any("checksum-mismatched" in r.message for r in caplog.records)
+
+    def test_pre_checksum_records_still_replay(self, tmp_path):
+        store = JournalStore(tmp_path)
+        with store.path.open("a") as handle:
+            handle.write(json.dumps({"seq": 1, "kind": "legacy",
+                                     "payload": {"x": 1}}) + "\n")
+        records = JournalStore(tmp_path).replay()
+        assert [(r.seq, r.kind, r.payload)
+                for r in records] == [(1, "legacy", {"x": 1})]
+
+    def test_crc_is_format_independent(self):
+        assert (record_crc(1, "k", {"a": 1, "b": 2})
+                == record_crc(1, "k", {"b": 2, "a": 1}))
+        assert record_crc(1, "k", {"a": 1}) != record_crc(2, "k", {"a": 1})
+
+
+class TestFsync:
+    def test_append_returns_seq_on_both_paths(self, tmp_path):
+        buffered = JournalStore(tmp_path / "buffered", fsync=False)
+        durable = JournalStore(tmp_path / "durable", fsync=True)
+        assert buffered.append("alpha", {"x": 1}) == 1
+        assert durable.append("alpha", {"x": 1}) == 1
+        assert buffered.append("beta", {}) == 2
+        assert durable.append("beta", {}) == 2
+        assert ([r.kind for r in buffered.replay()]
+                == [r.kind for r in durable.replay()]
+                == ["alpha", "beta"])
+
+    def test_per_append_override(self, tmp_path):
+        store = JournalStore(tmp_path, fsync=False)
+        assert store.append("alpha", {}, fsync=True) == 1
+        assert store.append("beta", {}, fsync=False) == 2
+        assert len(store.replay()) == 2
+
+    def test_append_failure_raises_and_preserves_seq(self, tmp_path):
+        store = JournalStore(tmp_path)
+        store.append("alpha", {})
+        store.path.unlink()
+        store.path.mkdir()  # opening the "file" for append now fails
+        with pytest.raises(JournalError, match="cannot append"):
+            store.append("beta", {})
+        assert store.next_seq == 2  # the failed append burned no seq
+
+
+class TestRewrite:
+    def test_rewrite_replaces_journal_and_restarts_seqs(self, tmp_path):
+        store = JournalStore(tmp_path)
+        for i in range(10):
+            store.append("noise", {"i": i})
+        count = store.rewrite([("snapshot", {"s": 1}),
+                               ("event-enqueued", {"event_id": 4})])
+        assert count == 2
+        records = store.replay()
+        assert [(r.seq, r.kind) for r in records] == [
+            (1, "snapshot"), (2, "event-enqueued")]
+        assert store.next_seq == 3
+
+    def test_rewrite_leaves_no_temp_file(self, tmp_path):
+        store = JournalStore(tmp_path)
+        store.append("alpha", {})
+        store.rewrite([("snapshot", {})])
+        assert [p.name for p in tmp_path.iterdir()] == ["journal.jsonl"]
+
+    def test_rewritten_records_are_checksummed(self, tmp_path):
+        store = JournalStore(tmp_path)
+        store.rewrite([("snapshot", {"s": 1})])
+        raw = json.loads(store.path.read_text())
+        assert raw["crc"] == record_crc(1, "snapshot", {"s": 1})
+
+    def test_reopened_store_continues_after_rewrite(self, tmp_path):
+        store = JournalStore(tmp_path)
+        for i in range(5):
+            store.append("noise", {"i": i})
+        store.rewrite([("snapshot", {})])
+        reopened = JournalStore(tmp_path)
+        assert reopened.append("fresh", {}) == 2
