@@ -1,0 +1,312 @@
+"""Tracked perf-bench harness for the vectorized ECDF distance kernels.
+
+Measures the scalar reference implementations against the batched
+``repro.core.fastdist`` kernels across fleet sizes and writes the results
+to ``BENCH_core.json``.  Three workloads are timed per fleet size:
+
+* ``pairwise``    -- full N x N similarity matrix (Eq. 2 of the paper),
+* ``one_vs_many`` -- online-filter scoring of N windows against a single
+  learned reference sample (Eq. 3/4),
+* ``learn``       -- end-to-end ``learn_criteria`` on the fleet.
+
+Before timing anything the harness runs a randomized equivalence sweep:
+every vectorized path (compiled C merge kernel, NumPy Abel-summation
+kernel, general ragged kernel, one-vs-many in both directions) is checked
+against the scalar reference and the run aborts with a non-zero exit code
+if any deviation exceeds ``--tolerance`` (default 1e-9).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_core.py --out BENCH_core.json
+
+CI runs the small smoke configuration::
+
+    PYTHONPATH=src python benchmarks/perf/bench_core.py \
+        --sizes 64 --repeats 1 --out BENCH_core.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.core import _cmerge, fastdist  # noqa: E402
+from repro.core.criteria import learn_criteria  # noqa: E402
+from repro.core.distance import (  # noqa: E402
+    one_sided_similarity,
+    pairwise_similarity_matrix,
+    pairwise_similarity_matrix_reference,
+    similarity,
+)
+from repro.core.fastdist import (  # noqa: E402
+    SortedSampleBatch,
+    batch_gap_integrals,
+    one_vs_many_similarities,
+    pairwise_similarities,
+)
+
+
+def make_fleet(rng: np.random.Generator, nodes: int, window: int) -> np.ndarray:
+    """Synthetic fleet: healthy cluster with mild per-node offsets."""
+
+    offsets = rng.normal(0.0, 0.5, size=(nodes, 1))
+    return 100.0 + offsets + rng.normal(0.0, 2.0, size=(nodes, window))
+
+
+def best_of(fn, repeats: int) -> float:
+    fn()  # warmup
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Equivalence sweep
+# ---------------------------------------------------------------------------
+
+
+def _uniform_numpy_matrix(samples) -> np.ndarray:
+    """Pairwise similarities forced through the NumPy Abel-table path."""
+
+    batch = SortedSampleBatch.from_samples(samples)
+    integrals = fastdist._pairwise_integrals_uniform(batch.data)
+    out = fastdist._normalize(
+        integrals,
+        batch.mins[:, None], batch.maxs[:, None],
+        batch.mins[None, :], batch.maxs[None, :],
+    )
+    np.fill_diagonal(out, 0.0)
+    return 1.0 - out
+
+
+def _uniform_c_matrix(samples) -> np.ndarray | None:
+    """Pairwise similarities forced through the compiled merge kernel."""
+
+    batch = SortedSampleBatch.from_samples(samples)
+    integrals = fastdist._pairwise_integrals_uniform_c(batch.data)
+    if integrals is None:
+        return None
+    out = fastdist._normalize(
+        integrals,
+        batch.mins[:, None], batch.maxs[:, None],
+        batch.mins[None, :], batch.maxs[None, :],
+    )
+    np.fill_diagonal(out, 0.0)
+    return 1.0 - out
+
+
+def _equivalence_cases(rng: np.random.Generator):
+    yield "normal", [rng.normal(100, 2, size=40) for _ in range(6)]
+    yield "duplicate_heavy", [
+        np.round(rng.normal(50, 1, size=30), 0) for _ in range(5)
+    ]
+    yield "negative", [rng.normal(-10, 3, size=25) for _ in range(5)]
+    yield "all_identical", [np.full(12, 7.5) for _ in range(4)]
+    yield "single_value", [np.array([float(v)]) for v in rng.normal(5, 1, 4)]
+    yield "ragged", [
+        rng.normal(20, 2, size=int(n)) for n in rng.integers(1, 40, size=6)
+    ]
+
+
+def run_equivalence(tolerance: float) -> dict:
+    rng = np.random.default_rng(7)
+    worst = 0.0
+    cases = {}
+    for name, samples in _equivalence_cases(rng):
+        reference = pairwise_similarity_matrix_reference(samples)
+        deviations = {
+            "dispatch": float(
+                np.max(np.abs(pairwise_similarity_matrix(samples) - reference))
+            )
+        }
+        sizes = {len(np.asarray(s)) for s in samples}
+        if len(sizes) == 1:
+            deviations["numpy_abel"] = float(
+                np.max(np.abs(_uniform_numpy_matrix(samples) - reference))
+            )
+            c_matrix = _uniform_c_matrix(samples)
+            if c_matrix is not None:
+                deviations["c_kernel"] = float(
+                    np.max(np.abs(c_matrix - reference))
+                )
+
+        # One-vs-many (both orientations) against the first sample.
+        batch = SortedSampleBatch.from_samples(samples)
+        ref_sample = np.sort(np.asarray(samples[0], dtype=float))
+        for label, direction in (
+            ("two_sided", 0), ("higher_better", 1), ("lower_better", -1),
+        ):
+            got = one_vs_many_similarities(
+                batch, ref_sample, signed_direction=direction,
+                assume_sorted=True,
+            )
+            if direction == 0:
+                want = np.array(
+                    [similarity(s, ref_sample) for s in samples]
+                )
+            else:
+                want = np.array([
+                    one_sided_similarity(
+                        s, ref_sample, higher_is_better=direction > 0
+                    )
+                    for s in samples
+                ])
+            deviations[f"one_vs_many_{label}"] = float(
+                np.max(np.abs(got - want))
+            )
+
+        # Row-wise batch kernel on adjacent pairs.
+        if batch.n >= 2:
+            left = batch.take(np.arange(batch.n - 1))
+            right = batch.take(np.arange(1, batch.n))
+            got = 1.0 - batch_gap_integrals(left, right)
+            want = np.array([
+                similarity(samples[i], samples[i + 1])
+                for i in range(batch.n - 1)
+            ])
+            deviations["batch_rowwise"] = float(np.max(np.abs(got - want)))
+
+        cases[name] = deviations
+        worst = max(worst, *deviations.values())
+    return {"max_deviation": worst, "tolerance": tolerance, "cases": cases}
+
+
+# ---------------------------------------------------------------------------
+# Timings
+# ---------------------------------------------------------------------------
+
+
+def bench_size(
+    nodes: int, window: int, repeats: int, scalar_max: int
+) -> dict:
+    rng = np.random.default_rng(nodes)
+    fleet = make_fleet(rng, nodes, window)
+    samples = [fleet[i] for i in range(nodes)]
+    batch = SortedSampleBatch.from_samples(samples)
+    reference = np.sort(fleet[0])
+
+    entry: dict = {"nodes": nodes, "window": window}
+
+    vec_pairwise = best_of(
+        lambda: pairwise_similarities(batch), repeats
+    )
+    vec_one = best_of(
+        lambda: one_vs_many_similarities(
+            batch, reference, signed_direction=1, assume_sorted=True
+        ),
+        repeats,
+    )
+    learn = best_of(
+        lambda: learn_criteria(samples, 0.95, centroid="hybrid"), repeats
+    )
+    entry["pairwise"] = {"vectorized_s": vec_pairwise}
+    entry["one_vs_many"] = {"vectorized_s": vec_one}
+    entry["learn_criteria"] = {"vectorized_s": learn}
+
+    if nodes <= scalar_max:
+        scalar_pairwise = best_of(
+            lambda: pairwise_similarity_matrix_reference(samples),
+            max(1, repeats // 2),
+        )
+        scalar_one = best_of(
+            lambda: [
+                one_sided_similarity(s, reference, higher_is_better=True)
+                for s in samples
+            ],
+            max(1, repeats // 2),
+        )
+        entry["pairwise"]["scalar_s"] = scalar_pairwise
+        entry["pairwise"]["speedup"] = scalar_pairwise / vec_pairwise
+        entry["one_vs_many"]["scalar_s"] = scalar_one
+        entry["one_vs_many"]["speedup"] = scalar_one / vec_one
+    return entry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", default="64,256,1024",
+                        help="comma-separated fleet sizes")
+    parser.add_argument("--window", type=int, default=300,
+                        help="samples per node window")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats (best-of)")
+    parser.add_argument("--scalar-max", type=int, default=1024,
+                        help="largest fleet to also time with the scalar "
+                             "reference implementation")
+    parser.add_argument("--tolerance", type=float, default=1e-9,
+                        help="max allowed vectorized-vs-scalar deviation")
+    parser.add_argument("--out", default="BENCH_core.json",
+                        help="output JSON path")
+    parser.add_argument("--skip-equivalence", action="store_true",
+                        help="skip the equivalence sweep (timings only)")
+    args = parser.parse_args(argv)
+
+    sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+
+    result: dict = {
+        "suite": "repro.core distance kernels",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+            "c_kernel": _cmerge.available(),
+        },
+        "config": {
+            "window": args.window,
+            "repeats": args.repeats,
+            "tolerance": args.tolerance,
+        },
+    }
+
+    if not args.skip_equivalence:
+        print("equivalence sweep ...", flush=True)
+        equivalence = run_equivalence(args.tolerance)
+        result["equivalence"] = equivalence
+        print(f"  max deviation: {equivalence['max_deviation']:.3e}")
+        if equivalence["max_deviation"] > args.tolerance:
+            print(
+                "FAIL: vectorized kernels deviate from the scalar reference "
+                f"by {equivalence['max_deviation']:.3e} "
+                f"(tolerance {args.tolerance:.1e})",
+                file=sys.stderr,
+            )
+            Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+            return 1
+
+    result["timings"] = []
+    for nodes in sizes:
+        print(f"benchmarking fleet size {nodes} ...", flush=True)
+        entry = bench_size(nodes, args.window, args.repeats, args.scalar_max)
+        result["timings"].append(entry)
+        pairwise = entry["pairwise"]
+        if "speedup" in pairwise:
+            print(
+                f"  pairwise {pairwise['scalar_s'] * 1e3:9.1f} ms -> "
+                f"{pairwise['vectorized_s'] * 1e3:7.1f} ms  "
+                f"({pairwise['speedup']:.1f}x)"
+            )
+        else:
+            print(f"  pairwise {pairwise['vectorized_s'] * 1e3:7.1f} ms")
+
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,8 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.distance import cdf_distance
 from repro.core.ecdf import as_sample
+from repro.core.fastdist import SortedSampleBatch, one_vs_many_distances
 from repro.exceptions import CriteriaError
 
 __all__ = [
@@ -130,7 +130,8 @@ def margin_ratio(samples, criteria, defect_indices) -> float:
     defect_set = set(int(i) for i in defect_indices)
     if not defect_set:
         return float("inf")
-    distances = np.array([cdf_distance(s, criteria) for s in samples])
+    batch = SortedSampleBatch.from_samples(samples)
+    distances = one_vs_many_distances(batch, criteria)
     defective = np.array(sorted(defect_set))
     healthy = np.array([i for i in range(len(samples)) if i not in defect_set])
     if healthy.size == 0:

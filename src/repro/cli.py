@@ -27,6 +27,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SuperBench/ANUBIS reproduction: proactive GPU-fleet validation",
     )
+    parser.add_argument("--profile", action="store_true",
+                        help="run the command under cProfile and print the "
+                             "top-25 cumulative functions (put it before "
+                             "the subcommand: repro --profile serve ...)")
+    parser.add_argument("--profile-out", metavar="PATH",
+                        default="repro-profile.pstats",
+                        help="where --profile dumps the pstats file "
+                             "(default repro-profile.pstats)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     screen = sub.add_parser("screen", help="screen a simulated fleet "
@@ -311,6 +319,22 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _run_profiled(handler, args) -> int:
+    """Run one command under cProfile; dump stats and a top-25 summary."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(handler, args)
+    finally:
+        profiler.dump_stats(args.profile_out)
+        print(f"\nprofile written to {args.profile_out}; "
+              "top 25 by cumulative time:", file=sys.stderr)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats(pstats.SortKey.CUMULATIVE).print_stats(25)
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -320,7 +344,10 @@ def main(argv=None) -> int:
         "traces": _cmd_traces,
         "serve": _cmd_serve,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    if args.profile:
+        return _run_profiled(handler, args)
+    return handler(args)
 
 
 if __name__ == "__main__":

@@ -6,10 +6,20 @@ from repro.core.distance import (
     one_sided_distance,
     one_sided_similarity,
     pairwise_similarity_matrix,
+    pairwise_similarity_matrix_reference,
     similarity,
 )
 from repro.core.drift import DriftReport, evaluate_drift
 from repro.core.ecdf import Ecdf, as_sample
+from repro.core.fastdist import (
+    SortedSampleBatch,
+    batch_gap_integrals,
+    one_vs_many_distances,
+    one_vs_many_similarities,
+    pairwise_distances,
+    pairwise_similarities,
+)
+from repro.core.parallel import process_map, resolve_workers
 from repro.core.persistence import (
     apply_criteria_payload,
     criteria_payload,
@@ -58,6 +68,7 @@ __all__ = [
     "NodeStatus",
     "SelectionResult",
     "Selector",
+    "SortedSampleBatch",
     "ValidationEvent",
     "ValidationOutcome",
     "ValidationPlan",
@@ -66,6 +77,7 @@ __all__ = [
     "Violation",
     "apply_criteria_payload",
     "as_sample",
+    "batch_gap_integrals",
     "cdf_distance",
     "criteria_payload",
     "criteria_repeatability",
@@ -76,8 +88,15 @@ __all__ = [
     "load_criteria",
     "one_sided_distance",
     "one_sided_similarity",
+    "one_vs_many_distances",
+    "one_vs_many_similarities",
+    "pairwise_distances",
     "pairwise_repeatability",
+    "pairwise_similarities",
     "pairwise_similarity_matrix",
+    "pairwise_similarity_matrix_reference",
+    "process_map",
+    "resolve_workers",
     "save_criteria",
     "search_window",
     "seasonal_decompose",

@@ -29,7 +29,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.distance import pairwise_similarity_matrix, similarity
+from repro.core.fastdist import (
+    SortedSampleBatch,
+    one_vs_many_similarities,
+    pairwise_similarities,
+)
 from repro.exceptions import CriteriaError
 
 __all__ = ["CriteriaResult", "learn_criteria", "medoid_index"]
@@ -119,7 +123,12 @@ def learn_criteria(samples, alpha: float = 0.95, *,
     if n == 0:
         raise CriteriaError("criteria learning needs at least one sample")
 
-    sim_matrix = pairwise_similarity_matrix(samples)
+    # One validated, sorted batch backs every similarity evaluation of
+    # the run: the full pairwise matrix and each iteration's pooled
+    # re-scoring (previously a fresh Python loop per iteration).
+    batch = SortedSampleBatch.from_samples(samples)
+    sim_matrix = pairwise_similarities(batch)
+    np.fill_diagonal(sim_matrix, 1.0)
     all_indices = np.arange(n)
     iteration_centroid = "medoid" if centroid == "hybrid" else centroid
 
@@ -132,7 +141,10 @@ def learn_criteria(samples, alpha: float = 0.95, *,
     def sims_to(criteria_sample: np.ndarray, criteria_idx: int | None) -> np.ndarray:
         if criteria_idx is not None:
             return sim_matrix[criteria_idx]
-        return np.array([similarity(criteria_sample, s) for s in samples])
+        # _pooled_sample returns sorted output, so the reference ECDF
+        # can be used as-is.
+        return one_vs_many_similarities(batch, criteria_sample,
+                                        assume_sorted=True)
 
     active = all_indices
     criteria_sample, criteria_idx = centroid_of(active)

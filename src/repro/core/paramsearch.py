@@ -25,8 +25,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.benchsuite.runner import StepWindow
-from repro.core.distance import similarity
 from repro.core.ecdf import as_sample
+from repro.core.fastdist import SortedSampleBatch, batch_gap_integrals
+from repro.core.repeatability import pairwise_repeatability
 from repro.exceptions import BenchmarkError
 
 __all__ = [
@@ -150,12 +151,19 @@ def search_window(series, alpha: float = 0.95, *, period: int | None = None,
         raise BenchmarkError(
             f"series of {values.size} steps has fewer than two {p}-step cycles"
         )
-    cycles = [values[i * p:(i + 1) * p] for i in range(n_cycles)]
+    # All consecutive-cycle similarities in one row-wise kernel call:
+    # row i of the "a" batch against row i+1 of the "b" batch.
+    cycles = np.sort(values[:n_cycles * p].reshape(n_cycles, p), axis=1)
+    batch = SortedSampleBatch(cycles, np.full(n_cycles, p, dtype=np.intp))
+    adjacent_sims = 1.0 - batch_gap_integrals(
+        batch.take(np.arange(n_cycles - 1)),
+        batch.take(np.arange(1, n_cycles)),
+    )
 
     run_start = 0
     run_length = 1
     for i in range(1, n_cycles):
-        if similarity(cycles[i - 1], cycles[i]) > alpha:
+        if adjacent_sims[i - 1] > alpha:
             run_length += 1
         else:
             run_start, run_length = i, 1
@@ -199,12 +207,7 @@ def tune_window_across_nodes(node_series: dict[str, np.ndarray],
                 windowed.append(window.apply(series))
         if len(windowed) < 2:
             return -np.inf
-        total, count = 0.0, 0
-        for i in range(len(windowed)):
-            for j in range(i + 1, len(windowed)):
-                total += similarity(windowed[i], windowed[j])
-                count += 1
-        return total / count
+        return pairwise_repeatability(windowed)
 
     best = max(candidates, key=lambda w: (score(w), -w.total_steps))
     return best

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.distance import pairwise_similarity_matrix, similarity
+from repro.core.distance import pairwise_similarity_matrix
+from repro.core.fastdist import SortedSampleBatch, one_vs_many_similarities
 from repro.exceptions import InvalidSampleError
 
 __all__ = ["pairwise_repeatability", "criteria_repeatability"]
@@ -42,4 +43,5 @@ def criteria_repeatability(samples, criteria) -> float:
     """Mean similarity between each sample and a fixed criteria sample."""
     if len(samples) == 0:
         raise InvalidSampleError("repeatability needs at least one sample")
-    return float(np.mean([similarity(criteria, s) for s in samples]))
+    batch = SortedSampleBatch.from_samples(samples)
+    return float(np.mean(one_vs_many_similarities(batch, criteria)))

@@ -26,11 +26,18 @@ import numpy as np
 from repro.benchsuite.base import BenchmarkKind, BenchmarkSpec, Phase
 from repro.benchsuite.runner import SuiteRunner
 from repro.core.criteria import CriteriaResult, learn_criteria
-from repro.core.distance import one_sided_similarity
+from repro.core.fastdist import SortedSampleBatch, one_vs_many_similarities
+from repro.core.parallel import process_map
 from repro.exceptions import CriteriaError, InvalidSampleError
 from repro.core.ecdf import as_sample
 
 __all__ = ["MetricCriteria", "Violation", "ValidationReport", "Validator"]
+
+
+def _learn_task(task) -> CriteriaResult:
+    """Picklable unit of criteria learning for process fan-out."""
+    samples, alpha, centroid = task
+    return learn_criteria(samples, alpha, centroid=centroid)
 
 
 @dataclass(frozen=True)
@@ -110,6 +117,13 @@ class Validator:
         self.alpha = float(alpha)
         self.centroid = centroid
         self.criteria: dict[tuple[str, str], MetricCriteria] = {}
+        # (benchmark, metric) -> (MetricCriteria, presorted sample).
+        # Entries are validated by *identity* against the live
+        # ``criteria`` dict, so any re-learn or persistence reload
+        # (which replace the MetricCriteria object) invalidates them
+        # without coordination.
+        self._criteria_cache: dict[tuple[str, str],
+                                   tuple[MetricCriteria, np.ndarray]] = {}
 
     def spec(self, name: str) -> BenchmarkSpec:
         """Suite lookup by benchmark name."""
@@ -121,14 +135,9 @@ class Validator:
     # ------------------------------------------------------------------
     # Offline criteria learning
     # ------------------------------------------------------------------
-    def learn_criteria_from_results(self, spec: BenchmarkSpec,
-                                    results: dict[str, object]) -> None:
-        """Learn criteria for one benchmark from node -> result samples.
-
-        ``results`` maps node id to a :class:`BenchmarkResult`; nodes
-        whose samples are invalid are skipped for learning (they will
-        be flagged online).
-        """
+    def _learning_tasks(self, spec: BenchmarkSpec, results: dict[str, object]):
+        """Per-metric (metric, samples, centroid) learning inputs."""
+        tasks = []
         for metric in spec.metrics:
             samples = []
             for result in results.values():
@@ -147,28 +156,87 @@ class Validator:
             # CDF keeps the one-sided filter's left tail quiet.
             is_series = any(np.size(s) > 1 for s in samples)
             centroid = self.centroid if is_series else "medoid"
-            learned = learn_criteria(samples, self.alpha, centroid=centroid)
-            self.criteria[(spec.name, metric.name)] = MetricCriteria(
-                benchmark=spec.name,
-                metric=metric.name,
-                criteria=learned.criteria,
-                alpha=self.alpha,
-                higher_is_better=metric.higher_is_better,
-                learning=learned,
-            )
+            tasks.append((metric, samples, centroid))
+        return tasks
 
-    def learn_criteria(self, nodes, benchmarks=None) -> None:
-        """Build-out flow: run benchmarks on ``nodes`` and learn criteria."""
+    def _store_criteria(self, spec: BenchmarkSpec, metric,
+                        learned: CriteriaResult) -> None:
+        key = (spec.name, metric.name)
+        self._criteria_cache.pop(key, None)
+        self.criteria[key] = MetricCriteria(
+            benchmark=spec.name,
+            metric=metric.name,
+            criteria=learned.criteria,
+            alpha=self.alpha,
+            higher_is_better=metric.higher_is_better,
+            learning=learned,
+        )
+
+    def learn_criteria_from_results(self, spec: BenchmarkSpec,
+                                    results: dict[str, object]) -> None:
+        """Learn criteria for one benchmark from node -> result samples.
+
+        ``results`` maps node id to a :class:`BenchmarkResult`; nodes
+        whose samples are invalid are skipped for learning (they will
+        be flagged online).
+        """
+        for metric, samples, centroid in self._learning_tasks(spec, results):
+            learned = learn_criteria(samples, self.alpha, centroid=centroid)
+            self._store_criteria(spec, metric, learned)
+
+    def learn_criteria(self, nodes, benchmarks=None, *,
+                       workers: int | None = None) -> None:
+        """Build-out flow: run benchmarks on ``nodes`` and learn criteria.
+
+        Benchmark execution stays sequential (the runner owns the
+        deterministic per-(node, benchmark) RNG streams), but the
+        Algorithm 2 learning tasks -- independent per (benchmark,
+        metric) -- fan out across worker processes.  ``workers``
+        defaults to the ``REPRO_WORKERS`` environment variable, else 1;
+        results are identical at any width.
+        """
+        tasks = []
         for spec in self.resolve(benchmarks):
             results = self.runner.run_on_nodes(spec, nodes)
-            self.learn_criteria_from_results(spec, results)
+            for metric, samples, centroid in self._learning_tasks(spec, results):
+                tasks.append((spec, metric, samples, centroid))
+        learned_results = process_map(
+            _learn_task,
+            [(samples, self.alpha, centroid)
+             for _, _, samples, centroid in tasks],
+            workers=workers,
+        )
+        for (spec, metric, _, _), learned in zip(tasks, learned_results):
+            self._store_criteria(spec, metric, learned)
 
     # ------------------------------------------------------------------
     # Online validation
     # ------------------------------------------------------------------
+    def _criteria_reference(self, key: tuple[str, str],
+                            criteria: MetricCriteria) -> np.ndarray:
+        """Presorted criteria sample, cached until the criteria changes."""
+        cached = self._criteria_cache.get(key)
+        if cached is not None and cached[0] is criteria:
+            return cached[1]
+        reference = np.sort(as_sample(criteria.criteria))
+        self._criteria_cache[key] = (criteria, reference)
+        return reference
+
     def check_result(self, spec: BenchmarkSpec, result) -> list[Violation]:
         """Compare one node's benchmark result to the learned criteria."""
-        violations = []
+        return self.check_results(spec, [result])
+
+    def check_results(self, spec: BenchmarkSpec, results) -> list[Violation]:
+        """Compare many nodes' results to the criteria in one pass.
+
+        The whole fleet's windows for one metric are scored against the
+        cached criteria ECDF with a single one-vs-many kernel call
+        (Eq. 4); violations come back in the same node-major, metric
+        order a :meth:`check_result` loop would produce.
+        """
+        results = list(results)
+        # metric name -> (per-result similarity by index, failure reasons)
+        scored: dict[str, tuple[dict[int, float], dict[int, str]]] = {}
         for metric in spec.metrics:
             key = (spec.name, metric.name)
             if key not in self.criteria:
@@ -176,24 +244,44 @@ class Validator:
                     f"no criteria learned for {spec.name}/{metric.name}"
                 )
             criteria = self.criteria[key]
-            try:
-                sample = as_sample(result.sample(metric.name))
-            except (InvalidSampleError, KeyError) as error:
-                violations.append(Violation(
-                    node_id=result.node_id, benchmark=spec.name,
-                    metric=metric.name, similarity=0.0,
-                    reason=f"execution-failure: {error}",
-                ))
-                continue
-            sim = one_sided_similarity(
-                sample, criteria.criteria,
-                higher_is_better=metric.higher_is_better,
-            )
-            if sim <= self.alpha:
-                violations.append(Violation(
-                    node_id=result.node_id, benchmark=spec.name,
-                    metric=metric.name, similarity=sim,
-                ))
+            reference = self._criteria_reference(key, criteria)
+            sorted_samples, indices = [], []
+            failures: dict[int, str] = {}
+            for index, result in enumerate(results):
+                try:
+                    sample = as_sample(result.sample(metric.name))
+                except (InvalidSampleError, KeyError) as error:
+                    failures[index] = str(error)
+                    continue
+                sorted_samples.append(np.sort(sample))
+                indices.append(index)
+            similarities: dict[int, float] = {}
+            if indices:
+                batch = SortedSampleBatch.from_sorted(sorted_samples)
+                direction = +1 if criteria.higher_is_better else -1
+                sims = one_vs_many_similarities(
+                    batch, reference, signed_direction=direction,
+                    assume_sorted=True,
+                )
+                similarities = {idx: float(sim)
+                                for idx, sim in zip(indices, sims)}
+            scored[metric.name] = (similarities, failures)
+
+        violations = []
+        for index, result in enumerate(results):
+            for metric in spec.metrics:
+                similarities, failures = scored[metric.name]
+                if index in failures:
+                    violations.append(Violation(
+                        node_id=result.node_id, benchmark=spec.name,
+                        metric=metric.name, similarity=0.0,
+                        reason=f"execution-failure: {failures[index]}",
+                    ))
+                elif similarities[index] <= self.alpha:
+                    violations.append(Violation(
+                        node_id=result.node_id, benchmark=spec.name,
+                        metric=metric.name, similarity=similarities[index],
+                    ))
         return violations
 
     def validate(self, nodes, benchmarks=None) -> ValidationReport:
@@ -212,9 +300,8 @@ class Validator:
         remaining = list(nodes)
         for phase_specs in self.execution_phases(selected):
             for spec in phase_specs:
-                for node in remaining:
-                    result = self.runner.run(spec, node)
-                    report.violations.extend(self.check_result(spec, result))
+                results = [self.runner.run(spec, node) for node in remaining]
+                report.violations.extend(self.check_results(spec, results))
             flagged = set(report.defective_nodes)
             remaining = [node for node in remaining if node.node_id not in flagged]
         return report

@@ -41,6 +41,7 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 
 from repro.benchsuite.base import BenchmarkResult, BenchmarkSpec
+from repro.core.parallel import resolve_workers
 from repro.core.validator import ValidationReport, Validator, Violation
 from repro.exceptions import ServiceError
 
@@ -55,7 +56,10 @@ class PoolConfig:
     Attributes
     ----------
     max_workers:
-        Thread-pool width per sweep.
+        Thread-pool width per sweep.  ``None`` (the default) reads the
+        ``REPRO_WORKERS`` environment variable, falling back to 8 --
+        the same knob that widens criteria learning, so one deployment
+        setting sizes the whole control plane.
     benchmark_timeout_seconds:
         Deadline for one (node, benchmark) execution, measured from
         the moment it starts on a worker; ``None`` disables timeouts.
@@ -81,7 +85,7 @@ class PoolConfig:
         Sweeps an open breaker skips before half-opening to probe.
     """
 
-    max_workers: int = 8
+    max_workers: int | None = None
     benchmark_timeout_seconds: float | None = 30.0
     max_attempts: int = 3
     backoff_base_seconds: float = 0.05
@@ -92,6 +96,9 @@ class PoolConfig:
     breaker_cooldown_sweeps: int = 1
 
     def __post_init__(self):
+        if self.max_workers is None:
+            object.__setattr__(self, "max_workers",
+                               resolve_workers(None, default=8))
         if self.max_workers < 1:
             raise ServiceError("max_workers must be at least 1")
         if self.max_attempts < 1:

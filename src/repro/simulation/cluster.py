@@ -164,18 +164,39 @@ class SimulationResult:
     daily_validation_hours: np.ndarray = field(default=None)
     daily_repair_hours: np.ndarray = field(default=None)
 
+    def _node_fields(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(up_hours, validation_hours, incidents) as flat arrays.
+
+        Built once per result and reused by every fleet metric -- the
+        regenerators read these properties in tight sweeps, where N
+        list comprehensions per access dominated.
+        """
+        cached = getattr(self, "_field_arrays", None)
+        if cached is None or len(cached[0]) != len(self.nodes):
+            n = len(self.nodes)
+            cached = (
+                np.fromiter((s.up_hours for s in self.nodes), float, count=n),
+                np.fromiter((s.validation_hours for s in self.nodes), float,
+                            count=n),
+                np.fromiter((s.incidents for s in self.nodes), float, count=n),
+            )
+            self._field_arrays = cached
+        return cached
+
     @property
     def average_utilization(self) -> float:
-        horizon = self.config.horizon_hours
-        return float(np.mean([n.utilization(horizon) for n in self.nodes]))
+        up_hours, _, _ = self._node_fields()
+        return float(up_hours.mean() / self.config.horizon_hours)
 
     @property
     def average_validation_hours(self) -> float:
-        return float(np.mean([n.validation_hours for n in self.nodes]))
+        _, validation_hours, _ = self._node_fields()
+        return float(validation_hours.mean())
 
     @property
     def average_incidents(self) -> float:
-        return float(np.mean([n.incidents for n in self.nodes]))
+        _, _, incidents = self._node_fields()
+        return float(incidents.mean())
 
     @property
     def mtbi_hours(self) -> float:
@@ -186,14 +207,14 @@ class SimulationResult:
         nodes -- so a policy that keeps many nodes incident-free scores
         high even if a few nodes fail repeatedly.
         """
-        return float(np.mean([n.mtbi() for n in self.nodes]))
+        up_hours, _, incidents = self._node_fields()
+        return float(np.mean(up_hours / np.maximum(incidents, 1.0)))
 
     @property
     def cluster_mtbi_hours(self) -> float:
         """Cluster-level MTBI: total up time over total incidents."""
-        total_up = sum(n.up_hours for n in self.nodes)
-        total_incidents = sum(n.incidents for n in self.nodes)
-        return total_up / max(total_incidents, 1)
+        up_hours, _, incidents = self._node_fields()
+        return float(up_hours.sum() / max(incidents.sum(), 1.0))
 
     def daily_utilization(self) -> np.ndarray:
         """Average node utilization per simulated day (Figure 8)."""
