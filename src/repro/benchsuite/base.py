@@ -171,11 +171,18 @@ class BenchmarkSpec:
 
 @dataclass(frozen=True)
 class BenchmarkResult:
-    """Output of one benchmark run on one node."""
+    """Output of one benchmark run on one node.
+
+    ``quarantined`` lists metrics whose telemetry failed sanitization
+    badly enough to support no verdict (see :mod:`repro.quality`);
+    their raw series stay in ``metrics`` for forensics, but the
+    Validator must neither score nor learn from them.
+    """
 
     benchmark: str
     node_id: str
     metrics: dict[str, np.ndarray]
+    quarantined: tuple[str, ...] = ()
 
     def sample(self, metric_name: str) -> np.ndarray:
         """Raw sample array for one metric."""

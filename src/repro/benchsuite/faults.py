@@ -10,6 +10,24 @@ Validator's failure paths can be exercised deterministically:
 * ``crash`` -- the benchmark produces no samples (empty array);
 * ``hang``  -- the run times out and reports NaN;
 * ``garbage`` -- a corrupted metric (zeros).
+
+On top of execution faults, the runner injects *telemetry-level*
+faults -- the measurement-pipeline corruption the sanitization layer
+(:mod:`repro.quality`) exists to absorb.  These leave the node's
+actual execution intact and corrupt only what gets reported:
+
+* ``telemetry-nan`` -- scattered NaN/Inf values inside a window;
+* ``telemetry-truncate`` -- the window is cut short (a collector died
+  mid-run);
+* ``telemetry-scale`` -- the whole window is multiplied by a unit
+  scale factor (a driver/image update reporting in the wrong unit);
+* ``telemetry-duplicate`` -- samples are duplicated (a collector
+  replayed part of the stream).
+
+Both lotteries draw from keyed RNG streams -- (seed, node, benchmark,
+repeat) -- so injection is order-independent and replay-deterministic:
+the same seed reproduces the same faults no matter how the sweep is
+ordered or parallelised.
 """
 
 from __future__ import annotations
@@ -25,6 +43,8 @@ from repro.hardware.node import Node
 __all__ = ["FaultInjectingRunner"]
 
 _FAULT_KINDS = ("crash", "hang", "garbage")
+_TELEMETRY_FAULT_KINDS = ("telemetry-nan", "telemetry-truncate",
+                          "telemetry-scale", "telemetry-duplicate")
 
 
 class FaultInjectingRunner(SuiteRunner):
@@ -33,35 +53,76 @@ class FaultInjectingRunner(SuiteRunner):
     Parameters
     ----------
     crash_rate, hang_rate, garbage_rate:
-        Per-run probabilities of each fault kind; at most one fault
-        applies per run.
+        Per-run probabilities of each execution fault kind; at most
+        one fault applies per run.
+    telemetry_nan_rate, telemetry_truncate_rate, telemetry_scale_rate,
+    telemetry_duplicate_rate:
+        Per-run probabilities of each telemetry fault kind, drawn from
+        an independent lottery; a telemetry fault only applies when no
+        execution fault fired (a crashed run has no telemetry left to
+        corrupt).
+    unit_scale_factor:
+        Multiplier applied by the ``telemetry-scale`` fault (default
+        x1000 -- the classic unit glitch, e.g. ms reported as us).
     fault_nodes:
         Optional set of node ids eligible for faults; ``None`` makes
         every node eligible.
     seed:
-        Seeds both the measurement stream (via SuiteRunner) and the
-        fault lottery.
+        Seeds the measurement stream (via SuiteRunner) and both fault
+        lotteries.
     """
 
     def __init__(self, *, crash_rate: float = 0.0, hang_rate: float = 0.0,
-                 garbage_rate: float = 0.0, fault_nodes=None, seed: int = 0,
-                 windows=None):
-        super().__init__(seed=seed, windows=windows)
-        for name, rate in (("crash_rate", crash_rate), ("hang_rate", hang_rate),
-                           ("garbage_rate", garbage_rate)):
+                 garbage_rate: float = 0.0,
+                 telemetry_nan_rate: float = 0.0,
+                 telemetry_truncate_rate: float = 0.0,
+                 telemetry_scale_rate: float = 0.0,
+                 telemetry_duplicate_rate: float = 0.0,
+                 unit_scale_factor: float = 1000.0,
+                 fault_nodes=None, seed: int = 0, windows=None,
+                 sanitizer=None):
+        super().__init__(seed=seed, windows=windows, sanitizer=sanitizer)
+        rates = (("crash_rate", crash_rate), ("hang_rate", hang_rate),
+                 ("garbage_rate", garbage_rate),
+                 ("telemetry_nan_rate", telemetry_nan_rate),
+                 ("telemetry_truncate_rate", telemetry_truncate_rate),
+                 ("telemetry_scale_rate", telemetry_scale_rate),
+                 ("telemetry_duplicate_rate", telemetry_duplicate_rate))
+        for name, rate in rates:
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
         if crash_rate + hang_rate + garbage_rate > 1.0:
-            raise ValueError("fault rates must sum to at most 1")
+            raise ValueError("execution fault rates must sum to at most 1")
+        telemetry_total = (telemetry_nan_rate + telemetry_truncate_rate
+                           + telemetry_scale_rate + telemetry_duplicate_rate)
+        if telemetry_total > 1.0:
+            raise ValueError("telemetry fault rates must sum to at most 1")
+        if unit_scale_factor <= 1.0:
+            raise ValueError(
+                f"unit_scale_factor must exceed 1, got {unit_scale_factor}")
         self.crash_rate = crash_rate
         self.hang_rate = hang_rate
         self.garbage_rate = garbage_rate
+        self.telemetry_nan_rate = telemetry_nan_rate
+        self.telemetry_truncate_rate = telemetry_truncate_rate
+        self.telemetry_scale_rate = telemetry_scale_rate
+        self.telemetry_duplicate_rate = telemetry_duplicate_rate
+        self.unit_scale_factor = unit_scale_factor
         self.fault_nodes = set(fault_nodes) if fault_nodes is not None else None
         self.injected: list[tuple[str, str, str]] = []  # (node, benchmark, kind)
 
+    def _keyed_rng(self, offset: int, spec: BenchmarkSpec, node: Node,
+                   repeat: int) -> np.random.Generator:
+        """Order-independent child stream for one execution's lottery."""
+        entropy = (self.seed + offset,
+                   zlib.crc32(node.node_id.encode()),
+                   zlib.crc32(spec.name.encode()),
+                   repeat)
+        return np.random.default_rng(np.random.SeedSequence(entropy))
+
     def _draw_fault(self, spec: BenchmarkSpec, node: Node,
                     repeat: int) -> str | None:
-        """Order-independent fault lottery for one execution.
+        """Order-independent execution-fault lottery.
 
         Keyed like the measurement stream -- (seed, node, benchmark,
         repeat) -- so whether a run faults does not depend on which
@@ -69,11 +130,7 @@ class FaultInjectingRunner(SuiteRunner):
         """
         if self.fault_nodes is not None and node.node_id not in self.fault_nodes:
             return None
-        entropy = (self.seed + 0x5EED,
-                   zlib.crc32(node.node_id.encode()),
-                   zlib.crc32(spec.name.encode()),
-                   repeat)
-        roll = float(np.random.default_rng(np.random.SeedSequence(entropy)).random())
+        roll = float(self._keyed_rng(0x5EED, spec, node, repeat).random())
         if roll < self.crash_rate:
             return "crash"
         if roll < self.crash_rate + self.hang_rate:
@@ -82,23 +139,73 @@ class FaultInjectingRunner(SuiteRunner):
             return "garbage"
         return None
 
-    def run(self, spec: BenchmarkSpec, node: Node) -> BenchmarkResult:
-        result = super().run(spec, node)
+    def _draw_telemetry_fault(self, spec: BenchmarkSpec, node: Node,
+                              repeat: int) -> str | None:
+        """Independent lottery for telemetry-level corruption."""
+        if self.fault_nodes is not None and node.node_id not in self.fault_nodes:
+            return None
+        roll = float(self._keyed_rng(0x7E1E, spec, node, repeat).random())
+        edge = self.telemetry_nan_rate
+        if roll < edge:
+            return "telemetry-nan"
+        edge += self.telemetry_truncate_rate
+        if roll < edge:
+            return "telemetry-truncate"
+        edge += self.telemetry_scale_rate
+        if roll < edge:
+            return "telemetry-scale"
+        edge += self.telemetry_duplicate_rate
+        if roll < edge:
+            return "telemetry-duplicate"
+        return None
+
+    def _corrupt_telemetry(self, series: np.ndarray, fault: str,
+                           rng: np.random.Generator) -> np.ndarray:
+        """Apply one telemetry fault to one metric window."""
+        series = np.asarray(series, dtype=float)
+        if series.size == 0:
+            return series
+        if fault == "telemetry-nan":
+            out = series.copy()
+            n_bad = max(1, series.size // 10)
+            idx = rng.choice(series.size, size=n_bad, replace=False)
+            garbage = rng.choice([np.nan, np.inf, -np.inf], size=n_bad)
+            out[idx] = garbage
+            return out
+        if fault == "telemetry-truncate":
+            keep = max(1, series.size // 4)
+            return series[:keep].copy()
+        if fault == "telemetry-scale":
+            return series * self.unit_scale_factor
+        # telemetry-duplicate: a collector replayed the first half.
+        half = max(1, series.size // 2)
+        return np.concatenate([series, series[:half]])
+
+    def _execute(self, spec: BenchmarkSpec, node: Node) -> BenchmarkResult:
+        result = super()._execute(spec, node)
         repeat = self._repeat_counts[(node.node_id, spec.name)] - 1
         fault = self._draw_fault(spec, node, repeat)
-        if fault is None:
+        if fault is not None:
+            self.injected.append((node.node_id, spec.name, fault))
+            corrupted = {}
+            for name, series in result.metrics.items():
+                if fault == "crash":
+                    corrupted[name] = np.array([])
+                elif fault == "hang":
+                    # dtype=float: np.nan cast into an integer series would
+                    # raise (or wrap to a garbage value on older numpy)
+                    # instead of producing the intended all-NaN metrics.
+                    corrupted[name] = np.full_like(series, np.nan, dtype=float)
+                else:
+                    corrupted[name] = np.zeros_like(series)
+            return BenchmarkResult(benchmark=spec.name, node_id=node.node_id,
+                                   metrics=corrupted)
+        telemetry_fault = self._draw_telemetry_fault(spec, node, repeat)
+        if telemetry_fault is None:
             return result
-        self.injected.append((node.node_id, spec.name, fault))
-        corrupted = {}
-        for name, series in result.metrics.items():
-            if fault == "crash":
-                corrupted[name] = np.array([])
-            elif fault == "hang":
-                # dtype=float: np.nan cast into an integer series would
-                # raise (or wrap to a garbage value on older numpy)
-                # instead of producing the intended all-NaN metrics.
-                corrupted[name] = np.full_like(series, np.nan, dtype=float)
-            else:
-                corrupted[name] = np.zeros_like(series)
+        self.injected.append((node.node_id, spec.name, telemetry_fault))
+        rng = self._keyed_rng(0x7E1F, spec, node, repeat)
+        corrupted = {name: self._corrupt_telemetry(series, telemetry_fault, rng)
+                     for name, series in result.metrics.items()}
         return BenchmarkResult(benchmark=spec.name, node_id=node.node_id,
                                metrics=corrupted)

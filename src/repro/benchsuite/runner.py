@@ -79,12 +79,19 @@ class SuiteRunner:
         Benchmark name -> :class:`StepWindow`; end-to-end benchmarks
         without an entry run their default series length and keep all
         steps after the spec's nominal warm-up.
+    sanitizer:
+        Optional :class:`repro.quality.Sanitizer`.  When set, every
+        result passes through telemetry sanitization before leaving
+        :meth:`run` -- implausible values are quarantined with
+        provenance instead of flowing into verdicts.
     """
 
     def __init__(self, *, seed: int = 0,
-                 windows: dict[str, StepWindow] | None = None):
+                 windows: dict[str, StepWindow] | None = None,
+                 sanitizer=None):
         self.seed = int(seed)
         self.windows = dict(windows or {})
+        self.sanitizer = sanitizer
         self._repeat_counts: dict[tuple[str, str], int] = {}
 
     def _measurement_rng(self, spec: BenchmarkSpec,
@@ -132,8 +139,13 @@ class SuiteRunner:
         warmup = min(2 * spec.e2e_profile.warmup_steps, total - 1)
         return StepWindow(warmup=warmup, measure=total - warmup)
 
-    def run(self, spec: BenchmarkSpec, node: Node) -> BenchmarkResult:
-        """One benchmark on one node, window policy applied."""
+    def _execute(self, spec: BenchmarkSpec, node: Node) -> BenchmarkResult:
+        """Raw execution of one benchmark, window policy applied.
+
+        Subclasses that corrupt executions (fault injection) override
+        this, not :meth:`run`, so their corruption happens *before*
+        sanitization -- exactly where real telemetry faults originate.
+        """
         window = self.window_for(spec)
         rng = self._measurement_rng(spec, node)
         if spec.kind is BenchmarkKind.E2E and window is not None:
@@ -143,6 +155,13 @@ class SuiteRunner:
             return BenchmarkResult(benchmark=spec.name, node_id=node.node_id,
                                    metrics=metrics)
         return run_benchmark(spec, node, rng)
+
+    def run(self, spec: BenchmarkSpec, node: Node) -> BenchmarkResult:
+        """One benchmark on one node: execute, then sanitize."""
+        result = self._execute(spec, node)
+        if self.sanitizer is not None:
+            result = self.sanitizer.sanitize_result(spec, result)
+        return result
 
     def run_on_nodes(self, spec: BenchmarkSpec, nodes) -> dict[str, BenchmarkResult]:
         """One benchmark across many nodes; node id -> result."""

@@ -7,7 +7,11 @@ downstream operator runs most:
 * ``simulate`` -- the 30-day policy comparison (Figure 8 / Table 4 flow);
 * ``traces``   -- generate and persist incident/allocation traces;
 * ``serve``    -- the durable validation control plane over a synthetic
-  event stream (the §3.1 service loop).
+  event stream (the §3.1 service loop);
+* ``quality-report`` -- a dirty-telemetry sweep through the
+  sanitization layer: quarantine ledger, clean-vs-dirty eviction
+  comparison, and a guarded-rollout demonstration against poisoned
+  criteria.
 
 Every command takes ``--seed`` and prints plain-text tables; exit code
 is non-zero on invalid arguments only (experiments that merely show
@@ -85,6 +89,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "crashes, journal write faults, tick/repair "
                             "faults, and -- with --journal -- simulated "
                             "process kills with restart-from-journal)")
+
+    quality = sub.add_parser(
+        "quality-report",
+        help="sweep a fleet through dirty telemetry and report what the "
+             "sanitization layer quarantined")
+    quality.add_argument("--nodes", type=int, default=32,
+                         help="fleet size (default 32)")
+    quality.add_argument("--learn-on", type=int, default=16,
+                         help="nodes used for offline criteria learning")
+    quality.add_argument("--contamination", type=float, default=0.10,
+                         help="telemetry fault probability per run "
+                              "(default 0.10)")
+    quality.add_argument("--alpha", type=float, default=0.95,
+                         help="similarity threshold (default 0.95)")
+    quality.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -319,6 +338,75 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_quality_report(args) -> int:
+    import numpy as np
+
+    from repro.benchsuite.runner import SuiteRunner
+    from repro.benchsuite.suite import full_suite
+    from repro.core.validator import Validator
+    from repro.hardware.fleet import build_fleet
+    from repro.quality import RolloutConfig, Sanitizer, evaluate_rollout
+    from repro.simulation.dirty import dirty_runner
+
+    if args.learn_on < 2 or args.learn_on > args.nodes:
+        print("error: --learn-on must be in [2, --nodes]", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.contamination <= 1.0:
+        print("error: --contamination must be in [0, 1]", file=sys.stderr)
+        return 2
+
+    fleet = build_fleet(args.nodes, seed=args.seed)
+    suite = full_suite()
+    learn_nodes = fleet.nodes[:args.learn_on]
+
+    # Clean reference sweep: same fleet, same seed, no telemetry dirt.
+    clean = Validator(suite, runner=SuiteRunner(seed=args.seed),
+                      alpha=args.alpha)
+    clean.learn_criteria(learn_nodes)
+    clean_report = clean.validate(fleet.nodes)
+
+    # Dirty sweep: telemetry faults at the requested rate, sanitized at
+    # ingestion, learning trimmed to the same contamination budget.
+    sanitizer = Sanitizer.for_suite(suite)
+    runner = dirty_runner(contamination=args.contamination, seed=args.seed,
+                          sanitizer=sanitizer)
+    dirty = Validator(suite, runner=runner, alpha=args.alpha,
+                      contamination=min(args.contamination, 0.49))
+    print(f"learning criteria on {args.learn_on} of {args.nodes} nodes "
+          f"under {100 * args.contamination:.0f}% telemetry contamination...")
+    windows = dirty.learn_criteria(learn_nodes)
+    dirty_report = dirty.validate(fleet.nodes)
+
+    print("\ntelemetry quarantine ledger:")
+    print(sanitizer.ledger.format_table())
+
+    clean_evicted = set(clean_report.defective_nodes)
+    dirty_evicted = set(dirty_report.defective_nodes)
+    false_evictions = sorted(dirty_evicted - clean_evicted)
+    print(f"\nevictions: clean run {len(clean_evicted)}, "
+          f"dirty run {len(dirty_evicted)}, "
+          f"false (dirty-only) {len(false_evictions)}")
+    if false_evictions:
+        print("false evictions: " + ", ".join(false_evictions))
+
+    # Guarded rollout against a coherent poisoning of every criteria:
+    # the candidate measures 3x too high, fleet-wide.
+    guard = RolloutConfig()
+    rejected = 0
+    for key, shadow in sorted(windows.items()):
+        criteria = dirty.criteria[key]
+        poisoned = np.asarray(criteria.criteria, dtype=float) * 3.0
+        decision = evaluate_rollout(
+            shadow, poisoned, criteria.criteria, alpha=criteria.alpha,
+            higher_is_better=criteria.higher_is_better, config=guard,
+            benchmark=key[0], metric=key[1])
+        if not decision.accepted:
+            rejected += 1
+    print(f"\nguarded rollout: poisoned criteria rejected for "
+          f"{rejected}/{len(windows)} (benchmark, metric) pairs")
+    return 0
+
+
 def _run_profiled(handler, args) -> int:
     """Run one command under cProfile; dump stats and a top-25 summary."""
     import cProfile
@@ -343,6 +431,7 @@ def main(argv=None) -> int:
         "simulate": _cmd_simulate,
         "traces": _cmd_traces,
         "serve": _cmd_serve,
+        "quality-report": _cmd_quality_report,
     }
     handler = handlers[args.command]
     if args.profile:

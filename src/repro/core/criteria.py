@@ -21,14 +21,36 @@ paper's pseudo-code:
   a much smoother empirical CDF than any single run, which keeps the
   one-sided online filter's left tail quiet; this is the Validator's
   default.
+
+Dirty-telemetry robustness
+--------------------------
+Criteria are learned *without ground truth*, so corrupted telemetry
+flows straight into the learned boundary unless it is contained here:
+
+* ``nonfinite="mask"`` quarantines NaN/Inf values per window instead of
+  aborting the whole fleet-wide learn, and windows left below
+  ``min_sample_size`` clean values are excluded from learning (reported
+  via :attr:`CriteriaResult.excluded_indices`) with a warning;
+* ``contamination`` is a budget for *distribution-shape* poison that
+  pointwise checks cannot catch (duplicated samples, subtle scale
+  glitches): the medoid is chosen by a **trimmed** similarity
+  aggregation that drops each candidate's ``floor(contamination *
+  (k - 1))`` smallest similarities.  Up to that many poisoned windows
+  can therefore neither drag an honest candidate's score down nor lift
+  a poisoned candidate into the medoid seat -- the documented
+  breakdown point of the seeding step.  The subsequent alpha-exclusion
+  loop then removes the poisoned windows from the surviving pool the
+  same way it removes defective nodes.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.ecdf import as_sample
 from repro.core.fastdist import (
     SortedSampleBatch,
     one_vs_many_similarities,
@@ -52,7 +74,8 @@ class CriteriaResult:
     defect_indices:
         Indices (into the input sample list) excluded as defective.
     healthy_indices:
-        The complement of ``defect_indices``.
+        Indices that survived learning (complement of the defective
+        and excluded sets).
     centroid_index:
         Index of the medoid sample, or ``None`` when the ``"mean"``
         centroid (a pooled synthetic sample) was used.
@@ -60,6 +83,11 @@ class CriteriaResult:
         Number of exclude/re-center rounds performed.
     alpha:
         The similarity threshold the criteria was learned against.
+    excluded_indices:
+        Indices quarantined *before* learning as unusable telemetry
+        (all-non-finite windows or windows below the sample floor
+        under ``nonfinite="mask"``).  Distinct from ``defect_indices``:
+        exclusion is a data-quality verdict, not a hardware verdict.
     """
 
     criteria: np.ndarray
@@ -69,23 +97,36 @@ class CriteriaResult:
     iterations: int
     alpha: float
     similarities: tuple[float, ...] = field(default=())
+    excluded_indices: tuple[int, ...] = field(default=())
 
     @property
     def defect_ratio(self) -> float:
-        """Fraction of input samples excluded as defective."""
+        """Fraction of learnable samples excluded as defective."""
         total = len(self.defect_indices) + len(self.healthy_indices)
         return len(self.defect_indices) / total if total else 0.0
 
 
-def medoid_index(sim_matrix: np.ndarray, active: np.ndarray) -> int:
+def medoid_index(sim_matrix: np.ndarray, active: np.ndarray, *,
+                 trim_fraction: float = 0.0) -> int:
     """Index (into the full sample list) of the medoid among ``active``.
 
     The medoid maximizes the row-sum of pairwise similarities restricted
     to the active subset -- the ``GetCentroid`` helper of Algorithm 2.
+
+    With ``trim_fraction > 0`` each candidate's ``floor(trim_fraction *
+    (k - 1))`` smallest similarities are dropped before summing
+    (trimmed aggregation).  A poisoned window has low similarity to
+    every honest window, so honest candidates shed the poison from
+    their scores while poisoned candidates -- whose whole row is low --
+    cannot be lifted into the argmax by trimming their own tail.
     """
     if active.size == 0:
         raise CriteriaError("cannot take the medoid of an empty sample set")
     sub = sim_matrix[np.ix_(active, active)]
+    k = int(active.size)
+    trim = int(np.floor(trim_fraction * (k - 1))) if k > 1 else 0
+    if trim > 0:
+        sub = np.sort(sub, axis=1)[:, trim:]
     return int(active[int(np.argmax(sub.sum(axis=1)))])
 
 
@@ -95,8 +136,38 @@ def _pooled_sample(samples, active: np.ndarray) -> np.ndarray:
         np.concatenate([np.asarray(samples[i], dtype=float) for i in active]))
 
 
+def _clean_samples(samples, nonfinite: str, min_sample_size: int):
+    """Per-window quarantine pass before learning.
+
+    Returns ``(cleaned, kept, masked_values, excluded)``: sorted clean
+    arrays, their original indices, how many non-finite values were
+    masked away, and the original indices of windows excluded outright.
+    Under ``"reject"`` any non-finite value raises (legacy strictness);
+    under ``"mask"`` values are dropped per window and only windows
+    with fewer than ``min_sample_size`` clean values are excluded.
+    """
+    cleaned, kept, excluded = [], [], []
+    masked_values = 0
+    for index, sample in enumerate(samples):
+        arr = np.asarray(sample, dtype=float).ravel()
+        if nonfinite == "reject":
+            finite = as_sample(arr)  # raises on empty or non-finite
+        else:
+            finite = arr[np.isfinite(arr)]
+            masked_values += int(arr.size - finite.size)
+        if finite.size < max(min_sample_size, 1):
+            excluded.append(index)
+            continue
+        kept.append(index)
+        cleaned.append(np.sort(finite))
+    return cleaned, kept, masked_values, excluded
+
+
 def learn_criteria(samples, alpha: float = 0.95, *,
-                   centroid: str = "medoid") -> CriteriaResult:
+                   centroid: str = "medoid",
+                   contamination: float = 0.0,
+                   nonfinite: str = "reject",
+                   min_sample_size: int = 1) -> CriteriaResult:
     """Run Algorithm 2 on ``samples`` and return the learned criteria.
 
     Parameters
@@ -107,26 +178,58 @@ def learn_criteria(samples, alpha: float = 0.95, *,
         Empirical similarity threshold; samples with
         ``similarity(S_C, S_i) <= alpha`` are excluded as defects.
     centroid:
-        ``"medoid"`` or ``"mean"`` (see module docstring).
+        ``"medoid"``, ``"mean"`` or ``"hybrid"`` (see module docstring).
+    contamination:
+        Budget (fraction in ``[0, 0.5)``) of poisoned windows the
+        medoid seeding must tolerate; realized as trimmed similarity
+        aggregation in :func:`medoid_index`.
+    nonfinite:
+        ``"reject"`` (default) raises on any non-finite value;
+        ``"mask"`` quarantines non-finite values per window and
+        excludes -- with a warning -- windows left below
+        ``min_sample_size``, instead of aborting the fleet-wide learn.
+    min_sample_size:
+        Minimum clean values a window needs to participate in learning
+        (only meaningful under ``"mask"``; short windows are excluded,
+        never fatal).
 
     Raises
     ------
     CriteriaError
-        If fewer than one sample is given, if ``alpha`` is outside
-        ``[0, 1)``, or if the exclusion loop would discard every sample.
+        If no learnable sample remains, if ``alpha`` or
+        ``contamination`` is out of range, or if the exclusion loop
+        would discard every sample.
     """
     if not 0.0 <= alpha < 1.0:
         raise CriteriaError(f"alpha must be in [0, 1), got {alpha}")
     if centroid not in ("medoid", "mean", "hybrid"):
         raise CriteriaError(f"unknown centroid strategy {centroid!r}")
-    n = len(samples)
-    if n == 0:
+    if not 0.0 <= contamination < 0.5:
+        raise CriteriaError(
+            f"contamination must be in [0, 0.5), got {contamination}")
+    if nonfinite not in ("reject", "mask"):
+        raise CriteriaError(f"unknown non-finite policy {nonfinite!r}")
+    if len(samples) == 0:
         raise CriteriaError("criteria learning needs at least one sample")
+
+    cleaned, kept, masked_values, excluded = _clean_samples(
+        samples, nonfinite, min_sample_size)
+    if masked_values or excluded:
+        warnings.warn(
+            f"criteria learning quarantined {masked_values} non-finite "
+            f"value(s) and excluded {len(excluded)} of {len(samples)} "
+            f"window(s) as unusable telemetry",
+            RuntimeWarning, stacklevel=2)
+    if not cleaned:
+        raise CriteriaError(
+            "criteria learning excluded every window as unusable telemetry")
+    kept_arr = np.asarray(kept, dtype=np.intp)
+    n = len(cleaned)
 
     # One validated, sorted batch backs every similarity evaluation of
     # the run: the full pairwise matrix and each iteration's pooled
     # re-scoring (previously a fresh Python loop per iteration).
-    batch = SortedSampleBatch.from_samples(samples)
+    batch = SortedSampleBatch.from_sorted(cleaned)
     sim_matrix = pairwise_similarities(batch)
     np.fill_diagonal(sim_matrix, 1.0)
     all_indices = np.arange(n)
@@ -134,9 +237,10 @@ def learn_criteria(samples, alpha: float = 0.95, *,
 
     def centroid_of(active: np.ndarray) -> tuple[np.ndarray, int | None]:
         if iteration_centroid == "medoid":
-            idx = medoid_index(sim_matrix, active)
-            return np.sort(np.asarray(samples[idx], dtype=float)), idx
-        return _pooled_sample(samples, active), None
+            idx = medoid_index(sim_matrix, active,
+                               trim_fraction=contamination)
+            return cleaned[idx], idx
+        return _pooled_sample(cleaned, active), None
 
     def sims_to(criteria_sample: np.ndarray, criteria_idx: int | None) -> np.ndarray:
         if criteria_idx is not None:
@@ -173,17 +277,25 @@ def learn_criteria(samples, alpha: float = 0.95, *,
         sims = sims_to(criteria_sample, criteria_idx)
         iterations += 1
 
-    defect_indices = tuple(int(i) for i in all_indices if i not in set(active.tolist()))
-    healthy_indices = tuple(int(i) for i in active.tolist())
+    active_set = set(active.tolist())
+    defect_indices = tuple(int(kept_arr[i]) for i in all_indices
+                           if i not in active_set)
+    healthy_indices = tuple(int(kept_arr[i]) for i in active.tolist())
     if centroid == "hybrid":
-        criteria_sample = _pooled_sample(samples, active)
+        criteria_sample = _pooled_sample(cleaned, active)
         criteria_idx = None
+    # Similarities map back to the *input* index space; excluded
+    # windows were never scored and report 0.0 (maximally dissimilar).
+    full_sims = np.zeros(len(samples))
+    full_sims[kept_arr] = sims
     return CriteriaResult(
         criteria=criteria_sample,
         defect_indices=defect_indices,
         healthy_indices=healthy_indices,
-        centroid_index=criteria_idx,
+        centroid_index=(int(kept_arr[criteria_idx])
+                        if criteria_idx is not None else None),
         iterations=iterations,
         alpha=alpha,
-        similarities=tuple(float(s) for s in sims),
+        similarities=tuple(float(s) for s in full_sims),
+        excluded_indices=tuple(int(i) for i in excluded),
     )

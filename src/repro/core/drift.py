@@ -24,10 +24,51 @@ import numpy as np
 
 from repro.core.distance import cdf_distance
 from repro.core.ecdf import as_sample
+from repro.core.fastdist import SortedSampleBatch, one_vs_many_similarities
 from repro.core.repeatability import pairwise_repeatability
 from repro.exceptions import InvalidSampleError
 
-__all__ = ["DriftReport", "evaluate_drift"]
+__all__ = ["DriftReport", "evaluate_drift", "predicted_eviction_rate"]
+
+
+def predicted_eviction_rate(windows, criteria, *, alpha: float,
+                            higher_is_better: bool = True) -> float:
+    """Fraction of ``windows`` the one-sided filter would evict.
+
+    The shadow-evaluation primitive of guarded criteria rollout
+    (:mod:`repro.quality.rollout`): before a freshly learned criteria
+    goes live, it is scored against the previous measurement window's
+    per-node samples exactly as the online filter would score them
+    (Eq. 4), and the predicted fleet-wide eviction rate is compared to
+    the active criteria's.  Non-finite values in the windows are
+    masked, and windows with nothing finite left are counted as
+    evictions (they would fail online as execution failures).
+
+    Raises :class:`InvalidSampleError` when ``windows`` is empty --
+    a rollout decision needs at least one shadow window.
+    """
+    windows = list(windows)
+    if not windows:
+        raise InvalidSampleError(
+            "predicted eviction rate needs at least one window")
+    usable, dead = [], 0
+    for window in windows:
+        arr = np.asarray(window, dtype=float).ravel()
+        arr = arr[np.isfinite(arr)]
+        if arr.size:
+            usable.append(np.sort(arr))
+        else:
+            dead += 1
+    if not usable:
+        return 1.0
+    batch = SortedSampleBatch.from_sorted(usable)
+    reference = np.sort(as_sample(criteria, nonfinite="mask"))
+    direction = +1 if higher_is_better else -1
+    sims = one_vs_many_similarities(batch, reference,
+                                    signed_direction=direction,
+                                    assume_sorted=True)
+    evicted = int(np.count_nonzero(sims <= alpha)) + dead
+    return evicted / len(windows)
 
 
 @dataclass(frozen=True)

@@ -19,18 +19,36 @@ from repro.exceptions import InvalidSampleError
 __all__ = ["Ecdf", "as_sample"]
 
 
-def as_sample(values) -> np.ndarray:
+def as_sample(values, *, nonfinite: str = "reject") -> np.ndarray:
     """Coerce ``values`` into a validated 1-D float array.
 
-    Raises :class:`InvalidSampleError` when the sample is empty or
-    contains non-finite entries, which is how crashed or hung benchmark
-    runs surface to the Validator.
+    ``nonfinite`` selects the policy for NaN/Inf entries:
+
+    * ``"reject"`` (default) -- raise :class:`InvalidSampleError`,
+      which is how crashed or hung benchmark runs surface to the
+      Validator;
+    * ``"mask"`` -- drop the non-finite entries and keep the rest, the
+      dirty-telemetry policy (one corrupted measurement must not void a
+      whole window).  An all-non-finite sample still raises: a window
+      with nothing left carries no signal at all.
+
+    Raises :class:`InvalidSampleError` when the sample is empty (under
+    either policy).
     """
+    if nonfinite not in ("reject", "mask"):
+        raise ValueError(f"unknown non-finite policy {nonfinite!r}")
     arr = np.asarray(values, dtype=float).ravel()
     if arr.size == 0:
         raise InvalidSampleError("benchmark sample is empty")
-    if not np.all(np.isfinite(arr)):
-        raise InvalidSampleError("benchmark sample contains non-finite values")
+    finite = np.isfinite(arr)
+    if not np.all(finite):
+        if nonfinite == "reject":
+            raise InvalidSampleError(
+                "benchmark sample contains non-finite values")
+        arr = arr[finite]
+        if arr.size == 0:
+            raise InvalidSampleError(
+                "benchmark sample is entirely non-finite")
     return arr
 
 

@@ -105,9 +105,20 @@ class SortedSampleBatch:
             self.maxs = np.empty(0)
 
     @classmethod
-    def from_samples(cls, samples) -> "SortedSampleBatch":
-        """Validate (via :func:`~repro.core.ecdf.as_sample`), sort and pad."""
-        arrays = [np.sort(as_sample(s)) for s in samples]
+    def from_samples(cls, samples, *,
+                     nonfinite: str = "reject") -> "SortedSampleBatch":
+        """Validate (via :func:`~repro.core.ecdf.as_sample`), sort and pad.
+
+        ``nonfinite`` is the per-row NaN/Inf policy: ``"reject"``
+        (default) raises on any non-finite entry, ``"mask"`` drops the
+        non-finite entries of each row and keeps the rest (raising only
+        when a row has nothing finite left).  Masking happens *before*
+        padding, so the ``+inf`` padding convention is never confused
+        with observed infinities and every kernel scores the masked
+        rows exactly as the scalar reference scores the cleaned
+        samples.
+        """
+        arrays = [np.sort(as_sample(s, nonfinite=nonfinite)) for s in samples]
         return cls.from_sorted(arrays)
 
     @classmethod
@@ -303,22 +314,27 @@ def batch_gap_integrals(batch_a: SortedSampleBatch, batch_b: SortedSampleBatch,
     )
 
 
-def _as_reference(reference, assume_sorted: bool) -> np.ndarray:
-    ref = as_sample(reference)
+def _as_reference(reference, assume_sorted: bool,
+                  nonfinite: str = "reject") -> np.ndarray:
+    ref = as_sample(reference, nonfinite=nonfinite)
     return ref if assume_sorted else np.sort(ref)
 
 
 def one_vs_many_distances(batch: SortedSampleBatch, reference, *,
                           signed_direction: int = 0,
-                          assume_sorted: bool = False) -> np.ndarray:
+                          assume_sorted: bool = False,
+                          nonfinite: str = "reject") -> np.ndarray:
     """Distance of every batch sample to one fixed reference sample.
 
     This is the online-filter kernel: ``batch`` holds the fleet's
     observed windows (the ``a`` side of Eq. (4)) and ``reference`` the
     learned criteria ECDF.  With ``assume_sorted=True`` the reference
     (e.g. a cached criteria, already sorted) is used as-is.
+    ``nonfinite="mask"`` drops NaN/Inf entries of the reference instead
+    of rejecting it (``assume_sorted`` implies the reference is already
+    clean, so masking only applies to the unsorted path).
     """
-    ref = _as_reference(reference, assume_sorted)
+    ref = _as_reference(reference, assume_sorted, nonfinite)
     if batch.n == 0:
         return np.empty(0)
     # Chunk rows so the (rows, width + ref.size) kernel intermediates
@@ -344,11 +360,12 @@ def one_vs_many_distances(batch: SortedSampleBatch, reference, *,
 
 def one_vs_many_similarities(batch: SortedSampleBatch, reference, *,
                              signed_direction: int = 0,
-                             assume_sorted: bool = False) -> np.ndarray:
+                             assume_sorted: bool = False,
+                             nonfinite: str = "reject") -> np.ndarray:
     """``1 - one_vs_many_distances`` (Eq. (3) / Eq. (4) similarities)."""
     return 1.0 - one_vs_many_distances(
         batch, reference, signed_direction=signed_direction,
-        assume_sorted=assume_sorted,
+        assume_sorted=assume_sorted, nonfinite=nonfinite,
     )
 
 

@@ -9,11 +9,25 @@ a single JSON document and restores it into a fresh Validator.
 Only what the online filter needs is persisted: the criteria sample,
 threshold, and metric polarity.  The learning by-products (defect
 indices, iteration counts) are recomputed on the next offline pass.
+
+Durability
+----------
+Criteria files gate months of online filtering, so writes are atomic
+(tmp file + ``os.replace``; a crash mid-save can never leave a
+half-written document at the final path), the previous file survives
+as ``<path>.bak``, and the version-2 format carries a CRC32 checksum
+over the entries so silent corruption (a truncated or bit-flipped
+file that still parses as JSON) is detected at load time instead of
+poisoning the online filter.  :func:`load_criteria` falls back to the
+backup when the main file is corrupt -- the rollback half of guarded
+criteria rollout's persistence story.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -24,7 +38,15 @@ from repro.exceptions import CriteriaError
 __all__ = ["save_criteria", "load_criteria", "criteria_payload",
            "apply_criteria_payload"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+#: Version 1 files (no checksum) remain loadable.
+_SUPPORTED_VERSIONS = (1, 2)
+
+
+def _entries_checksum(entries: list[dict]) -> int:
+    """CRC32 over the canonical JSON encoding of the entries."""
+    canonical = json.dumps(entries, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode())
 
 
 def criteria_payload(validator: Validator) -> dict:
@@ -44,7 +66,9 @@ def criteria_payload(validator: Validator) -> dict:
             "higher_is_better": criteria.higher_is_better,
             "criteria": np.asarray(criteria.criteria, dtype=float).tolist(),
         })
-    return {"version": _FORMAT_VERSION, "entries": entries}
+    return {"version": _FORMAT_VERSION,
+            "checksum": _entries_checksum(entries),
+            "entries": entries}
 
 
 def apply_criteria_payload(validator: Validator, payload: dict, *,
@@ -56,12 +80,21 @@ def apply_criteria_payload(validator: Validator, payload: dict, *,
     number of entries loaded.
     """
     try:
-        if payload.get("version") != _FORMAT_VERSION:
+        version = payload.get("version")
+        if version not in _SUPPORTED_VERSIONS:
             raise CriteriaError(
-                f"unsupported criteria file version {payload.get('version')!r}"
+                f"unsupported criteria file version {version!r}"
             )
         entries = payload["entries"]
-    except (KeyError, TypeError, AttributeError) as error:
+        if version >= 2:
+            expected = int(payload["checksum"])
+            actual = _entries_checksum(entries)
+            if actual != expected:
+                raise CriteriaError(
+                    f"criteria file {source} failed its checksum "
+                    f"(expected {expected}, computed {actual}); the file "
+                    f"is corrupt")
+    except (KeyError, TypeError, AttributeError, ValueError) as error:
         raise CriteriaError(f"malformed criteria file {source}: {error}") from error
 
     suite_names = {spec.name for spec in validator.suite}
@@ -87,18 +120,57 @@ def apply_criteria_payload(validator: Validator, payload: dict, *,
     return loaded
 
 
-def save_criteria(validator: Validator, path) -> None:
-    """Write the validator's learned criteria to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(criteria_payload(validator)))
+def _backup_path(path: Path) -> Path:
+    return path.with_name(path.name + ".bak")
 
 
-def load_criteria(validator: Validator, path) -> int:
-    """Restore criteria from ``path`` into ``validator``.
+def save_criteria(validator: Validator, path, *,
+                  keep_backup: bool = True) -> None:
+    """Atomically write the validator's learned criteria to ``path``.
 
-    See :func:`apply_criteria_payload` for skip semantics.
+    The document is written to a temporary sibling, flushed to stable
+    storage, and moved into place with ``os.replace`` -- a reader (or
+    a crash) can only ever observe the old complete file or the new
+    complete file.  With ``keep_backup`` (the default) the previous
+    file is preserved as ``<path>.bak`` first, so a later load can
+    roll back past a corrupted save.
     """
+    path = Path(path)
+    payload = criteria_payload(validator)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload))
+        handle.flush()
+        os.fsync(handle.fileno())
+    if keep_backup and path.exists():
+        os.replace(path, _backup_path(path))
+    os.replace(tmp, path)
+
+
+def _load_payload(path: Path) -> dict:
     try:
-        payload = json.loads(Path(path).read_text())
+        return json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as error:
         raise CriteriaError(f"malformed criteria file {path}: {error}") from error
-    return apply_criteria_payload(validator, payload, source=str(path))
+
+
+def load_criteria(validator: Validator, path, *,
+                  fallback_to_backup: bool = True) -> int:
+    """Restore criteria from ``path`` into ``validator``.
+
+    When the main file is missing, unparsable, or fails its checksum
+    and ``fallback_to_backup`` is set, the ``<path>.bak`` written by
+    the previous :func:`save_criteria` is loaded instead; only when
+    both are unusable does the original error propagate.  See
+    :func:`apply_criteria_payload` for skip semantics.
+    """
+    path = Path(path)
+    try:
+        payload = _load_payload(path)
+        return apply_criteria_payload(validator, payload, source=str(path))
+    except CriteriaError:
+        backup = _backup_path(path)
+        if not fallback_to_backup or not backup.is_file():
+            raise
+        payload = _load_payload(backup)
+        return apply_criteria_payload(validator, payload, source=str(backup))

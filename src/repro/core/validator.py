@@ -36,8 +36,9 @@ __all__ = ["MetricCriteria", "Violation", "ValidationReport", "Validator"]
 
 def _learn_task(task) -> CriteriaResult:
     """Picklable unit of criteria learning for process fan-out."""
-    samples, alpha, centroid = task
-    return learn_criteria(samples, alpha, centroid=centroid)
+    samples, alpha, centroid, contamination = task
+    return learn_criteria(samples, alpha, centroid=centroid,
+                          contamination=contamination, nonfinite="mask")
 
 
 @dataclass(frozen=True)
@@ -105,17 +106,23 @@ class Validator:
         Execution engine (owns measurement windows and the RNG).
     alpha:
         Similarity threshold; the paper uses 0.95.
+    contamination:
+        Fraction of learning windows assumed adversarially corrupt;
+        forwarded to :func:`repro.core.criteria.learn_criteria` as the
+        trimmed-aggregation budget.  0 (the default) reproduces plain
+        Algorithm 2.
     """
 
     def __init__(self, suite: tuple[BenchmarkSpec, ...], *,
                  runner: SuiteRunner | None = None, alpha: float = 0.95,
-                 centroid: str = "hybrid"):
+                 centroid: str = "hybrid", contamination: float = 0.0):
         if not suite:
             raise ValueError("Validator needs a non-empty benchmark suite")
         self.suite = tuple(suite)
         self.runner = runner or SuiteRunner()
         self.alpha = float(alpha)
         self.centroid = centroid
+        self.contamination = float(contamination)
         self.criteria: dict[tuple[str, str], MetricCriteria] = {}
         # (benchmark, metric) -> (MetricCriteria, presorted sample).
         # Entries are validated by *identity* against the live
@@ -136,15 +143,31 @@ class Validator:
     # Offline criteria learning
     # ------------------------------------------------------------------
     def _learning_tasks(self, spec: BenchmarkSpec, results: dict[str, object]):
-        """Per-metric (metric, samples, centroid) learning inputs."""
+        """Per-metric (metric, samples, centroid) learning inputs.
+
+        Dirty-telemetry handling: metrics quarantined by sanitization
+        are skipped (no verdict, nothing to learn from), as are crashed
+        (empty) and hung (all-non-finite) windows -- those evict the
+        node online, they don't shape the fleet's criteria.  Windows
+        that are only *partially* non-finite stay in: learning runs
+        with the ``mask`` policy, so a node's surviving finite values
+        still contribute instead of one stray NaN silently dropping the
+        whole node from the fleet's learning set.
+        """
         tasks = []
         for metric in spec.metrics:
             samples = []
             for result in results.values():
-                try:
-                    samples.append(as_sample(result.sample(metric.name)))
-                except (InvalidSampleError, KeyError):
+                if metric.name in getattr(result, "quarantined", ()):
                     continue
+                try:
+                    raw = result.sample(metric.name)
+                except KeyError:
+                    continue
+                arr = np.asarray(raw, dtype=float).ravel()
+                if arr.size == 0 or not np.isfinite(arr).any():
+                    continue
+                samples.append(arr)
             if len(samples) < 2:
                 raise CriteriaError(
                     f"not enough valid samples to learn criteria for "
@@ -181,11 +204,14 @@ class Validator:
         be flagged online).
         """
         for metric, samples, centroid in self._learning_tasks(spec, results):
-            learned = learn_criteria(samples, self.alpha, centroid=centroid)
+            learned = learn_criteria(samples, self.alpha, centroid=centroid,
+                                     contamination=self.contamination,
+                                     nonfinite="mask")
             self._store_criteria(spec, metric, learned)
 
     def learn_criteria(self, nodes, benchmarks=None, *,
-                       workers: int | None = None) -> None:
+                       workers: int | None = None,
+                       ) -> dict[tuple[str, str], list]:
         """Build-out flow: run benchmarks on ``nodes`` and learn criteria.
 
         Benchmark execution stays sequential (the runner owns the
@@ -194,6 +220,11 @@ class Validator:
         metric) -- fan out across worker processes.  ``workers``
         defaults to the ``REPRO_WORKERS`` environment variable, else 1;
         results are identical at any width.
+
+        Returns the per-(benchmark, metric) learning windows so callers
+        can shadow-evaluate the freshly learned criteria against the
+        very samples they came from (guarded rollout,
+        :mod:`repro.quality.rollout`).
         """
         tasks = []
         for spec in self.resolve(benchmarks):
@@ -202,12 +233,15 @@ class Validator:
                 tasks.append((spec, metric, samples, centroid))
         learned_results = process_map(
             _learn_task,
-            [(samples, self.alpha, centroid)
+            [(samples, self.alpha, centroid, self.contamination)
              for _, _, samples, centroid in tasks],
             workers=workers,
         )
-        for (spec, metric, _, _), learned in zip(tasks, learned_results):
+        windows: dict[tuple[str, str], list] = {}
+        for (spec, metric, samples, _), learned in zip(tasks, learned_results):
             self._store_criteria(spec, metric, learned)
+            windows[(spec.name, metric.name)] = samples
+        return windows
 
     # ------------------------------------------------------------------
     # Online validation
@@ -233,6 +267,11 @@ class Validator:
         cached criteria ECDF with a single one-vs-many kernel call
         (Eq. 4); violations come back in the same node-major, metric
         order a :meth:`check_result` loop would produce.
+
+        Metrics quarantined by the sanitization layer yield *no*
+        verdict: quarantined telemetry indicts the measurement
+        pipeline, not the node, so scoring it either way would be a
+        coin-flip eviction.
         """
         results = list(results)
         # metric name -> (per-result similarity by index, failure reasons)
@@ -248,6 +287,8 @@ class Validator:
             sorted_samples, indices = [], []
             failures: dict[int, str] = {}
             for index, result in enumerate(results):
+                if metric.name in getattr(result, "quarantined", ()):
+                    continue
                 try:
                     sample = as_sample(result.sample(metric.name))
                 except (InvalidSampleError, KeyError) as error:
@@ -277,7 +318,7 @@ class Validator:
                         metric=metric.name, similarity=0.0,
                         reason=f"execution-failure: {failures[index]}",
                     ))
-                elif similarities[index] <= self.alpha:
+                elif index in similarities and similarities[index] <= self.alpha:
                     violations.append(Violation(
                         node_id=result.node_id, benchmark=spec.name,
                         metric=metric.name, similarity=similarities[index],

@@ -1,0 +1,110 @@
+"""Per-(benchmark, metric) telemetry schemas.
+
+A :class:`MetricSchema` states what a *plausible* measurement window
+for one benchmark metric looks like -- finiteness is implicit (nothing
+non-finite is ever plausible), and the schema adds sign, a plausible
+unit range, and a minimum sample count.  Schemas deliberately encode
+*telemetry* plausibility, not health: a degraded node measuring at a
+quarter of the healthy value is inside the plausible range (the
+criteria filter must see it and evict the node), while a window whose
+values sit three decimal orders away is a unit-scale glitch after a
+driver or image update -- dirty telemetry, not evidence about the
+node.  The span factor is therefore generous by design.
+
+:func:`schemas_for_suite` derives default schemas from the benchmark
+specs themselves: the plausible range brackets each metric's healthy
+base value by ``span_factor`` in both directions, and the sample-count
+floor is a fraction of the measurement window the runner will actually
+keep (micro-benchmarks with single-value samples get a floor of 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+__all__ = ["MetricSchema", "schemas_for_suite"]
+
+
+@dataclass(frozen=True)
+class MetricSchema:
+    """Plausibility contract for one benchmark metric's telemetry.
+
+    Attributes
+    ----------
+    benchmark / metric:
+        The (benchmark, metric) pair this schema governs.
+    lower / upper:
+        Inclusive plausible value range; ``None`` leaves that side
+        unbounded.  ``lower >= 0`` also encodes the sign constraint
+        (throughput, bandwidth and latency are never negative).
+    min_samples:
+        Minimum clean values a window needs to support a verdict;
+        shorter windows are quarantined as truncated, never scored.
+    unit_scale_factor:
+        The scale glitch this schema recognises: when a whole window
+        sits above ``upper`` but lands back inside the range after
+        division by this factor, it is classified as a unit-scale
+        fault rather than pointwise garbage.
+    """
+
+    benchmark: str
+    metric: str
+    lower: float | None = 0.0
+    upper: float | None = None
+    min_samples: int = 1
+    unit_scale_factor: float = 1000.0
+
+    def __post_init__(self):
+        if (self.lower is not None and self.upper is not None
+                and self.lower > self.upper):
+            raise ReproError(
+                f"schema for {self.benchmark}/{self.metric}: lower bound "
+                f"{self.lower} exceeds upper bound {self.upper}")
+        if self.min_samples < 1:
+            raise ReproError(
+                f"schema for {self.benchmark}/{self.metric}: min_samples "
+                f"must be at least 1")
+        if self.unit_scale_factor <= 1.0:
+            raise ReproError(
+                f"schema for {self.benchmark}/{self.metric}: "
+                f"unit_scale_factor must exceed 1")
+
+
+def schemas_for_suite(suite, *, span_factor: float = 100.0,
+                      min_window_fraction: float = 0.25,
+                      runner=None) -> dict[tuple[str, str], MetricSchema]:
+    """Default schemas for every metric of every benchmark in ``suite``.
+
+    ``span_factor`` brackets each metric's healthy ``base_value``: the
+    plausible range is ``[base / span_factor, base * span_factor]`` --
+    wide enough that genuine degradation (an order of magnitude) stays
+    visible to the criteria filter, narrow enough that a x1000
+    unit-scale glitch falls outside.  ``min_window_fraction`` sets the
+    sample floor relative to the measurement window the ``runner``
+    would keep for the benchmark (falling back to the metric's nominal
+    series length without a runner).
+    """
+    if span_factor <= 1.0:
+        raise ReproError(f"span_factor must exceed 1, got {span_factor}")
+    if not 0.0 < min_window_fraction <= 1.0:
+        raise ReproError(
+            f"min_window_fraction must be in (0, 1], got {min_window_fraction}")
+    schemas: dict[tuple[str, str], MetricSchema] = {}
+    for spec in suite:
+        window = runner.window_for(spec) if runner is not None else None
+        for metric in spec.metrics:
+            expected = metric.series_length
+            if window is not None and metric.series_length > 1:
+                expected = min(expected, window.measure)
+            floor = (1 if expected <= 1
+                     else max(2, int(-(-min_window_fraction * expected // 1))))
+            schemas[(spec.name, metric.name)] = MetricSchema(
+                benchmark=spec.name,
+                metric=metric.name,
+                lower=metric.base_value / span_factor,
+                upper=metric.base_value * span_factor,
+                min_samples=floor,
+            )
+    return schemas

@@ -64,6 +64,7 @@ from repro.core.system import (
 )
 from repro.core.validator import ValidationReport, Violation
 from repro.exceptions import JournalError, ServiceError
+from repro.quality.rollout import RolloutDecision, evaluate_rollout
 from repro.service.lifecycle import FlapDamper, NodeLifecycle, NodeState
 from repro.service.pool import PoolConfig, ValidationPool
 from repro.service.queue import DeadLetter, EventQueue, QueuedEvent
@@ -124,6 +125,17 @@ class ServiceConfig:
     flap_forgive_after_ticks:
         Quarantine-free ticks after which a node's flap count is
         forgiven; ``None`` never forgives.
+    sanitizer:
+        Optional :class:`repro.quality.Sanitizer`; when set, every
+        benchmark result entering the service (pool sweeps and the
+        validator's own runs) crosses telemetry sanitization, and the
+        shared ledger accumulates quarantine provenance.
+    rollout:
+        Optional :class:`repro.quality.RolloutConfig`; when set,
+        :meth:`ValidationService.learn_criteria` shadow-evaluates
+        every freshly learned criteria before activation and rolls
+        back (journaled) candidates that would blow the eviction
+        budget.  ``None`` activates new criteria unconditionally.
     """
 
     pool: PoolConfig = field(default_factory=PoolConfig)
@@ -136,6 +148,8 @@ class ServiceConfig:
     flap_multiplier: float = 2.0
     flap_max_holddown_ticks: int = 32
     flap_forgive_after_ticks: int | None = None
+    sanitizer: object | None = None
+    rollout: object | None = None
 
     def __post_init__(self):
         if self.snapshot_every < 1:
@@ -273,10 +287,23 @@ class ValidationService:
         self.queue = EventQueue()
         self.lifecycle = NodeLifecycle()
         self.damper = self.config.build_damper()
-        self.pool = ValidationPool(self.config.pool)
+        self.pool = ValidationPool(self.config.pool,
+                                   sanitizer=self.config.sanitizer)
+        # One sanitization crossing per result: the validator's own
+        # runner gets the service sanitizer unless it brought its own
+        # (in which case the pool defers to it, see ValidationPool).
+        if (self.config.sanitizer is not None
+                and getattr(self.anubis.validator.runner, "sanitizer",
+                            None) is None):
+            self.anubis.validator.runner.sanitizer = self.config.sanitizer
         self.metrics = ServiceMetrics()
         self.tick_hook = None
         self.repair_hook = None
+        # Previous learning windows per (benchmark, metric): the shadow
+        # set guarded rollout scores candidates against.  Held in
+        # memory only -- after a restart the first re-learn falls back
+        # to the bootstrap self-consistency check.
+        self._shadow_windows: dict[tuple[str, str], list] = {}
         self._completed_since_snapshot = 0
         self._completed_since_compaction = 0
         self._have_snapshot = False
@@ -586,10 +613,73 @@ class ValidationService:
     # ------------------------------------------------------------------
     # Criteria management
     # ------------------------------------------------------------------
-    def learn_criteria(self, nodes, benchmarks=None) -> None:
-        """Offline criteria learning, snapshotted to the journal."""
-        self.anubis.validator.learn_criteria(nodes, benchmarks)
+    def learn_criteria(self, nodes, benchmarks=None) -> list[RolloutDecision]:
+        """Offline criteria learning with guarded rollout.
+
+        Freshly learned criteria are *candidates*: with a rollout guard
+        configured (``config.rollout``), each candidate is
+        shadow-evaluated against the *previous* learning window
+        (:func:`repro.quality.rollout.evaluate_rollout`) before it goes
+        live -- scoring against the previous window is what catches
+        coherent telemetry poisoning, where the new windows and the
+        criteria learned from them agree perfectly with each other and
+        with nothing else.  Without a previous window (first learn, or
+        first re-learn after a restart) the candidate is checked for
+        self-consistency against its own windows under the bootstrap
+        eviction cap.
+
+        A rejected candidate is rolled back to the previously active
+        criteria -- the journal records the rollback, so a restart
+        recovers the active criteria, never the poisoned candidate --
+        and its windows are discarded (the shadow set keeps the last
+        *trusted* window).  The post-learn snapshot captures only what
+        survived the guard.  Returns the per-(benchmark, metric)
+        decisions (empty without a guard).
+        """
+        validator = self.anubis.validator
+        previous = dict(validator.criteria)
+        windows = validator.learn_criteria(nodes, benchmarks)
+        decisions: list[RolloutDecision] = []
+        if self.config.rollout is None:
+            self._shadow_windows.update(windows)
+        else:
+            for key, current in windows.items():
+                candidate = validator.criteria.get(key)
+                if candidate is None:
+                    continue
+                prior = previous.get(key)
+                shadow = self._shadow_windows.get(key)
+                if prior is None or shadow is None:
+                    decision = evaluate_rollout(
+                        current, candidate.criteria, None,
+                        alpha=candidate.alpha,
+                        higher_is_better=candidate.higher_is_better,
+                        config=self.config.rollout,
+                        benchmark=key[0], metric=key[1])
+                else:
+                    decision = evaluate_rollout(
+                        shadow, candidate.criteria, prior.criteria,
+                        alpha=candidate.alpha,
+                        higher_is_better=candidate.higher_is_better,
+                        config=self.config.rollout,
+                        benchmark=key[0], metric=key[1])
+                decisions.append(decision)
+                if decision.accepted:
+                    self._shadow_windows[key] = current
+                    continue
+                if prior is not None:
+                    validator.criteria[key] = prior
+                else:
+                    del validator.criteria[key]
+                self._journal_best_effort("criteria-rollback", {
+                    "benchmark": key[0],
+                    "metric": key[1],
+                    "candidate_rate": decision.candidate_rate,
+                    "baseline_rate": decision.baseline_rate,
+                    "reason": decision.reason,
+                })
         self._maybe_snapshot(force=True)
+        return decisions
 
     def _maybe_snapshot(self, *, force: bool = False) -> None:
         if self.store is None or self._recovering:

@@ -258,10 +258,18 @@ class _Task:
 
 
 class ValidationPool:
-    """Parallel fleet-sweep engine reusing a Validator's policy."""
+    """Parallel fleet-sweep engine reusing a Validator's policy.
 
-    def __init__(self, config: PoolConfig | None = None):
+    ``sanitizer`` (a :class:`repro.quality.Sanitizer`) is the pool's
+    own ingestion guard: results from runners that carry no sanitizer
+    of their own are sanitized here, so every result leaving a sweep
+    crossed the sanitization layer exactly once no matter which runner
+    produced it.
+    """
+
+    def __init__(self, config: PoolConfig | None = None, *, sanitizer=None):
         self.config = config or PoolConfig()
+        self.sanitizer = sanitizer
         #: Lazily-created per-benchmark breakers (empty when disabled).
         self.breakers: dict[str, CircuitBreaker] = {}
 
@@ -418,7 +426,11 @@ class ValidationPool:
         # The deadline clock starts when the benchmark actually starts,
         # not when the cell was queued behind a busy pool.
         task.started_at[0] = time.monotonic()
-        return runner.run(task.spec, task.node)
+        result = runner.run(task.spec, task.node)
+        if (self.sanitizer is not None
+                and getattr(runner, "sanitizer", None) is None):
+            result = self.sanitizer.sanitize_result(task.spec, result)
+        return result
 
     # ------------------------------------------------------------------
     # Validator-equivalent sweeps

@@ -12,6 +12,11 @@ from repro.simulation.coverage import (
     detects,
     expected_shift,
 )
+from repro.simulation.dirty import (
+    contaminated_windows,
+    dirty_runner,
+    poisoned_windows,
+)
 from repro.simulation.generator import (
     CATEGORY_COMPONENTS,
     TTR_SEGMENTS,
@@ -67,13 +72,16 @@ __all__ = [
     "ValidationPolicy",
     "analytic_coverage_table",
     "build_policies",
+    "contaminated_windows",
     "detection_map",
     "detects",
+    "dirty_runner",
     "expected_shift",
     "generate_allocation_trace",
     "generate_incident_trace",
     "job_time_to_failure_curve",
     "mean_time_between_ith_incidents",
+    "poisoned_windows",
     "run_policy_comparison",
     "sample_time_to_resolve",
     "suite_durations",

@@ -1,0 +1,138 @@
+"""Dirty-telemetry generators for measurement-plane soak testing.
+
+The sanitization layer (:mod:`repro.quality`) and the
+contamination-resistant learner (:mod:`repro.core.criteria`) exist to
+survive telemetry the paper's clean-room formulas never see: NaN
+bursts, truncated collection windows, unit-scale glitches, duplicated
+samples.  This module manufactures that dirt deterministically so soak
+tests can assert fleet-level outcomes (bounded false evictions,
+learning that completes, poisoned updates rejected) against a known
+contamination rate.
+
+Two entry points:
+
+* :func:`dirty_runner` -- a ready-made
+  :class:`~repro.benchsuite.faults.FaultInjectingRunner` whose total
+  telemetry-fault probability equals ``contamination``, split across
+  the four telemetry fault classes;
+* :func:`contaminated_windows` -- raw per-node window arrays with a
+  deterministic subset corrupted, for driving
+  :func:`~repro.core.criteria.learn_criteria` and
+  :func:`~repro.quality.rollout.evaluate_rollout` directly without a
+  benchmark suite in the loop.
+
+Everything is keyed off an explicit seed; the same seed reproduces
+the same dirt, window for window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.benchsuite.faults import FaultInjectingRunner
+from repro.exceptions import ReproError
+
+__all__ = ["dirty_runner", "contaminated_windows", "poisoned_windows"]
+
+#: How :func:`dirty_runner` splits the contamination budget across the
+#: telemetry fault classes (weights, normalised internally).
+_FAULT_MIX = {
+    "telemetry-nan": 0.4,
+    "telemetry-truncate": 0.2,
+    "telemetry-scale": 0.2,
+    "telemetry-duplicate": 0.2,
+}
+
+
+def dirty_runner(*, contamination: float, seed: int = 0, fault_nodes=None,
+                 windows=None, sanitizer=None,
+                 unit_scale_factor: float = 1000.0) -> FaultInjectingRunner:
+    """A fault runner whose telemetry-fault probability is ``contamination``.
+
+    The budget is split 40/20/20/20 across non-finite, truncation,
+    unit-scale and duplication faults -- non-finite corruption is the
+    most common collector failure in practice, the rest roughly even.
+    Execution faults (crash/hang/garbage) are left at zero: dirty
+    *telemetry* is the subject here, not broken executions.
+    """
+    if not 0.0 <= contamination <= 1.0:
+        raise ReproError(
+            f"contamination must be in [0, 1], got {contamination}")
+    total = sum(_FAULT_MIX.values())
+    return FaultInjectingRunner(
+        seed=seed,
+        fault_nodes=fault_nodes,
+        windows=windows,
+        sanitizer=sanitizer,
+        unit_scale_factor=unit_scale_factor,
+        telemetry_nan_rate=contamination * _FAULT_MIX["telemetry-nan"] / total,
+        telemetry_truncate_rate=(contamination
+                                 * _FAULT_MIX["telemetry-truncate"] / total),
+        telemetry_scale_rate=(contamination
+                              * _FAULT_MIX["telemetry-scale"] / total),
+        telemetry_duplicate_rate=(contamination
+                                  * _FAULT_MIX["telemetry-duplicate"] / total),
+    )
+
+
+def contaminated_windows(*, n_windows: int, window: int = 32,
+                         base_value: float = 100.0, noise_cv: float = 0.02,
+                         contamination: float = 0.1, seed: int = 0,
+                         scale_factor: float = 1000.0) -> list[np.ndarray]:
+    """Per-node measurement windows with a corrupted subset.
+
+    Generates ``n_windows`` healthy windows (normal noise around
+    ``base_value``), then corrupts ``round(contamination * n_windows)``
+    of them -- cycling through NaN injection, truncation, unit-scale
+    multiplication and duplication so every fault class is represented.
+    The corrupted indices are the *last* ones the shuffled RNG picks,
+    so which nodes are dirty varies with the seed but never with call
+    order.
+    """
+    if n_windows < 1:
+        raise ReproError("n_windows must be at least 1")
+    if not 0.0 <= contamination <= 1.0:
+        raise ReproError(
+            f"contamination must be in [0, 1], got {contamination}")
+    rng = np.random.default_rng(np.random.SeedSequence((seed, 0xD1A7)))
+    windows = [base_value * (1.0 + noise_cv * rng.standard_normal(window))
+               for _ in range(n_windows)]
+    n_dirty = int(round(contamination * n_windows))
+    dirty_idx = rng.permutation(n_windows)[:n_dirty]
+    faults = ("nan", "truncate", "scale", "duplicate")
+    for slot, index in enumerate(sorted(dirty_idx)):
+        kind = faults[slot % len(faults)]
+        arr = windows[index]
+        if kind == "nan":
+            n_bad = max(1, arr.size // 10)
+            bad = rng.choice(arr.size, size=n_bad, replace=False)
+            arr[bad] = rng.choice([np.nan, np.inf, -np.inf], size=n_bad)
+        elif kind == "truncate":
+            windows[index] = arr[:max(1, arr.size // 4)]
+        elif kind == "scale":
+            windows[index] = arr * scale_factor
+        else:
+            half = max(1, arr.size // 2)
+            windows[index] = np.concatenate([arr, arr[:half]])
+    return windows
+
+
+def poisoned_windows(*, n_windows: int, window: int = 32,
+                     base_value: float = 100.0, noise_cv: float = 0.02,
+                     poison_factor: float = 3.0,
+                     seed: int = 0) -> list[np.ndarray]:
+    """Windows from a fleet whose telemetry was *coherently* poisoned.
+
+    Unlike :func:`contaminated_windows` (random per-window dirt), this
+    models the guarded-rollout adversary: every window measures
+    ``poison_factor`` times too high -- a fleet-wide driver/collector
+    regression.  Criteria learned from these windows look internally
+    consistent but would evict the whole healthy fleet; the rollout
+    guard must reject them.
+    """
+    if n_windows < 1:
+        raise ReproError("n_windows must be at least 1")
+    rng = np.random.default_rng(np.random.SeedSequence((seed, 0xBAD)))
+    level = base_value * poison_factor
+    return [level * (1.0 + noise_cv * rng.standard_normal(window))
+            for _ in range(n_windows)]

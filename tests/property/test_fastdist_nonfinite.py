@@ -1,0 +1,113 @@
+"""Property tests: the non-finite policies of the fastdist kernels.
+
+``nonfinite="mask"`` must be *exactly* equivalent to pre-cleaning the
+inputs with ``np.isfinite`` and running the default reject path, for
+both the pairwise batch (Eq. 2-3) and the one-vs-reference online
+kernel (Eq. 4).  ``nonfinite="reject"`` must keep raising on any
+NaN/Inf, so callers that have not opted into masking never silently
+score dirty telemetry."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.distance import (
+    one_sided_similarity,
+    pairwise_similarity_matrix_reference,
+    similarity,
+)
+from repro.core.fastdist import (
+    SortedSampleBatch,
+    one_vs_many_similarities,
+    pairwise_similarities,
+)
+from repro.exceptions import InvalidSampleError
+
+TOL = 1e-9
+
+NON_FINITE = (np.nan, np.inf, -np.inf)
+
+finite = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def dirty_sample(draw, min_finite=1, max_size=30):
+    """A sample with >= min_finite finite values and 0+ NaN/Inf mixed in."""
+    clean = draw(st.lists(finite, min_size=min_finite, max_size=max_size))
+    junk = draw(st.lists(st.sampled_from(NON_FINITE), min_size=0, max_size=5))
+    merged = clean + junk
+    draw(st.randoms(use_true_random=False)).shuffle(merged)
+    return np.array(merged, dtype=float)
+
+
+dirty_fleet = st.lists(dirty_sample(), min_size=2, max_size=6)
+
+
+def _cleaned(sample):
+    return np.asarray(sample, dtype=float)[np.isfinite(sample)]
+
+
+@given(dirty_fleet)
+@settings(max_examples=60, deadline=None)
+def test_masked_pairwise_matches_precleaned_scalar(samples):
+    batch = SortedSampleBatch.from_samples(samples, nonfinite="mask")
+    got = pairwise_similarities(batch)
+    want = pairwise_similarity_matrix_reference(
+        [_cleaned(s) for s in samples])
+    assert np.max(np.abs(got - want)) < TOL
+
+
+@given(dirty_fleet, dirty_sample())
+@settings(max_examples=60, deadline=None)
+def test_masked_one_vs_many_matches_precleaned_scalar(samples, reference):
+    batch = SortedSampleBatch.from_samples(samples, nonfinite="mask")
+    got = one_vs_many_similarities(batch, reference, nonfinite="mask")
+    clean_ref = _cleaned(reference)
+    want = np.array([similarity(_cleaned(s), clean_ref) for s in samples])
+    assert np.max(np.abs(got - want)) < TOL
+
+
+@given(dirty_fleet, dirty_sample(), st.sampled_from([True, False]))
+@settings(max_examples=60, deadline=None)
+def test_masked_one_sided_matches_precleaned_scalar(samples, reference,
+                                                    higher):
+    batch = SortedSampleBatch.from_samples(samples, nonfinite="mask")
+    direction = 1 if higher else -1
+    got = one_vs_many_similarities(batch, reference,
+                                   signed_direction=direction,
+                                   nonfinite="mask")
+    clean_ref = _cleaned(reference)
+    want = np.array([
+        one_sided_similarity(_cleaned(s), clean_ref,
+                             higher_is_better=higher)
+        for s in samples
+    ])
+    assert np.max(np.abs(got - want)) < TOL
+
+
+@given(dirty_fleet)
+@settings(max_examples=40, deadline=None)
+def test_reject_raises_on_any_non_finite(samples):
+    assume(any(not np.isfinite(s).all() for s in samples))
+    with pytest.raises(InvalidSampleError):
+        SortedSampleBatch.from_samples(samples)
+
+
+@given(dirty_fleet, st.sampled_from(NON_FINITE))
+@settings(max_examples=40, deadline=None)
+def test_reject_raises_on_dirty_reference(samples, junk):
+    batch = SortedSampleBatch.from_samples(samples, nonfinite="mask")
+    reference = np.array([1.0, 2.0, junk])
+    with pytest.raises(InvalidSampleError):
+        one_vs_many_similarities(batch, reference)
+
+
+@given(st.lists(st.lists(st.sampled_from(NON_FINITE), min_size=1,
+                         max_size=4).map(np.array),
+                min_size=1, max_size=4))
+@settings(max_examples=20, deadline=None)
+def test_mask_still_rejects_entirely_non_finite_rows(samples):
+    with pytest.raises(InvalidSampleError):
+        SortedSampleBatch.from_samples(samples, nonfinite="mask")

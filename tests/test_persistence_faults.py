@@ -101,16 +101,16 @@ class TestFaultInjection:
         be cast to int) -- it must coerce to float instead."""
         from repro.benchsuite.base import BenchmarkResult
 
-        original = SuiteRunner.run
+        original = SuiteRunner._execute
 
-        def int_run(self, spec, node):
+        def int_execute(self, spec, node):
             result = original(self, spec, node)
             return BenchmarkResult(
                 benchmark=result.benchmark, node_id=result.node_id,
                 metrics={name: np.asarray(np.round(series), dtype=np.int64)
                          for name, series in result.metrics.items()})
 
-        monkeypatch.setattr(SuiteRunner, "run", int_run)
+        monkeypatch.setattr(SuiteRunner, "_execute", int_execute)
         runner = FaultInjectingRunner(hang_rate=1.0, seed=3)
         result = runner.run(suite_by_name("mem-bw"), Node(node_id="n0"))
         corrupted = result.sample("h2d_bw_gbs")
@@ -141,3 +141,77 @@ class TestFaultInjection:
         assert report.defective_nodes == ["n3"]
         reasons = {v.reason for v in report.violations if v.node_id == "n3"}
         assert any("execution-failure" in r for r in reasons)
+
+
+class TestPersistenceHardening:
+    """Atomic writes, checksum verification, backup rollback."""
+
+    def test_save_leaves_no_tmp_file(self, tmp_path):
+        validator, _ = trained_validator()
+        path = tmp_path / "criteria.json"
+        save_criteria(validator, path)
+        save_criteria(validator, path)  # overwrite path too
+        leftovers = {p.name for p in tmp_path.iterdir()}
+        assert leftovers == {"criteria.json", "criteria.json.bak"}
+
+    def test_payload_carries_version_and_checksum(self, tmp_path):
+        import json
+
+        validator, _ = trained_validator()
+        path = tmp_path / "criteria.json"
+        save_criteria(validator, path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 2
+        assert isinstance(payload["checksum"], int)
+
+    def test_bit_flip_detected_by_checksum(self, tmp_path):
+        import json
+
+        validator, _ = trained_validator()
+        path = tmp_path / "criteria.json"
+        save_criteria(validator, path, keep_backup=False)
+        payload = json.loads(path.read_text())
+        # Still valid JSON, still version 2 -- but one value nudged.
+        payload["entries"][0]["criteria"][0] += 1.0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CriteriaError, match="checksum"):
+            load_criteria(Validator(small_suite()), path,
+                          fallback_to_backup=False)
+
+    def test_corrupt_main_file_rolls_back_to_backup(self, tmp_path):
+        validator, nodes = trained_validator()
+        path = tmp_path / "criteria.json"
+        save_criteria(validator, path)   # no backup yet
+        save_criteria(validator, path)   # previous file becomes .bak
+        path.write_text(path.read_text()[:40])  # truncate mid-document
+
+        fresh = Validator(small_suite(), runner=SuiteRunner(seed=0))
+        loaded = load_criteria(fresh, path)
+        assert loaded == len(validator.criteria)
+        assert (fresh.validate(nodes).defective_nodes
+                == validator.validate(nodes).defective_nodes)
+
+    def test_corrupt_main_and_backup_raise(self, tmp_path):
+        validator, _ = trained_validator()
+        path = tmp_path / "criteria.json"
+        save_criteria(validator, path)
+        save_criteria(validator, path)
+        path.write_text("garbage")
+        (tmp_path / "criteria.json.bak").write_text("also garbage")
+        with pytest.raises(CriteriaError):
+            load_criteria(Validator(small_suite()), path)
+
+    def test_version_1_payload_still_loads(self, tmp_path):
+        import json
+
+        from repro.core.persistence import criteria_payload
+
+        validator, nodes = trained_validator()
+        payload = criteria_payload(validator)
+        legacy = {"version": 1, "entries": payload["entries"]}  # no checksum
+        path = tmp_path / "criteria.json"
+        path.write_text(json.dumps(legacy))
+
+        fresh = Validator(small_suite(), runner=SuiteRunner(seed=0))
+        loaded = load_criteria(fresh, path)
+        assert loaded == len(validator.criteria)

@@ -1,0 +1,156 @@
+"""Telemetry-level fault injection: corruption shapes, keyed-stream
+determinism, and rate validation."""
+
+import numpy as np
+import pytest
+
+from repro.benchsuite.faults import FaultInjectingRunner
+from repro.benchsuite.runner import SuiteRunner
+from repro.benchsuite.suite import full_suite, suite_by_name
+from repro.hardware.node import Node
+from repro.simulation.dirty import dirty_runner
+
+
+def multi_sample_spec():
+    """A spec whose metrics have multi-sample windows (needed so the
+    truncate/duplicate shapes are observable)."""
+    return suite_by_name("ib-loopback")
+
+
+def clean_and_dirty(kind_rate, seed=3, spec=None, **kwargs):
+    spec = spec or multi_sample_spec()
+    node = Node(node_id="n0")
+    clean = SuiteRunner(seed=seed).run(spec, node)
+    runner = FaultInjectingRunner(seed=seed, **{kind_rate: 1.0}, **kwargs)
+    dirty = runner.run(spec, node)
+    return clean, dirty, runner
+
+
+class TestCorruptionShapes:
+    def test_nan_fault_injects_non_finite_pointwise(self):
+        clean, dirty, runner = clean_and_dirty("telemetry_nan_rate")
+        assert runner.injected and runner.injected[0][2] == "telemetry-nan"
+        for name, series in dirty.metrics.items():
+            series = np.asarray(series, dtype=float)
+            bad = ~np.isfinite(series)
+            assert bad.any()
+            # Only some entries corrupted on multi-sample windows; the
+            # finite remainder still matches the clean execution.
+            reference = np.asarray(clean.metrics[name], dtype=float)
+            if series.size > 1:
+                assert bad.sum() < series.size
+                np.testing.assert_array_equal(series[~bad], reference[~bad])
+
+    def test_truncate_fault_cuts_window_short(self):
+        clean, dirty, _ = clean_and_dirty("telemetry_truncate_rate")
+        for name, series in dirty.metrics.items():
+            reference = np.asarray(clean.metrics[name], dtype=float)
+            if reference.size == 1:
+                continue
+            assert series.size < reference.size
+            np.testing.assert_array_equal(series, reference[:series.size])
+
+    def test_scale_fault_multiplies_whole_window(self):
+        clean, dirty, _ = clean_and_dirty("telemetry_scale_rate",
+                                          unit_scale_factor=1000.0)
+        for name, series in dirty.metrics.items():
+            reference = np.asarray(clean.metrics[name], dtype=float)
+            np.testing.assert_allclose(series, reference * 1000.0)
+
+    def test_duplicate_fault_replays_prefix(self):
+        clean, dirty, _ = clean_and_dirty("telemetry_duplicate_rate")
+        for name, series in dirty.metrics.items():
+            reference = np.asarray(clean.metrics[name], dtype=float)
+            assert series.size > reference.size
+            np.testing.assert_array_equal(series[:reference.size], reference)
+            extra = series[reference.size:]
+            np.testing.assert_array_equal(extra, reference[:extra.size])
+
+    def test_execution_fault_takes_precedence(self):
+        spec = multi_sample_spec()
+        runner = FaultInjectingRunner(seed=0, crash_rate=1.0,
+                                      telemetry_scale_rate=1.0)
+        result = runner.run(spec, Node(node_id="n0"))
+        kinds = {kind for _, _, kind in runner.injected}
+        assert kinds == {"crash"}
+        assert all(np.asarray(v).size == 0 for v in result.metrics.values())
+
+
+class TestDeterminism:
+    NODES = [Node(node_id=f"n{i}") for i in range(24)]
+
+    def _sweep(self, runner, nodes, spec):
+        return [runner.run(spec, node) for node in nodes]
+
+    def test_same_seed_same_faults_and_telemetry(self):
+        spec = multi_sample_spec()
+        a = FaultInjectingRunner(seed=5, telemetry_nan_rate=0.2,
+                                 telemetry_scale_rate=0.2)
+        b = FaultInjectingRunner(seed=5, telemetry_nan_rate=0.2,
+                                 telemetry_scale_rate=0.2)
+        results_a = self._sweep(a, self.NODES, spec)
+        results_b = self._sweep(b, self.NODES, spec)
+        assert a.injected == b.injected
+        for ra, rb in zip(results_a, results_b):
+            for name in ra.metrics:
+                np.testing.assert_array_equal(ra.metrics[name],
+                                              rb.metrics[name])
+
+    def test_injection_is_order_independent(self):
+        spec = multi_sample_spec()
+        forward = FaultInjectingRunner(seed=5, telemetry_nan_rate=0.3,
+                                       telemetry_duplicate_rate=0.3)
+        backward = FaultInjectingRunner(seed=5, telemetry_nan_rate=0.3,
+                                        telemetry_duplicate_rate=0.3)
+        self._sweep(forward, self.NODES, spec)
+        self._sweep(backward, list(reversed(self.NODES)), spec)
+        assert sorted(forward.injected) == sorted(backward.injected)
+
+    def test_different_seed_different_lottery(self):
+        spec = multi_sample_spec()
+        a = FaultInjectingRunner(seed=5, telemetry_nan_rate=0.3)
+        b = FaultInjectingRunner(seed=6, telemetry_nan_rate=0.3)
+        self._sweep(a, self.NODES, spec)
+        self._sweep(b, self.NODES, spec)
+        assert a.injected != b.injected
+
+    def test_all_fault_kinds_reachable(self):
+        # With all four rates live, a big enough sweep draws each kind.
+        runner = dirty_runner(contamination=0.8, seed=1)
+        for spec in full_suite():
+            for node in self.NODES:
+                runner.run(spec, node)
+        kinds = {kind for _, _, kind in runner.injected}
+        assert kinds == {"telemetry-nan", "telemetry-truncate",
+                         "telemetry-scale", "telemetry-duplicate"}
+
+    def test_fault_nodes_scoping(self):
+        spec = multi_sample_spec()
+        runner = FaultInjectingRunner(seed=0, telemetry_nan_rate=1.0,
+                                      fault_nodes={"n0"})
+        runner.run(spec, Node(node_id="n0"))
+        runner.run(spec, Node(node_id="n1"))
+        assert {node for node, _, _ in runner.injected} == {"n0"}
+
+
+class TestRateValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError):
+            FaultInjectingRunner(telemetry_nan_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultInjectingRunner(telemetry_scale_rate=-0.1)
+
+    def test_telemetry_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(ValueError):
+            FaultInjectingRunner(telemetry_nan_rate=0.6,
+                                 telemetry_truncate_rate=0.6)
+
+    def test_unit_scale_factor_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            FaultInjectingRunner(telemetry_scale_rate=0.1,
+                                 unit_scale_factor=1.0)
+
+    def test_dirty_runner_contamination_bounds(self):
+        from repro.exceptions import ReproError
+        with pytest.raises(ReproError):
+            dirty_runner(contamination=1.2)
