@@ -42,10 +42,10 @@ if str(_SRC) not in sys.path:
 import numpy as np  # noqa: E402
 
 from repro.core import _cmerge, fastdist  # noqa: E402
+from repro.core.backend import pairwise_similarity_matrix  # noqa: E402
 from repro.core.criteria import learn_criteria  # noqa: E402
 from repro.core.distance import (  # noqa: E402
     one_sided_similarity,
-    pairwise_similarity_matrix,
     pairwise_similarity_matrix_reference,
     similarity,
 )

@@ -44,6 +44,21 @@ def main():
           f"{len(flagged - set(truth))} false positives; "
           f"{len(report.healthy_nodes)} nodes delivered as healthy")
 
+    # Every measurement travels the spine as a provenance-carrying
+    # MetricWindow; the Validator and runner count their stages as the
+    # data flows through (execute -> sanitize -> learn -> score).
+    spec = full_suite()[0]
+    window = validator.runner.run(spec, fleet.nodes[0]).windows[0]
+    print(f"\none window of provenance: node={window.node_id} "
+          f"metric={window.metric} n={window.n} "
+          f"higher_is_better={window.higher_is_better} "
+          f"sanitized={window.sanitized}")
+    print("pipeline stages (stage: runs, seconds):")
+    merged = validator.stats.merge(validator.runner.stats)
+    for stage, entry in merged.snapshot().items():
+        print(f"  {stage:<8} {int(entry['count']):6d} "
+              f"{entry['seconds']:8.3f}s")
+
 
 if __name__ == "__main__":
     main()

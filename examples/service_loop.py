@@ -115,6 +115,18 @@ def main():
     counts = recovered.lifecycle.counts()
     print("\nlifecycle:", " ".join(f"{k}={v}" for k, v in counts.items()))
 
+    # The measurement spine's per-stage counters ride along in the
+    # facade's history summary -- one place to see how much execute /
+    # sanitize / learn / score work the recovered service did.
+    summary = recovered.anubis.history_summary()
+    print("\nmeasurement spine (stage: runs, seconds):")
+    if not summary["pipeline"]:
+        print("  (no benchmark ran after recovery -- the Selector "
+              "skipped the remaining events)")
+    for stage, entry in summary["pipeline"].items():
+        print(f"  {stage:<10} {int(entry['count']):6d} "
+              f"{entry['seconds']:8.3f}s")
+
 
 if __name__ == "__main__":
     main()

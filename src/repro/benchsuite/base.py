@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.measurement import MetricWindow
 from repro.exceptions import BenchmarkError
 from repro.hardware.components import Component
 from repro.hardware.node import Node
@@ -169,29 +170,79 @@ class BenchmarkSpec:
         return metric.sensitivity or self.sensitivity
 
 
-@dataclass(frozen=True)
 class BenchmarkResult:
-    """Output of one benchmark run on one node.
+    """Output of one benchmark run on one node: a set of metric windows.
 
-    ``quarantined`` lists metrics whose telemetry failed sanitization
-    badly enough to support no verdict (see :mod:`repro.quality`);
-    their raw series stay in ``metrics`` for forensics, but the
-    Validator must neither score nor learn from them.
+    Each metric is a :class:`~repro.core.measurement.MetricWindow`
+    carrying its own provenance -- polarity, sanitization state,
+    quarantine verdict, recorded faults -- so downstream layers read
+    the verdict off the data instead of tracking it out-of-band.
+
+    The dict-shaped constructor (``metrics=``/``quarantined=``) is the
+    compatibility surface for callers that only have raw arrays; it
+    wraps them into windows on the spot.  ``quarantined`` metrics'
+    raw series stay readable for forensics, but the Validator must
+    neither score nor learn from them.
     """
 
-    benchmark: str
-    node_id: str
-    metrics: dict[str, np.ndarray]
-    quarantined: tuple[str, ...] = ()
+    __slots__ = ("benchmark", "node_id", "windows")
+
+    def __init__(self, benchmark: str, node_id: str,
+                 metrics: dict[str, np.ndarray] | None = None,
+                 quarantined: tuple[str, ...] = (), *,
+                 windows: tuple[MetricWindow, ...] | None = None):
+        self.benchmark = benchmark
+        self.node_id = node_id
+        if windows is not None:
+            if metrics is not None:
+                raise BenchmarkError(
+                    "pass either metrics= or windows=, not both")
+            self.windows = tuple(windows)
+        else:
+            quarantined_set = set(quarantined)
+            self.windows = tuple(
+                MetricWindow(node_id=node_id, benchmark=benchmark,
+                             metric=name, values=values,
+                             quarantined=name in quarantined_set)
+                for name, values in (metrics or {}).items())
+
+    def __repr__(self) -> str:
+        return (f"BenchmarkResult(benchmark={self.benchmark!r}, "
+                f"node_id={self.node_id!r}, "
+                f"metrics={sorted(w.metric for w in self.windows)})")
+
+    @property
+    def metrics(self) -> dict[str, np.ndarray]:
+        """Metric name -> raw sample array (window order preserved)."""
+        return {window.metric: window.values for window in self.windows}
+
+    @property
+    def quarantined(self) -> tuple[str, ...]:
+        """Names of metrics whose window supports no verdict."""
+        return tuple(w.metric for w in self.windows if w.quarantined)
+
+    @property
+    def sanitized(self) -> bool:
+        """True when every window crossed the sanitization layer."""
+        return bool(self.windows) and all(w.sanitized for w in self.windows)
+
+    def window(self, metric_name: str) -> MetricWindow:
+        """The full provenance-carrying window for one metric."""
+        for window in self.windows:
+            if window.metric == metric_name:
+                return window
+        raise KeyError(
+            f"run of {self.benchmark!r} has no metric {metric_name!r}")
 
     def sample(self, metric_name: str) -> np.ndarray:
         """Raw sample array for one metric."""
-        try:
-            return self.metrics[metric_name]
-        except KeyError:
-            raise KeyError(
-                f"run of {self.benchmark!r} has no metric {metric_name!r}"
-            ) from None
+        return self.window(metric_name).values
+
+    def with_windows(self,
+                     windows: tuple[MetricWindow, ...]) -> "BenchmarkResult":
+        """Same run identity, new windows (sanitization, corruption)."""
+        return BenchmarkResult(benchmark=self.benchmark,
+                               node_id=self.node_id, windows=tuple(windows))
 
 
 def _node_metric_factor(node: Node, spec: BenchmarkSpec, metric: MetricSpec) -> float:
@@ -241,9 +292,18 @@ def measure_metric(spec: BenchmarkSpec, metric: MetricSpec, node: Node,
 
 def run_benchmark(spec: BenchmarkSpec, node: Node, rng: np.random.Generator,
                   *, n_steps: int | None = None) -> BenchmarkResult:
-    """Run (simulate) one benchmark on one node; all metrics sampled."""
-    metrics = {
-        metric.name: measure_metric(spec, metric, node, rng, n_steps=n_steps)
+    """Run (simulate) one benchmark on one node; all metrics sampled.
+
+    Windows are born with their metric's true polarity, so Eq. (4)
+    direction decisions downstream come from measurement provenance,
+    not from re-looking-up the spec.
+    """
+    windows = tuple(
+        MetricWindow(
+            node_id=node.node_id, benchmark=spec.name, metric=metric.name,
+            values=measure_metric(spec, metric, node, rng, n_steps=n_steps),
+            higher_is_better=metric.higher_is_better)
         for metric in spec.metrics
-    }
-    return BenchmarkResult(benchmark=spec.name, node_id=node.node_id, metrics=metrics)
+    )
+    return BenchmarkResult(benchmark=spec.name, node_id=node.node_id,
+                           windows=windows)

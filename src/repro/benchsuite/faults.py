@@ -187,25 +187,26 @@ class FaultInjectingRunner(SuiteRunner):
         fault = self._draw_fault(spec, node, repeat)
         if fault is not None:
             self.injected.append((node.node_id, spec.name, fault))
-            corrupted = {}
-            for name, series in result.metrics.items():
+            corrupted = []
+            for window in result.windows:
                 if fault == "crash":
-                    corrupted[name] = np.array([])
+                    corrupted.append(window.with_values(np.array([])))
                 elif fault == "hang":
                     # dtype=float: np.nan cast into an integer series would
                     # raise (or wrap to a garbage value on older numpy)
                     # instead of producing the intended all-NaN metrics.
-                    corrupted[name] = np.full_like(series, np.nan, dtype=float)
+                    corrupted.append(window.with_values(
+                        np.full_like(window.values, np.nan, dtype=float)))
                 else:
-                    corrupted[name] = np.zeros_like(series)
-            return BenchmarkResult(benchmark=spec.name, node_id=node.node_id,
-                                   metrics=corrupted)
+                    corrupted.append(window.with_values(
+                        np.zeros_like(window.values)))
+            return result.with_windows(tuple(corrupted))
         telemetry_fault = self._draw_telemetry_fault(spec, node, repeat)
         if telemetry_fault is None:
             return result
         self.injected.append((node.node_id, spec.name, telemetry_fault))
         rng = self._keyed_rng(0x7E1F, spec, node, repeat)
-        corrupted = {name: self._corrupt_telemetry(series, telemetry_fault, rng)
-                     for name, series in result.metrics.items()}
-        return BenchmarkResult(benchmark=spec.name, node_id=node.node_id,
-                               metrics=corrupted)
+        return result.with_windows(tuple(
+            w.with_values(self._corrupt_telemetry(w.values, telemetry_fault,
+                                                  rng))
+            for w in result.windows))

@@ -22,6 +22,7 @@ from repro.benchsuite.base import (
     BenchmarkSpec,
     run_benchmark,
 )
+from repro.core.measurement import PipelineStats
 from repro.exceptions import BenchmarkError
 from repro.hardware.node import Node
 
@@ -84,14 +85,19 @@ class SuiteRunner:
         result passes through telemetry sanitization before leaving
         :meth:`run` -- implausible values are quarantined with
         provenance instead of flowing into verdicts.
+    stats:
+        A :class:`~repro.core.measurement.PipelineStats` instance fed
+        with per-stage execute/sanitize counters and timings; shared
+        with the Validator's facade for ``pipeline_stats()``.
     """
 
     def __init__(self, *, seed: int = 0,
                  windows: dict[str, StepWindow] | None = None,
-                 sanitizer=None):
+                 sanitizer=None, stats: PipelineStats | None = None):
         self.seed = int(seed)
         self.windows = dict(windows or {})
         self.sanitizer = sanitizer
+        self.stats = stats if stats is not None else PipelineStats()
         self._repeat_counts: dict[tuple[str, str], int] = {}
 
     def _measurement_rng(self, spec: BenchmarkSpec,
@@ -150,17 +156,17 @@ class SuiteRunner:
         rng = self._measurement_rng(spec, node)
         if spec.kind is BenchmarkKind.E2E and window is not None:
             raw = run_benchmark(spec, node, rng, n_steps=window.total_steps)
-            metrics = {name: window.apply(series)
-                       for name, series in raw.metrics.items()}
-            return BenchmarkResult(benchmark=spec.name, node_id=node.node_id,
-                                   metrics=metrics)
+            return raw.with_windows(tuple(
+                w.with_values(window.apply(w.values)) for w in raw.windows))
         return run_benchmark(spec, node, rng)
 
     def run(self, spec: BenchmarkSpec, node: Node) -> BenchmarkResult:
         """One benchmark on one node: execute, then sanitize."""
-        result = self._execute(spec, node)
+        with self.stats.timed("execute"):
+            result = self._execute(spec, node)
         if self.sanitizer is not None:
-            result = self.sanitizer.sanitize_result(spec, result)
+            with self.stats.timed("sanitize"):
+                result = self.sanitizer.sanitize_result(spec, result)
         return result
 
     def run_on_nodes(self, spec: BenchmarkSpec, nodes) -> dict[str, BenchmarkResult]:

@@ -323,6 +323,12 @@ def _cmd_serve(args) -> int:
     print(f"\nprocessed {len(results)} events "
           f"({service.queue.coalesced_total} coalesced away)\n")
     print(service.metrics.format_table())
+    pipeline = anubis.pipeline_stats()
+    if pipeline:
+        print("\nmeasurement spine (stage: runs, seconds):")
+        for stage, entry in pipeline.items():
+            print(f"  {stage:<10} {int(entry['count']):6d} "
+                  f"{entry['seconds']:8.3f}s")
     counts = service.lifecycle.counts()
     print("\nlifecycle:", " ".join(f"{k}={v}" for k, v in counts.items()))
     if quarantined:

@@ -1,107 +1,115 @@
-"""ANUBIS/SuperBench core: Validator, Selector and the system facade."""
+"""ANUBIS/SuperBench core: Validator, Selector and the system facade.
 
-from repro.core.criteria import CriteriaResult, learn_criteria
-from repro.core.distance import (
-    cdf_distance,
-    one_sided_distance,
-    one_sided_similarity,
-    pairwise_similarity_matrix,
-    pairwise_similarity_matrix_reference,
-    similarity,
-)
-from repro.core.drift import DriftReport, evaluate_drift
-from repro.core.ecdf import Ecdf, as_sample
-from repro.core.fastdist import (
-    SortedSampleBatch,
-    batch_gap_integrals,
-    one_vs_many_distances,
-    one_vs_many_similarities,
-    pairwise_distances,
-    pairwise_similarities,
-)
-from repro.core.parallel import process_map, resolve_workers
-from repro.core.persistence import (
-    apply_criteria_payload,
-    criteria_payload,
-    load_criteria,
-    save_criteria,
-)
-from repro.core.paramsearch import (
-    estimate_period,
-    search_window,
-    seasonal_decompose,
-    tune_window_across_nodes,
-)
-from repro.core.repeatability import criteria_repeatability, pairwise_repeatability
-from repro.core.selection import (
-    CoverageTable,
-    SelectionResult,
-    joint_incident_probability,
-    select_benchmarks,
-    select_benchmarks_exhaustive,
-)
-from repro.core.selector import NodeStatus, Selector
-from repro.core.system import (
-    FULL_VALIDATION_KINDS,
-    Anubis,
-    EventKind,
-    ValidationEvent,
-    ValidationOutcome,
-    ValidationPlan,
-)
-from repro.core.validator import (
-    MetricCriteria,
-    ValidationReport,
-    Validator,
-    Violation,
-)
+Exports resolve lazily (PEP 562): importing one core submodule -- say
+:mod:`repro.core.measurement` from the benchsuite layer -- no longer
+pulls the whole validator stack, which is what lets lower layers
+depend on the measurement spine without an import cycle.
 
-__all__ = [
-    "Anubis",
-    "CoverageTable",
-    "CriteriaResult",
-    "DriftReport",
-    "Ecdf",
-    "EventKind",
-    "FULL_VALIDATION_KINDS",
-    "MetricCriteria",
-    "NodeStatus",
-    "SelectionResult",
-    "Selector",
-    "SortedSampleBatch",
-    "ValidationEvent",
-    "ValidationOutcome",
-    "ValidationPlan",
-    "ValidationReport",
-    "Validator",
-    "Violation",
-    "apply_criteria_payload",
-    "as_sample",
-    "batch_gap_integrals",
-    "cdf_distance",
-    "criteria_payload",
-    "criteria_repeatability",
-    "estimate_period",
-    "evaluate_drift",
-    "joint_incident_probability",
-    "learn_criteria",
-    "load_criteria",
-    "one_sided_distance",
-    "one_sided_similarity",
-    "one_vs_many_distances",
-    "one_vs_many_similarities",
-    "pairwise_distances",
-    "pairwise_repeatability",
-    "pairwise_similarities",
-    "pairwise_similarity_matrix",
-    "pairwise_similarity_matrix_reference",
-    "process_map",
-    "resolve_workers",
-    "save_criteria",
-    "search_window",
-    "seasonal_decompose",
-    "select_benchmarks",
-    "select_benchmarks_exhaustive",
-    "similarity",
-    "tune_window_across_nodes",
-]
+Distance names (``cdf_distance``, ``similarity``, ``one_sided_*``,
+``pairwise_similarity_matrix``) resolve to :mod:`repro.core.backend`,
+the unified dispatch layer; the scalar :mod:`repro.core.distance`
+module is the property-test oracle only.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+# Export name -> defining submodule.  Resolved on first attribute
+# access; ``from repro.core import X`` works unchanged.
+_EXPORTS = {
+    # backend (the unified distance dispatch; also the public homes of
+    # the Eq. 2-4 entry points)
+    "DistanceBackend": "backend",
+    "ScalarBackend": "backend",
+    "VectorizedBackend": "backend",
+    "DispatchBackend": "backend",
+    "get_backend": "backend",
+    "default_backend": "backend",
+    "backend_for": "backend",
+    "cdf_distance": "backend",
+    "similarity": "backend",
+    "one_sided_distance": "backend",
+    "one_sided_similarity": "backend",
+    "pairwise_similarity_matrix": "backend",
+    # measurement spine
+    "SCHEMA_VERSION": "measurement",
+    "NONFINITE_REJECT": "measurement",
+    "NONFINITE_MASK": "measurement",
+    "MetricWindow": "measurement",
+    "MeasurementBatch": "measurement",
+    "PipelineStats": "measurement",
+    # criteria
+    "CriteriaResult": "criteria",
+    "learn_criteria": "criteria",
+    # scalar oracle (kept importable for the property suite)
+    "pairwise_similarity_matrix_reference": "distance",
+    # drift
+    "DriftReport": "drift",
+    "evaluate_drift": "drift",
+    # ecdf
+    "Ecdf": "ecdf",
+    "as_sample": "ecdf",
+    # fastdist kernels
+    "SortedSampleBatch": "fastdist",
+    "batch_gap_integrals": "fastdist",
+    "one_vs_many_distances": "fastdist",
+    "one_vs_many_similarities": "fastdist",
+    "pairwise_distances": "fastdist",
+    "pairwise_similarities": "fastdist",
+    # parallel
+    "process_map": "parallel",
+    "resolve_workers": "parallel",
+    # persistence
+    "apply_criteria_payload": "persistence",
+    "criteria_payload": "persistence",
+    "load_criteria": "persistence",
+    "save_criteria": "persistence",
+    # paramsearch
+    "estimate_period": "paramsearch",
+    "search_window": "paramsearch",
+    "seasonal_decompose": "paramsearch",
+    "tune_window_across_nodes": "paramsearch",
+    # repeatability
+    "criteria_repeatability": "repeatability",
+    "pairwise_repeatability": "repeatability",
+    # selection
+    "CoverageTable": "selection",
+    "SelectionResult": "selection",
+    "joint_incident_probability": "selection",
+    "select_benchmarks": "selection",
+    "select_benchmarks_exhaustive": "selection",
+    # selector
+    "NodeStatus": "selector",
+    "Selector": "selector",
+    # system facade
+    "FULL_VALIDATION_KINDS": "system",
+    "Anubis": "system",
+    "EventKind": "system",
+    "ValidationEvent": "system",
+    "ValidationOutcome": "system",
+    "ValidationPlan": "system",
+    # validator
+    "MetricCriteria": "validator",
+    "ValidationReport": "validator",
+    "Validator": "validator",
+    "Violation": "validator",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    module = importlib.import_module(f"{__name__}.{module_name}")
+    value = getattr(module, name)
+    globals()[name] = value  # cache: resolve each export once
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -27,7 +27,8 @@ Dirty-telemetry robustness
 Criteria are learned *without ground truth*, so corrupted telemetry
 flows straight into the learned boundary unless it is contained here:
 
-* ``nonfinite="mask"`` quarantines NaN/Inf values per window instead of
+* a masking backend (``backend=get_backend(NONFINITE_MASK)``)
+  quarantines NaN/Inf values per window instead of
   aborting the whole fleet-wide learn, and windows left below
   ``min_sample_size`` clean values are excluded from learning (reported
   via :attr:`CriteriaResult.excluded_indices`) with a warning;
@@ -50,12 +51,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.ecdf import as_sample
-from repro.core.fastdist import (
-    SortedSampleBatch,
-    one_vs_many_similarities,
-    pairwise_similarities,
-)
+from repro.core.backend import DistanceBackend, default_backend
+from repro.core.measurement import NONFINITE_REJECT
 from repro.exceptions import CriteriaError
 
 __all__ = ["CriteriaResult", "learn_criteria", "medoid_index"]
@@ -136,22 +133,23 @@ def _pooled_sample(samples, active: np.ndarray) -> np.ndarray:
         np.concatenate([np.asarray(samples[i], dtype=float) for i in active]))
 
 
-def _clean_samples(samples, nonfinite: str, min_sample_size: int):
+def _clean_samples(samples, backend: DistanceBackend, min_sample_size: int):
     """Per-window quarantine pass before learning.
 
     Returns ``(cleaned, kept, masked_values, excluded)``: sorted clean
     arrays, their original indices, how many non-finite values were
     masked away, and the original indices of windows excluded outright.
-    Under ``"reject"`` any non-finite value raises (legacy strictness);
-    under ``"mask"`` values are dropped per window and only windows
-    with fewer than ``min_sample_size`` clean values are excluded.
+    Under the backend's ``"reject"`` policy any non-finite value raises
+    (legacy strictness); under ``"mask"`` values are dropped per window
+    and only windows with fewer than ``min_sample_size`` clean values
+    are excluded.
     """
     cleaned, kept, excluded = [], [], []
     masked_values = 0
     for index, sample in enumerate(samples):
         arr = np.asarray(sample, dtype=float).ravel()
-        if nonfinite == "reject":
-            finite = as_sample(arr)  # raises on empty or non-finite
+        if backend.nonfinite == NONFINITE_REJECT:
+            finite = backend.clean(arr)  # raises on empty or non-finite
         else:
             finite = arr[np.isfinite(arr)]
             masked_values += int(arr.size - finite.size)
@@ -166,7 +164,7 @@ def _clean_samples(samples, nonfinite: str, min_sample_size: int):
 def learn_criteria(samples, alpha: float = 0.95, *,
                    centroid: str = "medoid",
                    contamination: float = 0.0,
-                   nonfinite: str = "reject",
+                   backend: DistanceBackend | None = None,
                    min_sample_size: int = 1) -> CriteriaResult:
     """Run Algorithm 2 on ``samples`` and return the learned criteria.
 
@@ -183,15 +181,18 @@ def learn_criteria(samples, alpha: float = 0.95, *,
         Budget (fraction in ``[0, 0.5)``) of poisoned windows the
         medoid seeding must tolerate; realized as trimmed similarity
         aggregation in :func:`medoid_index`.
-    nonfinite:
-        ``"reject"`` (default) raises on any non-finite value;
-        ``"mask"`` quarantines non-finite values per window and
-        excludes -- with a warning -- windows left below
-        ``min_sample_size``, instead of aborting the fleet-wide learn.
+    backend:
+        The :class:`~repro.core.backend.DistanceBackend` to learn
+        with; defaults to the strict (``"reject"``) dispatch backend,
+        which raises on any non-finite value.  A ``"mask"`` backend
+        (``get_backend(NONFINITE_MASK)``) quarantines non-finite
+        values per window and excludes -- with a warning -- windows
+        left below ``min_sample_size``, instead of aborting the
+        fleet-wide learn.
     min_sample_size:
         Minimum clean values a window needs to participate in learning
-        (only meaningful under ``"mask"``; short windows are excluded,
-        never fatal).
+        (only meaningful under a masking backend; short windows are
+        excluded, never fatal).
 
     Raises
     ------
@@ -207,13 +208,12 @@ def learn_criteria(samples, alpha: float = 0.95, *,
     if not 0.0 <= contamination < 0.5:
         raise CriteriaError(
             f"contamination must be in [0, 0.5), got {contamination}")
-    if nonfinite not in ("reject", "mask"):
-        raise CriteriaError(f"unknown non-finite policy {nonfinite!r}")
     if len(samples) == 0:
         raise CriteriaError("criteria learning needs at least one sample")
+    backend = backend or default_backend()
 
     cleaned, kept, masked_values, excluded = _clean_samples(
-        samples, nonfinite, min_sample_size)
+        samples, backend, min_sample_size)
     if masked_values or excluded:
         warnings.warn(
             f"criteria learning quarantined {masked_values} non-finite "
@@ -229,9 +229,8 @@ def learn_criteria(samples, alpha: float = 0.95, *,
     # One validated, sorted batch backs every similarity evaluation of
     # the run: the full pairwise matrix and each iteration's pooled
     # re-scoring (previously a fresh Python loop per iteration).
-    batch = SortedSampleBatch.from_sorted(cleaned)
-    sim_matrix = pairwise_similarities(batch)
-    np.fill_diagonal(sim_matrix, 1.0)
+    batch = backend.prepare(cleaned, assume_sorted=True)
+    sim_matrix = backend.pairwise_similarities(batch)
     all_indices = np.arange(n)
     iteration_centroid = "medoid" if centroid == "hybrid" else centroid
 
@@ -247,8 +246,8 @@ def learn_criteria(samples, alpha: float = 0.95, *,
             return sim_matrix[criteria_idx]
         # _pooled_sample returns sorted output, so the reference ECDF
         # can be used as-is.
-        return one_vs_many_similarities(batch, criteria_sample,
-                                        assume_sorted=True)
+        return backend.one_vs_many_similarities(batch, criteria_sample,
+                                                assume_sorted=True)
 
     active = all_indices
     criteria_sample, criteria_idx = centroid_of(active)

@@ -1,4 +1,11 @@
-"""Benchmark-sample distance and similarity in distribution space.
+"""The scalar Eq. (2)--(4) reference oracle.
+
+This module is the auditable, paper-faithful definition of the
+distance math and nothing more.  Production code routes every distance
+through :mod:`repro.core.backend` (the sole production importer of
+this module); the property suite under ``tests/property/`` compares
+the vectorized kernels against these functions, which is why they stay
+scalar, short, and dependency-free.
 
 Implements Equations (2)--(4) of the paper:
 
@@ -43,7 +50,6 @@ __all__ = [
     "similarity",
     "one_sided_distance",
     "one_sided_similarity",
-    "pairwise_similarity_matrix",
     "pairwise_similarity_matrix_reference",
 ]
 
@@ -134,23 +140,6 @@ def one_sided_similarity(observed, reference, *,
     """``1 - one_sided_distance``; compared against the threshold alpha."""
     return 1.0 - one_sided_distance(observed, reference,
                                     higher_is_better=higher_is_better)
-
-
-def pairwise_similarity_matrix(samples) -> np.ndarray:
-    """Full symmetric matrix of Eq. (3) similarities.
-
-    ``samples`` is a sequence of 1-D samples.  The matrix has unit
-    diagonal.  Computation routes through the batched
-    :mod:`repro.core.fastdist` kernels (sort once, no Python pair
-    loop); :func:`pairwise_similarity_matrix_reference` keeps the
-    scalar O(N^2) loop for equivalence checks.
-    """
-    from repro.core.fastdist import SortedSampleBatch, pairwise_similarities
-
-    batch = SortedSampleBatch.from_samples(samples)
-    sims = pairwise_similarities(batch)
-    np.fill_diagonal(sims, 1.0)
-    return sims
 
 
 def pairwise_similarity_matrix_reference(samples) -> np.ndarray:

@@ -22,9 +22,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.distance import cdf_distance
+from repro.core.backend import DistanceBackend, get_backend
 from repro.core.ecdf import as_sample
-from repro.core.fastdist import SortedSampleBatch, one_vs_many_similarities
+from repro.core.measurement import NONFINITE_MASK
 from repro.core.repeatability import pairwise_repeatability
 from repro.exceptions import InvalidSampleError
 
@@ -32,7 +32,8 @@ __all__ = ["DriftReport", "evaluate_drift", "predicted_eviction_rate"]
 
 
 def predicted_eviction_rate(windows, criteria, *, alpha: float,
-                            higher_is_better: bool = True) -> float:
+                            higher_is_better: bool = True,
+                            backend: DistanceBackend | None = None) -> float:
     """Fraction of ``windows`` the one-sided filter would evict.
 
     The shadow-evaluation primitive of guarded criteria rollout
@@ -51,6 +52,7 @@ def predicted_eviction_rate(windows, criteria, *, alpha: float,
     if not windows:
         raise InvalidSampleError(
             "predicted eviction rate needs at least one window")
+    backend = backend or get_backend(NONFINITE_MASK)
     usable, dead = [], 0
     for window in windows:
         arr = np.asarray(window, dtype=float).ravel()
@@ -61,12 +63,10 @@ def predicted_eviction_rate(windows, criteria, *, alpha: float,
             dead += 1
     if not usable:
         return 1.0
-    batch = SortedSampleBatch.from_sorted(usable)
-    reference = np.sort(as_sample(criteria, nonfinite="mask"))
+    reference = np.sort(backend.clean(criteria))
     direction = +1 if higher_is_better else -1
-    sims = one_vs_many_similarities(batch, reference,
-                                    signed_direction=direction,
-                                    assume_sorted=True)
+    sims = backend.one_vs_many_similarities(
+        usable, reference, signed_direction=direction, assume_sorted=True)
     evicted = int(np.count_nonzero(sims <= alpha)) + dead
     return evicted / len(windows)
 
@@ -105,7 +105,8 @@ class DriftReport:
 
 
 def evaluate_drift(before, after, *, alpha: float = 0.95,
-                   margin: float = 0.5) -> DriftReport:
+                   margin: float = 0.5,
+                   backend: DistanceBackend | None = None) -> DriftReport:
     """Compare per-node samples before and after a software update.
 
     Parameters
@@ -127,14 +128,15 @@ def evaluate_drift(before, after, *, alpha: float = 0.95,
     if not 0.0 < margin <= 1.0:
         raise ValueError(f"margin must be in (0, 1], got {margin}")
     headroom = (1.0 - alpha) * margin
+    backend = backend or get_backend(NONFINITE_MASK)
 
     pooled_before = np.concatenate([as_sample(s) for s in before])
     pooled_after = np.concatenate([as_sample(s) for s in after])
     level_shift = float(pooled_after.mean() / pooled_before.mean() - 1.0)
-    distance = cdf_distance(pooled_after, pooled_before)
+    distance = backend.cdf_distance(pooled_after, pooled_before)
 
-    repeatability_before = pairwise_repeatability(before)
-    repeatability_after = pairwise_repeatability(after)
+    repeatability_before = pairwise_repeatability(before, backend=backend)
+    repeatability_after = pairwise_repeatability(after, backend=backend)
 
     needs_relearn = distance > headroom
     needs_retune = repeatability_after < 1.0 - headroom

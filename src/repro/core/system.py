@@ -23,9 +23,13 @@ import enum
 from collections import Counter, deque
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.core.measurement import PipelineStats
 from repro.core.selection import SelectionResult
 from repro.core.selector import NodeStatus, Selector
 from repro.core.validator import ValidationReport, Validator
+from repro.exceptions import JournalError
 
 __all__ = ["EventKind", "FULL_VALIDATION_KINDS", "ValidationEvent",
            "ValidationPlan", "ValidationOutcome", "Anubis"]
@@ -63,6 +67,57 @@ class ValidationEvent:
             raise ValueError(
                 f"{len(self.nodes)} nodes but {len(self.statuses)} statuses"
             )
+
+    def to_payload(self) -> dict:
+        """Serialize this event to plain JSON types.
+
+        This is *the* wire/journal schema for events -- the service
+        queue, the JSONL journal and every replay path share it.
+        Nodes are stored by id only; the service re-binds ids against
+        its fleet on recovery, so heavyweight node state never enters
+        the journal.
+        """
+        return {
+            "kind": self.kind.value,
+            "nodes": [node.node_id for node in self.nodes],
+            "statuses": [
+                {"node_id": status.node_id,
+                 "covariates": np.asarray(status.covariates,
+                                          dtype=float).tolist()}
+                for status in self.statuses
+            ],
+            "duration_hours": self.duration_hours,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict,
+                     fleet_index: dict) -> "ValidationEvent":
+        """Rebuild an event from its :meth:`to_payload` form.
+
+        ``fleet_index`` maps node id -> :class:`~repro.hardware.node.Node`;
+        ids no longer present in the fleet raise :class:`JournalError`
+        (a journal must never silently validate the wrong hardware).
+        """
+        try:
+            nodes = []
+            for node_id in payload["nodes"]:
+                if node_id not in fleet_index:
+                    raise JournalError(
+                        f"journaled event references unknown node {node_id!r}")
+                nodes.append(fleet_index[node_id])
+            statuses = tuple(
+                NodeStatus(node_id=s["node_id"],
+                           covariates=np.asarray(s["covariates"], dtype=float))
+                for s in payload["statuses"]
+            )
+            return cls(
+                kind=EventKind(payload["kind"]),
+                nodes=tuple(nodes),
+                statuses=statuses,
+                duration_hours=float(payload["duration_hours"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise JournalError(f"malformed event payload: {error}") from error
 
 
 @dataclass(frozen=True)
@@ -169,6 +224,20 @@ class Anubis:
             self._events_validated += 1
             self._defects_flagged += len(outcome.defective_node_ids)
 
+    def pipeline_stats(self) -> dict:
+        """Merged per-stage counters from the whole measurement spine.
+
+        Combines the Validator's learn/score stages with its runner's
+        execute/sanitize stages into one
+        :meth:`~repro.core.measurement.PipelineStats.snapshot` view.
+        """
+        merged = PipelineStats()
+        for stats in (getattr(self.validator, "stats", None),
+                      getattr(self.validator.runner, "stats", None)):
+            if stats is not None:
+                merged = merged.merge(stats)
+        return merged.snapshot()
+
     def history_summary(self) -> dict:
         """Aggregate event statistics, independent of history eviction."""
         return {
@@ -177,6 +246,7 @@ class Anubis:
             "skipped": self._events_skipped,
             "defective_nodes_flagged": self._defects_flagged,
             "by_kind": dict(self._events_by_kind),
+            "pipeline": self.pipeline_stats(),
         }
 
     def _run_validation(self, event: ValidationEvent, *, benchmarks,

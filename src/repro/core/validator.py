@@ -19,14 +19,20 @@ multi-node results.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.benchsuite.base import BenchmarkKind, BenchmarkSpec, Phase
 from repro.benchsuite.runner import SuiteRunner
+from repro.core.backend import get_backend
 from repro.core.criteria import CriteriaResult, learn_criteria
-from repro.core.fastdist import SortedSampleBatch, one_vs_many_similarities
+from repro.core.measurement import (
+    NONFINITE_REJECT,
+    MeasurementBatch,
+    PipelineStats,
+)
 from repro.core.parallel import process_map
 from repro.exceptions import CriteriaError, InvalidSampleError
 from repro.core.ecdf import as_sample
@@ -35,10 +41,15 @@ __all__ = ["MetricCriteria", "Violation", "ValidationReport", "Validator"]
 
 
 def _learn_task(task) -> CriteriaResult:
-    """Picklable unit of criteria learning for process fan-out."""
-    samples, alpha, centroid, contamination = task
+    """Picklable unit of criteria learning for process fan-out.
+
+    The non-finite policy travels as a string (resolved per batch from
+    measurement provenance) so the task tuple stays picklable.
+    """
+    samples, alpha, centroid, contamination, policy = task
     return learn_criteria(samples, alpha, centroid=centroid,
-                          contamination=contamination, nonfinite="mask")
+                          contamination=contamination,
+                          backend=get_backend(policy))
 
 
 @dataclass(frozen=True)
@@ -124,6 +135,10 @@ class Validator:
         self.centroid = centroid
         self.contamination = float(contamination)
         self.criteria: dict[tuple[str, str], MetricCriteria] = {}
+        # Per-stage counters/timings of this Validator's learn/score
+        # work; merged with the runner's execute/sanitize stages by
+        # Anubis.pipeline_stats().
+        self.stats = PipelineStats()
         # (benchmark, metric) -> (MetricCriteria, presorted sample).
         # Entries are validated by *identity* against the live
         # ``criteria`` dict, so any re-learn or persistence reload
@@ -143,43 +158,47 @@ class Validator:
     # Offline criteria learning
     # ------------------------------------------------------------------
     def _learning_tasks(self, spec: BenchmarkSpec, results: dict[str, object]):
-        """Per-metric (metric, samples, centroid) learning inputs.
+        """Per-metric (metric, samples, centroid, policy) learning inputs.
 
-        Dirty-telemetry handling: metrics quarantined by sanitization
-        are skipped (no verdict, nothing to learn from), as are crashed
-        (empty) and hung (all-non-finite) windows -- those evict the
-        node online, they don't shape the fleet's criteria.  Windows
-        that are only *partially* non-finite stay in: learning runs
-        with the ``mask`` policy, so a node's surviving finite values
-        still contribute instead of one stray NaN silently dropping the
-        whole node from the fleet's learning set.
+        Each metric's fleet-wide windows are collected into a
+        :class:`~repro.core.measurement.MeasurementBatch`, which is
+        where the dirty-telemetry handling now lives: metrics
+        quarantined by sanitization are skipped (no verdict, nothing
+        to learn from), as are crashed (empty) and hung
+        (all-non-finite) windows -- those evict the node online, they
+        don't shape the fleet's criteria.  The batch also resolves the
+        non-finite policy from provenance: fully sanitized batches
+        learn under ``"reject"`` (sanitization already removed
+        non-finite values), raw batches under ``"mask"`` so a node's
+        surviving finite values still contribute instead of one stray
+        NaN silently dropping the whole node from the learning set.
         """
         tasks = []
+        result_list = list(results.values())
         for metric in spec.metrics:
-            samples = []
-            for result in results.values():
-                if metric.name in getattr(result, "quarantined", ()):
-                    continue
-                try:
-                    raw = result.sample(metric.name)
-                except KeyError:
-                    continue
-                arr = np.asarray(raw, dtype=float).ravel()
-                if arr.size == 0 or not np.isfinite(arr).any():
-                    continue
-                samples.append(arr)
-            if len(samples) < 2:
+            batch = MeasurementBatch.from_results(
+                result_list, benchmark=spec.name, metric=metric.name,
+                higher_is_better=metric.higher_is_better)
+            usable = [w for w in batch.scoreable()
+                      if w.values.size and np.isfinite(w.values).any()]
+            if len(usable) < 2:
                 raise CriteriaError(
                     f"not enough valid samples to learn criteria for "
                     f"{spec.name}/{metric.name}"
                 )
+            learn_batch = MeasurementBatch(
+                benchmark=spec.name, metric=metric.name,
+                windows=tuple(usable),
+                higher_is_better=metric.higher_is_better)
+            samples = learn_batch.samples()
             # Single-value metrics compare cleanest against a single
             # representative value (the medoid); series metrics use the
             # configured centroid (pooled by default) whose smoother
             # CDF keeps the one-sided filter's left tail quiet.
             is_series = any(np.size(s) > 1 for s in samples)
             centroid = self.centroid if is_series else "medoid"
-            tasks.append((metric, samples, centroid))
+            tasks.append((metric, samples, centroid,
+                          learn_batch.nonfinite_policy))
         return tasks
 
     def _store_criteria(self, spec: BenchmarkSpec, metric,
@@ -203,11 +222,14 @@ class Validator:
         whose samples are invalid are skipped for learning (they will
         be flagged online).
         """
-        for metric, samples, centroid in self._learning_tasks(spec, results):
-            learned = learn_criteria(samples, self.alpha, centroid=centroid,
-                                     contamination=self.contamination,
-                                     nonfinite="mask")
-            self._store_criteria(spec, metric, learned)
+        with self.stats.timed("learn"):
+            for metric, samples, centroid, policy in self._learning_tasks(
+                    spec, results):
+                learned = learn_criteria(samples, self.alpha,
+                                         centroid=centroid,
+                                         contamination=self.contamination,
+                                         backend=get_backend(policy))
+                self._store_criteria(spec, metric, learned)
 
     def learn_criteria(self, nodes, benchmarks=None, *,
                        workers: int | None = None,
@@ -229,16 +251,19 @@ class Validator:
         tasks = []
         for spec in self.resolve(benchmarks):
             results = self.runner.run_on_nodes(spec, nodes)
-            for metric, samples, centroid in self._learning_tasks(spec, results):
-                tasks.append((spec, metric, samples, centroid))
-        learned_results = process_map(
-            _learn_task,
-            [(samples, self.alpha, centroid, self.contamination)
-             for _, _, samples, centroid in tasks],
-            workers=workers,
-        )
+            for metric, samples, centroid, policy in self._learning_tasks(
+                    spec, results):
+                tasks.append((spec, metric, samples, centroid, policy))
+        with self.stats.timed("learn"):
+            learned_results = process_map(
+                _learn_task,
+                [(samples, self.alpha, centroid, self.contamination, policy)
+                 for _, _, samples, centroid, policy in tasks],
+                workers=workers,
+            )
         windows: dict[tuple[str, str], list] = {}
-        for (spec, metric, samples, _), learned in zip(tasks, learned_results):
+        for (spec, metric, samples, _, _), learned in zip(tasks,
+                                                          learned_results):
             self._store_criteria(spec, metric, learned)
             windows[(spec.name, metric.name)] = samples
         return windows
@@ -273,7 +298,9 @@ class Validator:
         pipeline, not the node, so scoring it either way would be a
         coin-flip eviction.
         """
+        started = time.perf_counter()
         results = list(results)
+        backend = get_backend(NONFINITE_REJECT)
         # metric name -> (per-result similarity by index, failure reasons)
         scored: dict[str, tuple[dict[int, float], dict[int, str]]] = {}
         for metric in spec.metrics:
@@ -290,6 +317,9 @@ class Validator:
                 if metric.name in getattr(result, "quarantined", ()):
                     continue
                 try:
+                    # Scoring stays strictly per-window: an empty or
+                    # non-finite online sample is an execution failure
+                    # (a defect by definition), never maskable.
                     sample = as_sample(result.sample(metric.name))
                 except (InvalidSampleError, KeyError) as error:
                     failures[index] = str(error)
@@ -298,10 +328,9 @@ class Validator:
                 indices.append(index)
             similarities: dict[int, float] = {}
             if indices:
-                batch = SortedSampleBatch.from_sorted(sorted_samples)
                 direction = +1 if criteria.higher_is_better else -1
-                sims = one_vs_many_similarities(
-                    batch, reference, signed_direction=direction,
+                sims = backend.one_vs_many_similarities(
+                    sorted_samples, reference, signed_direction=direction,
                     assume_sorted=True,
                 )
                 similarities = {idx: float(sim)
@@ -323,6 +352,8 @@ class Validator:
                         node_id=result.node_id, benchmark=spec.name,
                         metric=metric.name, similarity=similarities[index],
                     ))
+        self.stats.record("score", count=len(results) * len(spec.metrics),
+                          seconds=time.perf_counter() - started)
         return violations
 
     def validate(self, nodes, benchmarks=None) -> ValidationReport:

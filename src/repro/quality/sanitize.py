@@ -225,27 +225,31 @@ class Sanitizer:
     def sanitize_result(self, spec, result: BenchmarkResult) -> BenchmarkResult:
         """Clean every metric window of one benchmark result.
 
-        Metrics without a schema pass through untouched.  Quarantined
-        (no-verdict) metrics keep their raw series for forensics and
-        are listed in the returned result's ``quarantined`` field.
+        Idempotent: windows already carrying ``sanitized=True``
+        provenance crossed this layer before (e.g. inside the runner)
+        and pass through untouched -- no re-check, no double-counted
+        ledger entries, no second quarantine verdict.  Metrics without
+        a schema also pass untouched (and unmarked: nothing was
+        checked, so nothing may claim to have been).  Quarantined
+        (no-verdict) windows keep their raw series for forensics.
         """
-        metrics: dict[str, np.ndarray] = {}
-        quarantined: list[str] = []
-        for name, series in result.metrics.items():
-            schema = self.schema_for(result.benchmark, name)
-            if schema is None:
-                metrics[name] = series
+        windows = []
+        for metric_window in result.windows:
+            schema = self.schema_for(result.benchmark, metric_window.metric)
+            if metric_window.sanitized or schema is None:
+                windows.append(metric_window)
                 continue
-            window = sanitize_window(series, schema,
-                                     node_id=result.node_id,
-                                     benchmark=result.benchmark, metric=name)
-            for rec in window.records:
+            outcome = sanitize_window(metric_window.values, schema,
+                                      node_id=result.node_id,
+                                      benchmark=result.benchmark,
+                                      metric=metric_window.metric)
+            for rec in outcome.records:
                 self.ledger.record(rec)
-            if window.excluded:
-                quarantined.append(name)
-                metrics[name] = np.asarray(series, dtype=float)
+            faults = tuple(rec.fault for rec in outcome.records)
+            if outcome.excluded:
+                windows.append(metric_window.mark_sanitized(
+                    quarantined=True, faults=faults))
             else:
-                metrics[name] = window.values
-        return BenchmarkResult(benchmark=result.benchmark,
-                               node_id=result.node_id, metrics=metrics,
-                               quarantined=tuple(quarantined))
+                windows.append(metric_window.mark_sanitized(
+                    values=outcome.values, faults=faults))
+        return result.with_windows(tuple(windows))

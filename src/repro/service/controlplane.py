@@ -68,11 +68,7 @@ from repro.quality.rollout import RolloutDecision, evaluate_rollout
 from repro.service.lifecycle import FlapDamper, NodeLifecycle, NodeState
 from repro.service.pool import PoolConfig, ValidationPool
 from repro.service.queue import DeadLetter, EventQueue, QueuedEvent
-from repro.service.store import (
-    JournalStore,
-    event_from_payload,
-    event_to_payload,
-)
+from repro.service.store import JournalStore
 
 __all__ = ["ServiceConfig", "ServiceMetrics", "TickResult", "ValidationService"]
 
@@ -339,11 +335,7 @@ class ValidationService:
                                          enqueued_at=self.clock())
         if created:
             try:
-                self._journal("event-enqueued", {
-                    "event_id": entry.event_id,
-                    "priority": entry.priority,
-                    "event": event_to_payload(event),
-                })
+                self._journal("event-enqueued", entry.to_payload())
             except JournalError:
                 self.queue.remove(entry)
                 raise
@@ -540,15 +532,10 @@ class ValidationService:
                                              reason="tick-failed")
         entry.attempts += 1
         if entry.attempts >= self.config.max_event_attempts:
-            self.queue.dead_letter(entry, reason)
+            letter = self.queue.dead_letter(entry, reason)
             self.metrics.events_dead_lettered += 1
-            self._journal_best_effort("event-dead-lettered", {
-                "event_id": entry.event_id,
-                "attempts": entry.attempts,
-                "priority": entry.priority,
-                "reason": reason,
-                "event": event_to_payload(entry.event),
-            })
+            self._journal_best_effort("event-dead-lettered",
+                                      letter.to_payload())
         else:
             self.queue.requeue(entry)
             self._journal_best_effort("event-failed", {
@@ -714,12 +701,7 @@ class ValidationService:
                             criteria_payload(self.anubis.validator)))
         records.append(("state-snapshot", self._state_snapshot()))
         for entry in self.queue.pending():
-            records.append(("event-enqueued", {
-                "event_id": entry.event_id,
-                "priority": entry.priority,
-                "attempts": entry.attempts,
-                "event": event_to_payload(entry.event),
-            }))
+            records.append(("event-enqueued", entry.to_payload()))
         count = self.store.rewrite(records)
         self.metrics.journal_compactions += 1
         self._have_snapshot = bool(self.anubis.validator.criteria)
@@ -733,13 +715,8 @@ class ValidationService:
                        for node_id, state in self.lifecycle.states().items()},
             "flap_counts": self.damper.flap_counts(),
             "last_event_id": self.queue.last_event_id,
-            "dead_letters": [{
-                "event_id": letter.entry.event_id,
-                "priority": letter.entry.priority,
-                "attempts": letter.entry.attempts,
-                "reason": letter.reason,
-                "event": event_to_payload(letter.entry.event),
-            } for letter in self.queue.dead_letters()],
+            "dead_letters": [letter.to_payload()
+                             for letter in self.queue.dead_letters()],
             "metrics": {name: getattr(self.metrics, name)
                         for name in _SNAPSHOT_METRIC_FIELDS},
         }
@@ -835,12 +812,8 @@ class ValidationService:
                     event_id = int(payload["event_id"])
                     max_event_id = max(max_event_id, event_id)
                     pending.pop(event_id, None)
-                    event = event_from_payload(payload["event"],
-                                               self.fleet_index)
-                    entry = QueuedEvent(
-                        event_id=event_id, event=event,
-                        priority=float(payload.get("priority", 0.0)),
-                        attempts=int(payload.get("attempts", 0)))
+                    entry = QueuedEvent.from_payload(payload,
+                                                     self.fleet_index)
                     self.queue.dead_letter(entry, payload.get("reason", ""))
                     self.metrics.events_dead_lettered += 1
                 elif record.kind == "event-completed":
@@ -850,7 +823,8 @@ class ValidationService:
                     self._replay_completed(payload)
             for event_id in sorted(pending):
                 info = pending[event_id]
-                event = event_from_payload(info["event"], self.fleet_index)
+                event = ValidationEvent.from_payload(info["event"],
+                                                     self.fleet_index)
                 entry, _created = self.queue.push(
                     event, info["priority"], event_id=event_id,
                     enqueued_at=self.clock())
@@ -871,11 +845,7 @@ class ValidationService:
             if name in _SNAPSHOT_METRIC_FIELDS:
                 setattr(self.metrics, name, int(value))
         for letter in payload.get("dead_letters", []):
-            event = event_from_payload(letter["event"], self.fleet_index)
-            entry = QueuedEvent(
-                event_id=int(letter["event_id"]), event=event,
-                priority=float(letter.get("priority", 0.0)),
-                attempts=int(letter.get("attempts", 0)))
+            entry = QueuedEvent.from_payload(letter, self.fleet_index)
             self.queue.dead_letter(entry, letter.get("reason", ""))
         return int(payload.get("last_event_id", 0))
 

@@ -261,10 +261,11 @@ class ValidationPool:
     """Parallel fleet-sweep engine reusing a Validator's policy.
 
     ``sanitizer`` (a :class:`repro.quality.Sanitizer`) is the pool's
-    own ingestion guard: results from runners that carry no sanitizer
-    of their own are sanitized here, so every result leaving a sweep
-    crossed the sanitization layer exactly once no matter which runner
-    produced it.
+    own ingestion guard: every result is passed through it, and the
+    windows' ``sanitized`` provenance flag makes the pass idempotent --
+    windows a runner-side sanitizer already cleaned flow through
+    untouched, so every window leaving a sweep crossed the
+    sanitization layer exactly once no matter which runner produced it.
     """
 
     def __init__(self, config: PoolConfig | None = None, *, sanitizer=None):
@@ -427,8 +428,10 @@ class ValidationPool:
         # not when the cell was queued behind a busy pool.
         task.started_at[0] = time.monotonic()
         result = runner.run(task.spec, task.node)
-        if (self.sanitizer is not None
-                and getattr(runner, "sanitizer", None) is None):
+        if self.sanitizer is not None:
+            # Idempotent by provenance: windows the runner already
+            # sanitized carry sanitized=True and pass through untouched,
+            # so no window is ever schema-checked or quarantined twice.
             result = self.sanitizer.sanitize_result(task.spec, result)
         return result
 

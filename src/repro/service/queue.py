@@ -26,6 +26,7 @@ import itertools
 from dataclasses import dataclass, replace
 
 from repro.core.system import ValidationEvent
+from repro.exceptions import JournalError
 
 __all__ = ["QueuedEvent", "DeadLetter", "EventQueue"]
 
@@ -51,6 +52,36 @@ class QueuedEvent:
         """Max-priority first; FIFO by event id within a priority."""
         return (-self.priority, self.event_id)
 
+    def to_payload(self) -> dict:
+        """Journal payload for one pending entry.
+
+        Embeds the event via its canonical schema
+        (:meth:`~repro.core.system.ValidationEvent.to_payload`) -- the
+        queue, the journal and the recovery path all share the one
+        serialization.
+        """
+        return {
+            "event_id": self.event_id,
+            "priority": self.priority,
+            "attempts": self.attempts,
+            "event": self.event.to_payload(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict, fleet_index: dict) -> "QueuedEvent":
+        """Rebuild one pending entry from its :meth:`to_payload` form."""
+        try:
+            event = ValidationEvent.from_payload(payload["event"], fleet_index)
+            return cls(
+                event_id=int(payload["event_id"]),
+                event=event,
+                priority=float(payload.get("priority", 0.0)),
+                attempts=int(payload.get("attempts", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise JournalError(
+                f"malformed queue-entry payload: {error}") from error
+
 
 @dataclass(frozen=True)
 class DeadLetter:
@@ -62,6 +93,12 @@ class DeadLetter:
     @property
     def event_id(self) -> int:
         return self.entry.event_id
+
+    def to_payload(self) -> dict:
+        """Journal payload: the entry's payload plus the parking reason."""
+        payload = self.entry.to_payload()
+        payload["reason"] = self.reason
+        return payload
 
 
 class EventQueue:

@@ -42,10 +42,7 @@ import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
-import numpy as np
-
-from repro.core.selector import NodeStatus
-from repro.core.system import EventKind, ValidationEvent
+from repro.core.system import ValidationEvent
 from repro.exceptions import JournalError
 
 __all__ = ["JournalRecord", "JournalStore", "event_to_payload",
@@ -57,51 +54,15 @@ JOURNAL_FILENAME = "journal.jsonl"
 
 
 def event_to_payload(event: ValidationEvent) -> dict:
-    """Serialize one event to plain JSON types.
-
-    Nodes are stored by id only -- the service re-binds ids against
-    its fleet on recovery, so heavyweight node state never enters the
-    journal.
-    """
-    return {
-        "kind": event.kind.value,
-        "nodes": [node.node_id for node in event.nodes],
-        "statuses": [
-            {"node_id": status.node_id,
-             "covariates": np.asarray(status.covariates, dtype=float).tolist()}
-            for status in event.statuses
-        ],
-        "duration_hours": event.duration_hours,
-    }
+    """Serialize one event -- delegates to the one canonical schema,
+    :meth:`~repro.core.system.ValidationEvent.to_payload`."""
+    return event.to_payload()
 
 
 def event_from_payload(payload: dict, fleet_index: dict) -> ValidationEvent:
-    """Rebuild an event from its journal payload.
-
-    ``fleet_index`` maps node id -> :class:`~repro.hardware.node.Node`;
-    ids no longer present in the fleet raise :class:`JournalError`
-    (a journal must never silently validate the wrong hardware).
-    """
-    try:
-        nodes = []
-        for node_id in payload["nodes"]:
-            if node_id not in fleet_index:
-                raise JournalError(
-                    f"journaled event references unknown node {node_id!r}")
-            nodes.append(fleet_index[node_id])
-        statuses = tuple(
-            NodeStatus(node_id=s["node_id"],
-                       covariates=np.asarray(s["covariates"], dtype=float))
-            for s in payload["statuses"]
-        )
-        return ValidationEvent(
-            kind=EventKind(payload["kind"]),
-            nodes=tuple(nodes),
-            statuses=statuses,
-            duration_hours=float(payload["duration_hours"]),
-        )
-    except (KeyError, TypeError, ValueError) as error:
-        raise JournalError(f"malformed event payload: {error}") from error
+    """Rebuild an event -- delegates to the one canonical schema,
+    :meth:`~repro.core.system.ValidationEvent.from_payload`."""
+    return ValidationEvent.from_payload(payload, fleet_index)
 
 
 def record_crc(seq: int, kind: str, payload: dict) -> int:

@@ -9,7 +9,7 @@ tests can assert fleet-level outcomes (bounded false evictions,
 learning that completes, poisoned updates rejected) against a known
 contamination rate.
 
-Two entry points:
+Three entry points:
 
 * :func:`dirty_runner` -- a ready-made
   :class:`~repro.benchsuite.faults.FaultInjectingRunner` whose total
@@ -19,7 +19,11 @@ Two entry points:
   deterministic subset corrupted, for driving
   :func:`~repro.core.criteria.learn_criteria` and
   :func:`~repro.quality.rollout.evaluate_rollout` directly without a
-  benchmark suite in the loop.
+  benchmark suite in the loop;
+* :func:`contaminated_batch` -- the same dirt as a typed
+  :class:`~repro.core.measurement.MeasurementBatch`, for driving the
+  measurement spine (sanitization provenance, nonfinite-policy
+  resolution, journal round-trips) end to end.
 
 Everything is keyed off an explicit seed; the same seed reproduces
 the same dirt, window for window.
@@ -30,9 +34,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.benchsuite.faults import FaultInjectingRunner
+from repro.core.measurement import MeasurementBatch, MetricWindow
 from repro.exceptions import ReproError
 
-__all__ = ["dirty_runner", "contaminated_windows", "poisoned_windows"]
+__all__ = ["dirty_runner", "contaminated_windows", "contaminated_batch",
+           "poisoned_windows"]
 
 #: How :func:`dirty_runner` splits the contamination budget across the
 #: telemetry fault classes (weights, normalised internally).
@@ -115,6 +121,37 @@ def contaminated_windows(*, n_windows: int, window: int = 32,
             half = max(1, arr.size // 2)
             windows[index] = np.concatenate([arr, arr[:half]])
     return windows
+
+
+def contaminated_batch(*, n_windows: int, window: int = 32,
+                       base_value: float = 100.0, noise_cv: float = 0.02,
+                       contamination: float = 0.1, seed: int = 0,
+                       scale_factor: float = 1000.0,
+                       benchmark: str = "soak", metric: str = "value",
+                       higher_is_better: bool = True) -> MeasurementBatch:
+    """:func:`contaminated_windows`, typed as a provenance batch.
+
+    Wraps the raw dirty windows into one
+    :class:`~repro.core.measurement.MeasurementBatch` of per-node
+    :class:`~repro.core.measurement.MetricWindow`\\ s (node ids
+    ``soak-000`` ...), so soak tests can drive the measurement spine --
+    sanitization marking, nonfinite-policy resolution, journaling --
+    exactly as the runner path does.  The windows are *raw* (not yet
+    sanitized), which is the point: the batch resolves its nonfinite
+    policy to ``mask`` until a sanitizer has marked every window.
+    """
+    raw = contaminated_windows(
+        n_windows=n_windows, window=window, base_value=base_value,
+        noise_cv=noise_cv, contamination=contamination, seed=seed,
+        scale_factor=scale_factor)
+    windows = tuple(
+        MetricWindow(node_id=f"soak-{i:03d}", benchmark=benchmark,
+                     metric=metric, values=values,
+                     higher_is_better=higher_is_better)
+        for i, values in enumerate(raw))
+    return MeasurementBatch(benchmark=benchmark, metric=metric,
+                            windows=windows,
+                            higher_is_better=higher_is_better)
 
 
 def poisoned_windows(*, n_windows: int, window: int = 32,

@@ -8,9 +8,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import fastdist
+from repro.core.backend import pairwise_similarity_matrix
 from repro.core.distance import (
     one_sided_similarity,
-    pairwise_similarity_matrix,
     pairwise_similarity_matrix_reference,
     similarity,
 )

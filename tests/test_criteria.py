@@ -3,8 +3,9 @@
 import numpy as np
 import pytest
 
+from repro.core.backend import pairwise_similarity_matrix
 from repro.core.criteria import CriteriaResult, learn_criteria, medoid_index
-from repro.core.distance import pairwise_similarity_matrix, similarity
+from repro.core.distance import similarity
 from repro.exceptions import CriteriaError
 
 

@@ -3,11 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.core.backend import pairwise_similarity_matrix
 from repro.core.distance import (
     cdf_distance,
     one_sided_distance,
     one_sided_similarity,
-    pairwise_similarity_matrix,
     similarity,
 )
 from repro.exceptions import InvalidSampleError

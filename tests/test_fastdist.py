@@ -5,9 +5,9 @@ import pytest
 
 from repro.benchsuite.runner import SuiteRunner
 from repro.core import _cmerge, fastdist
+from repro.core.backend import pairwise_similarity_matrix
 from repro.core.distance import (
     one_sided_similarity,
-    pairwise_similarity_matrix,
     pairwise_similarity_matrix_reference,
     similarity,
 )

@@ -1,0 +1,184 @@
+"""Unit tests for the typed measurement spine (windows, batches, stats)."""
+
+import numpy as np
+import pytest
+
+from repro.benchsuite.base import BenchmarkResult
+from repro.core.measurement import (
+    NONFINITE_MASK,
+    NONFINITE_REJECT,
+    SCHEMA_VERSION,
+    MeasurementBatch,
+    MetricWindow,
+    PipelineStats,
+)
+from repro.exceptions import InvalidSampleError
+
+
+def window(node="n1", values=(1.0, 2.0, 3.0), **kwargs):
+    return MetricWindow(node_id=node, benchmark="bench", metric="m",
+                        values=np.asarray(values, dtype=float), **kwargs)
+
+
+class TestMetricWindow:
+    def test_values_coerced_to_float_1d(self):
+        w = MetricWindow(node_id="n", benchmark="b", metric="m",
+                         values=[[1, 2], [3, 4]])
+        assert w.values.dtype == float
+        assert w.values.tolist() == [1.0, 2.0, 3.0, 4.0]
+        assert w.n == 4
+
+    def test_born_raw(self):
+        w = window()
+        assert not w.sanitized
+        assert not w.quarantined
+        assert w.faults == ()
+        assert w.schema_version == SCHEMA_VERSION
+
+    def test_sample_is_strict(self):
+        assert window(values=(1.0, 2.0)).sample().tolist() == [1.0, 2.0]
+        with pytest.raises(InvalidSampleError):
+            window(values=(1.0, np.nan)).sample()
+        with pytest.raises(InvalidSampleError):
+            window(values=()).sample()
+
+    def test_with_values_keeps_provenance(self):
+        w = window(higher_is_better=False).mark_sanitized(faults=("x",))
+        sliced = w.with_values([9.0])
+        assert sliced.values.tolist() == [9.0]
+        assert sliced.node_id == w.node_id
+        assert not sliced.higher_is_better
+        assert sliced.sanitized
+        assert sliced.faults == ("x",)
+
+    def test_mark_sanitized_cleans_values(self):
+        w = window().mark_sanitized(values=[1.0, 2.0],
+                                    faults=("non-finite",))
+        assert w.sanitized
+        assert not w.quarantined
+        assert w.values.tolist() == [1.0, 2.0]
+        assert w.faults == ("non-finite",)
+
+    def test_mark_sanitized_quarantine_keeps_raw_values(self):
+        raw = window(values=(1e5, 2e5))
+        q = raw.mark_sanitized(quarantined=True, faults=("unit-scale",))
+        assert q.quarantined
+        np.testing.assert_array_equal(q.values, raw.values)
+
+    def test_payload_round_trip(self):
+        w = window(higher_is_better=False).mark_sanitized(
+            quarantined=True, faults=("unit-scale",))
+        rebuilt = MetricWindow.from_payload(w.to_payload())
+        np.testing.assert_array_equal(rebuilt.values, w.values)
+        assert rebuilt.higher_is_better == w.higher_is_better
+        assert rebuilt.sanitized and rebuilt.quarantined
+        assert rebuilt.faults == w.faults
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(ValueError, match="malformed window payload"):
+            MetricWindow.from_payload({"node_id": "n"})
+
+    def test_future_schema_version_rejected(self):
+        payload = window().to_payload()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version"):
+            MetricWindow.from_payload(payload)
+
+
+class TestMeasurementBatch:
+    def make_batch(self, *, sanitize=False, quarantine_last=False):
+        windows = [window(node=f"n{i}", values=100.0 + np.arange(4.0))
+                   for i in range(3)]
+        if sanitize:
+            windows = [w.mark_sanitized() for w in windows[:-1]] + [
+                windows[-1].mark_sanitized(
+                    quarantined=quarantine_last,
+                    faults=("truncated-window",) if quarantine_last else ())
+            ]
+        return MeasurementBatch(benchmark="bench", metric="m",
+                                windows=tuple(windows))
+
+    def test_rejects_foreign_windows(self):
+        stray = MetricWindow(node_id="n", benchmark="other", metric="m",
+                             values=[1.0])
+        with pytest.raises(ValueError, match="does not belong"):
+            MeasurementBatch(benchmark="bench", metric="m",
+                             windows=(stray,))
+
+    def test_node_ids_in_order(self):
+        assert self.make_batch().node_ids == ("n0", "n1", "n2")
+
+    def test_policy_follows_sanitization_provenance(self):
+        assert self.make_batch().nonfinite_policy == NONFINITE_MASK
+        assert (self.make_batch(sanitize=True).nonfinite_policy
+                == NONFINITE_REJECT)
+
+    def test_empty_batch_is_not_sanitized(self):
+        empty = MeasurementBatch(benchmark="bench", metric="m", windows=())
+        assert not empty.sanitized
+        assert empty.nonfinite_policy == NONFINITE_MASK
+
+    def test_quarantined_windows_are_not_scoreable(self):
+        batch = self.make_batch(sanitize=True, quarantine_last=True)
+        assert batch.quarantined_nodes == ("n2",)
+        assert [w.node_id for w in batch.scoreable()] == ["n0", "n1"]
+        assert len(batch.samples()) == 2
+
+    def test_from_results_collects_matching_metric(self):
+        results = [
+            BenchmarkResult("bench", "a", metrics={"m": np.ones(3)}),
+            BenchmarkResult("bench", "b", metrics={"other": np.ones(3)}),
+            BenchmarkResult("bench", "c", metrics={"m": np.ones(3)}),
+        ]
+        batch = MeasurementBatch.from_results(results, benchmark="bench",
+                                              metric="m")
+        assert batch.node_ids == ("a", "c")
+
+    def test_payload_round_trip(self):
+        batch = self.make_batch(sanitize=True, quarantine_last=True)
+        rebuilt = MeasurementBatch.from_payload(batch.to_payload())
+        assert rebuilt.node_ids == batch.node_ids
+        assert rebuilt.quarantined_nodes == batch.quarantined_nodes
+        assert rebuilt.nonfinite_policy == batch.nonfinite_policy
+
+
+class TestPipelineStats:
+    def test_record_and_snapshot(self):
+        stats = PipelineStats()
+        stats.record("score", count=3, seconds=0.5)
+        stats.record("score", seconds=0.25)
+        stats.record("learn")
+        snap = stats.snapshot()
+        assert snap["score"]["count"] == 4.0
+        assert snap["score"]["seconds"] == pytest.approx(0.75)
+        assert list(snap) == ["learn", "score"]  # sorted
+
+    def test_timed_context_counts_once(self):
+        stats = PipelineStats()
+        with stats.timed("execute"):
+            pass
+        snap = stats.snapshot()
+        assert snap["execute"]["count"] == 1.0
+        assert snap["execute"]["seconds"] >= 0.0
+
+    def test_timed_records_on_exception(self):
+        stats = PipelineStats()
+        with pytest.raises(RuntimeError):
+            with stats.timed("execute"):
+                raise RuntimeError("boom")
+        assert stats.snapshot()["execute"]["count"] == 1.0
+
+    def test_merge_combines_and_leaves_sources_alone(self):
+        a, b = PipelineStats(), PipelineStats()
+        a.record("execute", count=2, seconds=1.0)
+        b.record("execute", count=1, seconds=0.5)
+        b.record("sanitize", count=4)
+        merged = a.merge(b)
+        assert merged.snapshot()["execute"] == {"count": 3.0, "seconds": 1.5}
+        assert merged.snapshot()["sanitize"]["count"] == 4.0
+        assert a.snapshot()["execute"]["count"] == 2.0
+
+    def test_merge_with_none(self):
+        a = PipelineStats()
+        a.record("learn")
+        assert a.merge(None).snapshot()["learn"]["count"] == 1.0

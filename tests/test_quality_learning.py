@@ -9,8 +9,8 @@ import pytest
 from repro.benchsuite.base import BenchmarkResult
 from repro.benchsuite.runner import SuiteRunner
 from repro.benchsuite.suite import suite_by_name
+from repro.core.backend import get_backend, pairwise_similarity_matrix
 from repro.core.criteria import learn_criteria, medoid_index
-from repro.core.distance import pairwise_similarity_matrix
 from repro.core.ecdf import as_sample
 from repro.core.fastdist import SortedSampleBatch
 from repro.core.validator import Validator
@@ -93,19 +93,20 @@ class TestNonFiniteLearning:
         a = learn_criteria(clean, 0.95)
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
-            b = learn_criteria(dirty, 0.95, nonfinite="mask")
+            b = learn_criteria(dirty, 0.95, backend=get_backend("mask"))
         np.testing.assert_allclose(np.sort(a.criteria), np.sort(b.criteria))
 
     def test_masking_warns(self):
         dirty = healthy_fleet()
         dirty[0][0] = np.nan
         with pytest.warns(RuntimeWarning, match="non-finite"):
-            learn_criteria(dirty, 0.95, nonfinite="mask")
+            learn_criteria(dirty, 0.95, backend=get_backend("mask"))
 
     def test_fully_dead_window_excluded_not_fatal(self):
         samples = healthy_fleet() + [np.full(24, np.nan)]
         with pytest.warns(RuntimeWarning):
-            learned = learn_criteria(samples, 0.95, nonfinite="mask")
+            learned = learn_criteria(samples, 0.95,
+                                     backend=get_backend("mask"))
         assert learned.excluded_indices == (len(samples) - 1,)
         assert learned.similarities[-1] == 0.0
 
@@ -113,7 +114,7 @@ class TestNonFiniteLearning:
         samples = healthy_fleet()
         samples[0][0] = np.nan
         with pytest.raises(InvalidSampleError):
-            learn_criteria(samples, 0.95, nonfinite="reject")
+            learn_criteria(samples, 0.95, backend=get_backend("reject"))
 
 
 class TestFleetWideAbortRegression:

@@ -230,3 +230,65 @@ class TestSanitizerIntegration:
         pool.run_benchmarks(suite, [Node(node_id="n0")], runner)
         assert runner_ledger.summary()["windows_quarantined"] > 0
         assert pool_ledger.summary()["windows_quarantined"] == 0
+
+
+class TestSanitizeExactlyOnce:
+    """Regression: a window must never be schema-checked or quarantined
+    twice.  The runner and the pool used to both sanitize; the
+    ``sanitized`` provenance flag now makes the second crossing a no-op."""
+
+    def test_resanitizing_a_result_is_a_noop(self):
+        suite = (suite_by_name("mem-bw"),)
+        spec = suite[0]
+        ledger = TelemetryLedger()
+        sanitizer = Sanitizer.for_suite(suite, ledger=ledger)
+        runner = FaultInjectingRunner(seed=0, telemetry_nan_rate=1.0)
+        result = runner.run(spec, Node(node_id="n0"))
+
+        once = sanitizer.sanitize_result(spec, result)
+        counts_after_one = ledger.summary()["values_quarantined"]
+        assert counts_after_one > 0
+        assert all(w.sanitized for w in once.windows)
+
+        twice = sanitizer.sanitize_result(spec, once)
+        assert ledger.summary()["values_quarantined"] == counts_after_one
+        for before, after in zip(once.windows, twice.windows):
+            assert after is before  # untouched, not merely equal
+
+    def test_quarantine_verdict_not_issued_twice(self):
+        suite = (suite_by_name("mem-bw"),)
+        spec = suite[0]
+        ledger = TelemetryLedger()
+        sanitizer = Sanitizer.for_suite(suite, ledger=ledger)
+        runner = FaultInjectingRunner(seed=0, telemetry_scale_rate=1.0)
+        result = runner.run(spec, Node(node_id="n0"))
+
+        once = sanitizer.sanitize_result(spec, result)
+        windows_once = ledger.summary()["windows_quarantined"]
+        assert windows_once > 0
+        sanitizer.sanitize_result(spec, once)
+        assert ledger.summary()["windows_quarantined"] == windows_once
+        for window in once.windows:
+            assert window.quarantined
+            assert window.faults.count(FAULT_UNIT_SCALE) == 1
+
+    def test_runner_plus_pool_sanitize_once_end_to_end(self):
+        from repro.service.pool import PoolConfig, ValidationPool
+
+        suite = (suite_by_name("mem-bw"),)
+        shared = TelemetryLedger()
+        runner = FaultInjectingRunner(
+            seed=0, telemetry_scale_rate=1.0,
+            sanitizer=Sanitizer.for_suite(suite, ledger=shared))
+        pool = ValidationPool(
+            PoolConfig(max_workers=2),
+            sanitizer=Sanitizer.for_suite(suite, ledger=shared))
+        sweep = pool.run_benchmarks(suite, [Node(node_id="n0")], runner)
+        (run,) = sweep.runs
+        # One quarantine verdict per metric window, despite two
+        # sanitizers in the path sharing one ledger.
+        assert shared.summary()["windows_quarantined"] == len(
+            suite[0].metrics)
+        for window in run.result.windows:
+            assert window.sanitized
+            assert window.faults.count(FAULT_UNIT_SCALE) == 1

@@ -7,6 +7,12 @@ from dataclasses import dataclass
 import numpy as np
 import pytest
 
+from repro.core.measurement import (
+    NONFINITE_MASK,
+    NONFINITE_REJECT,
+    MeasurementBatch,
+    MetricWindow,
+)
 from repro.core.selector import NodeStatus
 from repro.core.system import EventKind, ValidationEvent
 from repro.exceptions import JournalError
@@ -52,6 +58,68 @@ class TestEventSerialization:
     def test_malformed_payload_raises(self):
         with pytest.raises(JournalError, match="malformed"):
             event_from_payload({"kind": "job-allocation"}, {})
+
+
+class TestMeasurementBatchJournalRoundTrip:
+    """A provenance batch journaled by the service must survive a
+    process kill byte-identically: values, polarity, sanitization and
+    quarantine state all come back off the journal, not out of band."""
+
+    def make_batch(self):
+        clean = MetricWindow(
+            node_id="n1", benchmark="mem-bw", metric="bandwidth",
+            values=np.array([101.0, 99.5, 100.2]), higher_is_better=True,
+        ).mark_sanitized()
+        dirty = MetricWindow(
+            node_id="n2", benchmark="mem-bw", metric="bandwidth",
+            values=np.array([1.0e5, 2.0e5]), higher_is_better=True,
+        ).mark_sanitized(quarantined=True, faults=("unit-scale",))
+        return MeasurementBatch(benchmark="mem-bw", metric="bandwidth",
+                                windows=(clean, dirty))
+
+    def test_provenance_survives_simulated_kill(self, tmp_path):
+        batch = self.make_batch()
+        store = JournalStore(tmp_path)
+        store.append("measurement-batch", batch.to_payload())
+        del store  # simulated kill: only the journal file survives
+
+        recovered = JournalStore(tmp_path).replay()
+        assert [r.kind for r in recovered] == ["measurement-batch"]
+        rebuilt = MeasurementBatch.from_payload(recovered[0].payload)
+
+        assert rebuilt.benchmark == batch.benchmark
+        assert rebuilt.metric == batch.metric
+        assert rebuilt.node_ids == ("n1", "n2")
+        assert rebuilt.sanitized
+        assert rebuilt.quarantined_nodes == ("n2",)
+        assert rebuilt.nonfinite_policy == NONFINITE_REJECT
+        for rebuilt_w, original_w in zip(rebuilt.windows, batch.windows):
+            np.testing.assert_array_equal(rebuilt_w.values,
+                                          original_w.values)
+            assert rebuilt_w.higher_is_better == original_w.higher_is_better
+            assert rebuilt_w.sanitized == original_w.sanitized
+            assert rebuilt_w.quarantined == original_w.quarantined
+            assert rebuilt_w.faults == original_w.faults
+            assert rebuilt_w.schema_version == original_w.schema_version
+
+    def test_raw_batch_round_trips_with_mask_policy(self, tmp_path):
+        raw = MetricWindow(node_id="n1", benchmark="b", metric="m",
+                           values=np.array([1.0, 2.0]))
+        batch = MeasurementBatch(benchmark="b", metric="m", windows=(raw,))
+        store = JournalStore(tmp_path)
+        store.append("measurement-batch", batch.to_payload())
+        rebuilt = MeasurementBatch.from_payload(
+            JournalStore(tmp_path).replay()[0].payload)
+        assert not rebuilt.sanitized
+        assert rebuilt.nonfinite_policy == NONFINITE_MASK
+
+    def test_payload_is_json_round_trippable(self):
+        payload = self.make_batch().to_payload()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_malformed_batch_payload_raises(self):
+        with pytest.raises(ValueError, match="malformed"):
+            MeasurementBatch.from_payload({"benchmark": "b"})
 
 
 class TestJournalStore:
