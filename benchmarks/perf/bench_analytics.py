@@ -1,0 +1,221 @@
+"""Tracked perf-bench harness for the analytics read path.
+
+The write path has a measured ceiling (``bench_core.py``); this gives
+the read path one too.  For each journal size the harness synthesizes a
+deterministic service-shaped journal (enqueue/transition/complete
+cycles with provenance, rollbacks, dead letters and breaker records),
+then measures:
+
+* ``replay``  -- ``JournalReader.read_all`` throughput in records/sec
+  (decode + CRC verification included),
+* ``report``  -- ``build_report`` latency over the already-read
+  records (pure reducer cost),
+* ``end_to_end`` -- journal file to rendered JSON report.
+
+Before timing anything the harness verifies the determinism contract:
+two replay+build passes over the same journal must render
+byte-identical JSON and markdown, or the run aborts non-zero.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_analytics.py \
+        --out BENCH_analytics.json
+
+CI runs the small smoke configuration::
+
+    PYTHONPATH=src python benchmarks/perf/bench_analytics.py \
+        --sizes 1000 --repeats 1 --out BENCH_analytics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.analytics import JournalReader, build_report  # noqa: E402
+from repro.analytics.report import render_json, render_markdown  # noqa: E402
+from repro.service.store import JournalStore, RecordKind  # noqa: E402
+
+
+def synthesize_journal(directory: Path, records: int, *,
+                       nodes: int = 64, seed: int = 11) -> int:
+    """Write a service-shaped journal of roughly ``records`` records.
+
+    The mix mirrors what a chaos soak produces: mostly event
+    lifecycles and transitions, a sprinkling of provenance, breaker,
+    rollback, dead-letter and snapshot records.  Seeded, so every
+    harness run benchmarks the same byte stream.
+    """
+    rng = np.random.default_rng(seed)
+    store = JournalStore(directory)
+    written = 0
+    event_id = 0
+    while written < records:
+        event_id += 1
+        node_ids = [f"node-{int(i):04d}"
+                    for i in rng.choice(nodes, size=3, replace=False)]
+        store.append(RecordKind.EVENT_ENQUEUED, {
+            "event_id": event_id,
+            "priority": float(rng.random()),
+            "event": {"kind": "job-allocation", "duration_hours": 24.0},
+        })
+        for node_id in node_ids:
+            store.append(RecordKind.TRANSITION, {
+                "node_id": node_id, "old": "healthy", "new": "scheduled",
+                "reason": f"event-{event_id}"})
+        defective = [node_ids[0]] if rng.random() < 0.10 else []
+        for node_id in node_ids:
+            new = "quarantined" if node_id in defective else "healthy"
+            store.append(RecordKind.TRANSITION, {
+                "node_id": node_id, "old": "validating", "new": new,
+                "reason": f"event-{event_id}"})
+        store.append(RecordKind.BATCH_PROVENANCE, {
+            "event_id": event_id,
+            "provenance": [
+                {"benchmark": "gemm", "metric": "gflops",
+                 "windows": len(node_ids), "sanitized": len(node_ids),
+                 "quarantined": len(defective),
+                 "faults": {"non-finite": 1} if defective else {}},
+            ],
+        })
+        store.append(RecordKind.EVENT_COMPLETED, {
+            "event_id": event_id,
+            "kind": "job-allocation",
+            "skipped": False,
+            "validated_nodes": node_ids,
+            "benchmarks_run": ["gemm"],
+            "violations": [],
+            "defective": defective,
+            "short_circuited": [],
+            "queue_latency_seconds": float(rng.random()),
+            "validation_seconds": float(rng.random() * 3.0),
+            "duration_hours": 24.0,
+        })
+        written += 6 + len(node_ids)
+        if event_id % 40 == 0:
+            store.append(RecordKind.CRITERIA_ROLLBACK, {
+                "benchmark": "gemm", "metric": "gflops",
+                "candidate_rate": 0.4, "baseline_rate": 0.05,
+                "reason": "eviction budget exceeded"})
+            written += 1
+        if event_id % 55 == 0:
+            store.append(RecordKind.EVENT_DEAD_LETTERED, {
+                "event_id": event_id, "reason": "poison"})
+            written += 1
+        if event_id % 30 == 0:
+            store.append(RecordKind.BREAKER_TRANSITION, {
+                "benchmark": "nccl", "old": "closed", "new": "open",
+                "reason": "fleet-wide failure"})
+            written += 1
+        if event_id % 100 == 0:
+            store.append(RecordKind.PIPELINE_STATS, {"stages": {
+                "execute": {"count": event_id * 3,
+                            "seconds": event_id * 0.01}}})
+            written += 1
+    return written
+
+
+def best_of(fn, repeats: int) -> float:
+    fn()  # warmup
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def check_determinism(directory: Path) -> bool:
+    """Two full replay+build passes must render byte-identically."""
+    first = build_report(JournalReader(directory).read_all())
+    second = build_report(JournalReader(directory).read_all())
+    return (render_json(first) == render_json(second)
+            and render_markdown(first) == render_markdown(second))
+
+
+def bench_size(directory: Path, records: int, repeats: int) -> dict:
+    synthesize_journal(directory, records)
+    reader = JournalReader(directory)
+    loaded = reader.read_all()
+    actual = len(loaded)
+
+    replay_s = best_of(lambda: JournalReader(directory).read_all(), repeats)
+    report_s = best_of(lambda: build_report(loaded), repeats)
+    end_to_end_s = best_of(
+        lambda: render_json(build_report(JournalReader(directory).read_all())),
+        repeats)
+    return {
+        "records": actual,
+        "journal_bytes": (directory / "journal.jsonl").stat().st_size,
+        "replay": {
+            "seconds": replay_s,
+            "records_per_s": actual / replay_s if replay_s > 0 else None,
+        },
+        "report": {"latency_s": report_s},
+        "end_to_end": {"latency_s": end_to_end_s},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", default="1000,5000,20000",
+                        help="comma-separated journal sizes (records)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats (best-of)")
+    parser.add_argument("--out", default="BENCH_analytics.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+
+    result: dict = {
+        "suite": "repro.analytics journal read path",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "config": {"repeats": args.repeats},
+        "timings": [],
+    }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        probe = Path(tmp) / "determinism"
+        synthesize_journal(probe, min(sizes))
+        print("determinism check ...", flush=True)
+        if not check_determinism(probe):
+            print("FAIL: two replays of the same journal rendered "
+                  "different reports", file=sys.stderr)
+            Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+            return 1
+        print("  byte-identical across replays")
+
+        for size in sizes:
+            print(f"benchmarking journal size {size} ...", flush=True)
+            entry = bench_size(Path(tmp) / f"journal-{size}", size,
+                               args.repeats)
+            result["timings"].append(entry)
+            print(f"  replay {entry['replay']['records_per_s']:10.0f} rec/s  "
+                  f"report {entry['report']['latency_s'] * 1e3:7.1f} ms  "
+                  f"end-to-end {entry['end_to_end']['latency_s'] * 1e3:7.1f} ms")
+
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,116 @@
+"""Tolerance-gated regression diff for tracked BENCH_*.json baselines.
+
+CI regenerates a bench file on the runner and compares every numeric
+leaf against the committed baseline::
+
+    PYTHONPATH=src python benchmarks/perf/compare_bench.py \
+        --baseline BENCH_core.json --current /tmp/BENCH_core.json \
+        --tolerance 10.0
+
+Only *performance* leaves are gated -- keys ending in ``_s``,
+``latency_s``, ``seconds`` (lower is better) and ``_per_s`` /
+``speedup`` (higher is better).  Everything else (record counts, sizes,
+machine info) is informational.  A leaf fails when it is worse than
+``tolerance`` times the baseline; the default gate is deliberately
+loose because CI runners and dev machines differ widely -- it exists to
+catch order-of-magnitude regressions (an accidentally quadratic reader,
+a de-vectorized kernel), not single-digit-percent noise.  Leaves
+present on only one side are reported but never fail the gate (bench
+schemas are allowed to grow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Key suffixes gated as lower-is-better (durations).
+_LOWER_IS_BETTER = ("_s", "seconds")
+#: Key suffixes gated as higher-is-better (rates, speedups).
+_HIGHER_IS_BETTER = ("_per_s", "speedup")
+
+
+def classify(key: str) -> str | None:
+    """``"lower"`` / ``"higher"`` for gated perf leaves, else ``None``."""
+    if key.endswith(_HIGHER_IS_BETTER):
+        return "higher"
+    if key.endswith(_LOWER_IS_BETTER):
+        return "lower"
+    return None
+
+
+def numeric_leaves(node, prefix=""):
+    """Yield ``(path, leaf_key, value)`` for every numeric leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from numeric_leaves(value, f"{prefix}.{key}" if prefix
+                                      else str(key))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from numeric_leaves(value, f"{prefix}[{index}]")
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        yield prefix, prefix.rsplit(".", 1)[-1], float(node)
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Violation descriptions; empty means the gate passes."""
+    base = dict((path, (key, value))
+                for path, key, value in numeric_leaves(baseline))
+    cur = dict((path, (key, value))
+               for path, key, value in numeric_leaves(current))
+    violations = []
+    for path in sorted(base.keys() & cur.keys()):
+        key, base_value = base[path]
+        _key, cur_value = cur[path]
+        direction = classify(key)
+        if direction is None or base_value <= 0 or cur_value <= 0:
+            continue
+        if direction == "lower" and cur_value > base_value * tolerance:
+            violations.append(
+                f"{path}: {cur_value:.6g}s vs baseline {base_value:.6g}s "
+                f"(> {tolerance:g}x slower)")
+        elif direction == "higher" and cur_value < base_value / tolerance:
+            violations.append(
+                f"{path}: {cur_value:.6g} vs baseline {base_value:.6g} "
+                f"(> {tolerance:g}x lower)")
+    for path in sorted(base.keys() - cur.keys()):
+        if classify(base[path][0]):
+            print(f"note: baseline-only leaf {path} (not gated)")
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_*.json")
+    parser.add_argument("--current", required=True,
+                        help="freshly generated BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=10.0,
+                        help="allowed worsening factor before failing "
+                             "(default 10.0 -- cross-machine headroom)")
+    args = parser.parse_args(argv)
+    if args.tolerance <= 1.0:
+        print("error: --tolerance must be > 1.0", file=sys.stderr)
+        return 2
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    current = json.loads(Path(args.current).read_text())
+    violations = compare(baseline, current, args.tolerance)
+    gated = sum(1 for _p, key, _v in numeric_leaves(baseline)
+                if classify(key))
+    if violations:
+        print(f"PERF GATE FAILED ({len(violations)} of {gated} gated "
+              f"leaves worse than {args.tolerance:g}x baseline):",
+              file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print(f"perf gate passed: {gated} gated leaves within "
+          f"{args.tolerance:g}x of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""Operator-facing analytics & reporting plane over the journal.
+
+The journal is the system of record: typed validation events,
+measurement-batch provenance, lifecycle transitions, criteria
+snapshots and rollbacks, dead letters, breaker transitions and
+pipeline stats all land there -- and this package is the read path
+that turns it back into the operational picture the paper argues for
+(SuperBench Fig. 8/9: availability vs. time spent validating, MTBI
+improvement per policy).
+
+``repro.analytics.reader``
+    :class:`JournalReader` -- incremental, CRC-verified streaming read
+    over a :class:`~repro.service.store.JournalStore` directory:
+    tolerates truncated tails, resumes from a seq cursor, re-resolves
+    the segment after a racing compaction, warn-and-skips unknown
+    record kinds from forward-version journals.
+``repro.analytics.slo``
+    Composable SLO reducers: MTBI trend, availability vs. cumulative
+    validation overhead, eviction-precision proxies, breaker /
+    rollback / DLQ frequencies, sanitization rates by
+    (benchmark, metric).
+``repro.analytics.report``
+    Deterministic fleet-report builder plus the markdown / JSON
+    renderers and the shared key-value table formatter behind
+    ``python -m repro report`` and ``Anubis.fleet_report()``.
+"""
+
+from repro.analytics.reader import JournalReader, PollResult, ReaderCursor
+from repro.analytics.report import (
+    build_report,
+    kv_table,
+    markdown_table,
+    render_json,
+    render_markdown,
+    report_from_history,
+)
+from repro.analytics.slo import (
+    AvailabilityOverheadReducer,
+    BreakerReducer,
+    DLQReducer,
+    EvictionPrecisionReducer,
+    MTBIReducer,
+    RollbackReducer,
+    SanitizationReducer,
+    ServiceCountersReducer,
+    default_reducers,
+    reduce_records,
+)
+
+__all__ = [
+    "AvailabilityOverheadReducer",
+    "BreakerReducer",
+    "DLQReducer",
+    "EvictionPrecisionReducer",
+    "JournalReader",
+    "MTBIReducer",
+    "PollResult",
+    "ReaderCursor",
+    "RollbackReducer",
+    "SanitizationReducer",
+    "ServiceCountersReducer",
+    "build_report",
+    "default_reducers",
+    "kv_table",
+    "markdown_table",
+    "reduce_records",
+    "render_json",
+    "render_markdown",
+    "report_from_history",
+]

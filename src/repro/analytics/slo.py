@@ -1,0 +1,533 @@
+"""Composable, deterministic SLO reducers over journal records.
+
+Each reducer consumes :class:`~repro.service.store.JournalRecord`
+objects one at a time (``consume``) and produces a plain-JSON result
+(``result``), so the same reducer set serves a one-shot snapshot
+report, a follow-mode tail, and the replay benchmark.  Reducers are
+**deterministic**: results depend only on the record stream, never on
+wall-clock or iteration order, so two replays of the same journal
+yield byte-identical reports.
+
+Time axes -- the journal carries no wall-clock timestamps (by design:
+replay determinism), so the reducers use the two clocks the records
+*do* carry:
+
+* **modeled node-hours** -- each completed validation covers
+  ``len(validated_nodes) * duration_hours`` of modeled fleet
+  operation; MTBI is measured against this axis, mirroring the
+  simulation layer's MTBI-in-hours.
+* **validation wall-clock** -- ``validation_seconds`` per completed
+  event is the measured cost of validating; the availability curve
+  plots against its cumulative sum (the paper's Fig. 8/9 trade-off:
+  availability bought per hour spent validating).
+
+The sequence number is the ordering axis for depth-over-time series
+(DLQ depth).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.service.store import JournalRecord, RecordKind
+
+__all__ = [
+    "ServiceCountersReducer",
+    "MTBIReducer",
+    "AvailabilityOverheadReducer",
+    "EvictionPrecisionReducer",
+    "BreakerReducer",
+    "RollbackReducer",
+    "DLQReducer",
+    "SanitizationReducer",
+    "default_reducers",
+    "reduce_records",
+]
+
+#: Lifecycle states that keep a node out of the schedulable pool.
+_UNAVAILABLE_STATES = frozenset({"quarantined", "in-repair", "returning"})
+
+
+def _round(value: float, digits: int = 6) -> float:
+    """Stable rounding so float noise cannot leak into report bytes."""
+    return round(float(value), digits)
+
+
+class ServiceCountersReducer:
+    """Fleet-level throughput and latency counters.
+
+    Aggregates what the control plane's :class:`ServiceMetrics` tracks
+    in memory, but derived purely from the journal -- so it survives
+    restarts and counts exactly what was durably recorded.
+    """
+
+    name = "service"
+
+    def __init__(self) -> None:
+        self.events_enqueued = 0
+        self.events_coalesced = 0
+        self.events_completed = 0
+        self.events_failed = 0
+        self.events_dead_lettered = 0
+        self.policy_skips = 0
+        self.validations_run = 0
+        self.nodes_validated = 0
+        self.nodes_quarantined = 0
+        self.by_kind: Counter[str] = Counter()
+        self.queue_latency_total = 0.0
+        self.queue_latency_max = 0.0
+        self.validation_seconds_total = 0.0
+        self.criteria_snapshots = 0
+
+    def consume(self, record: JournalRecord) -> None:
+        payload = record.payload
+        if record.kind == RecordKind.EVENT_ENQUEUED:
+            self.events_enqueued += 1
+            event = payload.get("event", {})
+            self.by_kind[str(event.get("kind", "unknown"))] += 1
+        elif record.kind == RecordKind.EVENT_COALESCED:
+            self.events_coalesced += 1
+        elif record.kind == RecordKind.EVENT_FAILED:
+            self.events_failed += 1
+        elif record.kind == RecordKind.EVENT_DEAD_LETTERED:
+            self.events_dead_lettered += 1
+        elif record.kind == RecordKind.CRITERIA_SNAPSHOT:
+            self.criteria_snapshots += 1
+        elif record.kind == RecordKind.EVENT_COMPLETED:
+            self.events_completed += 1
+            latency = float(payload.get("queue_latency_seconds", 0.0))
+            self.queue_latency_total += latency
+            self.queue_latency_max = max(self.queue_latency_max, latency)
+            if payload.get("skipped", False):
+                self.policy_skips += 1
+            else:
+                self.validations_run += 1
+                self.nodes_validated += len(
+                    payload.get("validated_nodes", []))
+                self.nodes_quarantined += len(payload.get("defective", []))
+                self.validation_seconds_total += float(
+                    payload.get("validation_seconds", 0.0))
+
+    def result(self) -> dict:
+        completed = max(self.events_completed, 1)
+        return {
+            "events_enqueued": self.events_enqueued,
+            "events_coalesced": self.events_coalesced,
+            "events_completed": self.events_completed,
+            "events_failed": self.events_failed,
+            "events_dead_lettered": self.events_dead_lettered,
+            "events_by_kind": dict(sorted(self.by_kind.items())),
+            "policy_skips": self.policy_skips,
+            "validations_run": self.validations_run,
+            "nodes_validated": self.nodes_validated,
+            "nodes_quarantined": self.nodes_quarantined,
+            "defect_rate": _round(
+                self.nodes_quarantined / max(self.nodes_validated, 1)),
+            "criteria_snapshots": self.criteria_snapshots,
+            "queue_latency_mean_s": _round(
+                self.queue_latency_total / completed),
+            "queue_latency_max_s": _round(self.queue_latency_max),
+            "validation_total_s": _round(self.validation_seconds_total),
+        }
+
+
+class MTBIReducer:
+    """MTBI trend, fleet-wide and per node, over modeled node-hours.
+
+    An *incident* is a node entering quarantine.  The observation
+    clock is modeled node-hours: each completed validation of N nodes
+    over a ``duration_hours`` horizon contributes ``N * hours``.
+    Fleet MTBI = observed node-hours / incidents; the trend splits the
+    stream into ``buckets`` equal spans of node-hours so an improving
+    fleet (validation catching defects early, as the paper's Fig. 9
+    MTBI-improvement argues) shows a rising curve.
+    """
+
+    name = "mtbi"
+
+    def __init__(self, buckets: int = 8):
+        self.buckets = max(int(buckets), 1)
+        self.node_hours = 0.0
+        self.incidents = 0
+        self.per_node_hours: Counter[str] = Counter()
+        self.per_node_incidents: Counter[str] = Counter()
+        #: (cumulative node-hours, cumulative incidents) observations,
+        #: one per incident-bearing or hour-bearing record.
+        self._points: list[tuple[float, int]] = []
+
+    def consume(self, record: JournalRecord) -> None:
+        payload = record.payload
+        if record.kind == RecordKind.EVENT_COMPLETED:
+            nodes = payload.get("validated_nodes", [])
+            hours = float(payload.get("duration_hours", 0.0))
+            if nodes and hours > 0.0:
+                self.node_hours += hours * len(nodes)
+                for node_id in nodes:
+                    self.per_node_hours[str(node_id)] += hours
+                self._points.append((self.node_hours, self.incidents))
+        elif (record.kind == RecordKind.TRANSITION
+                and payload.get("new") == "quarantined"):
+            self.incidents += 1
+            self.per_node_incidents[str(payload.get("node_id", ""))] += 1
+            self._points.append((self.node_hours, self.incidents))
+
+    def _trend(self) -> list[dict]:
+        if not self._points or self.node_hours <= 0.0:
+            return []
+        span = self.node_hours / self.buckets
+        trend = []
+        cursor = 0
+        prev_hours, prev_incidents = 0.0, 0
+        for bucket in range(1, self.buckets + 1):
+            edge = span * bucket
+            hours_at_edge, incidents_at_edge = prev_hours, prev_incidents
+            while cursor < len(self._points) and self._points[cursor][0] <= edge:
+                hours_at_edge, incidents_at_edge = self._points[cursor]
+                cursor += 1
+            bucket_hours = hours_at_edge - prev_hours
+            bucket_incidents = incidents_at_edge - prev_incidents
+            trend.append({
+                "node_hours": _round(bucket_hours),
+                "incidents": bucket_incidents,
+                "mtbi_hours": (_round(bucket_hours / bucket_incidents)
+                               if bucket_incidents else None),
+            })
+            prev_hours, prev_incidents = hours_at_edge, incidents_at_edge
+        return trend
+
+    def result(self) -> dict:
+        worst = sorted(
+            self.per_node_incidents.items(),
+            key=lambda item: (-item[1], item[0]))[:10]
+        return {
+            "node_hours_observed": _round(self.node_hours),
+            "incidents": self.incidents,
+            "fleet_mtbi_hours": (_round(self.node_hours / self.incidents)
+                                 if self.incidents else None),
+            "trend": self._trend(),
+            "worst_nodes": [
+                {"node_id": node_id, "incidents": count,
+                 "mtbi_hours": (_round(self.per_node_hours[node_id] / count)
+                                if count else None)}
+                for node_id, count in worst
+            ],
+        }
+
+
+class AvailabilityOverheadReducer:
+    """Availability vs. cumulative validation overhead (Fig. 8/9).
+
+    Tracks every node's lifecycle state from transition records;
+    availability at any point is the fraction of known nodes *not*
+    stuck in the repair pipeline (quarantined / in-repair /
+    returning).  Each completed validation appends a curve point at
+    x = cumulative validation wall-clock seconds, so the curve reads
+    as "how much availability did each hour spent validating buy".
+    Down-sampled to at most ``curve_points`` evenly spread points
+    (first and last always kept).
+    """
+
+    name = "availability"
+
+    def __init__(self, curve_points: int = 16, fleet_size: int | None = None):
+        self.curve_points = max(int(curve_points), 2)
+        self.fleet_size = fleet_size
+        self.validation_seconds = 0.0
+        self.states: dict[str, str] = {}
+        self._curve: list[dict] = []
+        self._availability_weighted = 0.0
+        self._availability_points = 0
+
+    def _fleet(self) -> int:
+        if self.fleet_size is not None:
+            return max(int(self.fleet_size), len(self.states), 1)
+        return max(len(self.states), 1)
+
+    def _availability(self) -> float:
+        unavailable = sum(1 for state in self.states.values()
+                          if state in _UNAVAILABLE_STATES)
+        return 1.0 - unavailable / self._fleet()
+
+    def consume(self, record: JournalRecord) -> None:
+        payload = record.payload
+        if record.kind == RecordKind.TRANSITION:
+            self.states[str(payload.get("node_id", ""))] = \
+                str(payload.get("new", ""))
+        elif record.kind == RecordKind.STATE_SNAPSHOT:
+            for node_id, state in payload.get("states", {}).items():
+                self.states[str(node_id)] = str(state)
+        elif record.kind == RecordKind.EVENT_COMPLETED:
+            self.validation_seconds += float(
+                payload.get("validation_seconds", 0.0))
+            availability = self._availability()
+            self._availability_weighted += availability
+            self._availability_points += 1
+            self._curve.append({
+                "validation_s": _round(self.validation_seconds),
+                "availability": _round(availability),
+            })
+
+    def result(self) -> dict:
+        curve = self._curve
+        if len(curve) > self.curve_points:
+            step = (len(curve) - 1) / (self.curve_points - 1)
+            curve = [curve[round(i * step)]
+                     for i in range(self.curve_points)]
+        return {
+            "fleet_size": self._fleet() if self.states else 0,
+            "validation_total_s": _round(self.validation_seconds),
+            "availability_now": (_round(self._availability())
+                                 if self.states else None),
+            "availability_mean": (
+                _round(self._availability_weighted
+                       / self._availability_points)
+                if self._availability_points else None),
+            "curve": curve,
+        }
+
+
+class EvictionPrecisionReducer:
+    """Eviction-precision proxies from quarantine / repair outcomes.
+
+    The journal has no ground truth about which evictions were
+    justified, so this reducer reports the two observable proxies:
+
+    * ``repeat_offender_rate`` -- of the nodes ever quarantined, the
+      fraction quarantined again after completing repair.  A high rate
+      suggests real recurring hardware faults (evictions were
+      precise) or ineffective repair.
+    * ``repair_return_rate`` -- completed repairs per quarantine; a
+      rate well below 1 means nodes are piling up mid-pipeline.
+    """
+
+    name = "eviction"
+
+    def __init__(self) -> None:
+        self.quarantines = 0
+        self.repairs_completed = 0
+        self.requarantines_after_repair = 0
+        self._quarantined_ever: set[str] = set()
+        self._repaired_once: set[str] = set()
+        self._repeat_offenders: set[str] = set()
+
+    def consume(self, record: JournalRecord) -> None:
+        if record.kind != RecordKind.TRANSITION:
+            return
+        payload = record.payload
+        node_id = str(payload.get("node_id", ""))
+        new = payload.get("new")
+        if new == "quarantined":
+            self.quarantines += 1
+            if node_id in self._repaired_once:
+                self.requarantines_after_repair += 1
+                self._repeat_offenders.add(node_id)
+            self._quarantined_ever.add(node_id)
+        elif new == "healthy" and payload.get("reason") == "repair-complete":
+            self.repairs_completed += 1
+            self._repaired_once.add(node_id)
+
+    def result(self) -> dict:
+        evicted = len(self._quarantined_ever)
+        return {
+            "quarantines": self.quarantines,
+            "nodes_evicted": evicted,
+            "repairs_completed": self.repairs_completed,
+            "requarantines_after_repair": self.requarantines_after_repair,
+            "repeat_offender_rate": _round(
+                len(self._repeat_offenders) / evicted) if evicted else None,
+            "repair_return_rate": (_round(
+                self.repairs_completed / self.quarantines)
+                if self.quarantines else None),
+            "repeat_offenders": sorted(self._repeat_offenders),
+        }
+
+
+class BreakerReducer:
+    """Circuit-breaker churn per benchmark."""
+
+    name = "breakers"
+
+    def __init__(self) -> None:
+        self.opens: Counter[str] = Counter()
+        self.closes: Counter[str] = Counter()
+        self.transitions = 0
+
+    def consume(self, record: JournalRecord) -> None:
+        if record.kind != RecordKind.BREAKER_TRANSITION:
+            return
+        payload = record.payload
+        benchmark = str(payload.get("benchmark", ""))
+        self.transitions += 1
+        if payload.get("new") == "open":
+            self.opens[benchmark] += 1
+        elif payload.get("new") == "closed":
+            self.closes[benchmark] += 1
+
+    def result(self) -> dict:
+        return {
+            "transitions": self.transitions,
+            "opens_by_benchmark": dict(sorted(self.opens.items())),
+            "closes_by_benchmark": dict(sorted(self.closes.items())),
+        }
+
+
+class RollbackReducer:
+    """Guarded-rollout rejections per (benchmark, metric)."""
+
+    name = "rollbacks"
+
+    def __init__(self) -> None:
+        self.rollbacks: Counter[tuple[str, str]] = Counter()
+        self.reasons: list[str] = []
+
+    def consume(self, record: JournalRecord) -> None:
+        if record.kind != RecordKind.CRITERIA_ROLLBACK:
+            return
+        payload = record.payload
+        key = (str(payload.get("benchmark", "")),
+               str(payload.get("metric", "")))
+        self.rollbacks[key] += 1
+        reason = str(payload.get("reason", ""))
+        if reason and len(self.reasons) < 20:
+            self.reasons.append(f"{key[0]}/{key[1]}: {reason}")
+
+    def result(self) -> dict:
+        return {
+            "total": sum(self.rollbacks.values()),
+            "by_pair": {f"{b}/{m}": count for (b, m), count
+                        in sorted(self.rollbacks.items())},
+            "reasons": list(self.reasons),
+        }
+
+
+class DLQReducer:
+    """Dead-letter-queue depth over the journal sequence axis."""
+
+    name = "dlq"
+
+    def __init__(self, curve_points: int = 16):
+        self.curve_points = max(int(curve_points), 2)
+        self.depth = 0
+        self.parked = 0
+        self._series: list[dict] = []
+
+    def consume(self, record: JournalRecord) -> None:
+        if record.kind == RecordKind.EVENT_DEAD_LETTERED:
+            self.depth += 1
+            self.parked += 1
+            self._series.append({"seq": record.seq, "depth": self.depth})
+        elif record.kind == RecordKind.STATE_SNAPSHOT:
+            # Compaction re-baselines the depth to the snapshot's
+            # carried dead letters.
+            self.depth = len(record.payload.get("dead_letters", []))
+            self._series.append({"seq": record.seq, "depth": self.depth})
+
+    def result(self) -> dict:
+        series = self._series
+        if len(series) > self.curve_points:
+            step = (len(series) - 1) / (self.curve_points - 1)
+            series = [series[round(i * step)]
+                      for i in range(self.curve_points)]
+        return {
+            "events_parked": self.parked,
+            "depth_now": self.depth,
+            "depth_series": series,
+        }
+
+
+class SanitizationReducer:
+    """Sanitization / quarantine rates by (benchmark, metric).
+
+    Consumes the compact per-event ``batch-provenance`` summaries the
+    control plane journals after each validation, plus any full
+    ``measurement-batch`` records, and reports per-pair window counts,
+    quarantine rates and fault-class histograms.
+    """
+
+    name = "sanitization"
+
+    def __init__(self) -> None:
+        self.windows: Counter[tuple[str, str]] = Counter()
+        self.sanitized: Counter[tuple[str, str]] = Counter()
+        self.quarantined: Counter[tuple[str, str]] = Counter()
+        self.faults: dict[tuple[str, str], Counter[str]] = {}
+
+    def _fold(self, key: tuple[str, str], *, windows: int, sanitized: int,
+              quarantined: int, faults: dict) -> None:
+        self.windows[key] += windows
+        self.sanitized[key] += sanitized
+        self.quarantined[key] += quarantined
+        if faults:
+            bucket = self.faults.setdefault(key, Counter())
+            for fault, count in faults.items():
+                bucket[str(fault)] += int(count)
+
+    def consume(self, record: JournalRecord) -> None:
+        if record.kind == RecordKind.BATCH_PROVENANCE:
+            for entry in record.payload.get("provenance", []):
+                key = (str(entry.get("benchmark", "")),
+                       str(entry.get("metric", "")))
+                self._fold(key,
+                           windows=int(entry.get("windows", 0)),
+                           sanitized=int(entry.get("sanitized", 0)),
+                           quarantined=int(entry.get("quarantined", 0)),
+                           faults=entry.get("faults", {}))
+        elif record.kind == RecordKind.MEASUREMENT_BATCH:
+            payload = record.payload
+            key = (str(payload.get("benchmark", "")),
+                   str(payload.get("metric", "")))
+            windows = payload.get("windows", [])
+            faults: Counter[str] = Counter()
+            for window in windows:
+                for fault in window.get("faults", []):
+                    faults[str(fault)] += 1
+            self._fold(key,
+                       windows=len(windows),
+                       sanitized=sum(1 for w in windows
+                                     if w.get("sanitized")),
+                       quarantined=sum(1 for w in windows
+                                       if w.get("quarantined")),
+                       faults=dict(faults))
+
+    def result(self) -> dict:
+        pairs = {}
+        for key in sorted(self.windows):
+            windows = self.windows[key]
+            pairs[f"{key[0]}/{key[1]}"] = {
+                "windows": windows,
+                "sanitized_rate": (_round(self.sanitized[key] / windows)
+                                   if windows else None),
+                "quarantine_rate": (_round(self.quarantined[key] / windows)
+                                    if windows else None),
+                "faults": dict(sorted(self.faults.get(key, {}).items())),
+            }
+        return {
+            "windows_total": sum(self.windows.values()),
+            "windows_quarantined": sum(self.quarantined.values()),
+            "by_pair": pairs,
+        }
+
+
+def default_reducers(*, fleet_size: int | None = None,
+                     buckets: int = 8, curve_points: int = 16) -> list:
+    """The standard fleet-report reducer set, in section order."""
+    return [
+        ServiceCountersReducer(),
+        MTBIReducer(buckets=buckets),
+        AvailabilityOverheadReducer(curve_points=curve_points,
+                                    fleet_size=fleet_size),
+        EvictionPrecisionReducer(),
+        BreakerReducer(),
+        RollbackReducer(),
+        DLQReducer(curve_points=curve_points),
+        SanitizationReducer(),
+    ]
+
+
+def reduce_records(records, reducers=None) -> dict:
+    """Run ``records`` through ``reducers``; section name -> result."""
+    reducers = default_reducers() if reducers is None else reducers
+    for record in records:
+        for reducer in reducers:
+            reducer.consume(record)
+    return {reducer.name: reducer.result() for reducer in reducers}

@@ -8,6 +8,10 @@ downstream operator runs most:
 * ``traces``   -- generate and persist incident/allocation traces;
 * ``serve``    -- the durable validation control plane over a synthetic
   event stream (the §3.1 service loop);
+* ``report``   -- the fleet SLO report (MTBI trend, availability vs.
+  validation overhead, breaker/rollback/DLQ counts, sanitization
+  rates) rebuilt deterministically from a ``serve`` journal, as
+  markdown or JSON, snapshot or ``--follow`` streaming;
 * ``quality-report`` -- a dirty-telemetry sweep through the
   sanitization layer: quarantine ledger, clean-vs-dirty eviction
   comparison, and a guarded-rollout demonstration against poisoned
@@ -89,6 +93,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "crashes, journal write faults, tick/repair "
                             "faults, and -- with --journal -- simulated "
                             "process kills with restart-from-journal)")
+
+    report = sub.add_parser(
+        "report",
+        help="fleet SLO report (MTBI trend, availability vs. validation "
+             "overhead, breaker/rollback/DLQ counts, sanitization rates) "
+             "rebuilt from a service journal")
+    report.add_argument("--journal", metavar="DIR", required=True,
+                        help="journal directory written by serve --journal")
+    report.add_argument("--format", choices=("markdown", "json"),
+                        default="markdown", help="output format "
+                        "(default markdown)")
+    report.add_argument("--fleet-size", type=int, default=None,
+                        help="known fleet size for availability math "
+                             "(default: nodes seen in the journal)")
+    report.add_argument("--follow", action="store_true",
+                        help="keep polling the journal and re-emit the "
+                             "report when new records land")
+    report.add_argument("--interval", type=float, default=2.0,
+                        help="--follow poll interval in seconds "
+                             "(default 2.0)")
+    report.add_argument("--max-polls", type=int, default=None,
+                        help="stop --follow after N polls (default: run "
+                             "until interrupted)")
+    report.add_argument("--out", metavar="PATH", default=None,
+                        help="also write the report to PATH")
 
     quality = sub.add_parser(
         "quality-report",
@@ -344,6 +373,56 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    import time as _time
+
+    from repro.analytics import JournalReader, build_report
+    from repro.analytics.report import render_json, render_markdown
+
+    if args.interval <= 0:
+        print("error: --interval must be positive", file=sys.stderr)
+        return 2
+    if args.max_polls is not None and args.max_polls < 1:
+        print("error: --max-polls must be at least 1", file=sys.stderr)
+        return 2
+
+    reader = JournalReader(args.journal)
+    render = render_json if args.format == "json" else render_markdown
+
+    def emit(records) -> str:
+        text = render(build_report(records, fleet_size=args.fleet_size))
+        print(text, end="")
+        if args.out:
+            from pathlib import Path
+            Path(args.out).write_text(text)
+        return text
+
+    if not args.follow:
+        emit(reader.read_all())
+        return 0
+
+    # Follow mode: keep the record prefix in memory and rebuild the
+    # report whenever a poll delivers news.  A reset (the service
+    # compacted the journal under us) drops the prefix and starts
+    # over from the rewritten segment -- reducers are cheap enough to
+    # re-run; correctness over cleverness.
+    records: list = []
+    cursor = None
+    polls = 0
+    while True:
+        result = reader.poll(cursor)
+        cursor = result.cursor
+        if result.reset:
+            records = []
+        if result.records or polls == 0:
+            records.extend(result.records)
+            emit(records)
+        polls += 1
+        if args.max_polls is not None and polls >= args.max_polls:
+            return 0
+        _time.sleep(args.interval)
+
+
 def _cmd_quality_report(args) -> int:
     import numpy as np
 
@@ -437,6 +516,7 @@ def main(argv=None) -> int:
         "simulate": _cmd_simulate,
         "traces": _cmd_traces,
         "serve": _cmd_serve,
+        "report": _cmd_report,
         "quality-report": _cmd_quality_report,
     }
     handler = handlers[args.command]

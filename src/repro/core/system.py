@@ -249,6 +249,26 @@ class Anubis:
             "pipeline": self.pipeline_stats(),
         }
 
+    def fleet_report(self, records=None) -> dict:
+        """The fleet SLO report, as plain JSON.
+
+        With ``records`` (an iterable of journal records, e.g. from
+        :meth:`~repro.analytics.reader.JournalReader.read_all`) this is
+        the full journal-derived report --
+        :func:`repro.analytics.report.build_report`.  Without, it
+        covers what this in-memory facade alone knows: event history
+        and measurement-pipeline counters.  Render with
+        :func:`repro.analytics.report.render_markdown` /
+        ``render_json``.
+        """
+        # Function-level import: analytics sits above core in the
+        # import graph (its reader imports service.store, which
+        # imports this module).
+        from repro.analytics.report import build_report, report_from_history
+        if records is not None:
+            return build_report(records)
+        return report_from_history(self)
+
     def _run_validation(self, event: ValidationEvent, *, benchmarks,
                         selection) -> ValidationOutcome:
         report = self.validator.validate(list(event.nodes), benchmarks=benchmarks)

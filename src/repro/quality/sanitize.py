@@ -112,15 +112,14 @@ class TelemetryLedger:
             }
 
     def format_table(self) -> str:
+        # Function-level import: quality must stay importable below the
+        # analytics layer, which owns the one shared table formatter.
+        from repro.analytics.report import kv_table
         summary = self.summary()
-        lines = [f"{'fault class':<20} windows"]
-        for fault, count in sorted(summary["by_fault"].items()):
-            lines.append(f"{fault:<20} {count}")
-        lines.append(f"{'values quarantined':<20} "
-                     f"{summary['values_quarantined']}")
-        lines.append(f"{'windows quarantined':<20} "
-                     f"{summary['windows_quarantined']}")
-        return "\n".join(lines)
+        rows = sorted(summary["by_fault"].items())
+        rows.append(("values quarantined", summary["values_quarantined"]))
+        rows.append(("windows quarantined", summary["windows_quarantined"]))
+        return kv_table(rows, header=("fault class", "windows"))
 
 
 @dataclass

@@ -68,7 +68,7 @@ from repro.quality.rollout import RolloutDecision, evaluate_rollout
 from repro.service.lifecycle import FlapDamper, NodeLifecycle, NodeState
 from repro.service.pool import PoolConfig, ValidationPool
 from repro.service.queue import DeadLetter, EventQueue, QueuedEvent
-from repro.service.store import JournalStore
+from repro.service.store import JournalStore, RecordKind
 
 __all__ = ["ServiceConfig", "ServiceMetrics", "TickResult", "ValidationService"]
 
@@ -212,14 +212,10 @@ class ServiceMetrics:
         }
 
     def format_table(self) -> str:
-        summary = self.summary()
-        lines = []
-        for key, value in summary.items():
-            if isinstance(value, float):
-                lines.append(f"{key:<24} {value:.4f}")
-            else:
-                lines.append(f"{key:<24} {value}")
-        return "\n".join(lines)
+        # Function-level import: analytics sits above the service layer
+        # in the import graph (analytics.reader imports service.store).
+        from repro.analytics.report import kv_table
+        return kv_table(self.summary())
 
 
 @dataclass
@@ -300,6 +296,8 @@ class ValidationService:
         # memory only -- after a restart the first re-learn falls back
         # to the bootstrap self-consistency check.
         self._shadow_windows: dict[tuple[str, str], list] = {}
+        # Per-benchmark count of breaker transitions already journaled.
+        self._breaker_seen: dict[str, int] = {}
         self._completed_since_snapshot = 0
         self._completed_since_compaction = 0
         self._have_snapshot = False
@@ -335,7 +333,7 @@ class ValidationService:
                                          enqueued_at=self.clock())
         if created:
             try:
-                self._journal("event-enqueued", entry.to_payload())
+                self._journal(RecordKind.EVENT_ENQUEUED, entry.to_payload())
             except JournalError:
                 self.queue.remove(entry)
                 raise
@@ -347,7 +345,7 @@ class ValidationService:
         else:
             self.metrics.events_submitted += 1
             self.metrics.events_coalesced += 1
-            self._journal("event-coalesced", {
+            self._journal(RecordKind.EVENT_COALESCED, {
                 "event_id": entry.event_id,
                 "priority": entry.priority,
                 "duration_hours": entry.event.duration_hours,
@@ -457,6 +455,8 @@ class ValidationService:
                 run.benchmark for sweep in sweeps
                 for run in sweep.short_circuited_runs})
             self.anubis.selector.record_validation(report)
+            self._journal_provenance(entry.event_id, sweeps)
+            self._journal_breaker_transitions()
             outcome = ValidationOutcome(
                 event=event, selection=plan.selection, report=report,
                 defective_node_ids=report.defective_nodes,
@@ -479,9 +479,10 @@ class ValidationService:
         self.anubis.record(outcome)
         self.metrics.events_processed += 1
         self.metrics.queue_latencies.append(queue_latency)
-        self._journal("event-completed", {
+        self._journal(RecordKind.EVENT_COMPLETED, {
             "event_id": entry.event_id,
             "kind": event.kind.value,
+            "duration_hours": event.duration_hours,
             "skipped": outcome.skipped,
             "validated_nodes": (list(outcome.report.validated_nodes)
                                 if outcome.report else []),
@@ -534,11 +535,11 @@ class ValidationService:
         if entry.attempts >= self.config.max_event_attempts:
             letter = self.queue.dead_letter(entry, reason)
             self.metrics.events_dead_lettered += 1
-            self._journal_best_effort("event-dead-lettered",
+            self._journal_best_effort(RecordKind.EVENT_DEAD_LETTERED,
                                       letter.to_payload())
         else:
             self.queue.requeue(entry)
-            self._journal_best_effort("event-failed", {
+            self._journal_best_effort(RecordKind.EVENT_FAILED, {
                 "event_id": entry.event_id,
                 "attempts": entry.attempts,
                 "error": reason,
@@ -658,7 +659,7 @@ class ValidationService:
                     validator.criteria[key] = prior
                 else:
                     del validator.criteria[key]
-                self._journal_best_effort("criteria-rollback", {
+                self._journal_best_effort(RecordKind.CRITERIA_ROLLBACK, {
                     "benchmark": key[0],
                     "metric": key[1],
                     "candidate_rate": decision.candidate_rate,
@@ -675,8 +676,14 @@ class ValidationService:
             return
         if not force:
             return
-        self.store.append("criteria-snapshot",
+        self.store.append(RecordKind.CRITERIA_SNAPSHOT,
                           criteria_payload(self.anubis.validator))
+        # Snapshot moments double as the cadence for journaling the
+        # measurement spine's stage counters (analytics reads these;
+        # recovery ignores them), so the read path sees pipeline cost
+        # without a per-event record.
+        self._journal_best_effort(RecordKind.PIPELINE_STATS,
+                                  {"stages": self.anubis.pipeline_stats()})
         self._have_snapshot = True
         self._completed_since_snapshot = 0
 
@@ -697,11 +704,13 @@ class ValidationService:
             return 0
         records: list[tuple[str, dict]] = []
         if self.anubis.validator.criteria:
-            records.append(("criteria-snapshot",
+            records.append((RecordKind.CRITERIA_SNAPSHOT,
                             criteria_payload(self.anubis.validator)))
-        records.append(("state-snapshot", self._state_snapshot()))
+        records.append((RecordKind.STATE_SNAPSHOT, self._state_snapshot()))
+        records.append((RecordKind.PIPELINE_STATS,
+                        {"stages": self.anubis.pipeline_stats()}))
         for entry in self.queue.pending():
-            records.append(("event-enqueued", entry.to_payload()))
+            records.append((RecordKind.EVENT_ENQUEUED, entry.to_payload()))
         count = self.store.rewrite(records)
         self.metrics.journal_compactions += 1
         self._have_snapshot = bool(self.anubis.validator.criteria)
@@ -734,10 +743,65 @@ class ValidationService:
         except JournalError:
             return False
 
+    def _journal_provenance(self, event_id: int, sweeps) -> None:
+        """Journal one compact sanitization-provenance summary.
+
+        Aggregates the per-window provenance flags of everything the
+        sweeps measured into one record per event, keyed by
+        (benchmark, metric) -- the slice the analytics sanitization
+        reducer reports on.  Best-effort: observability records must
+        never fail a tick that already validated successfully.
+        """
+        provenance: dict[tuple[str, str], dict] = {}
+        for sweep in sweeps:
+            for run in sweep.runs:
+                if run.result is None:
+                    continue
+                for window in run.result.windows:
+                    key = (window.benchmark, window.metric)
+                    entry = provenance.setdefault(key, {
+                        "windows": 0, "sanitized": 0, "quarantined": 0,
+                        "faults": {}})
+                    entry["windows"] += 1
+                    entry["sanitized"] += int(window.sanitized)
+                    entry["quarantined"] += int(window.quarantined)
+                    for fault in window.faults:
+                        entry["faults"][fault] = \
+                            entry["faults"].get(fault, 0) + 1
+        if not provenance:
+            return
+        self._journal_best_effort(RecordKind.BATCH_PROVENANCE, {
+            "event_id": event_id,
+            "provenance": [
+                {"benchmark": benchmark, "metric": metric, **entry}
+                for (benchmark, metric), entry in sorted(provenance.items())
+            ],
+        })
+
+    def _journal_breaker_transitions(self) -> None:
+        """Journal breaker state changes since the last sweep.
+
+        The pool accumulates each breaker's transition history
+        in-process; this diffs against the per-benchmark high-water
+        mark so every transition is journaled exactly once.
+        Best-effort, like all observability records.
+        """
+        for benchmark in sorted(self.pool.breakers):
+            transitions = self.pool.breakers[benchmark].transitions
+            seen = self._breaker_seen.get(benchmark, 0)
+            for transition in transitions[seen:]:
+                self._journal_best_effort(RecordKind.BREAKER_TRANSITION, {
+                    "benchmark": transition.benchmark,
+                    "old": transition.old.value,
+                    "new": transition.new.value,
+                    "reason": transition.reason,
+                })
+            self._breaker_seen[benchmark] = len(transitions)
+
     def _transition(self, node_id: str, new: NodeState, *,
                     reason: str = "") -> None:
         applied = self.lifecycle.transition(node_id, new, reason=reason)
-        self._journal("transition", {
+        self._journal(RecordKind.TRANSITION, {
             "node_id": node_id,
             "old": applied.old.value,
             "new": applied.new.value,
@@ -767,14 +831,14 @@ class ValidationService:
         try:
             for record in records:
                 payload = record.payload
-                if record.kind == "criteria-snapshot":
+                if record.kind == RecordKind.CRITERIA_SNAPSHOT:
                     apply_criteria_payload(self.anubis.validator, payload,
                                            source=str(self.store.path))
                     self._have_snapshot = True
-                elif record.kind == "state-snapshot":
+                elif record.kind == RecordKind.STATE_SNAPSHOT:
                     max_event_id = max(
                         max_event_id, self._apply_state_snapshot(payload))
-                elif record.kind == "transition":
+                elif record.kind == RecordKind.TRANSITION:
                     # Forced: a journal write fault may have eaten an
                     # intermediate record, and refusing to restart
                     # over the gap would turn one lost line into a
@@ -785,7 +849,7 @@ class ValidationService:
                         reason=payload.get("reason", ""), force=True)
                     if new is NodeState.QUARANTINED:
                         self.damper.record_quarantine(payload["node_id"])
-                elif record.kind == "event-enqueued":
+                elif record.kind == RecordKind.EVENT_ENQUEUED:
                     event_id = int(payload["event_id"])
                     max_event_id = max(max_event_id, event_id)
                     pending[event_id] = {
@@ -793,7 +857,7 @@ class ValidationService:
                         "priority": float(payload["priority"]),
                         "attempts": int(payload.get("attempts", 0)),
                     }
-                elif record.kind == "event-coalesced":
+                elif record.kind == RecordKind.EVENT_COALESCED:
                     event_id = int(payload["event_id"])
                     if event_id in pending:
                         pending[event_id]["priority"] = max(
@@ -802,13 +866,13 @@ class ValidationService:
                         pending[event_id]["event"]["duration_hours"] = max(
                             float(pending[event_id]["event"]["duration_hours"]),
                             float(payload.get("duration_hours", 0.0)))
-                elif record.kind == "event-failed":
+                elif record.kind == RecordKind.EVENT_FAILED:
                     event_id = int(payload["event_id"])
                     if event_id in pending:
                         pending[event_id]["attempts"] = max(
                             pending[event_id]["attempts"],
                             int(payload.get("attempts", 0)))
-                elif record.kind == "event-dead-lettered":
+                elif record.kind == RecordKind.EVENT_DEAD_LETTERED:
                     event_id = int(payload["event_id"])
                     max_event_id = max(max_event_id, event_id)
                     pending.pop(event_id, None)
@@ -816,7 +880,7 @@ class ValidationService:
                                                      self.fleet_index)
                     self.queue.dead_letter(entry, payload.get("reason", ""))
                     self.metrics.events_dead_lettered += 1
-                elif record.kind == "event-completed":
+                elif record.kind == RecordKind.EVENT_COMPLETED:
                     event_id = int(payload["event_id"])
                     max_event_id = max(max_event_id, event_id)
                     pending.pop(event_id, None)

@@ -35,6 +35,7 @@ losing the last record is recoverable, refusing to restart is not.
 
 from __future__ import annotations
 
+import enum
 import json
 import logging
 import os
@@ -45,12 +46,52 @@ from pathlib import Path
 from repro.core.system import ValidationEvent
 from repro.exceptions import JournalError
 
-__all__ = ["JournalRecord", "JournalStore", "event_to_payload",
-           "event_from_payload", "record_crc"]
+__all__ = ["RecordKind", "KNOWN_KINDS", "JournalRecord", "JournalStore",
+           "event_to_payload", "event_from_payload", "record_crc",
+           "decode_journal_line"]
 
 logger = logging.getLogger(__name__)
 
 JOURNAL_FILENAME = "journal.jsonl"
+
+
+class RecordKind(str, enum.Enum):
+    """Registry of every journal record kind the system writes.
+
+    One place instead of string literals scattered across the control
+    plane, quality layer and analytics: writers journal
+    ``RecordKind.X`` (``str``-valued, so payloads and comparisons with
+    plain strings keep working), and readers -- recovery and the
+    analytics :class:`~repro.analytics.reader.JournalReader` -- can
+    tell a *known-but-unhandled* kind from a forward-version journal's
+    genuinely unknown one.
+    """
+
+    #: Queue lifecycle of one orchestration event.
+    EVENT_ENQUEUED = "event-enqueued"
+    EVENT_COALESCED = "event-coalesced"
+    EVENT_COMPLETED = "event-completed"
+    EVENT_FAILED = "event-failed"
+    EVENT_DEAD_LETTERED = "event-dead-lettered"
+    #: Node lifecycle transition (HEALTHY -> ... -> HEALTHY).
+    TRANSITION = "transition"
+    #: Learned-criteria snapshot / guarded-rollout rejection.
+    CRITERIA_SNAPSHOT = "criteria-snapshot"
+    CRITERIA_ROLLBACK = "criteria-rollback"
+    #: Compaction state snapshot (lifecycle, metrics, dead letters).
+    STATE_SNAPSHOT = "state-snapshot"
+    #: Typed measurement batch with full window provenance.
+    MEASUREMENT_BATCH = "measurement-batch"
+    #: Compact per-event sanitization/quarantine provenance summary.
+    BATCH_PROVENANCE = "batch-provenance"
+    #: Circuit-breaker state change of one benchmark's breaker.
+    BREAKER_TRANSITION = "breaker-transition"
+    #: Measurement-spine stage counters (execute/sanitize/score/learn).
+    PIPELINE_STATS = "pipeline-stats"
+
+
+#: Every record kind a journal written by this version can contain.
+KNOWN_KINDS = frozenset(kind.value for kind in RecordKind)
 
 
 def event_to_payload(event: ValidationEvent) -> dict:
@@ -83,6 +124,47 @@ class JournalRecord:
     seq: int
     kind: str
     payload: dict
+
+
+def decode_journal_line(line: str, *, lineno: int = 0,
+                        path: object = "") -> tuple[JournalRecord | None, str]:
+    """Decode one journal line; never raises.
+
+    The single decode-and-verify implementation shared by
+    :meth:`JournalStore.replay` and the analytics
+    :class:`~repro.analytics.reader.JournalReader`, so both paths agree
+    exactly on what counts as a valid record.  Returns
+    ``(record, status)`` where status is one of:
+
+    * ``"ok"`` -- decodable, checksum-valid (or pre-checksum legacy);
+    * ``"empty"`` -- blank line, nothing to decode;
+    * ``"corrupt-line"`` -- undecodable (truncated append, bit rot that
+      no longer parses); logged at WARNING;
+    * ``"crc-mismatch"`` -- decodable but its checksum disagrees with
+      its body; logged at WARNING.
+
+    ``record`` is ``None`` for every non-``"ok"`` status.
+    """
+    if not line.strip():
+        return None, "empty"
+    try:
+        raw = json.loads(line)
+        record = JournalRecord(seq=int(raw["seq"]),
+                               kind=str(raw["kind"]),
+                               payload=dict(raw["payload"]))
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+        logger.warning("skipping corrupted journal line %d of %s: %s",
+                       lineno, path, error)
+        return None, "corrupt-line"
+    # Records from before checksumming carry no "crc"; accept them
+    # rather than invalidating every pre-existing journal.
+    if "crc" in raw and int(raw["crc"]) != record_crc(
+            record.seq, record.kind, record.payload):
+        logger.warning(
+            "skipping checksum-mismatched journal line %d of %s "
+            "(seq %d, kind %r)", lineno, path, record.seq, record.kind)
+        return None, "crc-mismatch"
+    return record, "ok"
 
 
 class JournalStore:
@@ -122,9 +204,11 @@ class JournalStore:
                fsync: bool | None = None) -> int:
         """Append one checksummed record; returns its sequence number.
 
+        ``kind`` may be a plain string or a :class:`RecordKind`;
         ``fsync`` overrides the store default for this one append
         (``None`` keeps the store default).
         """
+        kind = getattr(kind, "value", kind)
         seq = self._seq + 1
         line = json.dumps({"seq": seq, "kind": kind, "payload": payload,
                            "crc": record_crc(seq, kind, payload)})
@@ -155,6 +239,7 @@ class JournalStore:
         try:
             with tmp_path.open("w") as handle:
                 for kind, payload in records:
+                    kind = getattr(kind, "value", kind)
                     count += 1
                     line = json.dumps({
                         "seq": count, "kind": kind, "payload": payload,
@@ -169,7 +254,7 @@ class JournalStore:
         self._seq = count
         return count
 
-    def replay(self) -> list[JournalRecord]:
+    def replay(self, *, start_seq: int = 0) -> list[JournalRecord]:
         """All decodable, checksum-valid records in append order.
 
         Truncated lines (a crash mid-append) and checksum mismatches
@@ -177,6 +262,14 @@ class JournalStore:
         rather than raised -- recovery must always make progress from
         what *was* durably and correctly written.  Checksum mismatches
         are additionally counted in :attr:`corrupt_records`.
+
+        ``start_seq`` is the resume cursor of the iteration API: only
+        records with ``seq > start_seq`` are returned, so an
+        incremental consumer (the analytics reader, a follow-mode
+        report) can pick up where its last read left off.  After
+        compaction sequence numbers restart at 1, which a cursor-aware
+        consumer must detect by segment identity, not by seq alone --
+        see :class:`repro.analytics.reader.JournalReader`.
         """
         self.corrupt_records = 0
         if not self.path.exists():
@@ -187,28 +280,10 @@ class JournalStore:
         except OSError as error:
             raise JournalError(f"cannot read {self.path}: {error}") from error
         for lineno, line in enumerate(lines, start=1):
-            if not line.strip():
-                continue
-            try:
-                raw = json.loads(line)
-                record = JournalRecord(seq=int(raw["seq"]),
-                                       kind=str(raw["kind"]),
-                                       payload=dict(raw["payload"]))
-            except (json.JSONDecodeError, KeyError, TypeError,
-                    ValueError) as error:
-                logger.warning(
-                    "skipping corrupted journal line %d of %s: %s",
-                    lineno, self.path, error)
-                continue
-            # Records from before checksumming carry no "crc"; accept
-            # them rather than invalidating every pre-existing journal.
-            if "crc" in raw and int(raw["crc"]) != record_crc(
-                    record.seq, record.kind, record.payload):
+            record, status = decode_journal_line(line, lineno=lineno,
+                                                 path=self.path)
+            if status == "crc-mismatch":
                 self.corrupt_records += 1
-                logger.warning(
-                    "skipping checksum-mismatched journal line %d of %s "
-                    "(seq %d, kind %r)", lineno, self.path, record.seq,
-                    record.kind)
-                continue
-            records.append(record)
+            if record is not None and record.seq > start_seq:
+                records.append(record)
         return records

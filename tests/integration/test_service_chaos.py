@@ -176,7 +176,7 @@ class TestControlPlaneRobustness:
         assert service.lifecycle.states() == {}
         monkey.uninstall()
         assert {r.kind for r in service.store.replay()} \
-            == {"criteria-snapshot"}
+            == {"criteria-snapshot", "pipeline-stats"}
 
         # The same event is accepted once the journal heals.
         service.submit(event)

@@ -1,0 +1,170 @@
+"""Integration tests: service journal -> report, facade hook, CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analytics import JournalReader, build_report, kv_table, markdown_table
+from repro.analytics.report import render_json, render_markdown
+from repro.benchsuite.runner import SuiteRunner
+from repro.benchsuite.suite import full_suite
+from repro.cli import main
+from repro.core.selector import NodeStatus, Selector
+from repro.core.system import Anubis, EventKind, ValidationEvent
+from repro.core.validator import Validator
+from repro.hardware.fleet import build_fleet
+from repro.service import ServiceConfig, ValidationService
+from repro.simulation import analytic_coverage_table, suite_durations
+from repro.simulation.generator import generate_incident_trace
+from repro.survival import extract_status_samples
+from repro.survival.exponential import ExponentialModel
+
+
+@pytest.fixture(scope="module")
+def serviced_journal(tmp_path_factory):
+    """A real journal: small fleet, a few events, one service run."""
+    journal = tmp_path_factory.mktemp("analytics") / "journal"
+    fleet = build_fleet(8, seed=5)
+    suite = full_suite()
+    validator = Validator(suite, runner=SuiteRunner(seed=5))
+    validator.learn_criteria(fleet.nodes[:4])
+    trace = generate_incident_trace(50, 2400.0, seed=6)
+    dataset = extract_status_samples(trace)
+    selector = Selector(ExponentialModel().fit(dataset),
+                        analytic_coverage_table(suite),
+                        suite_durations(suite), p0=0.10)
+    anubis = Anubis(validator, selector)
+    service = ValidationService(anubis, fleet.nodes, journal_dir=journal,
+                                config=ServiceConfig())
+    rng = np.random.default_rng(7)
+    for i in range(6):
+        picks = rng.choice(8, size=2, replace=False)
+        members = tuple(fleet.nodes[int(p)] for p in picks)
+        statuses = tuple(
+            NodeStatus(node_id=node.node_id,
+                       covariates=dataset.covariates[
+                           int(rng.integers(0, len(dataset)))])
+            for node in members)
+        service.submit(ValidationEvent(
+            kind=(EventKind.INCIDENT_REPORTED if i % 3 == 0
+                  else EventKind.JOB_ALLOCATION),
+            nodes=members, statuses=statuses, duration_hours=24.0))
+    service.drain()
+    return journal, anubis
+
+
+class TestJournalToReport:
+    def test_report_covers_the_run(self, serviced_journal):
+        journal, _anubis = serviced_journal
+        records = JournalReader(journal).read_all()
+        report = build_report(records, fleet_size=8)
+        assert report["service"]["events_completed"] == 6
+        assert report["journal"]["by_kind"]["event-enqueued"] >= 1
+        # The control plane journaled provenance for validated events.
+        assert report["sanitization"]["windows_total"] > 0
+        assert report["availability"]["fleet_size"] == 8
+
+    def test_two_replays_are_byte_identical(self, serviced_journal):
+        journal, _anubis = serviced_journal
+        one = build_report(JournalReader(journal).read_all(), fleet_size=8)
+        two = build_report(JournalReader(journal).read_all(), fleet_size=8)
+        assert render_json(one) == render_json(two)
+        assert render_markdown(one) == render_markdown(two)
+
+    def test_duration_hours_feeds_mtbi(self, serviced_journal):
+        journal, _anubis = serviced_journal
+        report = build_report(JournalReader(journal).read_all())
+        assert report["mtbi"]["node_hours_observed"] > 0
+
+
+class TestFacadeHook:
+    def test_fleet_report_from_records(self, serviced_journal):
+        journal, anubis = serviced_journal
+        records = JournalReader(journal).read_all()
+        report = anubis.fleet_report(records)
+        assert report == build_report(records)
+
+    def test_fleet_report_from_history(self, serviced_journal):
+        _journal, anubis = serviced_journal
+        report = anubis.fleet_report()
+        assert report["service"]["events_completed"] == len(anubis.history)
+        assert "pipeline" in report
+        assert "## Measurement pipeline" in render_markdown(report)
+
+
+class TestReportCLI:
+    def test_json_snapshot(self, serviced_journal, capsys):
+        journal, _anubis = serviced_journal
+        assert main(["report", "--journal", str(journal),
+                     "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["service"]["events_completed"] == 6
+
+    def test_markdown_snapshot_and_out_file(self, serviced_journal,
+                                            capsys, tmp_path):
+        journal, _anubis = serviced_journal
+        out = tmp_path / "report.md"
+        assert main(["report", "--journal", str(journal),
+                     "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert printed == out.read_text()
+        assert printed.startswith("# Fleet validation report")
+
+    def test_byte_identical_cli_replays(self, serviced_journal, capsys):
+        journal, _anubis = serviced_journal
+        main(["report", "--journal", str(journal), "--format", "json"])
+        first = capsys.readouterr().out
+        main(["report", "--journal", str(journal), "--format", "json"])
+        assert capsys.readouterr().out == first
+
+    def test_follow_mode_bounded_by_max_polls(self, serviced_journal,
+                                              capsys):
+        journal, _anubis = serviced_journal
+        assert main(["report", "--journal", str(journal), "--follow",
+                     "--max-polls", "1", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["service"]["events_completed"] == 6
+
+    def test_empty_journal_still_reports(self, tmp_path, capsys):
+        assert main(["report", "--journal", str(tmp_path / "none"),
+                     "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["journal"]["records"] == 0
+
+    def test_invalid_interval_rejected(self, tmp_path, capsys):
+        assert main(["report", "--journal", str(tmp_path),
+                     "--interval", "0"]) == 2
+
+
+class TestSharedFormatters:
+    def test_kv_table_alignment_and_floats(self):
+        table = kv_table({"alpha": 0.5, "count": 3})
+        assert table.splitlines() == ["alpha                    0.5000",
+                                      "count                    3"]
+
+    def test_kv_table_header_and_width(self):
+        table = kv_table([("non-finite", 2)], key_width=20,
+                         header=("fault class", "windows"))
+        assert table.splitlines()[0] == "fault class          windows"
+        assert table.splitlines()[1] == "non-finite           2"
+
+    def test_markdown_table_shape(self):
+        table = markdown_table(("a", "b"), [(1, 2.5), ("x", None)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].count("|") == 3
+        assert "2.5000" in lines[2]
+        assert "-" in lines[3]
+
+    def test_service_metrics_table_routes_through_kv_table(self):
+        from repro.service.controlplane import ServiceMetrics
+        table = ServiceMetrics(events_submitted=2).format_table()
+        assert "events_submitted         2" in table
+        assert "defect_rate              0.0000" in table
+
+    def test_ledger_table_routes_through_kv_table(self):
+        from repro.quality.sanitize import TelemetryLedger
+        table = TelemetryLedger().format_table()
+        assert table.splitlines()[0].startswith("fault class")
+        assert "values quarantined" in table

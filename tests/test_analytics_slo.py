@@ -1,0 +1,223 @@
+"""Unit tests: SLO reducers and the deterministic report builder."""
+
+from repro.analytics import (
+    AvailabilityOverheadReducer,
+    DLQReducer,
+    EvictionPrecisionReducer,
+    MTBIReducer,
+    SanitizationReducer,
+    build_report,
+    render_json,
+    render_markdown,
+)
+from repro.service.store import JournalRecord, RecordKind
+
+
+def rec(seq, kind, payload):
+    return JournalRecord(seq=seq, kind=getattr(kind, "value", kind),
+                         payload=payload)
+
+
+def completed(seq, event_id, *, nodes, defective=(), hours=24.0,
+              latency=0.1, wall=1.0, skipped=False):
+    return rec(seq, RecordKind.EVENT_COMPLETED, {
+        "event_id": event_id,
+        "kind": "job-allocation",
+        "skipped": skipped,
+        "validated_nodes": list(nodes),
+        "benchmarks_run": ["gemm"],
+        "violations": [],
+        "defective": list(defective),
+        "short_circuited": [],
+        "queue_latency_seconds": latency,
+        "validation_seconds": wall,
+        "duration_hours": hours,
+    })
+
+
+def transition(seq, node, new, reason="event-1"):
+    return rec(seq, RecordKind.TRANSITION, {
+        "node_id": node, "old": "healthy", "new": new, "reason": reason})
+
+
+class TestMTBI:
+    def test_fleet_mtbi_is_node_hours_over_incidents(self):
+        reducer = MTBIReducer(buckets=2)
+        reducer.consume(completed(1, 1, nodes=["a", "b"], hours=10.0))
+        reducer.consume(transition(2, "a", "quarantined"))
+        reducer.consume(completed(3, 2, nodes=["a", "b"], hours=10.0))
+        result = reducer.result()
+        assert result["node_hours_observed"] == 40.0
+        assert result["incidents"] == 1
+        assert result["fleet_mtbi_hours"] == 40.0
+
+    def test_no_incidents_yields_none(self):
+        reducer = MTBIReducer()
+        reducer.consume(completed(1, 1, nodes=["a"], hours=5.0))
+        assert reducer.result()["fleet_mtbi_hours"] is None
+
+    def test_trend_buckets_partition_the_node_hours(self):
+        reducer = MTBIReducer(buckets=2)
+        reducer.consume(completed(1, 1, nodes=["a"], hours=10.0))
+        reducer.consume(transition(2, "a", "quarantined"))
+        reducer.consume(completed(3, 2, nodes=["a"], hours=10.0))
+        trend = reducer.result()["trend"]
+        assert len(trend) == 2
+        assert sum(b["node_hours"] for b in trend) == 20.0
+        assert sum(b["incidents"] for b in trend) == 1
+
+    def test_worst_nodes_ranked_by_incident_count(self):
+        reducer = MTBIReducer()
+        for seq, node in enumerate(["a", "b", "a"], start=1):
+            reducer.consume(transition(seq, node, "quarantined"))
+        worst = reducer.result()["worst_nodes"]
+        assert worst[0]["node_id"] == "a"
+        assert worst[0]["incidents"] == 2
+
+
+class TestAvailability:
+    def test_curve_tracks_quarantine_fraction(self):
+        reducer = AvailabilityOverheadReducer(fleet_size=4)
+        reducer.consume(transition(1, "a", "quarantined"))
+        reducer.consume(completed(2, 1, nodes=["b"], wall=2.0))
+        reducer.consume(transition(3, "a", "healthy",
+                                   reason="repair-complete"))
+        reducer.consume(completed(4, 2, nodes=["b"], wall=3.0))
+        result = reducer.result()
+        assert result["curve"] == [
+            {"validation_s": 2.0, "availability": 0.75},
+            {"validation_s": 5.0, "availability": 1.0},
+        ]
+        assert result["availability_now"] == 1.0
+        assert result["validation_total_s"] == 5.0
+
+    def test_curve_downsamples_to_the_requested_points(self):
+        reducer = AvailabilityOverheadReducer(curve_points=4)
+        for i in range(1, 41):
+            reducer.consume(completed(i, i, nodes=[f"n{i}"], wall=1.0))
+        curve = reducer.result()["curve"]
+        assert len(curve) == 4
+        assert curve[0]["validation_s"] == 1.0
+        assert curve[-1]["validation_s"] == 40.0
+
+    def test_state_snapshot_seeds_the_fleet(self):
+        reducer = AvailabilityOverheadReducer()
+        reducer.consume(rec(1, RecordKind.STATE_SNAPSHOT, {
+            "states": {"a": "healthy", "b": "quarantined"}}))
+        reducer.consume(completed(2, 1, nodes=["a"]))
+        assert reducer.result()["availability_now"] == 0.5
+
+
+class TestEvictionPrecision:
+    def test_repeat_offender_requires_a_completed_repair(self):
+        reducer = EvictionPrecisionReducer()
+        reducer.consume(transition(1, "a", "quarantined"))
+        reducer.consume(transition(2, "a", "healthy",
+                                   reason="repair-complete"))
+        reducer.consume(transition(3, "a", "quarantined"))
+        reducer.consume(transition(4, "b", "quarantined"))
+        result = reducer.result()
+        assert result["quarantines"] == 3
+        assert result["nodes_evicted"] == 2
+        assert result["repeat_offenders"] == ["a"]
+        assert result["repeat_offender_rate"] == 0.5
+        assert result["requarantines_after_repair"] == 1
+
+    def test_non_repair_return_is_not_a_completed_repair(self):
+        reducer = EvictionPrecisionReducer()
+        reducer.consume(transition(1, "a", "quarantined"))
+        reducer.consume(transition(2, "a", "healthy", reason="tick-failed"))
+        reducer.consume(transition(3, "a", "quarantined"))
+        assert reducer.result()["repeat_offenders"] == []
+
+
+class TestDLQ:
+    def test_depth_grows_and_rebaselines_on_snapshot(self):
+        reducer = DLQReducer()
+        reducer.consume(rec(1, RecordKind.EVENT_DEAD_LETTERED,
+                            {"event_id": 1}))
+        reducer.consume(rec(2, RecordKind.EVENT_DEAD_LETTERED,
+                            {"event_id": 2}))
+        reducer.consume(rec(3, RecordKind.STATE_SNAPSHOT,
+                            {"states": {}, "dead_letters": [{}]}))
+        result = reducer.result()
+        assert result["events_parked"] == 2
+        assert result["depth_now"] == 1
+        assert [p["depth"] for p in result["depth_series"]] == [1, 2, 1]
+
+
+class TestSanitization:
+    def test_batch_provenance_folds_by_pair(self):
+        reducer = SanitizationReducer()
+        reducer.consume(rec(1, RecordKind.BATCH_PROVENANCE, {
+            "event_id": 1,
+            "provenance": [
+                {"benchmark": "gemm", "metric": "gflops", "windows": 4,
+                 "sanitized": 4, "quarantined": 1,
+                 "faults": {"non-finite": 2}},
+                {"benchmark": "nccl", "metric": "busbw", "windows": 2,
+                 "sanitized": 2, "quarantined": 0, "faults": {}},
+            ]}))
+        reducer.consume(rec(2, RecordKind.BATCH_PROVENANCE, {
+            "event_id": 2,
+            "provenance": [
+                {"benchmark": "gemm", "metric": "gflops", "windows": 4,
+                 "sanitized": 4, "quarantined": 3,
+                 "faults": {"non-finite": 1, "unit-scale": 1}},
+            ]}))
+        result = reducer.result()
+        gemm = result["by_pair"]["gemm/gflops"]
+        assert gemm["windows"] == 8
+        assert gemm["quarantine_rate"] == 0.5
+        assert gemm["faults"] == {"non-finite": 3, "unit-scale": 1}
+        assert result["windows_total"] == 10
+        assert result["windows_quarantined"] == 4
+
+
+class TestBuildReport:
+    def stream(self):
+        return [
+            rec(1, RecordKind.EVENT_ENQUEUED,
+                {"event_id": 1, "event": {"kind": "periodic"},
+                 "priority": 0.5}),
+            transition(2, "a", "quarantined"),
+            completed(3, 1, nodes=["a", "b"], defective=["a"]),
+            rec(4, RecordKind.CRITERIA_ROLLBACK,
+                {"benchmark": "gemm", "metric": "gflops",
+                 "candidate_rate": 0.9, "baseline_rate": 0.1,
+                 "reason": "eviction budget"}),
+            rec(5, RecordKind.BREAKER_TRANSITION,
+                {"benchmark": "nccl", "old": "closed", "new": "open",
+                 "reason": "fleet-wide"}),
+            rec(6, RecordKind.PIPELINE_STATS,
+                {"stages": {"execute": {"count": 3, "seconds": 0.5}}}),
+        ]
+
+    def test_sections_present(self):
+        report = build_report(self.stream())
+        assert report["journal"]["records"] == 6
+        assert report["service"]["events_completed"] == 1
+        assert report["mtbi"]["incidents"] == 1
+        assert report["breakers"]["opens_by_benchmark"] == {"nccl": 1}
+        assert report["rollbacks"]["by_pair"] == {"gemm/gflops": 1}
+        assert report["pipeline"]["execute"]["count"] == 3
+
+    def test_byte_identical_across_replays(self):
+        first = build_report(self.stream())
+        second = build_report(self.stream())
+        assert render_json(first) == render_json(second)
+        assert render_markdown(first) == render_markdown(second)
+
+    def test_renderers_share_one_document(self):
+        report = build_report(self.stream(), fleet_size=8)
+        markdown = render_markdown(report)
+        assert "## MTBI" in markdown
+        assert "## Availability vs. validation overhead" in markdown
+        assert "## Circuit breakers" in markdown
+        assert "gemm/gflops" in markdown
+        assert render_json(report).endswith("\n")
+
+    def test_unconsumed_kinds_do_not_crash(self):
+        report = build_report([rec(1, RecordKind.MEASUREMENT_BATCH, {
+            "benchmark": "gemm", "metric": "gflops", "windows": []})])
+        assert report["journal"]["records"] == 1
