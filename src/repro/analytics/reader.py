@@ -128,6 +128,21 @@ class JournalReader:
         self.corrupt_lines = 0
         self._warned_kinds: set[str] = set()
 
+    def health(self) -> dict:
+        """Journal-health counters accumulated by this reader.
+
+        What :func:`~repro.analytics.report.build_report` embeds in
+        the report's ``journal`` section so corrupt or
+        forward-version records stop being an invisible log line:
+        ``corrupt_lines`` (undecodable or checksum-mismatched) and
+        ``unknown_kinds`` (kind -> occurrences outside
+        ``known_kinds``).
+        """
+        return {
+            "corrupt_lines": self.corrupt_lines,
+            "unknown_kinds": dict(sorted(self.unknown_kinds.items())),
+        }
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------

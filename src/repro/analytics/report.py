@@ -92,15 +92,21 @@ def markdown_table(headers, rows, *, float_digits: int = 4) -> str:
 # Report building
 # ----------------------------------------------------------------------
 def build_report(records, *, fleet_size: int | None = None,
-                 buckets: int = 8, curve_points: int = 16) -> dict:
+                 buckets: int = 8, curve_points: int = 16,
+                 journal_health: dict | None = None) -> dict:
     """Fold journal records into the fleet SLO report document.
 
     ``records`` is any iterable of
     :class:`~repro.service.store.JournalRecord` (one full segment, or
     everything a :class:`~repro.analytics.reader.JournalReader`
-    delivered so far).  The result is plain JSON: section name ->
-    reducer result, plus a ``journal`` section describing what was
-    read.  Deterministic -- same records, byte-identical report.
+    delivered so far).  ``journal_health`` is the reader's
+    :meth:`~repro.analytics.reader.JournalReader.health` dict
+    (``corrupt_lines`` / ``unknown_kinds``); when given it is merged
+    into the ``journal`` section so skipped lines are visible in the
+    report instead of only in the log.  The result is plain JSON:
+    section name -> reducer result, plus a ``journal`` section
+    describing what was read.  Deterministic -- same records,
+    byte-identical report.
     """
     reducers = default_reducers(fleet_size=fleet_size, buckets=buckets,
                                 curve_points=curve_points)
@@ -126,6 +132,11 @@ def build_report(records, *, fleet_size: int | None = None,
         "max_seq": max_seq,
         "by_kind": dict(sorted(by_kind.items())),
     }
+    if journal_health is not None:
+        report["journal"]["corrupt_lines"] = int(
+            journal_health.get("corrupt_lines", 0))
+        report["journal"]["unknown_kinds"] = dict(sorted(
+            journal_health.get("unknown_kinds", {}).items()))
     return report
 
 
@@ -188,6 +199,11 @@ def render_markdown(report: dict) -> str:
             out += [markdown_table(
                 ("record kind", "count"),
                 sorted(journal["by_kind"].items())), ""]
+        if journal.get("unknown_kinds"):
+            out += ["Unknown record kinds (forward-version journal?):",
+                    "", markdown_table(
+                        ("unknown kind", "count"),
+                        sorted(journal["unknown_kinds"].items())), ""]
 
     service = report.get("service")
     if service is not None:
@@ -275,6 +291,23 @@ def render_markdown(report: dict) -> str:
             out += [markdown_table(
                 ("benchmark/metric", "windows", "sanitized_rate",
                  "quarantine_rate", "faults"), rows), ""]
+
+    supervisor = report.get("supervisor")
+    if supervisor is not None:
+        out += ["## Shard supervisor", "", _md_kv(supervisor), ""]
+        if supervisor.get("restarts_by_shard"):
+            out += [markdown_table(
+                ("shard", "restarts"),
+                sorted(supervisor["restarts_by_shard"].items())), ""]
+        if supervisor.get("degraded"):
+            out += [markdown_table(
+                ("shard", "restarts", "reason"),
+                [(d["shard"], d["restarts"], d["reason"])
+                 for d in supervisor["degraded"]]), ""]
+        if supervisor.get("shed_by_kind"):
+            out += ["Load shed by event kind:", "", markdown_table(
+                ("event kind", "shed"),
+                sorted(supervisor["shed_by_kind"].items())), ""]
 
     pipeline = report.get("pipeline")
     if pipeline is not None:

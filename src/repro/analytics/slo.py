@@ -40,6 +40,7 @@ __all__ = [
     "RollbackReducer",
     "DLQReducer",
     "SanitizationReducer",
+    "SupervisorReducer",
     "default_reducers",
     "reduce_records",
 ]
@@ -508,6 +509,86 @@ class SanitizationReducer:
         }
 
 
+class SupervisorReducer:
+    """Supervision-tree health from shard-fabric journal records.
+
+    A sharded deployment runs one journal per shard; this reducer is
+    written to work per shard (one journal's records) *or* over a
+    concatenation of several shards' records -- per-shard figures are
+    keyed by the shard index the records carry.  Reported:
+
+    * **restarts** -- the per-shard restart high-water mark carried by
+      ``shard-heartbeat`` records (the supervisor stamps each beat
+      with the shard's restart count);
+    * **failovers** -- ``shard-handoff`` records (events moved off a
+      degraded shard) and ``shard-degraded`` escalations with reasons;
+    * **shed rate** -- ``load-shed`` records per enqueued event, the
+      fraction of accepted work admission control dropped under
+      overload.
+    """
+
+    name = "supervisor"
+
+    def __init__(self) -> None:
+        self.heartbeats = 0
+        self.events_enqueued = 0
+        self.events_shed = 0
+        self.shed_by_kind: Counter[str] = Counter()
+        self.handoffs = 0
+        self.handoffs_by_target: Counter[str] = Counter()
+        self.degraded: list[dict] = []
+        self.restarts_by_shard: dict[str, int] = {}
+        self.last_beat_by_shard: dict[str, dict] = {}
+
+    def consume(self, record: JournalRecord) -> None:
+        payload = record.payload
+        if record.kind == RecordKind.EVENT_ENQUEUED:
+            self.events_enqueued += 1
+        elif record.kind == RecordKind.LOAD_SHED:
+            self.events_shed += 1
+            self.shed_by_kind[str(payload.get("kind", "unknown"))] += 1
+        elif record.kind == RecordKind.SHARD_HANDOFF:
+            self.handoffs += 1
+            self.handoffs_by_target[str(payload.get("to_shard", "?"))] += 1
+        elif record.kind == RecordKind.SHARD_DEGRADED:
+            self.degraded.append({
+                "shard": int(payload.get("shard", -1)),
+                "restarts": int(payload.get("restarts", 0)),
+                "reason": str(payload.get("reason", "")),
+            })
+        elif record.kind == RecordKind.SHARD_HEARTBEAT:
+            self.heartbeats += 1
+            shard = str(payload.get("shard", "?"))
+            restarts = int(payload.get("restarts", 0))
+            self.restarts_by_shard[shard] = max(
+                self.restarts_by_shard.get(shard, 0), restarts)
+            self.last_beat_by_shard[shard] = {
+                "tick": int(payload.get("tick", 0)),
+                "progress": int(payload.get("progress", 0)),
+                "queue_depth": int(payload.get("queue_depth", 0)),
+            }
+
+    def result(self) -> dict:
+        return {
+            "heartbeats": self.heartbeats,
+            "restarts_total": sum(self.restarts_by_shard.values()),
+            "restarts_by_shard": dict(sorted(
+                self.restarts_by_shard.items())),
+            "shards_degraded": len(self.degraded),
+            "degraded": sorted(self.degraded,
+                               key=lambda d: (d["shard"], d["reason"])),
+            "handoffs": self.handoffs,
+            "handoffs_by_target": dict(sorted(
+                self.handoffs_by_target.items())),
+            "events_shed": self.events_shed,
+            "shed_by_kind": dict(sorted(self.shed_by_kind.items())),
+            "shed_rate": _round(
+                self.events_shed / max(self.events_enqueued, 1)),
+            "last_heartbeat_by_shard": dict(sorted(
+                self.last_beat_by_shard.items())),
+        }
+
+
 def default_reducers(*, fleet_size: int | None = None,
                      buckets: int = 8, curve_points: int = 16) -> list:
     """The standard fleet-report reducer set, in section order."""
@@ -521,6 +602,7 @@ def default_reducers(*, fleet_size: int | None = None,
         RollbackReducer(),
         DLQReducer(curve_points=curve_points),
         SanitizationReducer(),
+        SupervisorReducer(),
     ]
 
 

@@ -87,6 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parallel validation workers")
     serve.add_argument("--p0", type=float, default=0.10,
                        help="Selector residual-probability target")
+    serve.add_argument("--max-queue-depth", type=int, default=None,
+                       metavar="N",
+                       help="bound the event queue at N entries; overload "
+                            "sheds the lowest-risk events (journaled as "
+                            "load-shed) instead of growing without bound")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--chaos-seed", type=int, default=None, metavar="SEED",
                        help="install the seeded chaos harness (executor "
@@ -254,7 +259,8 @@ def _cmd_serve(args) -> int:
     selector = Selector(model, analytic_coverage_table(suite),
                         suite_durations(suite), p0=args.p0)
     anubis = Anubis(validator, selector)
-    config = ServiceConfig(pool=PoolConfig(max_workers=args.workers))
+    config = ServiceConfig(pool=PoolConfig(max_workers=args.workers),
+                           max_queue_depth=args.max_queue_depth)
     service = ValidationService(anubis, fleet.nodes,
                                 journal_dir=args.journal, config=config)
 
@@ -390,7 +396,8 @@ def _cmd_report(args) -> int:
     render = render_json if args.format == "json" else render_markdown
 
     def emit(records) -> str:
-        text = render(build_report(records, fleet_size=args.fleet_size))
+        text = render(build_report(records, fleet_size=args.fleet_size,
+                                   journal_health=reader.health()))
         print(text, end="")
         if args.out:
             from pathlib import Path

@@ -249,13 +249,17 @@ class Anubis:
             "pipeline": self.pipeline_stats(),
         }
 
-    def fleet_report(self, records=None) -> dict:
+    def fleet_report(self, records=None, *,
+                     journal_health: dict | None = None) -> dict:
         """The fleet SLO report, as plain JSON.
 
         With ``records`` (an iterable of journal records, e.g. from
         :meth:`~repro.analytics.reader.JournalReader.read_all`) this is
         the full journal-derived report --
-        :func:`repro.analytics.report.build_report`.  Without, it
+        :func:`repro.analytics.report.build_report`; pass the reader's
+        :meth:`~repro.analytics.reader.JournalReader.health` dict as
+        ``journal_health`` to surface corrupt-line and unknown-kind
+        counts in the report's ``journal`` section.  Without, it
         covers what this in-memory facade alone knows: event history
         and measurement-pipeline counters.  Render with
         :func:`repro.analytics.report.render_markdown` /
@@ -266,7 +270,7 @@ class Anubis:
         # imports this module).
         from repro.analytics.report import build_report, report_from_history
         if records is not None:
-            return build_report(records)
+            return build_report(records, journal_health=journal_health)
         return report_from_history(self)
 
     def _run_validation(self, event: ValidationEvent, *, benchmarks,

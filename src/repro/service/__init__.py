@@ -20,8 +20,16 @@ around the in-process facade:
     :class:`ValidationService` -- the tick/drain orchestrator with
     per-event metrics, failure containment and kill-and-restart
     recovery.
+``repro.service.shard``
+    Consistent-hash partitioning of the fleet into isolated failure
+    domains, each a full control plane over its own journal.
+``repro.service.supervisor``
+    The supervision tree: per-shard watchdogs, restart backoff,
+    degradation with journaled cross-shard handoff, and the global
+    risk-priority scheduler.
 ``repro.service.chaos``
-    Deterministic, seeded fault injection against all of the above.
+    Deterministic, seeded fault injection against all of the above,
+    including shard-level faults against the supervised fabric.
 """
 
 from repro.service.chaos import (
@@ -29,8 +37,13 @@ from repro.service.chaos import (
     ChaosMonkey,
     ChaosPlan,
     ChaosRunner,
+    ShardChaosJournalStore,
+    ShardChaosMonkey,
+    ShardChaosPlan,
+    ShardCrash,
     SimulatedKill,
     install_chaos,
+    install_shard_chaos,
 )
 from repro.service.controlplane import (
     ServiceConfig,
@@ -55,11 +68,17 @@ from repro.service.pool import (
     ValidationPool,
 )
 from repro.service.queue import DeadLetter, EventQueue, QueuedEvent
+from repro.service.shard import HashRing, Shard, ShardState
 from repro.service.store import (
     JournalRecord,
     JournalStore,
     event_from_payload,
     event_to_payload,
+)
+from repro.service.supervisor import (
+    ShardSupervisor,
+    SupervisorConfig,
+    SupervisorMetrics,
 )
 
 __all__ = [
@@ -74,6 +93,7 @@ __all__ = [
     "DeadLetter",
     "EventQueue",
     "FlapDamper",
+    "HashRing",
     "JournalRecord",
     "JournalStore",
     "LEGAL_TRANSITIONS",
@@ -83,7 +103,16 @@ __all__ = [
     "QueuedEvent",
     "ServiceConfig",
     "ServiceMetrics",
+    "Shard",
+    "ShardChaosJournalStore",
+    "ShardChaosMonkey",
+    "ShardChaosPlan",
+    "ShardCrash",
+    "ShardState",
+    "ShardSupervisor",
     "SimulatedKill",
+    "SupervisorConfig",
+    "SupervisorMetrics",
     "SweepResult",
     "TickResult",
     "Transition",
@@ -92,4 +121,5 @@ __all__ = [
     "event_from_payload",
     "event_to_payload",
     "install_chaos",
+    "install_shard_chaos",
 ]

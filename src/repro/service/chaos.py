@@ -58,8 +58,10 @@ import numpy as np
 from repro.core.system import ValidationEvent
 from repro.exceptions import ChaosError, JournalError, ServiceError
 
-__all__ = ["SimulatedKill", "ChaosPlan", "ChaosRunner", "ChaosJournalStore",
-           "ChaosMonkey", "install_chaos", "poison_key"]
+__all__ = ["SimulatedKill", "ShardCrash", "ChaosPlan", "ChaosRunner",
+           "ChaosJournalStore", "ChaosMonkey", "install_chaos", "poison_key",
+           "ShardChaosPlan", "ShardChaosJournalStore", "ShardChaosMonkey",
+           "install_shard_chaos"]
 
 
 class SimulatedKill(BaseException):
@@ -71,6 +73,19 @@ class SimulatedKill(BaseException):
     kill is precisely the failure no handler gets to contain.  Tests
     catch it at the top level and model the "restart" by building a
     fresh service over the same journal directory.
+    """
+
+
+class ShardCrash(SimulatedKill):
+    """A simulated crash of ONE shard's control plane.
+
+    Same semantics as :class:`SimulatedKill` -- no handler inside the
+    shard's service may contain it -- but the
+    :class:`~repro.service.supervisor.ShardSupervisor` catches it at
+    the shard boundary, exactly as a real supervisor observes one
+    worker process dying while itself surviving.  A plain
+    ``SimulatedKill`` still passes through the supervisor untouched:
+    that one models the whole process (supervisor included) dying.
     """
 
 
@@ -334,3 +349,282 @@ def install_chaos(service, plan: ChaosPlan) -> ChaosMonkey:
     installed :class:`ChaosMonkey` (call :meth:`ChaosMonkey.uninstall`
     to restore)."""
     return ChaosMonkey(service, plan).install()
+
+
+# ----------------------------------------------------------------------
+# Shard-level chaos (against the supervised shard fabric)
+# ----------------------------------------------------------------------
+
+#: Record kinds whose journal lines shard chaos may corrupt.  All are
+#: observability or replay-redundant records: losing one costs at most
+#: an at-least-once re-run, never an event -- so a chaos soak can keep
+#: its event-accounting assertions *exact* while still proving that
+#: recovery skips corrupted lines.  ``event-enqueued`` and the
+#: snapshot kinds are deliberately excluded: corrupting those would
+#: genuinely lose state, which is a different (and non-assertable)
+#: failure class.
+_CORRUPTIBLE_KINDS = ("shard-heartbeat", "pipeline-stats",
+                      "breaker-transition", "batch-provenance",
+                      "event-completed")
+
+
+@dataclass(frozen=True)
+class ShardChaosPlan:
+    """Shard-fabric faults, seeded and keyed like :class:`ChaosPlan`.
+
+    All rates are per-decision-point probabilities in [0, 1]:
+
+    * ``crash_rate`` -- a ticked event raises :class:`ShardCrash`
+      (the shard process dies mid-tick; the supervisor survives);
+    * ``hang_rate`` -- the shard stops responding to ticks *until its
+      next restart* (only the watchdog's stall detection recovers it);
+    * ``slow_tick_rate`` / ``slow_tick_seconds`` -- a tick stalls for
+      ``slow_tick_seconds`` before processing (latency, not failure);
+    * ``heartbeat_loss_rate`` -- one heartbeat is dropped on the way
+      to the supervisor;
+    * ``journal_error_rate`` / ``kill_rate`` -- per-append journal
+      write faults / shard kills, like :class:`ChaosJournalStore`
+      but raising :class:`ShardCrash` so the blast stops at the shard;
+    * ``journal_corrupt_rate`` -- one already-written line of the
+      shard's journal is corrupted in place (restricted to
+      observability/replay-redundant kinds, see
+      ``_CORRUPTIBLE_KINDS``), exercising the CRC skip-and-warn path
+      on the next recovery.
+
+    ``target_shards`` limits every fault to the given shard indexes --
+    the blast-radius soak targets one shard and asserts the others
+    never notice.
+    """
+
+    seed: int
+    target_shards: frozenset | None = None
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    slow_tick_rate: float = 0.0
+    slow_tick_seconds: float = 0.0
+    heartbeat_loss_rate: float = 0.0
+    journal_error_rate: float = 0.0
+    journal_corrupt_rate: float = 0.0
+    kill_rate: float = 0.0
+
+    def __post_init__(self):
+        for name in ("crash_rate", "hang_rate", "slow_tick_rate",
+                     "heartbeat_loss_rate", "journal_error_rate",
+                     "journal_corrupt_rate", "kill_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ServiceError(f"{name} must be in [0, 1], got {rate}")
+        if self.slow_tick_seconds < 0:
+            raise ServiceError("slow_tick_seconds must be non-negative")
+
+    def chance(self, rate: float, *key) -> bool:
+        """One keyed Bernoulli draw (same idiom as
+        :meth:`ChaosPlan.chance`)."""
+        if rate <= 0.0:
+            return False
+        rng = np.random.default_rng(
+            np.random.SeedSequence((self.seed, *_entropy(key))))
+        return bool(rng.random() < rate)
+
+    def pick(self, upper: int, *key) -> int:
+        """One keyed uniform draw in ``[0, upper)``."""
+        rng = np.random.default_rng(
+            np.random.SeedSequence((self.seed, *_entropy(key))))
+        return int(rng.integers(upper))
+
+
+class ShardChaosJournalStore:
+    """Per-shard journal wrapper: write faults and *shard* kills.
+
+    Like :class:`ChaosJournalStore`, but draws are keyed by (shard,
+    incarnation, append counter) so every restart re-draws fresh, and
+    a kill raises :class:`ShardCrash` -- the shard dies, the
+    supervisor lives.
+    """
+
+    def __init__(self, store, plan: ShardChaosPlan, monkey,
+                 shard_index: int, incarnation: int):
+        self._store = store
+        self.plan = plan
+        self._monkey = monkey
+        self.shard_index = shard_index
+        self.incarnation = incarnation
+        self.appends = 0
+
+    def append(self, kind: str, payload: dict, *, fsync=None) -> int:
+        self.appends += 1
+        count = self.appends
+        plan = self.plan
+        kind_name = getattr(kind, "value", kind)
+        if plan.chance(plan.kill_rate, "shard-kill", self.shard_index,
+                       self.incarnation, count):
+            self._monkey.count("shard_kill")
+            raise ShardCrash(
+                f"injected shard {self.shard_index} kill before journal "
+                f"append #{count}")
+        if plan.chance(plan.journal_error_rate, "shard-journal-error",
+                       self.shard_index, self.incarnation, count, kind_name):
+            self._monkey.count("journal_error")
+            raise JournalError(
+                f"injected journal write fault on shard {self.shard_index} "
+                f"(append #{count}, kind {kind_name!r})")
+        return self._store.append(kind, payload, fsync=fsync)
+
+    def __getattr__(self, name):
+        return getattr(self._store, name)
+
+
+class ShardChaosMonkey:
+    """One installed shard-chaos plan against a supervisor.
+
+    Wires the supervisor's three chaos seams (``tick_filter``,
+    ``heartbeat_filter``, ``on_restart``) plus per-shard tick hooks
+    and journal wrappers.  ``injections`` tallies what fired
+    (``shard_crash``, ``shard_hang``, ``slow_tick``,
+    ``heartbeat_loss``, ``journal_error``, ``journal_corruption``,
+    ``shard_kill``).
+    """
+
+    def __init__(self, supervisor, plan: ShardChaosPlan):
+        self.supervisor = supervisor
+        self.plan = plan
+        self.injections: Counter = Counter()
+        self._lock = threading.Lock()
+        #: Shard indexes currently hung (cleared by restart).
+        self.hung: set[int] = set()
+        self._counters: Counter = Counter()
+        self._installed = False
+
+    def count(self, kind: str) -> None:
+        with self._lock:
+            self.injections[kind] += 1
+
+    def _next(self, *key) -> int:
+        with self._lock:
+            value = self._counters[key]
+            self._counters[key] += 1
+        return value
+
+    def targets(self, shard) -> bool:
+        return (self.plan.target_shards is None
+                or shard.index in self.plan.target_shards)
+
+    # -- seams ----------------------------------------------------------
+    def _tick_hook_for(self, shard):
+        plan = self.plan
+
+        def hook(entry):
+            call = self._next("tick", shard.index, shard.restarts)
+            if plan.chance(plan.slow_tick_rate, "slow-tick", shard.index,
+                           shard.restarts, call):
+                self.count("slow_tick")
+                time.sleep(plan.slow_tick_seconds)
+            if plan.chance(plan.crash_rate, "shard-crash", shard.index,
+                           shard.restarts, call):
+                self.count("shard_crash")
+                raise ShardCrash(
+                    f"injected crash of shard {shard.index} while ticking "
+                    f"event {entry.event_id}")
+
+        return hook
+
+    def tick_filter(self, shard) -> bool:
+        if not self.targets(shard):
+            return True
+        if shard.index in self.hung:
+            return False
+        call = self._next("hang", shard.index, shard.restarts)
+        if self.plan.chance(self.plan.hang_rate, "shard-hang", shard.index,
+                            shard.restarts, call):
+            self.count("shard_hang")
+            self.hung.add(shard.index)
+            return False
+        return True
+
+    def heartbeat_filter(self, shard) -> bool:
+        if not self.targets(shard):
+            return True
+        call = self._next("corrupt", shard.index)
+        if self.plan.chance(self.plan.journal_corrupt_rate,
+                            "journal-corrupt", shard.index, call):
+            if self._corrupt_journal(shard, call):
+                self.count("journal_corruption")
+        beat = self._next("heartbeat", shard.index)
+        if self.plan.chance(self.plan.heartbeat_loss_rate, "heartbeat-loss",
+                            shard.index, beat):
+            self.count("heartbeat_loss")
+            return False
+        return True
+
+    def _corrupt_journal(self, shard, call: int) -> bool:
+        """Corrupt one replay-redundant line of the shard's journal.
+
+        The victim line is truncated mid-JSON, so the next recovery
+        hits the undecodable-line path (warn and skip) and the
+        analytics reader counts it in ``corrupt_lines``.
+        """
+        store = shard.service.store
+        path = getattr(store, "path", None)
+        if path is None or not path.exists():
+            return False
+        lines = path.read_text().splitlines()
+        candidates = [
+            index for index, line in enumerate(lines)
+            if any(f'"kind": "{kind}"' in line
+                   for kind in _CORRUPTIBLE_KINDS)
+        ]
+        if not candidates:
+            return False
+        victim = candidates[self.plan.pick(
+            len(candidates), "corrupt-line", shard.index, call)]
+        lines[victim] = lines[victim][:max(len(lines[victim]) // 2, 1)]
+        path.write_text("\n".join(lines) + "\n")
+        return True
+
+    def on_restart(self, shard) -> None:
+        """Re-arm fault injection on a shard's replacement service."""
+        self.hung.discard(shard.index)
+        self._arm(shard)
+
+    def _arm(self, shard) -> None:
+        if not self.targets(shard):
+            return
+        service = shard.service
+        if service.store is not None:
+            service.store = ShardChaosJournalStore(
+                service.store, self.plan, self, shard.index, shard.restarts)
+        service.tick_hook = self._tick_hook_for(shard)
+
+    # -- install / uninstall -------------------------------------------
+    def install(self) -> "ShardChaosMonkey":
+        if self._installed:
+            return self
+        for shard in self.supervisor.shards:
+            self._arm(shard)
+        self.supervisor.tick_filter = self.tick_filter
+        self.supervisor.heartbeat_filter = self.heartbeat_filter
+        self.supervisor.on_restart = self.on_restart
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the supervisor and every shard (idempotent)."""
+        if not self._installed:
+            return
+        for shard in self.supervisor.shards:
+            service = shard.service
+            if isinstance(service.store, ShardChaosJournalStore):
+                service.store = service.store._store
+            service.tick_hook = None
+        self.supervisor.tick_filter = None
+        self.supervisor.heartbeat_filter = None
+        self.supervisor.on_restart = None
+        self.hung.clear()
+        self._installed = False
+
+
+def install_shard_chaos(supervisor, plan: ShardChaosPlan) -> ShardChaosMonkey:
+    """Wrap ``supervisor``'s shards per ``plan``; returns the installed
+    :class:`ShardChaosMonkey` (call
+    :meth:`ShardChaosMonkey.uninstall` to restore)."""
+    return ShardChaosMonkey(supervisor, plan).install()

@@ -85,7 +85,7 @@ _SNAPSHOT_METRIC_FIELDS = (
     "events_submitted", "events_coalesced", "events_processed",
     "policy_skips", "validations_run", "nodes_validated",
     "nodes_quarantined", "tick_failures", "events_dead_lettered",
-    "repair_failures",
+    "repair_failures", "events_shed",
 )
 
 
@@ -107,6 +107,13 @@ class ServiceConfig:
     max_event_attempts:
         Failed processing attempts before an event is parked in the
         dead-letter queue instead of retried (1 = no retries).
+    max_queue_depth:
+        Bound on distinct pending queue entries.  When a submit would
+        leave more than this many entries pending, admission control
+        sheds the lowest-risk entry (journaled as ``LOAD_SHED``) so
+        overload degrades coverage gracefully instead of growing
+        memory without bound.  ``None`` (the default) keeps the queue
+        unbounded -- exactly the pre-backpressure behavior.
     journal_fsync:
         Force every journal append to stable storage (durability over
         throughput); the default flushes to the OS only.
@@ -138,6 +145,7 @@ class ServiceConfig:
     snapshot_every: int = 25
     full_validation_priority: float = 2.0
     max_event_attempts: int = 3
+    max_queue_depth: int | None = None
     journal_fsync: bool = False
     compact_every: int | None = None
     flap_base_holddown_ticks: int = 1
@@ -152,6 +160,8 @@ class ServiceConfig:
             raise ServiceError("snapshot_every must be at least 1")
         if self.max_event_attempts < 1:
             raise ServiceError("max_event_attempts must be at least 1")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ServiceError("max_queue_depth must be at least 1")
         if self.compact_every is not None and self.compact_every < 1:
             raise ServiceError("compact_every must be at least 1")
 
@@ -179,6 +189,7 @@ class ServiceMetrics:
     tick_failures: int = 0
     events_dead_lettered: int = 0
     repair_failures: int = 0
+    events_shed: int = 0
     journal_compactions: int = 0
     queue_latencies: list[float] = field(default_factory=list)
     validation_seconds: list[float] = field(default_factory=list)
@@ -202,6 +213,7 @@ class ServiceMetrics:
             "tick_failures": self.tick_failures,
             "events_dead_lettered": self.events_dead_lettered,
             "repair_failures": self.repair_failures,
+            "events_shed": self.events_shed,
             "journal_compactions": self.journal_compactions,
             "defect_rate": self.defect_rate,
             "queue_latency_mean_s": (sum(latencies) / len(latencies)
@@ -291,6 +303,15 @@ class ValidationService:
         self.metrics = ServiceMetrics()
         self.tick_hook = None
         self.repair_hook = None
+        #: Handoff payloads journaled by :meth:`record_handoff` (or
+        #: replayed from SHARD_HANDOFF records), keyed by event id.
+        #: The supervisor reconciles these against sibling shards'
+        #: :attr:`origins_seen` after a restart.
+        self.handed_off: dict[int, dict] = {}
+        #: Every ``(source_shard, source_event_id)`` handoff marker
+        #: this service has durably accepted -- the dedupe set that
+        #: makes handoff re-delivery idempotent.
+        self.origins_seen: set[tuple[int, int]] = set()
         # Previous learning windows per (benchmark, metric): the shadow
         # set guarded rollout scores candidates against.  Held in
         # memory only -- after a restart the first re-learn falls back
@@ -312,7 +333,8 @@ class ValidationService:
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
-    def submit(self, event: ValidationEvent) -> QueuedEvent:
+    def submit(self, event: ValidationEvent, *,
+               origin: tuple[int, int] | None = None) -> QueuedEvent:
         """Queue one orchestration event, risk-prioritized.
 
         Repeat events for the same (kind, node set) coalesce into the
@@ -322,6 +344,17 @@ class ValidationService:
         back out of the queue and the error re-raised: an event must
         never be accepted in memory only, or a restart would silently
         drop it.
+
+        ``origin`` marks a cross-shard handoff delivery with the
+        source's ``(shard_index, event_id)``; the marker is journaled
+        inside the enqueue record and remembered in
+        :attr:`origins_seen`, which is how handoff reconciliation
+        tells a delivered event from one lost mid-handoff.
+
+        With ``config.max_queue_depth`` set, a submit that leaves the
+        queue over its bound sheds the lowest-risk pending entry
+        (journaled as ``LOAD_SHED``); the shed victim may be the entry
+        just created, which is then returned with ``shed`` set.
         """
         for node in event.nodes:
             if node.node_id not in self.fleet_index:
@@ -330,26 +363,38 @@ class ValidationService:
                     f"service fleet")
         priority = self._priority(event)
         entry, created = self.queue.push(event, priority,
-                                         enqueued_at=self.clock())
+                                         enqueued_at=self.clock(),
+                                         origin=origin)
         if created:
             try:
                 self._journal(RecordKind.EVENT_ENQUEUED, entry.to_payload())
             except JournalError:
                 self.queue.remove(entry)
                 raise
+            if entry.origin is not None:
+                self.origins_seen.add(entry.origin)
             self.metrics.events_submitted += 1
             for node in event.nodes:
                 if self.lifecycle.state(node.node_id) is NodeState.HEALTHY:
                     self._transition(node.node_id, NodeState.SCHEDULED,
                                      reason=f"event-{entry.event_id}")
+            self._shed_for_admission()
         else:
             self.metrics.events_submitted += 1
             self.metrics.events_coalesced += 1
-            self._journal(RecordKind.EVENT_COALESCED, {
+            payload = {
                 "event_id": entry.event_id,
                 "priority": entry.priority,
                 "duration_hours": entry.event.duration_hours,
-            })
+            }
+            if origin is not None:
+                # A handoff re-delivery that merged into an already
+                # pending entry still counts as delivered; the marker
+                # must be journaled or a restart would re-deliver.
+                payload["origin"] = [int(origin[0]), int(origin[1])]
+            self._journal(RecordKind.EVENT_COALESCED, payload)
+            if origin is not None:
+                self.origins_seen.add((int(origin[0]), int(origin[1])))
         return entry
 
     def schedule_periodic(self, statuses, *,
@@ -374,6 +419,72 @@ class ValidationService:
             duration_hours=lookahead_hours,
         )
         return self.submit(event)
+
+    def _shed_for_admission(self) -> QueuedEvent | None:
+        """Enforce ``max_queue_depth`` by shedding the lowest-risk entry.
+
+        The shed is journaled *before* the victim's nodes are
+        released, so a restart that replays the ``LOAD_SHED`` record
+        drops the entry exactly like the running service did.  If the
+        shed record itself cannot be journaled, the victim is
+        re-queued (the queue rides over its bound until the journal
+        heals) -- shedding in memory only would leave the event
+        resurrected-on-restart yet unaccounted while running.
+        """
+        depth = self.config.max_queue_depth
+        if depth is None or len(self.queue) <= depth:
+            return None
+        victim = self.queue.shed_lowest()
+        if victim is None:
+            return None
+        shed_record = {
+            "event_id": victim.event_id,
+            "kind": victim.event.kind.value,
+            "priority": victim.priority,
+            "coalesced": victim.coalesced,
+            "reason": "queue-full",
+        }
+        if not self._journal_best_effort(RecordKind.LOAD_SHED, shed_record):
+            victim.shed = False
+            self.queue.requeue(victim)
+            return None
+        self.metrics.events_shed += 1
+        covered = {node.node_id
+                   for pending in self.queue.pending()
+                   for node in pending.event.nodes}
+        for node in victim.event.nodes:
+            if (node.node_id not in covered
+                    and self.lifecycle.state(node.node_id)
+                    is NodeState.SCHEDULED):
+                self._transition_best_effort(node.node_id, NodeState.HEALTHY,
+                                             reason="load-shed")
+        return victim
+
+    def record_handoff(self, entry: QueuedEvent, *, to_shard: int) -> None:
+        """Journal one pending entry's failover to a sibling shard.
+
+        The supervisor withdraws ``entry`` from this (degraded)
+        shard's queue, calls this to durably mark it handed off, then
+        submits it to the sibling with ``origin=(this_shard,
+        event_id)``.  A kill between those two writes leaves the
+        handoff journaled here but undelivered there; recovery
+        surfaces it via :attr:`handed_off` and the supervisor
+        re-delivers (the sibling's :attr:`origins_seen` absorbs the
+        retry, so the event is neither dropped nor duplicated).
+        """
+        payload = entry.to_payload()
+        payload["to_shard"] = int(to_shard)
+        self._journal(RecordKind.SHARD_HANDOFF, payload)
+        self.handed_off[entry.event_id] = payload
+        covered = {node.node_id
+                   for pending in self.queue.pending()
+                   for node in pending.event.nodes}
+        for node in entry.event.nodes:
+            if (node.node_id not in covered
+                    and self.lifecycle.state(node.node_id)
+                    is NodeState.SCHEDULED):
+                self._transition_best_effort(node.node_id, NodeState.HEALTHY,
+                                             reason="shard-handoff")
 
     def _priority(self, event: ValidationEvent) -> float:
         if event.kind in FULL_VALIDATION_KINDS:
@@ -573,6 +684,22 @@ class ValidationService:
         """Parked poison events (inspection API)."""
         return self.queue.dead_letters()
 
+    def advance_repairs(self) -> None:
+        """Advance the repair pipeline one stage without processing
+        any event.
+
+        The shard supervisor's cross-shard scheduler processes one
+        event per supervisor tick (the globally riskiest); every
+        *other* running shard still gets its repair pipeline advanced
+        through this, so quarantined nodes keep flowing back to
+        HEALTHY regardless of which shard holds the riskiest work.
+        """
+        self._advance_repairs()
+
+    def repairs_in_flight(self) -> bool:
+        """Whether any node is still in the repair pipeline."""
+        return self._repairs_in_flight()
+
     def _repairs_in_flight(self) -> bool:
         return any(
             self.lifecycle.nodes_in(state)
@@ -726,6 +853,15 @@ class ValidationService:
             "last_event_id": self.queue.last_event_id,
             "dead_letters": [letter.to_payload()
                              for letter in self.queue.dead_letters()],
+            # Handoff reconciliation state must survive compaction:
+            # losing a handed-off payload could drop the event (the
+            # supervisor could no longer re-deliver it), losing an
+            # origin marker could duplicate one (a re-delivery would
+            # no longer dedupe).
+            "handed_off": [self.handed_off[event_id]
+                           for event_id in sorted(self.handed_off)],
+            "origins_seen": [list(origin)
+                             for origin in sorted(self.origins_seen)],
             "metrics": {name: getattr(self.metrics, name)
                         for name in _SNAPSHOT_METRIC_FIELDS},
         }
@@ -852,13 +988,22 @@ class ValidationService:
                 elif record.kind == RecordKind.EVENT_ENQUEUED:
                     event_id = int(payload["event_id"])
                     max_event_id = max(max_event_id, event_id)
+                    origin = payload.get("origin")
+                    if origin is not None:
+                        origin = (int(origin[0]), int(origin[1]))
+                        self.origins_seen.add(origin)
                     pending[event_id] = {
                         "event": payload["event"],
                         "priority": float(payload["priority"]),
                         "attempts": int(payload.get("attempts", 0)),
+                        "origin": origin,
                     }
                 elif record.kind == RecordKind.EVENT_COALESCED:
                     event_id = int(payload["event_id"])
+                    origin = payload.get("origin")
+                    if origin is not None:
+                        self.origins_seen.add((int(origin[0]),
+                                               int(origin[1])))
                     if event_id in pending:
                         pending[event_id]["priority"] = max(
                             pending[event_id]["priority"],
@@ -885,13 +1030,23 @@ class ValidationService:
                     max_event_id = max(max_event_id, event_id)
                     pending.pop(event_id, None)
                     self._replay_completed(payload)
+                elif record.kind == RecordKind.LOAD_SHED:
+                    event_id = int(payload["event_id"])
+                    max_event_id = max(max_event_id, event_id)
+                    pending.pop(event_id, None)
+                    self.metrics.events_shed += 1
+                elif record.kind == RecordKind.SHARD_HANDOFF:
+                    event_id = int(payload["event_id"])
+                    max_event_id = max(max_event_id, event_id)
+                    pending.pop(event_id, None)
+                    self.handed_off[event_id] = dict(payload)
             for event_id in sorted(pending):
                 info = pending[event_id]
                 event = ValidationEvent.from_payload(info["event"],
                                                      self.fleet_index)
                 entry, _created = self.queue.push(
                     event, info["priority"], event_id=event_id,
-                    enqueued_at=self.clock())
+                    enqueued_at=self.clock(), origin=info.get("origin"))
                 entry.attempts = info["attempts"]
             self.queue.reserve_ids(max_event_id)
         finally:
@@ -911,6 +1066,10 @@ class ValidationService:
         for letter in payload.get("dead_letters", []):
             entry = QueuedEvent.from_payload(letter, self.fleet_index)
             self.queue.dead_letter(entry, letter.get("reason", ""))
+        for handoff in payload.get("handed_off", []):
+            self.handed_off[int(handoff["event_id"])] = dict(handoff)
+        for origin in payload.get("origins_seen", []):
+            self.origins_seen.add((int(origin[0]), int(origin[1])))
         return int(payload.get("last_event_id", 0))
 
     def _reset_interrupted_nodes(self) -> None:

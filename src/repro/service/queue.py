@@ -46,6 +46,13 @@ class QueuedEvent:
     enqueued_at: float = 0.0
     coalesced: int = 0  # how many later duplicates merged into this entry
     attempts: int = 0   # failed processing attempts so far
+    #: ``(source_shard, source_event_id)`` when this entry was handed
+    #: off from a degraded sibling shard; the marker rides through the
+    #: journal so handoff reconciliation can tell a delivered event
+    #: from one lost mid-handoff (no drops, no duplicates).
+    origin: tuple[int, int] | None = None
+    #: Set when admission control journaled this entry as shed.
+    shed: bool = False
 
     @property
     def sort_key(self) -> tuple[float, int]:
@@ -60,23 +67,29 @@ class QueuedEvent:
         queue, the journal and the recovery path all share the one
         serialization.
         """
-        return {
+        payload = {
             "event_id": self.event_id,
             "priority": self.priority,
             "attempts": self.attempts,
             "event": self.event.to_payload(),
         }
+        if self.origin is not None:
+            payload["origin"] = [int(self.origin[0]), int(self.origin[1])]
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict, fleet_index: dict) -> "QueuedEvent":
         """Rebuild one pending entry from its :meth:`to_payload` form."""
         try:
             event = ValidationEvent.from_payload(payload["event"], fleet_index)
+            origin = payload.get("origin")
             return cls(
                 event_id=int(payload["event_id"]),
                 event=event,
                 priority=float(payload.get("priority", 0.0)),
                 attempts=int(payload.get("attempts", 0)),
+                origin=(None if origin is None
+                        else (int(origin[0]), int(origin[1]))),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise JournalError(
@@ -136,8 +149,8 @@ class EventQueue:
         self.last_event_id = max(self.last_event_id, up_to)
 
     def push(self, event: ValidationEvent, priority: float, *,
-             event_id: int | None = None,
-             enqueued_at: float = 0.0) -> tuple[QueuedEvent, bool]:
+             event_id: int | None = None, enqueued_at: float = 0.0,
+             origin: tuple[int, int] | None = None) -> tuple[QueuedEvent, bool]:
         """Enqueue (or coalesce) one event.
 
         Returns ``(entry, created)``; ``created`` is False when the
@@ -159,6 +172,7 @@ class EventQueue:
         entry = QueuedEvent(
             event_id=event_id if event_id is not None else self.next_event_id(),
             event=event, priority=float(priority), enqueued_at=enqueued_at,
+            origin=origin,
         )
         self._pending[key] = entry
         heapq.heappush(self._heap, (entry.sort_key, entry))
@@ -207,6 +221,43 @@ class EventQueue:
             del self._pending[key]
             return entry
         return None
+
+    def peek(self) -> QueuedEvent | None:
+        """The entry :meth:`pop` would return, without removing it.
+
+        Discards stale heap tuples on the way, so amortized cost
+        matches pop.  The cross-shard scheduler uses this to compare
+        the riskiest pending work across shards without consuming it.
+        """
+        while self._heap:
+            sort_key, entry = self._heap[0]
+            key = _coalesce_key(entry.event)
+            if (self._pending.get(key) is not entry
+                    or sort_key != entry.sort_key):
+                heapq.heappop(self._heap)
+                continue
+            return entry
+        return None
+
+    def shed_lowest(self) -> QueuedEvent | None:
+        """Withdraw the lowest-priority pending entry (admission control).
+
+        The victim is the minimum by ``(priority, event_id)`` -- the
+        lowest predicted risk, oldest first within a tie -- which under
+        the control plane's priority scheme is always a coalescable
+        probabilistic event while any full-validation event (priority
+        above the probability range) is pending.  Returns ``None`` on
+        an empty queue.  The victim's stale heap tuples are discarded
+        lazily by :meth:`pop`, like any removed entry's.
+        """
+        if not self._pending:
+            return None
+        key, victim = min(self._pending.items(),
+                          key=lambda item: (item[1].priority,
+                                            item[1].event_id))
+        del self._pending[key]
+        victim.shed = True
+        return victim
 
     def pending(self) -> list[QueuedEvent]:
         """Pending entries in pop order (does not consume the queue)."""

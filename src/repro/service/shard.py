@@ -1,0 +1,207 @@
+"""Failure-domain sharding of the control plane by consistent hashing.
+
+One :class:`~repro.service.controlplane.ValidationService` over one
+journal is one crash, one corrupt journal or one breaker storm away
+from stalling the whole fleet.  This module partitions the fleet into
+*shards* -- each a full control plane with its **own**
+:class:`~repro.service.store.JournalStore` (separate journal
+directory, separate compaction), its own
+:class:`~repro.service.queue.EventQueue`, its own
+:class:`~repro.service.pool.ValidationPool` (and therefore its own
+circuit breakers) and its own lifecycle map -- so every failure mode
+the control plane hardens against is *contained* to the shard it
+happened in.
+
+Placement is a consistent-hash ring (:class:`HashRing`): each shard
+projects ``virtual_nodes`` points onto the CRC32 ring and a node id
+hashes to the first shard point at or after it.  Consistent hashing
+buys two properties a modulo partition lacks:
+
+* **stable ownership** -- placement depends only on (shard count,
+  virtual-node count, node id), so a restarted supervisor recovers
+  exactly the same assignment its journals were written under;
+* **local failover** -- when a shard is degraded, each of its node
+  ids falls through to the *next* ring point owned by a live shard,
+  spreading the orphaned load over the survivors instead of dumping
+  it all on one sibling.
+
+A :class:`Shard` is deliberately thin: identity (index, owned node
+ids), the journal subdirectory, restart/watchdog bookkeeping, and a
+:meth:`Shard.start` that (re)builds the inner service via the
+existing kill-safe journal recovery.  Everything *supervisory* --
+watchdogs, backoff, degradation, handoff -- lives in
+:mod:`repro.service.supervisor`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+import time
+import zlib
+from pathlib import Path
+
+from repro.exceptions import ServiceError
+from repro.service.controlplane import ServiceConfig, ValidationService
+
+__all__ = ["HashRing", "ShardState", "Shard"]
+
+
+class HashRing:
+    """Consistent-hash ring mapping node ids to shard indexes.
+
+    Parameters
+    ----------
+    shard_count:
+        Number of shards (ring members).
+    virtual_nodes:
+        Ring points per shard; more points smooth the load split at
+        the cost of a larger (still tiny) ring.
+    """
+
+    def __init__(self, shard_count: int, *, virtual_nodes: int = 64):
+        if shard_count < 1:
+            raise ServiceError("shard_count must be at least 1")
+        if virtual_nodes < 1:
+            raise ServiceError("virtual_nodes must be at least 1")
+        self.shard_count = int(shard_count)
+        self.virtual_nodes = int(virtual_nodes)
+        points: list[tuple[int, int]] = []
+        for shard in range(self.shard_count):
+            for replica in range(self.virtual_nodes):
+                point = zlib.crc32(f"shard-{shard}/vn-{replica}".encode())
+                points.append((point, shard))
+        # CRC32 collisions between virtual nodes are possible in
+        # principle; sort on (point, shard) so even a collision
+        # resolves deterministically.
+        points.sort()
+        self._points = [point for point, _shard in points]
+        self._shards = [shard for _point, shard in points]
+
+    def owner(self, node_id: str, *, alive=None) -> int:
+        """The shard owning ``node_id``.
+
+        With ``alive`` (a set of shard indexes), ownership falls
+        through dead shards to the next ring point owned by a live
+        one -- the failover placement for a degraded owner's nodes.
+        """
+        if alive is not None and not alive:
+            raise ServiceError("no live shard to own nodes")
+        point = zlib.crc32(str(node_id).encode())
+        start = bisect.bisect_left(self._points, point)
+        for offset in range(len(self._shards)):
+            shard = self._shards[(start + offset) % len(self._shards)]
+            if alive is None or shard in alive:
+                return shard
+        raise ServiceError("no live shard to own nodes")
+
+    def assignment(self, node_ids) -> dict[int, list[str]]:
+        """Owned node ids per shard index (every shard present)."""
+        owned: dict[int, list[str]] = {i: [] for i in range(self.shard_count)}
+        for node_id in node_ids:
+            owned[self.owner(node_id)].append(node_id)
+        return owned
+
+
+class ShardState(enum.Enum):
+    """Supervisor-visible health of one shard."""
+
+    #: Ticking normally.
+    RUNNING = "running"
+    #: Declared unhealthy; a restart is scheduled (backoff pending).
+    RESTARTING = "restarting"
+    #: Out of restart budget; pending work handed off to siblings and
+    #: new work for its nodes routed around it.
+    DEGRADED = "degraded"
+
+
+class Shard:
+    """One failure domain: a full control plane over owned nodes.
+
+    Parameters
+    ----------
+    index:
+        Ring position / stable identity of this shard.
+    node_ids:
+        Node ids this shard owns under the current ring.
+    fleet:
+        The **full** fleet.  Every shard's service indexes the whole
+        fleet so a handed-off event referencing a degraded sibling's
+        nodes is still submittable; *ownership* (which shard work is
+        routed to) is the supervisor's job, not the service's.
+    anubis_factory:
+        Zero-argument callable building a fresh
+        :class:`~repro.core.system.Anubis` facade.  Called once per
+        (re)start so a crash cannot leak tainted in-memory policy
+        state into the next incarnation -- journal recovery restores
+        criteria and coverage from disk instead.
+    journal_root:
+        Parent directory; this shard journals under
+        ``journal_root/shard-NN``.  ``None`` runs in memory (no
+        recovery, for tests).
+    service_config:
+        Per-shard :class:`~repro.service.controlplane.ServiceConfig`
+        (including ``max_queue_depth`` backpressure).
+    clock:
+        Monotonic-seconds source shared with the supervisor.
+    """
+
+    def __init__(self, index: int, node_ids, fleet, *, anubis_factory,
+                 journal_root=None, service_config: ServiceConfig | None = None,
+                 clock=time.monotonic):
+        self.index = int(index)
+        self.node_ids = frozenset(node_ids)
+        self.fleet = list(fleet)
+        self.anubis_factory = anubis_factory
+        self.journal_dir = (None if journal_root is None
+                            else Path(journal_root) / f"shard-{self.index:02d}")
+        self.service_config = service_config or ServiceConfig()
+        self.clock = clock
+        self.state = ShardState.RUNNING
+        #: Completed restarts of this shard's inner service.
+        self.restarts = 0
+        #: Consecutive supervisor ticks without observed progress
+        #: while work was pending (watchdog input).
+        self.stalled_ticks = 0
+        #: Progress high-water mark at the last heartbeat.
+        self.last_progress = 0
+        #: Supervisor tick at which a scheduled restart fires.
+        self.restart_due_tick: int | None = None
+        #: Progress-making ticks since the last restart (forgiveness).
+        self.progress_ticks = 0
+        self.service: ValidationService = self._build_service()
+
+    def _build_service(self) -> ValidationService:
+        return ValidationService(
+            self.anubis_factory(), self.fleet,
+            journal_dir=self.journal_dir, config=self.service_config,
+            clock=self.clock)
+
+    def owns(self, node_id: str) -> bool:
+        return node_id in self.node_ids
+
+    def progress(self) -> int:
+        """Monotonic tick-progress counter the watchdog samples.
+
+        Counts *attempts* (completions plus contained failures): a
+        shard grinding through a poison event is making progress; one
+        whose counter is flat while its queue is non-empty is hung.
+        """
+        return (self.service.metrics.events_processed
+                + self.service.metrics.tick_failures)
+
+    def restart(self) -> ValidationService:
+        """Rebuild the inner service from its journal (one restart).
+
+        This *is* the kill-safe recovery path: the old incarnation is
+        dropped wholesale and the replacement replays the shard's own
+        journal -- pending events, lifecycle, criteria, handoff state.
+        """
+        self.restarts += 1
+        self.state = ShardState.RUNNING
+        self.restart_due_tick = None
+        self.stalled_ticks = 0
+        self.progress_ticks = 0
+        self.service = self._build_service()
+        self.last_progress = self.progress()
+        return self.service

@@ -88,6 +88,14 @@ class RecordKind(str, enum.Enum):
     BREAKER_TRANSITION = "breaker-transition"
     #: Measurement-spine stage counters (execute/sanitize/score/learn).
     PIPELINE_STATS = "pipeline-stats"
+    #: Admission control shed one pending event (bounded queue full).
+    LOAD_SHED = "load-shed"
+    #: Supervisor liveness probe for one shard (tick progress, depth).
+    SHARD_HEARTBEAT = "shard-heartbeat"
+    #: Supervisor gave up restarting a shard (escalation record).
+    SHARD_DEGRADED = "shard-degraded"
+    #: One pending event failed over from a degraded shard to a sibling.
+    SHARD_HANDOFF = "shard-handoff"
 
 
 #: Every record kind a journal written by this version can contain.

@@ -1,0 +1,548 @@
+"""Supervision tree over the sharded control plane.
+
+:class:`ShardSupervisor` is the parent of one
+:class:`~repro.service.shard.Shard` per ring member and enforces the
+fabric's three robustness contracts:
+
+**Liveness (watchdog + restart-with-backoff).**  Every supervisor
+tick samples each running shard's progress counter (completions plus
+contained failures) and journals a ``shard-heartbeat`` record into
+the shard's own journal.  A shard whose counter stays flat for
+``watchdog_stall_ticks`` ticks while it has pending work -- or whose
+heartbeats stop arriving -- is declared unhealthy and scheduled for a
+restart after an exponential backoff.  Restarting *is* the existing
+kill-safe journal recovery: the old incarnation is dropped and a
+fresh service replays the shard's journal.
+
+**Containment (degradation + journaled handoff).**  A shard that
+exhausts ``max_shard_restarts`` is escalated to ``DEGRADED``: it is
+taken out of rotation and its pending events are failed over to live
+siblings.  Each failover is two durable writes -- a ``shard-handoff``
+record in the source journal, then the sibling's ``event-enqueued``
+record carrying an ``origin`` marker -- and a crash between the two
+is healed by :meth:`ShardSupervisor.reconcile_handoffs`: a journaled
+handoff with no matching origin anywhere is re-delivered, and the
+origin set makes re-delivery idempotent.  The event is therefore
+neither dropped nor duplicated at any kill point.
+
+**Global risk ordering (cross-shard scheduler).**  Each supervisor
+tick processes one event: the highest-priority queue head across all
+responsive shards (peeked, not popped).  Every other running shard
+still advances its repair pipeline, so quarantined nodes flow back to
+HEALTHY no matter where the riskiest work sits.
+
+Chaos seams mirror the single-service design: ``tick_filter``
+(a hung shard never executes its tick), ``heartbeat_filter`` (a lost
+heartbeat), and ``on_restart`` (re-arm fault injection on the
+replacement service).  A :class:`~repro.service.chaos.ShardCrash`
+raised inside a shard is caught *here*, at the shard boundary; a
+plain :class:`~repro.service.chaos.SimulatedKill` -- the whole
+process dying -- passes through untouched.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.system import ValidationEvent
+from repro.exceptions import JournalError, ServiceError
+from repro.service.chaos import ShardCrash
+from repro.service.controlplane import ServiceConfig, TickResult
+from repro.service.queue import QueuedEvent
+from repro.service.shard import HashRing, Shard, ShardState
+from repro.service.store import RecordKind
+
+__all__ = ["SupervisorConfig", "SupervisorMetrics", "ShardSupervisor"]
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Supervision-tree knobs.
+
+    Attributes
+    ----------
+    shard_count / virtual_nodes:
+        Ring geometry (see :class:`~repro.service.shard.HashRing`).
+        Both must stay stable across restarts of the same journal
+        root, or recovered journals would be read under the wrong
+        ownership.
+    watchdog_stall_ticks:
+        Consecutive supervisor ticks a shard may show no progress
+        while holding pending work (or miss heartbeats) before the
+        watchdog declares it unhealthy.
+    restart_backoff_base_ticks / restart_backoff_multiplier /
+    restart_backoff_max_ticks:
+        Exponential restart backoff, in supervisor ticks: the K-th
+        restart waits ``base * multiplier**(K-1)`` ticks, capped.
+    max_shard_restarts:
+        Restarts a shard may consume before escalation to DEGRADED
+        (pending work handed off, new work routed around it).
+    restart_forgive_after_ticks:
+        Progress-making ticks after which a shard's restart budget
+        refills -- a transient storm should not permanently count
+        against a shard that has long since recovered.  ``None``
+        never forgives.
+    service:
+        The per-shard :class:`~repro.service.controlplane.ServiceConfig`
+        (one config, applied to every shard).
+    """
+
+    shard_count: int = 4
+    virtual_nodes: int = 64
+    watchdog_stall_ticks: int = 3
+    restart_backoff_base_ticks: int = 1
+    restart_backoff_multiplier: float = 2.0
+    restart_backoff_max_ticks: int = 16
+    max_shard_restarts: int = 3
+    restart_forgive_after_ticks: int | None = None
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+
+    def __post_init__(self):
+        if self.shard_count < 1:
+            raise ServiceError("shard_count must be at least 1")
+        if self.virtual_nodes < 1:
+            raise ServiceError("virtual_nodes must be at least 1")
+        if self.watchdog_stall_ticks < 1:
+            raise ServiceError("watchdog_stall_ticks must be at least 1")
+        if self.restart_backoff_base_ticks < 1:
+            raise ServiceError("restart_backoff_base_ticks must be at least 1")
+        if self.restart_backoff_multiplier < 1.0:
+            raise ServiceError("restart_backoff_multiplier must be >= 1")
+        if self.restart_backoff_max_ticks < self.restart_backoff_base_ticks:
+            raise ServiceError(
+                "restart_backoff_max_ticks must be >= the base")
+        if self.max_shard_restarts < 1:
+            raise ServiceError("max_shard_restarts must be at least 1")
+        if (self.restart_forgive_after_ticks is not None
+                and self.restart_forgive_after_ticks < 1):
+            raise ServiceError(
+                "restart_forgive_after_ticks must be at least 1")
+
+    def backoff_ticks(self, restarts: int) -> int:
+        """Ticks to wait before restart number ``restarts + 1``."""
+        ticks = (self.restart_backoff_base_ticks
+                 * self.restart_backoff_multiplier ** max(restarts, 0))
+        return max(1, min(int(ticks), self.restart_backoff_max_ticks))
+
+
+@dataclass
+class SupervisorMetrics:
+    """What the supervision tree has done so far."""
+
+    shard_restarts: int = 0
+    shard_crashes: int = 0
+    watchdog_trips: int = 0
+    heartbeats_lost: int = 0
+    shards_degraded: int = 0
+    events_failed_over: int = 0
+    handoffs_reconciled: int = 0
+
+    def summary(self) -> dict:
+        return {
+            "shard_restarts": self.shard_restarts,
+            "shard_crashes": self.shard_crashes,
+            "watchdog_trips": self.watchdog_trips,
+            "heartbeats_lost": self.heartbeats_lost,
+            "shards_degraded": self.shards_degraded,
+            "events_failed_over": self.events_failed_over,
+            "handoffs_reconciled": self.handoffs_reconciled,
+        }
+
+
+class ShardSupervisor:
+    """Drive one shard fabric: route, schedule, watch, restart, shed.
+
+    Parameters
+    ----------
+    anubis_factory:
+        Zero-argument callable building a fresh Anubis facade; called
+        once per shard (re)start.
+    nodes:
+        The full fleet; ownership is derived from the ring.
+    journal_root:
+        Parent directory -- shard N journals under
+        ``journal_root/shard-NN``.  ``None`` runs in memory.
+    config:
+        :class:`SupervisorConfig`.
+    clock:
+        Monotonic-seconds source shared by every shard (injectable).
+
+    Attributes
+    ----------
+    tick_filter:
+        Optional ``(shard) -> bool`` chaos seam: returning False
+        means the shard is unresponsive this tick (a hang) -- its
+        tick simply never executes, and only the watchdog's stall
+        detection can recover it.
+    heartbeat_filter:
+        Optional ``(shard) -> bool`` chaos seam: returning False
+        drops this tick's heartbeat; the supervisor conservatively
+        counts a missing heartbeat as a stalled tick.
+    on_restart:
+        Optional ``(shard) -> None`` called after a shard restarts --
+        the seam chaos uses to re-arm fault injection on the
+        replacement service.
+    """
+
+    def __init__(self, anubis_factory, nodes, *, journal_root=None,
+                 config: SupervisorConfig | None = None,
+                 clock=time.monotonic):
+        self.config = config or SupervisorConfig()
+        self.clock = clock
+        self.fleet = list(nodes)
+        self.ring = HashRing(self.config.shard_count,
+                             virtual_nodes=self.config.virtual_nodes)
+        assignment = self.ring.assignment(
+            node.node_id for node in self.fleet)
+        self.shards = [
+            Shard(index, assignment[index], self.fleet,
+                  anubis_factory=anubis_factory, journal_root=journal_root,
+                  service_config=self.config.service, clock=clock)
+            for index in range(self.config.shard_count)
+        ]
+        self.tick_index = 0
+        self.metrics = SupervisorMetrics()
+        self.tick_filter = None
+        self.heartbeat_filter = None
+        self.on_restart = None
+        # Startup reconciliation: the previous incarnation may have
+        # died between a handoff record and its delivery.
+        self.reconcile_handoffs()
+
+    # ------------------------------------------------------------------
+    # Routing / ingest
+    # ------------------------------------------------------------------
+    def _alive(self) -> set[int]:
+        return {shard.index for shard in self.shards
+                if shard.state is not ShardState.DEGRADED}
+
+    def route(self, node_id: str) -> int:
+        """The shard responsible for ``node_id`` right now.
+
+        The ring owner, unless that shard is degraded -- then the
+        node falls through the ring to its first live successor.  A
+        RESTARTING shard still receives work: its journal is intact,
+        so submits are durably accepted and recovered by the restart.
+        """
+        return self.ring.owner(node_id, alive=self._alive())
+
+    def submit(self, event: ValidationEvent) -> dict[int, QueuedEvent]:
+        """Split one event along shard ownership and submit each part.
+
+        Returns the accepted entry per shard index.  Splitting is the
+        isolation boundary at work: an event spanning many shards
+        becomes independent per-shard events, so one shard's failure
+        cannot hold another shard's nodes hostage.
+        """
+        groups: dict[int, list] = {}
+        for node in event.nodes:
+            groups.setdefault(self.route(node.node_id), []).append(node)
+        statuses = {status.node_id: status for status in event.statuses}
+        accepted: dict[int, QueuedEvent] = {}
+        for index in sorted(groups):
+            nodes = tuple(groups[index])
+            part = ValidationEvent(
+                kind=event.kind,
+                nodes=nodes,
+                statuses=tuple(statuses[node.node_id] for node in nodes
+                               if node.node_id in statuses),
+                duration_hours=event.duration_hours,
+            )
+            accepted[index] = self.shards[index].service.submit(part)
+        return accepted
+
+    def schedule_periodic(self, statuses, *,
+                          lookahead_hours: float = 24.0) -> dict[int, QueuedEvent]:
+        """Per-shard periodic scheduling (§3.1 step 1), fleet-wide."""
+        groups: dict[int, list] = {}
+        for status in statuses:
+            groups.setdefault(self.route(status.node_id), []).append(status)
+        accepted: dict[int, QueuedEvent] = {}
+        for index in sorted(groups):
+            entry = self.shards[index].service.schedule_periodic(
+                groups[index], lookahead_hours=lookahead_hours)
+            if entry is not None:
+                accepted[index] = entry
+        return accepted
+
+    # ------------------------------------------------------------------
+    # The supervision loop
+    # ------------------------------------------------------------------
+    def tick(self) -> list[TickResult]:
+        """One supervision round.
+
+        Fires due restarts, processes the globally riskiest pending
+        event on the highest-priority *responsive* shard, advances
+        every other running shard's repair pipeline, then heartbeats
+        and watches each running shard.
+        """
+        self.tick_index += 1
+        results: list[TickResult] = []
+        for shard in self.shards:
+            if (shard.state is ShardState.RESTARTING
+                    and shard.restart_due_tick is not None
+                    and self.tick_index >= shard.restart_due_tick):
+                self._restart(shard)
+        running = [shard for shard in self.shards
+                   if shard.state is ShardState.RUNNING]
+        ticked = None
+        attempted: set[int] = set()
+        for shard in self._priority_order(running):
+            attempted.add(shard.index)
+            if self.tick_filter is not None and not self.tick_filter(shard):
+                continue  # hung: the tick never executes; watchdog's job
+            ticked = shard
+            result = self._tick_shard(shard)
+            if result is not None:
+                results.append(result)
+            break
+        for shard in running:
+            if shard is not ticked and shard.state is ShardState.RUNNING:
+                shard.service.advance_repairs()
+        for shard in self.shards:
+            self._heartbeat(shard, attempted=attempted)
+        return results
+
+    def _priority_order(self, running) -> list[Shard]:
+        """Shards with pending work, riskiest queue head first."""
+        heads = []
+        for shard in running:
+            head = shard.service.queue.peek()
+            if head is not None:
+                heads.append((-head.priority, shard.index, shard))
+        return [shard for _priority, _index, shard in sorted(heads)]
+
+    def _tick_shard(self, shard: Shard) -> TickResult | None:
+        try:
+            return shard.service.tick()
+        except ShardCrash as fault:
+            # The shard "process" died; the supervisor did not.  Its
+            # journal is intact up to the crash point, so a restart
+            # recovers everything durably accepted.
+            self.metrics.shard_crashes += 1
+            self._declare_unhealthy(shard, reason=f"crash: {fault}")
+            return None
+
+    def _heartbeat(self, shard: Shard, *, attempted: set[int]) -> None:
+        """Sample one shard's liveness and run the stall watchdog.
+
+        A shard is only blamed for lack of progress on ticks where
+        the scheduler actually *attempted* it -- a shard whose
+        pending work simply lost the cross-shard priority race this
+        round is waiting, not hung.
+        """
+        if shard.state is not ShardState.RUNNING:
+            return
+        if (self.heartbeat_filter is not None
+                and not self.heartbeat_filter(shard)):
+            # No signal: the supervisor cannot tell a lost heartbeat
+            # from a dead shard, so it conservatively counts this as
+            # a stalled tick.
+            self.metrics.heartbeats_lost += 1
+            shard.stalled_ticks += 1
+        else:
+            progress = shard.progress()
+            try:
+                self._journal_shard(shard, RecordKind.SHARD_HEARTBEAT, {
+                    "shard": shard.index,
+                    "tick": self.tick_index,
+                    "progress": progress,
+                    "queue_depth": len(shard.service.queue),
+                    "restarts": shard.restarts,
+                    "stalled_ticks": shard.stalled_ticks,
+                })
+            except ShardCrash as fault:
+                self.metrics.shard_crashes += 1
+                self._declare_unhealthy(shard, reason=f"crash: {fault}")
+                return
+            if progress > shard.last_progress or not shard.service.queue:
+                shard.stalled_ticks = 0
+                if progress > shard.last_progress:
+                    shard.progress_ticks += 1
+                    forgive = self.config.restart_forgive_after_ticks
+                    if (forgive is not None
+                            and shard.progress_ticks >= forgive):
+                        shard.restarts = 0
+                        shard.progress_ticks = 0
+            elif shard.index in attempted:
+                shard.stalled_ticks += 1
+            shard.last_progress = progress
+        if shard.stalled_ticks >= self.config.watchdog_stall_ticks:
+            self.metrics.watchdog_trips += 1
+            self._declare_unhealthy(shard, reason="watchdog-stall")
+
+    def _journal_shard(self, shard: Shard, kind, payload: dict) -> None:
+        """Best-effort observability append into one shard's journal."""
+        store = shard.service.store
+        if store is None:
+            return
+        try:
+            store.append(kind, payload)
+        except JournalError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Restart / degrade / failover
+    # ------------------------------------------------------------------
+    def _declare_unhealthy(self, shard: Shard, *, reason: str) -> None:
+        if shard.state is not ShardState.RUNNING:
+            return
+        if shard.restarts >= self.config.max_shard_restarts:
+            self._degrade(shard, reason=reason)
+            return
+        shard.state = ShardState.RESTARTING
+        shard.restart_due_tick = (
+            self.tick_index + self.config.backoff_ticks(shard.restarts))
+        shard.stalled_ticks = 0
+
+    def _restart(self, shard: Shard) -> None:
+        shard.restart()
+        self.metrics.shard_restarts += 1
+        if self.on_restart is not None:
+            self.on_restart(shard)
+        # The shard may have recovered handoff state, or a sibling's
+        # delivery may have been lost with the old incarnation.
+        self.reconcile_handoffs()
+
+    def _degrade(self, shard: Shard, *, reason: str) -> None:
+        shard.state = ShardState.DEGRADED
+        self.metrics.shards_degraded += 1
+        try:
+            self._journal_shard(shard, RecordKind.SHARD_DEGRADED, {
+                "shard": shard.index,
+                "tick": self.tick_index,
+                "restarts": shard.restarts,
+                "reason": reason,
+            })
+        except ShardCrash:
+            pass  # the shard is already being written off
+        self._failover(shard)
+
+    def _failover(self, shard: Shard) -> None:
+        """Hand a degraded shard's pending events to live siblings.
+
+        Per entry: journal ``shard-handoff`` in the *source* journal,
+        then submit to the target with an ``origin`` marker.  If the
+        source journal refuses the handoff record, the entry is
+        re-queued and left parked on the degraded shard -- still
+        durably pending, still accounted for, re-deliverable by a
+        later full-process restart.
+        """
+        alive = self._alive()
+        if not alive:
+            raise ServiceError(
+                "every shard degraded; no failover target remains")
+        while True:
+            entry = shard.service.queue.pop()
+            if entry is None:
+                break
+            first_node = sorted(
+                node.node_id for node in entry.event.nodes)[0]
+            target_index = self.ring.owner(first_node, alive=alive)
+            try:
+                shard.service.record_handoff(entry, to_shard=target_index)
+            except (JournalError, ShardCrash):
+                shard.service.queue.requeue(entry)
+                break
+            self.metrics.events_failed_over += 1
+            try:
+                self.shards[target_index].service.submit(
+                    entry.event, origin=(shard.index, entry.event_id))
+            except JournalError:
+                # Handoff journaled but undelivered; the handed_off
+                # map keeps it re-deliverable by reconciliation.
+                continue
+
+    def reconcile_handoffs(self) -> int:
+        """Re-deliver journaled handoffs that never reached a sibling.
+
+        For every ``shard-handoff`` record whose
+        ``(source, event_id)`` origin appears in *no* shard's
+        delivered-origin set, submit the event to its target (or, if
+        the target is gone, to the node's live ring successor).  The
+        origin set makes this idempotent: a handoff delivered just
+        before a crash is recognized and skipped, one lost mid-flight
+        is re-submitted exactly once.  Returns the number re-delivered.
+        """
+        alive = self._alive()
+        if not alive:
+            return 0
+        delivered: set[tuple[int, int]] = set()
+        for shard in self.shards:
+            delivered |= shard.service.origins_seen
+        redelivered = 0
+        for shard in self.shards:
+            for event_id in sorted(shard.service.handed_off):
+                origin = (shard.index, event_id)
+                if origin in delivered:
+                    continue
+                payload = shard.service.handed_off[event_id]
+                event = ValidationEvent.from_payload(
+                    payload["event"], shard.service.fleet_index)
+                target_index = int(payload.get("to_shard", -1))
+                if target_index not in alive:
+                    first_node = sorted(
+                        node.node_id for node in event.nodes)[0]
+                    target_index = self.ring.owner(first_node, alive=alive)
+                try:
+                    self.shards[target_index].service.submit(
+                        event, origin=origin)
+                except JournalError:
+                    continue  # retried at the next reconciliation
+                delivered.add(origin)
+                redelivered += 1
+                self.metrics.handoffs_reconciled += 1
+        return redelivered
+
+    # ------------------------------------------------------------------
+    # Draining and reporting
+    # ------------------------------------------------------------------
+    def quiescent(self) -> bool:
+        """No pending work, repairs or scheduled restarts anywhere.
+
+        A degraded shard's parked leftovers (handoff blocked by a
+        broken journal) do not block quiescence -- they are durable
+        and re-deliverable, and the shard is out of rotation.
+        """
+        for shard in self.shards:
+            if shard.state is ShardState.RESTARTING:
+                return False
+            if shard.state is ShardState.DEGRADED:
+                continue
+            if len(shard.service.queue) > 0:
+                return False
+            if shard.service.repairs_in_flight():
+                return False
+        return True
+
+    def drain(self, *, max_ticks: int = 100_000) -> list[TickResult]:
+        """Tick until the whole fabric is quiescent."""
+        results: list[TickResult] = []
+        for _ in range(max_ticks):
+            results.extend(self.tick())
+            if self.quiescent():
+                return results
+        raise ServiceError(
+            f"supervisor drain did not converge in {max_ticks} ticks")
+
+    def summary(self) -> dict:
+        """Fabric-level health: supervisor counters plus per-shard state."""
+        shards = {}
+        for shard in self.shards:
+            metrics = shard.service.metrics
+            shards[f"shard-{shard.index:02d}"] = {
+                "state": shard.state.value,
+                "owned_nodes": len(shard.node_ids),
+                "restarts": shard.restarts,
+                "queue_depth": len(shard.service.queue),
+                "events_processed": metrics.events_processed,
+                "events_shed": metrics.events_shed,
+                "events_dead_lettered": metrics.events_dead_lettered,
+                "handed_off": len(shard.service.handed_off),
+            }
+        return {
+            "tick_index": self.tick_index,
+            **self.metrics.summary(),
+            "shards": shards,
+        }

@@ -1,0 +1,155 @@
+"""Forward/backward compatibility of the journal's kind registry, and
+the operator surfacing of journal-health counters.
+
+The shard fabric introduced four record kinds (``load-shed``,
+``shard-heartbeat``, ``shard-degraded``, ``shard-handoff``).  An
+*older* analytics reader -- one whose ``known_kinds`` predates them --
+must warn-and-skip those records, never crash, and the skip counts
+must now be *visible*: ``JournalReader.health()`` feeds
+``build_report``'s ``journal`` section, the markdown report, and
+``Anubis.fleet_report``.
+"""
+
+import pytest
+
+from repro.analytics import JournalReader, build_report
+from repro.analytics.report import render_json, render_markdown
+from repro.analytics.slo import SupervisorReducer
+from repro.service.store import KNOWN_KINDS, JournalStore, RecordKind
+
+#: The kinds the shard fabric added -- an "older reader" is one built
+#: before these existed.
+NEW_KINDS = frozenset({"load-shed", "shard-heartbeat", "shard-degraded",
+                       "shard-handoff"})
+OLD_KNOWN_KINDS = KNOWN_KINDS - NEW_KINDS
+
+
+def write_fabric_journal(directory) -> JournalStore:
+    """A journal mixing classic records with the shard-fabric kinds."""
+    store = JournalStore(directory)
+    store.append(RecordKind.EVENT_ENQUEUED, {
+        "event_id": 1, "priority": 0.4,
+        "event": {"kind": "job-allocation", "duration_hours": 24.0}})
+    store.append(RecordKind.SHARD_HEARTBEAT, {
+        "shard": 0, "tick": 1, "progress": 0, "queue_depth": 1,
+        "restarts": 0, "stalled_ticks": 0})
+    store.append(RecordKind.LOAD_SHED, {
+        "event_id": 2, "kind": "job-allocation", "priority": 0.1,
+        "coalesced": 0, "reason": "queue-full"})
+    store.append(RecordKind.SHARD_HANDOFF, {
+        "event_id": 1, "priority": 0.4, "to_shard": 1,
+        "event": {"kind": "job-allocation", "duration_hours": 24.0}})
+    store.append(RecordKind.SHARD_DEGRADED, {
+        "shard": 0, "tick": 9, "restarts": 3, "reason": "watchdog-stall"})
+    store.append(RecordKind.SHARD_HEARTBEAT, {
+        "shard": 0, "tick": 2, "progress": 1, "queue_depth": 0,
+        "restarts": 1, "stalled_ticks": 0})
+    return store
+
+
+class TestOlderReaderForwardCompat:
+    def test_new_kinds_are_registered(self):
+        assert NEW_KINDS <= KNOWN_KINDS
+
+    def test_older_reader_warns_and_skips_new_kinds(self, tmp_path):
+        write_fabric_journal(tmp_path / "journal")
+        reader = JournalReader(tmp_path / "journal",
+                               known_kinds=OLD_KNOWN_KINDS)
+        records = reader.read_all()  # must not raise
+        assert [r.kind for r in records] == ["event-enqueued"]
+        assert reader.unknown_kinds == {"shard-heartbeat": 2,
+                                        "load-shed": 1,
+                                        "shard-handoff": 1,
+                                        "shard-degraded": 1}
+        assert reader.corrupt_lines == 0
+
+    def test_skipped_kinds_do_not_break_the_report(self, tmp_path):
+        write_fabric_journal(tmp_path / "journal")
+        reader = JournalReader(tmp_path / "journal",
+                               known_kinds=OLD_KNOWN_KINDS)
+        report = build_report(reader.read_all(),
+                              journal_health=reader.health())
+        assert report["journal"]["records"] == 1
+        assert report["journal"]["unknown_kinds"] == {
+            "shard-heartbeat": 2, "load-shed": 1,
+            "shard-handoff": 1, "shard-degraded": 1}
+        render_json(report)
+        markdown = render_markdown(report)
+        assert "Unknown record kinds" in markdown
+        assert "shard-heartbeat" in markdown
+
+    def test_current_reader_sees_everything(self, tmp_path):
+        write_fabric_journal(tmp_path / "journal")
+        reader = JournalReader(tmp_path / "journal")
+        records = reader.read_all()
+        assert len(records) == 6
+        assert reader.health() == {"corrupt_lines": 0, "unknown_kinds": {}}
+
+
+class TestJournalHealthSurfacing:
+    def test_corrupt_lines_reach_the_report(self, tmp_path):
+        store = write_fabric_journal(tmp_path / "journal")
+        with open(store.path, "a") as handle:
+            handle.write("not a journal line\n")
+        reader = JournalReader(tmp_path / "journal")
+        records = reader.read_all()
+        assert reader.corrupt_lines == 1
+        report = build_report(records, journal_health=reader.health())
+        assert report["journal"]["corrupt_lines"] == 1
+        assert "corrupt_lines" in render_markdown(report)
+
+    def test_health_defaults_absent_without_reader(self, tmp_path):
+        write_fabric_journal(tmp_path / "journal")
+        records = JournalReader(tmp_path / "journal").read_all()
+        report = build_report(records)
+        assert "corrupt_lines" not in report["journal"]
+
+    def test_reports_stay_deterministic(self, tmp_path):
+        store = write_fabric_journal(tmp_path / "journal")
+        with open(store.path, "a") as handle:
+            handle.write("garbage\n")
+
+        def render():
+            reader = JournalReader(tmp_path / "journal")
+            records = reader.read_all()
+            report = build_report(records, journal_health=reader.health())
+            return render_json(report), render_markdown(report)
+
+        assert render() == render()
+
+
+class TestSupervisorReducer:
+    def test_reduces_fabric_records(self, tmp_path):
+        write_fabric_journal(tmp_path / "journal")
+        records = JournalReader(tmp_path / "journal").read_all()
+        reducer = SupervisorReducer()
+        for record in records:
+            reducer.consume(record)
+        result = reducer.result()
+        assert result["heartbeats"] == 2
+        # Per-shard restarts are a high-water mark over heartbeats.
+        assert result["restarts_by_shard"] == {"0": 1}
+        assert result["restarts_total"] == 1
+        assert result["shards_degraded"] == 1
+        assert result["degraded"][0]["reason"] == "watchdog-stall"
+        assert result["handoffs"] == 1
+        assert result["handoffs_by_target"] == {"1": 1}
+        assert result["events_shed"] == 1
+        assert result["shed_by_kind"] == {"job-allocation": 1}
+        assert result["shed_rate"] == pytest.approx(1.0)
+        assert result["last_heartbeat_by_shard"]["0"]["tick"] == 2
+
+    def test_supervisor_section_renders(self, tmp_path):
+        write_fabric_journal(tmp_path / "journal")
+        reader = JournalReader(tmp_path / "journal")
+        report = build_report(reader.read_all(),
+                              journal_health=reader.health())
+        assert report["supervisor"]["heartbeats"] == 2
+        markdown = render_markdown(report)
+        assert "## Shard supervisor" in markdown
+        assert "Load shed by event kind" in markdown
+
+    def test_empty_journal_yields_zeroed_section(self):
+        report = build_report([])
+        assert report["supervisor"]["heartbeats"] == 0
+        assert report["supervisor"]["shed_rate"] == 0.0

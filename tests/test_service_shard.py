@@ -1,0 +1,176 @@
+"""Unit coverage for the shard-fabric building blocks.
+
+The integration story (supervised ticking, watchdogs, chaos) lives in
+``tests/integration/test_shard_fabric.py``; this file pins down the
+pieces in isolation: the consistent-hash ring's placement contract,
+the supervisor/service config validation, the queue's peek/shed
+primitives, and the origin marker's journal round-trip.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.selector import NodeStatus
+from repro.core.system import EventKind, ValidationEvent
+from repro.exceptions import ServiceError
+from repro.hardware.fleet import build_fleet
+from repro.service import EventQueue, HashRing, ServiceConfig
+from repro.service.queue import QueuedEvent
+from repro.service.supervisor import SupervisorConfig
+
+FLEET = build_fleet(24, seed=5)
+NODE_IDS = [node.node_id for node in FLEET.nodes]
+
+
+def make_event(indices, kind=EventKind.JOB_ALLOCATION, duration=24.0):
+    nodes = tuple(FLEET.nodes[i] for i in indices)
+    statuses = tuple(NodeStatus(node_id=node.node_id, covariates=[0.5, 1.0])
+                     for node in nodes)
+    return ValidationEvent(kind=kind, nodes=nodes, statuses=statuses,
+                           duration_hours=duration)
+
+
+class TestHashRing:
+    def test_placement_is_stable_across_instances(self):
+        first = HashRing(4)
+        second = HashRing(4)
+        assert all(first.owner(n) == second.owner(n) for n in NODE_IDS)
+
+    def test_every_node_assigned_exactly_once(self):
+        ring = HashRing(3)
+        assignment = ring.assignment(NODE_IDS)
+        assert sorted(assignment) == [0, 1, 2]
+        flat = [n for owned in assignment.values() for n in owned]
+        assert sorted(flat) == sorted(NODE_IDS)
+
+    def test_owner_matches_assignment(self):
+        ring = HashRing(3)
+        assignment = ring.assignment(NODE_IDS)
+        for index, owned in assignment.items():
+            assert all(ring.owner(n) == index for n in owned)
+
+    def test_alive_fallthrough_skips_dead_shards(self):
+        ring = HashRing(3)
+        for node_id in NODE_IDS:
+            home = ring.owner(node_id)
+            alive = {0, 1, 2} - {home}
+            rerouted = ring.owner(node_id, alive=alive)
+            assert rerouted in alive
+
+    def test_fallthrough_only_moves_orphaned_nodes(self):
+        # Consistent hashing's point: killing shard 0 must not move
+        # any node that shard 1 or 2 already owned.
+        ring = HashRing(3)
+        for node_id in NODE_IDS:
+            home = ring.owner(node_id)
+            if home != 0:
+                assert ring.owner(node_id, alive={1, 2}) == home
+
+    def test_empty_alive_raises(self):
+        ring = HashRing(2)
+        with pytest.raises(ServiceError):
+            ring.owner(NODE_IDS[0], alive=set())
+
+    @pytest.mark.parametrize("shards,virtual", [(0, 8), (2, 0)])
+    def test_bad_geometry_raises(self, shards, virtual):
+        with pytest.raises(ServiceError):
+            HashRing(shards, virtual_nodes=virtual)
+
+
+class TestSupervisorConfig:
+    def test_backoff_is_exponential_and_capped(self):
+        config = SupervisorConfig(restart_backoff_base_ticks=2,
+                                  restart_backoff_multiplier=2.0,
+                                  restart_backoff_max_ticks=10)
+        assert [config.backoff_ticks(k) for k in range(5)] == [2, 4, 8, 10, 10]
+
+    def test_backoff_floor_is_one_tick(self):
+        config = SupervisorConfig()
+        assert config.backoff_ticks(-3) >= 1
+
+    @pytest.mark.parametrize("field,value", [
+        ("shard_count", 0),
+        ("virtual_nodes", 0),
+        ("watchdog_stall_ticks", 0),
+        ("restart_backoff_base_ticks", 0),
+        ("restart_backoff_multiplier", 0.5),
+        ("max_shard_restarts", 0),
+        ("restart_forgive_after_ticks", 0),
+    ])
+    def test_validation_rejects_bad_values(self, field, value):
+        with pytest.raises(ServiceError):
+            SupervisorConfig(**{field: value})
+
+    def test_backoff_cap_below_base_rejected(self):
+        with pytest.raises(ServiceError):
+            SupervisorConfig(restart_backoff_base_ticks=4,
+                             restart_backoff_max_ticks=2)
+
+
+class TestServiceConfigQueueDepth:
+    def test_default_is_unbounded(self):
+        assert ServiceConfig().max_queue_depth is None
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(max_queue_depth=0)
+
+    def test_positive_depth_accepted(self):
+        assert ServiceConfig(max_queue_depth=3).max_queue_depth == 3
+
+
+class TestQueuePrimitives:
+    def test_peek_returns_pop_order_without_consuming(self):
+        queue = EventQueue()
+        queue.push(make_event([0]), 0.2)
+        high, _ = queue.push(make_event([1]), 0.9)
+        assert queue.peek() is high
+        assert len(queue) == 2
+        assert queue.pop() is high
+
+    def test_peek_discards_stale_priority_tuples(self):
+        queue = EventQueue()
+        entry, _ = queue.push(make_event([0]), 0.1)
+        queue.push(make_event([0]), 0.8)  # coalesce: priority raise
+        assert queue.peek() is entry
+        assert queue.peek().priority == pytest.approx(0.8)
+
+    def test_shed_lowest_picks_min_priority_then_oldest(self):
+        queue = EventQueue()
+        queue.push(make_event([0]), 0.9)
+        first_low, _ = queue.push(make_event([1]), 0.1)
+        queue.push(make_event([2]), 0.1)
+        victim = queue.shed_lowest()
+        assert victim is first_low
+        assert victim.shed is True
+        assert len(queue) == 2
+        # The victim is really gone, not lazily resurrectable.
+        assert all(e is not victim for e in queue.pending())
+
+    def test_shed_on_empty_queue(self):
+        assert EventQueue().shed_lowest() is None
+
+
+class TestOriginRoundTrip:
+    def test_origin_survives_payload_round_trip(self):
+        entry = QueuedEvent(event_id=7, event=make_event([0, 1]),
+                            priority=0.5, origin=(2, 13))
+        payload = entry.to_payload()
+        assert payload["origin"] == [2, 13]
+        fleet_index = {node.node_id: node for node in FLEET.nodes}
+        restored = QueuedEvent.from_payload(payload, fleet_index)
+        assert restored.origin == (2, 13)
+        assert restored.event_id == 7
+
+    def test_no_origin_omitted_from_payload(self):
+        entry = QueuedEvent(event_id=3, event=make_event([0]), priority=0.4)
+        payload = entry.to_payload()
+        assert "origin" not in payload
+        fleet_index = {node.node_id: node for node in FLEET.nodes}
+        assert QueuedEvent.from_payload(payload, fleet_index).origin is None
+
+    def test_supervisor_config_is_frozen(self):
+        config = SupervisorConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.shard_count = 9
