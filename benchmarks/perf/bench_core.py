@@ -9,6 +9,16 @@ to ``BENCH_core.json``.  Three workloads are timed per fleet size:
   learned reference sample (Eq. 3/4),
 * ``learn``       -- end-to-end ``learn_criteria`` on the fleet.
 
+A separate *learn-scaling* sweep (``--learn-sizes``) compares the exact
+``learn_criteria`` against the incremental engine
+(``repro.core.incremental``) on fleets with planted defects: the full
+sketch+coreset learn, a delta re-learn after perturbing a few percent
+of the fleet, and -- up to ``--learn-exact-max`` nodes -- the exact
+learn itself.  Whenever the exact path runs, the sweep *asserts* that
+both engines produce the identical defect set and that the maximum
+similarity deviation stays inside the sketch ``distance_bound``; a
+violation fails the run.
+
 Before timing anything the harness runs a randomized equivalence sweep:
 every vectorized path (compiled C merge kernel, NumPy Abel-summation
 kernel, general ragged kernel, one-vs-many in both directions) is checked
@@ -55,6 +65,11 @@ from repro.core.fastdist import (  # noqa: E402
     one_vs_many_similarities,
     pairwise_similarities,
 )
+from repro.core.incremental import (  # noqa: E402
+    IncrementalConfig,
+    learn_criteria_incremental,
+)
+from repro.core.sketch import distance_bound  # noqa: E402
 
 
 def make_fleet(rng: np.random.Generator, nodes: int, window: int) -> np.ndarray:
@@ -236,6 +251,112 @@ def bench_size(
     return entry
 
 
+def make_defective_fleet(
+    rng: np.random.Generator, nodes: int, window: int
+) -> np.ndarray:
+    """Healthy fleet with ~1% planted defective nodes (shifted -20)."""
+
+    fleet = make_fleet(rng, nodes, window)
+    stride = max(nodes // max(nodes // 100, 1), 1)
+    fleet[::stride] -= 20.0
+    return fleet
+
+
+def _perturb(fleet: np.ndarray, rng: np.random.Generator,
+             fraction: float = 0.02) -> list[np.ndarray]:
+    """Redraw a small fraction of windows (the delta re-learn input)."""
+
+    out = fleet.copy()
+    d = max(int(fleet.shape[0] * fraction), 1)
+    rows = rng.choice(fleet.shape[0], size=d, replace=False)
+    out[rows] = 100.0 + rng.normal(0.0, 0.5, size=(d, 1)) + rng.normal(
+        0.0, 2.0, size=(d, fleet.shape[1]))
+    return [out[i] for i in range(out.shape[0])]
+
+
+def bench_learn_scaling(
+    nodes: int, window: int, repeats: int, exact_max: int
+) -> dict:
+    """Exact vs incremental learn on one fleet size, with deviation gate."""
+
+    rng = np.random.default_rng(nodes + 1)
+    fleet = make_defective_fleet(rng, nodes, window)
+    samples = [fleet[i] for i in range(nodes)]
+    # exact_below=32 keeps even the CI smoke size on the sketch path,
+    # so the approximation is what gets timed and gated everywhere.
+    config = IncrementalConfig(exact_below=32)
+    bound = distance_bound(config.sketch_size)
+
+    entry: dict = {"nodes": nodes, "window": window}
+
+    full_s = best_of(
+        lambda: learn_criteria_incremental(
+            samples, 0.95, centroid="hybrid", config=config), repeats)
+    result, state = learn_criteria_incremental(
+        samples, 0.95, centroid="hybrid", config=config)
+
+    # Delta re-learns need fresh perturbations per repetition, or the
+    # fingerprint short-circuit would time the cached path instead.
+    delta_s = float("inf")
+    delta_path = None
+    for rep in range(max(repeats, 1) + 1):  # +1 warmup
+        perturbed = _perturb(fleet, np.random.default_rng(1000 + rep))
+        start = time.perf_counter()
+        _, delta_state = learn_criteria_incremental(
+            perturbed, 0.95, centroid="hybrid", config=config, state=state)
+        elapsed = time.perf_counter() - start
+        if rep:  # skip warmup timing
+            delta_s = min(delta_s, elapsed)
+        delta_path = delta_state.path
+    entry["incremental"] = {
+        "full_s": full_s,
+        "delta_s": delta_s,
+        "delta_path": delta_path,
+        "sketch_size": config.sketch_size,
+    }
+
+    if nodes <= exact_max:
+        exact_s = best_of(
+            lambda: learn_criteria(samples, 0.95, centroid="hybrid"),
+            max(1, repeats // 2))
+        exact = learn_criteria(samples, 0.95, centroid="hybrid")
+        exact_sims = np.asarray(exact.similarities)
+        sim_dev = float(np.max(np.abs(
+            np.asarray(result.similarities) - exact_sims)))
+        criteria_dev = 1.0 - similarity(
+            np.sort(np.asarray(result.criteria)),
+            np.sort(np.asarray(exact.criteria)))
+        # The engine's contract: verdicts agree wherever the exact
+        # similarity is more than the sketch bound away from alpha;
+        # windows *inside* the band are legitimately ambiguous (both
+        # engines adjudicate them within measurement error of the
+        # threshold), so they are counted, not gated.
+        decisive = np.abs(exact_sims - 0.95) > bound
+        inc_defects = set(result.defect_indices)
+        exact_defects = set(exact.defect_indices)
+        disagreements = inc_defects ^ exact_defects
+        decisive_disagreements = sorted(
+            i for i in disagreements if decisive[i])
+        entry["exact"] = {"exact_s": exact_s, "speedup": exact_s / full_s}
+        entry["deviation"] = {
+            "max_similarity_deviation": sim_dev,
+            "criteria_deviation": float(criteria_dev),
+            "bound": bound,
+            "borderline_disagreements": len(disagreements),
+        }
+        if decisive_disagreements:
+            raise AssertionError(
+                f"learn-scaling verdict mismatch at {nodes} nodes on "
+                f"decisively-classified windows {decisive_disagreements} "
+                f"(incremental={sorted(inc_defects)} "
+                f"exact={sorted(exact_defects)})")
+        if not disagreements and (sim_dev > bound or criteria_dev > bound):
+            raise AssertionError(
+                f"learn-scaling deviation {max(sim_dev, criteria_dev):.4f} "
+                f"exceeds the sketch bound {bound:.4f} at {nodes} nodes")
+    return entry
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--sizes", default="64,256,1024",
@@ -249,6 +370,13 @@ def main(argv: list[str] | None = None) -> int:
                              "reference implementation")
     parser.add_argument("--tolerance", type=float, default=1e-9,
                         help="max allowed vectorized-vs-scalar deviation")
+    parser.add_argument("--learn-sizes", default="1024,4096,10000",
+                        help="comma-separated fleet sizes for the "
+                             "learn-scaling sweep (empty string skips it)")
+    parser.add_argument("--learn-exact-max", type=int, default=4096,
+                        help="largest learn-scaling fleet to also run "
+                             "through the exact O(n^2) learner (deviation "
+                             "is gated wherever the exact path runs)")
     parser.add_argument("--out", default="BENCH_core.json",
                         help="output JSON path")
     parser.add_argument("--skip-equivalence", action="store_true",
@@ -256,6 +384,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    learn_sizes = [int(s) for s in args.learn_sizes.split(",") if s.strip()]
 
     result: dict = {
         "suite": "repro.core distance kernels",
@@ -302,6 +431,33 @@ def main(argv: list[str] | None = None) -> int:
             )
         else:
             print(f"  pairwise {pairwise['vectorized_s'] * 1e3:7.1f} ms")
+
+    if learn_sizes:
+        # Keyed by fleet size (not a list) so the compare_bench gate
+        # only ever diffs a size against the same size -- a CI smoke at
+        # --learn-sizes 64 must not be judged against the committed
+        # 1024-node entry.
+        result["learn_scaling"] = {}
+        for nodes in learn_sizes:
+            print(f"learn-scaling fleet size {nodes} ...", flush=True)
+            try:
+                entry = bench_learn_scaling(nodes, args.window, args.repeats,
+                                            args.learn_exact_max)
+            except AssertionError as error:
+                print(f"FAIL: {error}", file=sys.stderr)
+                Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+                return 1
+            result["learn_scaling"][str(nodes)] = entry
+            inc = entry["incremental"]
+            line = (f"  incremental full {inc['full_s'] * 1e3:8.1f} ms, "
+                    f"delta {inc['delta_s'] * 1e3:8.1f} ms "
+                    f"({inc['delta_path']})")
+            if "exact" in entry:
+                line += (f", exact {entry['exact']['exact_s'] * 1e3:9.1f} ms "
+                         f"({entry['exact']['speedup']:.1f}x), max dev "
+                         f"{entry['deviation']['max_similarity_deviation']:.4f}"
+                         f" < {entry['deviation']['bound']:.4f}")
+            print(line)
 
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {args.out}")

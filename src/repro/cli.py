@@ -92,6 +92,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bound the event queue at N entries; overload "
                             "sheds the lowest-risk events (journaled as "
                             "load-shed) instead of growing without bound")
+    serve.add_argument("--incremental-criteria", action="store_true",
+                       help="learn criteria through the incremental engine "
+                            "(sketches + landmark medoids + delta re-learn) "
+                            "and run a gated re-learn after the event "
+                            "stream, so the per-path learn stages "
+                            "(learn-exact/full/delta/cached) show up in "
+                            "the pipeline stats and the journal report")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--chaos-seed", type=int, default=None, metavar="SEED",
                        help="install the seeded chaos harness (executor "
@@ -248,7 +255,12 @@ def _cmd_serve(args) -> int:
 
     fleet = build_fleet(args.nodes, seed=args.seed)
     suite = full_suite()
-    validator = Validator(suite, runner=SuiteRunner(seed=args.seed))
+    incremental = None
+    if args.incremental_criteria:
+        from repro.core.incremental import IncrementalConfig
+        incremental = IncrementalConfig()
+    validator = Validator(suite, runner=SuiteRunner(seed=args.seed),
+                          incremental=incremental)
     print(f"learning criteria on {args.learn_on} of {args.nodes} nodes...")
     validator.learn_criteria(fleet.nodes[:args.learn_on])
 
@@ -259,8 +271,16 @@ def _cmd_serve(args) -> int:
     selector = Selector(model, analytic_coverage_table(suite),
                         suite_durations(suite), p0=args.p0)
     anubis = Anubis(validator, selector)
+    # Approximate criteria only ever go live through the shadow-
+    # evaluation gate, so the incremental engine always brings the
+    # rollout guard with it.
+    rollout = None
+    if args.incremental_criteria:
+        from repro.quality.rollout import RolloutConfig
+        rollout = RolloutConfig()
     config = ServiceConfig(pool=PoolConfig(max_workers=args.workers),
-                           max_queue_depth=args.max_queue_depth)
+                           max_queue_depth=args.max_queue_depth,
+                           rollout=rollout)
     service = ValidationService(anubis, fleet.nodes,
                                 journal_dir=args.journal, config=config)
 
@@ -354,6 +374,19 @@ def _cmd_serve(args) -> int:
                                         config=config)
             install(service)
 
+    if args.incremental_criteria:
+        # Post-stream re-learn: the control plane resolves delta vs
+        # full from the nodes measured since the first learn, walks the
+        # candidates through the rollout gate, and journals the
+        # realized per-key engine path (criteria-learn record).
+        print(f"\nre-learning criteria on {args.learn_on} nodes "
+              f"(incremental engine)...")
+        decisions = service.learn_criteria(fleet.nodes[:args.learn_on])
+        rejected = sum(1 for d in decisions if not d.accepted)
+        if decisions:
+            print(f"rollout gate: {len(decisions) - rejected} accepted, "
+                  f"{rejected} rolled back")
+
     quarantined = sorted({n for r in results for n in r.quarantined})
     print(f"\nprocessed {len(results)} events "
           f"({service.queue.coalesced_total} coalesced away)\n")
@@ -362,7 +395,7 @@ def _cmd_serve(args) -> int:
     if pipeline:
         print("\nmeasurement spine (stage: runs, seconds):")
         for stage, entry in pipeline.items():
-            print(f"  {stage:<10} {int(entry['count']):6d} "
+            print(f"  {stage:<14} {int(entry['count']):6d} "
                   f"{entry['seconds']:8.3f}s")
     counts = service.lifecycle.counts()
     print("\nlifecycle:", " ".join(f"{k}={v}" for k, v in counts.items()))

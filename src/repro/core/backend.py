@@ -136,6 +136,16 @@ class DistanceBackend(Protocol):
         """Eq. (3) similarity of row ``i`` of ``rows_a`` vs ``rows_b``."""
         ...
 
+    def landmark_similarities(
+            self,
+            samples: Iterable[np.ndarray | Sequence[float]]
+            | SortedSampleBatch,
+            landmarks: Iterable[np.ndarray | Sequence[float]]
+            | SortedSampleBatch, *,
+            assume_sorted: bool = False) -> np.ndarray:
+        """``(n, L)`` Eq. (3) matrix of every sample vs each landmark."""
+        ...
+
 
 class _BackendBase:
     """Shared policy plumbing for the concrete backends."""
@@ -206,6 +216,28 @@ class _BackendBase:
         batch_a = self._rows(rows_a, assume_sorted)
         batch_b = self._rows(rows_b, assume_sorted)
         return 1.0 - _fast.batch_gap_integrals(batch_a, batch_b)
+
+    def landmark_similarities(
+            self,
+            samples: Iterable[np.ndarray | Sequence[float]]
+            | SortedSampleBatch,
+            landmarks: Iterable[np.ndarray | Sequence[float]]
+            | SortedSampleBatch, *,
+            assume_sorted: bool = False) -> np.ndarray:
+        """``(n, L)`` Eq. (3) matrix of every sample vs each landmark.
+
+        One one-vs-many pass per landmark, routed through this
+        backend's own ``one_vs_many_similarities`` -- so the scalar
+        backend yields the oracle landmark profile and the vectorized
+        backend the production kernel, with identical semantics.
+        """
+        batch = self.prepare(samples, assume_sorted=assume_sorted)
+        landmark_batch = self.prepare(landmarks, assume_sorted=assume_sorted)
+        out = np.empty((batch.n, landmark_batch.n))
+        for j in range(landmark_batch.n):
+            out[:, j] = self.one_vs_many_similarities(  # type: ignore[attr-defined]
+                batch, landmark_batch.row(j), assume_sorted=True)
+        return out
 
 
 class ScalarBackend(_BackendBase):

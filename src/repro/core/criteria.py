@@ -143,7 +143,18 @@ def _clean_samples(samples, backend: DistanceBackend, min_sample_size: int):
     (legacy strictness); under ``"mask"`` values are dropped per window
     and only windows with fewer than ``min_sample_size`` clean values
     are excluded.
+
+    A uniform 2-D float array with no non-finite entries takes a fully
+    vectorized fast path (one ``np.sort(axis=1)``), which is what keeps
+    fleet-scale cleaning out of Python loops in the incremental engine.
     """
+    floor = max(min_sample_size, 1)
+    if (isinstance(samples, np.ndarray) and samples.ndim == 2
+            and samples.shape[1] >= floor and samples.size):
+        data = np.asarray(samples, dtype=float)
+        if np.isfinite(data).all():
+            cleaned = list(np.sort(data, axis=1))
+            return cleaned, list(range(data.shape[0])), 0, []
     cleaned, kept, excluded = [], [], []
     masked_values = 0
     for index, sample in enumerate(samples):
@@ -153,12 +164,49 @@ def _clean_samples(samples, backend: DistanceBackend, min_sample_size: int):
         else:
             finite = arr[np.isfinite(arr)]
             masked_values += int(arr.size - finite.size)
-        if finite.size < max(min_sample_size, 1):
+        if finite.size < floor:
             excluded.append(index)
             continue
         kept.append(index)
         cleaned.append(np.sort(finite))
     return cleaned, kept, masked_values, excluded
+
+
+def _validate_learn_args(samples, alpha: float, centroid: str,
+                         contamination: float) -> None:
+    """Shared argument validation for the exact and incremental learners."""
+    if not 0.0 <= alpha < 1.0:
+        raise CriteriaError(f"alpha must be in [0, 1), got {alpha}")
+    if centroid not in ("medoid", "mean", "hybrid"):
+        raise CriteriaError(f"unknown centroid strategy {centroid!r}")
+    if not 0.0 <= contamination < 0.5:
+        raise CriteriaError(
+            f"contamination must be in [0, 0.5), got {contamination}")
+    if len(samples) == 0:
+        raise CriteriaError("criteria learning needs at least one sample")
+
+
+def _clean_and_warn(samples, backend: DistanceBackend, min_sample_size: int,
+                    *, stacklevel: int = 3):
+    """:func:`_clean_samples` plus the quarantine warning at the caller.
+
+    ``stacklevel=3`` points the warning at whoever called the learner
+    (helper -> learner -> caller); both the exact and the incremental
+    entry points route through here so excluded-window diagnostics
+    always name the call site, never this module.
+    """
+    cleaned, kept, masked_values, excluded = _clean_samples(
+        samples, backend, min_sample_size)
+    if masked_values or excluded:
+        warnings.warn(
+            f"criteria learning quarantined {masked_values} non-finite "
+            f"value(s) and excluded {len(excluded)} of {len(samples)} "
+            f"window(s) as unusable telemetry",
+            RuntimeWarning, stacklevel=stacklevel)
+    if not cleaned:
+        raise CriteriaError(
+            "criteria learning excluded every window as unusable telemetry")
+    return cleaned, kept, excluded
 
 
 def learn_criteria(samples, alpha: float = 0.95, *,
@@ -201,28 +249,11 @@ def learn_criteria(samples, alpha: float = 0.95, *,
         ``contamination`` is out of range, or if the exclusion loop
         would discard every sample.
     """
-    if not 0.0 <= alpha < 1.0:
-        raise CriteriaError(f"alpha must be in [0, 1), got {alpha}")
-    if centroid not in ("medoid", "mean", "hybrid"):
-        raise CriteriaError(f"unknown centroid strategy {centroid!r}")
-    if not 0.0 <= contamination < 0.5:
-        raise CriteriaError(
-            f"contamination must be in [0, 0.5), got {contamination}")
-    if len(samples) == 0:
-        raise CriteriaError("criteria learning needs at least one sample")
+    _validate_learn_args(samples, alpha, centroid, contamination)
     backend = backend or default_backend()
 
-    cleaned, kept, masked_values, excluded = _clean_samples(
-        samples, backend, min_sample_size)
-    if masked_values or excluded:
-        warnings.warn(
-            f"criteria learning quarantined {masked_values} non-finite "
-            f"value(s) and excluded {len(excluded)} of {len(samples)} "
-            f"window(s) as unusable telemetry",
-            RuntimeWarning, stacklevel=2)
-    if not cleaned:
-        raise CriteriaError(
-            "criteria learning excluded every window as unusable telemetry")
+    cleaned, kept, excluded = _clean_and_warn(
+        samples, backend, min_sample_size, stacklevel=3)
     kept_arr = np.asarray(kept, dtype=np.intp)
     n = len(cleaned)
 

@@ -63,6 +63,7 @@ from repro.exceptions import InvalidSampleError
 __all__ = [
     "SortedSampleBatch",
     "batch_gap_integrals",
+    "landmark_similarities",
     "one_vs_many_distances",
     "one_vs_many_similarities",
     "pairwise_distances",
@@ -367,6 +368,25 @@ def one_vs_many_similarities(batch: SortedSampleBatch, reference, *,
         batch, reference, signed_direction=signed_direction,
         assume_sorted=assume_sorted, nonfinite=nonfinite,
     )
+
+
+def landmark_similarities(batch: SortedSampleBatch,
+                          landmark_batch: SortedSampleBatch) -> np.ndarray:
+    """Eq. (3) similarity of every batch row to each landmark row.
+
+    The cross-set kernel of the incremental criteria engine: instead of
+    the full ``O(n^2)`` pairwise matrix, score all ``n`` rows against
+    ``L << n`` landmark rows (one chunked one-vs-many pass per
+    landmark), giving the ``(n, L)`` similarity profile that seeds the
+    approximate medoid.  A row that *is* a landmark scores exactly 1.0
+    against itself (zero gap integral), so no diagonal fix-up is
+    needed.
+    """
+    out = np.empty((batch.n, landmark_batch.n))
+    for j in range(landmark_batch.n):
+        out[:, j] = one_vs_many_similarities(
+            batch, landmark_batch.row(j), assume_sorted=True)
+    return out
 
 
 def _integrand_table(m: int) -> np.ndarray:

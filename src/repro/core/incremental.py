@@ -1,0 +1,562 @@
+"""Incremental criteria engine: sketches, landmark medoids, delta re-learning.
+
+:func:`repro.core.criteria.learn_criteria` is pairwise-dominated: the
+Algorithm 2 medoid seed needs the full ``O(n^2)`` similarity matrix,
+which caps exact re-learns near 1k nodes.  This module keeps the same
+clustering semantics but replaces the quadratic structure with three
+bounded approximations, each with an exact escape hatch:
+
+1. **Sketches** (:mod:`repro.core.sketch`) -- every node window is
+   summarized by a ``k``-point equi-depth sketch, so the whole fleet's
+   similarity structure lives in ``O(n * k)`` memory and any
+   sketch-to-sketch Eq. 2 evaluation deviates from the raw evaluation
+   by at most :func:`repro.core.sketch.distance_bound`.
+2. **Landmark/coreset medoid** -- instead of the full matrix, a
+   stratified *candidate* coreset (``C`` windows evenly spaced in
+   median order) is scored against ``L`` *landmark* windows, and the
+   medoid is the candidate maximizing its (contamination-trimmed)
+   landmark profile sum -- ``O(C * L * k)`` work in place of
+   ``O(n^2 * m)``.  The alpha-exclusion loop then runs one chunked
+   one-vs-many pass per iteration over the sketch batch, ``O(n * k)``,
+   mirroring the exact loop's semantics.  Windows whose similarity
+   lands inside the ``distance_bound`` band around ``alpha`` are
+   re-adjudicated with the exact ``fastdist`` kernel against the
+   medoid's *raw* window, so borderline verdicts never ride on the
+   approximation.
+3. **Delta re-learning** -- a persistent :class:`CriteriaState` caches
+   per-window fingerprints, the sketch batch and the candidate/
+   landmark profile.  A re-learn touching ``d`` windows re-sketches
+   only those rows and patches only the profile entries they back --
+   ``O(d * n)`` work -- before re-running the cheap exclusion loop.
+   Unchanged fingerprints short-circuit to the cached result outright.
+
+Fallback triggers (state machine)
+---------------------------------
+``auto`` mode resolves to, in order:
+
+* ``cached``  -- params + every fingerprint unchanged;
+* ``exact``   -- fleet at or below ``exact_below`` (small fleets are
+  cheapest and bit-exact on the classic path), or ``mode="exact"``
+  forced by the caller (the control plane does this after a shadow
+  -evaluation rollback);
+* ``delta``   -- a compatible sketch state exists, the changed
+  fraction is at most ``delta_threshold``, no window flipped its
+  usable-telemetry status, and fewer than ``max_delta_steps``
+  consecutive deltas have already run (coreset staleness bound);
+* ``full``    -- everything else: sketches + coreset from scratch.
+
+Approximate results never go live on their own authority: the
+validator routes every candidate -- exact or approximate -- through
+the ``repro.quality.rollout`` shadow-evaluation gate, and a rejected
+candidate both rolls back and forces the next learn for that
+(benchmark, metric) onto the exact path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core import sketch as _sketch
+from repro.core.backend import DistanceBackend, default_backend
+from repro.core.criteria import (
+    _MAX_ITERATIONS,
+    CriteriaResult,
+    _clean_and_warn,
+    _pooled_sample,
+    _validate_learn_args,
+    learn_criteria,
+)
+from repro.core.fastdist import (
+    SortedSampleBatch,
+    landmark_similarities,
+    one_vs_many_similarities,
+)
+from repro.core.measurement import NONFINITE_REJECT
+from repro.exceptions import CriteriaError
+
+__all__ = [
+    "CriteriaState",
+    "IncrementalConfig",
+    "learn_criteria_incremental",
+]
+
+
+@dataclass(frozen=True)
+class IncrementalConfig:
+    """Knobs of the incremental engine (all with production defaults).
+
+    ``verification_band`` defaults to the sketch's property-tested
+    distance bound; widening it trades exact-kernel work for extra
+    safety margin, narrowing it below the bound voids the borderline
+    guarantee.
+    """
+
+    sketch_size: int = _sketch.DEFAULT_SKETCH_SIZE
+    n_landmarks: int = 32
+    n_candidates: int = 128
+    exact_below: int = 256
+    delta_threshold: float = 0.25
+    max_delta_steps: int = 16
+    max_criteria_size: int = 4096
+    verification_band: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.sketch_size < 2:
+            raise CriteriaError(
+                f"sketch_size must be >= 2, got {self.sketch_size}")
+        if self.n_landmarks < 1:
+            raise CriteriaError(
+                f"n_landmarks must be >= 1, got {self.n_landmarks}")
+        if self.n_candidates < 1:
+            raise CriteriaError(
+                f"n_candidates must be >= 1, got {self.n_candidates}")
+        if not 0.0 <= self.delta_threshold <= 1.0:
+            raise CriteriaError(
+                f"delta_threshold must be in [0, 1], got {self.delta_threshold}")
+        if self.max_criteria_size < 2:
+            raise CriteriaError(
+                f"max_criteria_size must be >= 2, got {self.max_criteria_size}")
+
+    @property
+    def band(self) -> float:
+        """Half-width of the exact re-adjudication band around alpha."""
+        if self.verification_band is not None:
+            return self.verification_band
+        return _sketch.distance_bound(self.sketch_size)
+
+
+@dataclass
+class CriteriaState:
+    """Persistent cache between re-learns of one (benchmark, metric).
+
+    Holds everything a delta re-learn needs and nothing it does not:
+    fingerprints to find the changed windows, the sketch batch to
+    patch, and the candidate/landmark profile that seeds the medoid --
+    ``O(n * sketch_size + C * L)`` floats, bounded regardless of
+    window length.  Exact-path states carry only fingerprints + the
+    result (``sketch_data`` is ``None``).
+    """
+
+    params: tuple
+    n_input: int
+    fingerprints: np.ndarray
+    result: CriteriaResult
+    exact: bool
+    path: str
+    seconds: float
+    delta_steps: int = 0
+    kept: np.ndarray | None = None
+    excluded: tuple = ()
+    sizes_raw: np.ndarray | None = None
+    sketch_data: np.ndarray | None = None
+    sketch_sizes: np.ndarray | None = None
+    candidate_indices: np.ndarray | None = None
+    landmark_indices: np.ndarray | None = None
+    landmark_sims: np.ndarray | None = None
+
+    def sketch_batch(self) -> SortedSampleBatch:
+        """The cached per-window sketches as a kernel-ready batch."""
+        if self.sketch_data is None or self.sketch_sizes is None:
+            raise CriteriaError("exact-path state carries no sketch batch")
+        return SortedSampleBatch(self.sketch_data, self.sketch_sizes)
+
+
+def _engine_params(alpha: float, centroid: str, contamination: float,
+                   backend: DistanceBackend, min_sample_size: int,
+                   config: IncrementalConfig) -> tuple:
+    """The compatibility key: a state only serves re-learns that match."""
+    return (float(alpha), centroid, float(contamination), backend.nonfinite,
+            max(min_sample_size, 1), config.sketch_size, config.n_landmarks,
+            config.n_candidates, config.max_criteria_size, config.band)
+
+
+def _stratified(batch: SortedSampleBatch, count: int,
+                within: np.ndarray | None = None) -> np.ndarray:
+    """Deterministic stratified row choice: evenly spaced medians.
+
+    Sorting windows by their median and taking ``count`` evenly spaced
+    ranks covers the fleet's value range (healthy mass *and* outliers)
+    without randomness, so re-learns are reproducible.  ``within``
+    restricts the choice to a row subset (used when every candidate
+    has been excluded and the coreset must be re-seated among the
+    survivors).
+    """
+    rows = np.arange(batch.n) if within is None else within
+    medians = batch.data[rows, (batch.sizes[rows] - 1) // 2]
+    order = rows[np.argsort(medians, kind="stable")]
+    ranks = np.unique(
+        np.linspace(0, rows.size - 1, min(count, rows.size)).round()
+        .astype(np.intp))
+    return np.sort(order[ranks])
+
+
+class _MedoidSeeder:
+    """The landmark/coreset stand-in for ``GetCentroid``.
+
+    Holds the ``(C, L)`` similarity profile of the candidate coreset
+    against the landmark windows and answers medoid queries for any
+    active subset: the winner is the active candidate maximizing its
+    landmark profile sum, with landmarks that were themselves excluded
+    removed from the vote and the contamination budget trimming each
+    candidate's ``ceil(contamination * L)`` smallest landmark
+    similarities (landmarks are a stratified fleet sample, so poisoned
+    landmarks appear at about the fleet's contamination rate).
+    """
+
+    def __init__(self, batch: SortedSampleBatch, cand_idx: np.ndarray,
+                 lm_idx: np.ndarray, lm_sims: np.ndarray,
+                 contamination: float):
+        self.batch = batch
+        self.cand_idx = cand_idx
+        self.lm_idx = lm_idx
+        self.lm_sims = lm_sims
+        self.contamination = contamination
+
+    def medoid(self, active: np.ndarray) -> int:
+        """Approximate medoid (a *global* row index) among ``active``."""
+        if active.size == 0:
+            raise CriteriaError(
+                "cannot take the medoid of an empty sample set")
+        active_mask = np.zeros(self.batch.n, dtype=bool)
+        active_mask[active] = True
+        cand_rows = np.flatnonzero(active_mask[self.cand_idx])
+        if cand_rows.size == 0:
+            # Every candidate was excluded: re-seat the coreset among
+            # the survivors (rare; bounded by the iteration cap).
+            self.cand_idx = _stratified(self.batch, self.cand_idx.size,
+                                        within=active)
+            self.lm_sims = landmark_similarities(
+                self.batch.take(self.cand_idx),
+                self.batch.take(self.lm_idx))
+            cand_rows = np.arange(self.cand_idx.size)
+        cols = np.flatnonzero(active_mask[self.lm_idx])
+        if cols.size == 0:
+            cols = np.arange(self.lm_idx.size)
+        sub = self.lm_sims[np.ix_(cand_rows, cols)]
+        l_act = sub.shape[1]
+        trim = 0
+        if self.contamination > 0.0 and l_act > 1:
+            trim = min(int(np.ceil(self.contamination * l_act)), l_act - 1)
+        if trim > 0:
+            sub = np.sort(sub, axis=1)[:, trim:]
+        winner = cand_rows[int(np.argmax(sub.sum(axis=1)))]
+        return int(self.cand_idx[winner])
+
+
+def _run_sketch_loop(batch: SortedSampleBatch, seeder: _MedoidSeeder,
+                     sizes_raw: np.ndarray, cleaned_row, alpha: float,
+                     centroid: str, config: IncrementalConfig):
+    """Algorithm 2 on sketches, with exact adjudication of the band.
+
+    ``cleaned_row(i)`` lazily yields window ``i``'s raw sorted clean
+    values (the delta path only materializes the few rows this loop
+    actually touches).  Returns ``(surviving, sims, medoid,
+    iterations, criteria, criteria_idx)`` in kept-index space.
+    """
+    n = batch.n
+    all_idx = np.arange(n)
+    iteration_centroid = "medoid" if centroid == "hybrid" else centroid
+
+    def centroid_of(active: np.ndarray):
+        if iteration_centroid == "medoid":
+            idx = seeder.medoid(active)
+            return batch.row(idx), idx
+        pooled = _sketch.merge_sketches(
+            [batch.row(i) for i in active], sizes_raw[active],
+            config.max_criteria_size)
+        return pooled, None
+
+    active = all_idx
+    criteria_sample, medoid = centroid_of(active)
+    sims = one_vs_many_similarities(batch, criteria_sample,
+                                    assume_sorted=True)
+    seen_states: set[tuple] = set()
+    iterations = 0
+    while iterations < _MAX_ITERATIONS:
+        defective = all_idx[sims <= alpha]
+        surviving = all_idx[sims > alpha]
+        if surviving.size == 0:
+            raise CriteriaError(
+                "criteria learning excluded every sample; "
+                f"alpha={alpha} is too strict for this benchmark's variance"
+            )
+        state_key = (medoid, tuple(defective.tolist()))
+        if np.array_equal(surviving, active) or state_key in seen_states:
+            active = surviving
+            break
+        seen_states.add(state_key)
+        active = surviving
+        criteria_sample, medoid = centroid_of(active)
+        sims = one_vs_many_similarities(batch, criteria_sample,
+                                        assume_sorted=True)
+        iterations += 1
+
+    # Exact adjudication of the borderline band: any window whose
+    # sketch similarity lies within the error bound of alpha gets
+    # re-scored with the exact kernel against the raw reference, so a
+    # verdict can only differ from the exact path where the two sims
+    # legitimately disagree by more than the bound.
+    if medoid is not None:
+        reference = cleaned_row(medoid)
+    else:
+        reference = _pooled_sample([cleaned_row(i) for i in range(n)], active)
+    border = np.flatnonzero(np.abs(sims - alpha) <= config.band)
+    if border.size:
+        border_batch = SortedSampleBatch.from_sorted(
+            [cleaned_row(int(i)) for i in border])
+        sims = sims.copy()
+        sims[border] = one_vs_many_similarities(border_batch, reference,
+                                                assume_sorted=True)
+        surviving = all_idx[sims > alpha]
+        if surviving.size == 0:
+            raise CriteriaError(
+                "criteria learning excluded every sample; "
+                f"alpha={alpha} is too strict for this benchmark's variance"
+            )
+        active = surviving
+
+    if centroid == "medoid":
+        criteria = cleaned_row(medoid).copy()
+        criteria_idx = medoid
+    else:
+        criteria = _sketch.merge_sketches(
+            [batch.row(i) for i in active], sizes_raw[active],
+            config.max_criteria_size)
+        criteria_idx = None
+    return active, sims, medoid, iterations, criteria, criteria_idx
+
+
+def _assemble(samples, kept_arr: np.ndarray, excluded, surviving: np.ndarray,
+              sims: np.ndarray, criteria: np.ndarray,
+              criteria_idx: int | None, iterations: int,
+              alpha: float) -> CriteriaResult:
+    """Map kept-space loop output back to the input index space."""
+    active_set = set(surviving.tolist())
+    defect_indices = tuple(int(kept_arr[i]) for i in range(kept_arr.size)
+                           if i not in active_set)
+    healthy_indices = tuple(int(kept_arr[i]) for i in surviving.tolist())
+    full_sims = np.zeros(len(samples))
+    full_sims[kept_arr] = sims
+    return CriteriaResult(
+        criteria=criteria,
+        defect_indices=defect_indices,
+        healthy_indices=healthy_indices,
+        centroid_index=(int(kept_arr[criteria_idx])
+                        if criteria_idx is not None else None),
+        iterations=iterations,
+        alpha=alpha,
+        similarities=tuple(float(s) for s in full_sims),
+        excluded_indices=tuple(int(i) for i in excluded),
+    )
+
+
+def _sketch_batch_from_cleaned(cleaned, k: int) -> SortedSampleBatch:
+    """Per-row sketches of already-sorted windows, vectorized when uniform."""
+    sizes = np.fromiter((row.size for row in cleaned), dtype=np.intp,
+                        count=len(cleaned))
+    if sizes.size and (sizes == sizes[0]).all():
+        data = np.vstack(cleaned) if len(cleaned) > 1 else cleaned[0][None, :]
+        rows = _sketch.sketch_rows(data, k)
+        return SortedSampleBatch(
+            rows, np.full(len(cleaned), rows.shape[1], dtype=np.intp))
+    return SortedSampleBatch.from_sorted(
+        [_sketch.sketch_sorted(row, k) for row in cleaned])
+
+
+def _full_sketch_learn(samples, fingerprints, alpha, centroid, contamination,
+                       backend, min_sample_size, config, params, t0):
+    """Sketches + coreset from scratch (the ``full`` path)."""
+    cleaned, kept, excluded = _clean_and_warn(
+        samples, backend, min_sample_size, stacklevel=4)
+    kept_arr = np.asarray(kept, dtype=np.intp)
+    sizes_raw = np.fromiter((row.size for row in cleaned), dtype=np.intp,
+                            count=len(cleaned))
+    batch = _sketch_batch_from_cleaned(cleaned, config.sketch_size)
+    cand_idx = _stratified(batch, config.n_candidates)
+    lm_idx = _stratified(batch, config.n_landmarks)
+    lm_sims = landmark_similarities(batch.take(cand_idx),
+                                    batch.take(lm_idx))
+    seeder = _MedoidSeeder(batch, cand_idx, lm_idx, lm_sims, contamination)
+    surviving, sims, medoid, iterations, criteria, criteria_idx = (
+        _run_sketch_loop(batch, seeder, sizes_raw, lambda i: cleaned[i],
+                         alpha, centroid, config))
+    result = _assemble(samples, kept_arr, excluded, surviving, sims,
+                       criteria, criteria_idx, iterations, alpha)
+    state = CriteriaState(
+        params=params, n_input=len(samples), fingerprints=fingerprints,
+        result=result, exact=False, path="full",
+        seconds=time.perf_counter() - t0, delta_steps=0, kept=kept_arr,
+        excluded=tuple(int(i) for i in excluded), sizes_raw=sizes_raw,
+        sketch_data=batch.data, sketch_sizes=batch.sizes,
+        candidate_indices=seeder.cand_idx, landmark_indices=seeder.lm_idx,
+        landmark_sims=seeder.lm_sims,
+    )
+    return result, state
+
+
+def _clean_one(sample, backend: DistanceBackend,
+               min_sample_size: int) -> np.ndarray | None:
+    """One window through the quarantine pass; ``None`` when excluded."""
+    arr = np.asarray(sample, dtype=float).ravel()
+    if backend.nonfinite == NONFINITE_REJECT:
+        finite = backend.clean(arr)
+    else:
+        finite = arr[np.isfinite(arr)]
+    if finite.size < max(min_sample_size, 1):
+        return None
+    return np.sort(finite)
+
+
+def _delta_learn(samples, fingerprints, state: CriteriaState, alpha, centroid,
+                 contamination, backend, min_sample_size, config, params, t0):
+    """Patch the cached state for the changed windows, then re-cluster.
+
+    Returns ``None`` when the delta turns out to be structurally
+    ineligible mid-flight (a window flipped its usable-telemetry
+    status, or a re-sketched row outgrew the batch), in which case the
+    caller falls back to the full path.
+    """
+    changed_input = np.flatnonzero(fingerprints != state.fingerprints)
+    kept_arr = state.kept
+    kept_pos = np.full(state.n_input, -1, dtype=np.intp)
+    kept_pos[kept_arr] = np.arange(kept_arr.size)
+
+    cleaned_cache: dict[int, np.ndarray] = {}
+    changed_kept: list[int] = []
+    for idx in changed_input.tolist():
+        row = _clean_one(samples[idx], backend, min_sample_size)
+        pos = int(kept_pos[idx])
+        if (row is None) != (pos < 0):
+            return None  # usable-telemetry flip: membership changed
+        if row is not None:
+            cleaned_cache[pos] = row
+            changed_kept.append(pos)
+
+    data = state.sketch_data.copy()
+    sizes = state.sketch_sizes.copy()
+    for pos in changed_kept:
+        sk = _sketch.sketch_sorted(cleaned_cache[pos], config.sketch_size)
+        if sk.size > data.shape[1]:
+            return None  # row outgrew the padded batch: rebuild from scratch
+        data[pos] = np.inf
+        data[pos, :sk.size] = sk
+        sizes[pos] = sk.size
+    batch = SortedSampleBatch(data, sizes)
+    sizes_raw = state.sizes_raw.copy()
+    for pos in changed_kept:
+        sizes_raw[pos] = cleaned_cache[pos].size
+
+    # Patch the coreset profile: a changed landmark invalidates its
+    # column, a changed candidate its row; changed rows that back
+    # neither cost nothing here.  O(d * (C + L) * k) kernel work.
+    cand_idx = state.candidate_indices
+    lm_idx = state.landmark_indices
+    lm_sims = state.landmark_sims.copy()
+    changed_set = set(changed_kept)
+    stale_cols = [j for j, lm in enumerate(lm_idx.tolist())
+                  if lm in changed_set]
+    stale_rows = [i for i, cand in enumerate(cand_idx.tolist())
+                  if cand in changed_set]
+    cand_batch = batch.take(cand_idx)
+    for j in stale_cols:
+        lm_sims[:, j] = one_vs_many_similarities(
+            cand_batch, batch.row(int(lm_idx[j])), assume_sorted=True)
+    if stale_rows:
+        fresh_cols = [j for j in range(lm_idx.size) if j not in stale_cols]
+        if fresh_cols:
+            patch = landmark_similarities(
+                batch.take(cand_idx[stale_rows]),
+                batch.take(lm_idx[fresh_cols]))
+            lm_sims[np.ix_(stale_rows, fresh_cols)] = patch
+
+    def cleaned_row(pos: int) -> np.ndarray:
+        row = cleaned_cache.get(pos)
+        if row is None:
+            row = _clean_one(samples[int(kept_arr[pos])], backend,
+                             min_sample_size)
+            cleaned_cache[pos] = row
+        return row
+
+    seeder = _MedoidSeeder(batch, cand_idx, lm_idx, lm_sims, contamination)
+    surviving, sims, medoid, iterations, criteria, criteria_idx = (
+        _run_sketch_loop(batch, seeder, sizes_raw, cleaned_row, alpha,
+                         centroid, config))
+    result = _assemble(samples, kept_arr, state.excluded, surviving, sims,
+                       criteria, criteria_idx, iterations, alpha)
+    new_state = CriteriaState(
+        params=params, n_input=state.n_input, fingerprints=fingerprints,
+        result=result, exact=False, path="delta",
+        seconds=time.perf_counter() - t0,
+        delta_steps=state.delta_steps + 1, kept=kept_arr,
+        excluded=state.excluded, sizes_raw=sizes_raw,
+        sketch_data=data, sketch_sizes=sizes,
+        candidate_indices=seeder.cand_idx, landmark_indices=seeder.lm_idx,
+        landmark_sims=seeder.lm_sims,
+    )
+    return result, new_state
+
+
+def learn_criteria_incremental(samples, alpha: float = 0.95, *,
+                               centroid: str = "hybrid",
+                               contamination: float = 0.0,
+                               backend: DistanceBackend | None = None,
+                               min_sample_size: int = 1,
+                               config: IncrementalConfig | None = None,
+                               state: CriteriaState | None = None,
+                               mode: str = "auto"):
+    """Algorithm 2 with sketches, a landmark coreset and delta re-learning.
+
+    Drop-in alternative to :func:`repro.core.criteria.learn_criteria`
+    that returns ``(result, state)``: pass the returned state back on
+    the next re-learn of the same (benchmark, metric) stream to unlock
+    the delta path.  ``mode`` is a hint -- ``"auto"`` (resolve by the
+    state machine in the module docstring), ``"exact"`` (force the
+    classic exact learn, used after a rollout rollback), ``"full"``
+    (rebuild sketches, skip delta) or ``"delta"`` (prefer delta; still
+    falls back to full when structurally ineligible).
+    """
+    if mode not in ("auto", "exact", "full", "delta"):
+        raise CriteriaError(f"unknown learn mode {mode!r}")
+    config = config or IncrementalConfig()
+    backend = backend or default_backend()
+    _validate_learn_args(samples, alpha, centroid, contamination)
+    t0 = time.perf_counter()
+    params = _engine_params(alpha, centroid, contamination, backend,
+                            min_sample_size, config)
+    fingerprints = _sketch.fingerprint_rows(samples)
+
+    compatible = (state is not None and state.params == params
+                  and state.n_input == len(samples))
+    if (compatible and np.array_equal(state.fingerprints, fingerprints)
+            and (state.exact or mode != "exact")):
+        return state.result, replace(
+            state, path="cached", seconds=time.perf_counter() - t0)
+
+    if mode == "exact" or len(samples) <= config.exact_below:
+        result = learn_criteria(
+            samples, alpha, centroid=centroid, contamination=contamination,
+            backend=backend, min_sample_size=min_sample_size)
+        new_state = CriteriaState(
+            params=params, n_input=len(samples), fingerprints=fingerprints,
+            result=result, exact=True, path="exact",
+            seconds=time.perf_counter() - t0,
+        )
+        return result, new_state
+
+    if (mode in ("auto", "delta") and compatible and not state.exact
+            and centroid != "mean"
+            and state.delta_steps < config.max_delta_steps):
+        changed = int(np.count_nonzero(fingerprints != state.fingerprints))
+        if changed <= config.delta_threshold * len(samples):
+            out = _delta_learn(samples, fingerprints, state, alpha, centroid,
+                               contamination, backend, min_sample_size,
+                               config, params, t0)
+            if out is not None:
+                return out
+
+    return _full_sketch_learn(samples, fingerprints, alpha, centroid,
+                              contamination, backend, min_sample_size,
+                              config, params, t0)

@@ -28,6 +28,11 @@ from repro.benchsuite.base import BenchmarkKind, BenchmarkSpec, Phase
 from repro.benchsuite.runner import SuiteRunner
 from repro.core.backend import get_backend
 from repro.core.criteria import CriteriaResult, learn_criteria
+from repro.core.incremental import (
+    CriteriaState,
+    IncrementalConfig,
+    learn_criteria_incremental,
+)
 from repro.core.measurement import (
     NONFINITE_REJECT,
     MeasurementBatch,
@@ -40,16 +45,25 @@ from repro.core.ecdf import as_sample
 __all__ = ["MetricCriteria", "Violation", "ValidationReport", "Validator"]
 
 
-def _learn_task(task) -> CriteriaResult:
+def _learn_task(task) -> tuple[CriteriaResult, CriteriaState | None]:
     """Picklable unit of criteria learning for process fan-out.
 
     The non-finite policy travels as a string (resolved per batch from
-    measurement provenance) so the task tuple stays picklable.
+    measurement provenance) so the task tuple stays picklable, and the
+    incremental engine's config/state/mode ride along the same way
+    (both are plain dataclasses of arrays).  Returns ``(result,
+    state)`` with ``state is None`` on the classic exact-only path, so
+    the caller can tell whether there is engine state to persist.
     """
-    samples, alpha, centroid, contamination, policy = task
-    return learn_criteria(samples, alpha, centroid=centroid,
-                          contamination=contamination,
-                          backend=get_backend(policy))
+    samples, alpha, centroid, contamination, policy, config, state, mode = task
+    if config is None:
+        result = learn_criteria(samples, alpha, centroid=centroid,
+                                contamination=contamination,
+                                backend=get_backend(policy))
+        return result, None
+    return learn_criteria_incremental(
+        samples, alpha, centroid=centroid, contamination=contamination,
+        backend=get_backend(policy), config=config, state=state, mode=mode)
 
 
 @dataclass(frozen=True)
@@ -122,11 +136,20 @@ class Validator:
         forwarded to :func:`repro.core.criteria.learn_criteria` as the
         trimmed-aggregation budget.  0 (the default) reproduces plain
         Algorithm 2.
+    incremental:
+        When set, criteria learning routes through the incremental
+        engine (:func:`repro.core.incremental.learn_criteria_incremental`)
+        with this config: sketches + landmark medoids for large fleets,
+        delta re-learns against the persisted per-(benchmark, metric)
+        :class:`~repro.core.incremental.CriteriaState`, and the classic
+        exact path below ``exact_below``.  ``None`` (the default)
+        keeps every learn on the exact Algorithm 2 path.
     """
 
     def __init__(self, suite: tuple[BenchmarkSpec, ...], *,
                  runner: SuiteRunner | None = None, alpha: float = 0.95,
-                 centroid: str = "hybrid", contamination: float = 0.0):
+                 centroid: str = "hybrid", contamination: float = 0.0,
+                 incremental: IncrementalConfig | None = None):
         if not suite:
             raise ValueError("Validator needs a non-empty benchmark suite")
         self.suite = tuple(suite)
@@ -134,7 +157,17 @@ class Validator:
         self.alpha = float(alpha)
         self.centroid = centroid
         self.contamination = float(contamination)
+        self.incremental = incremental
         self.criteria: dict[tuple[str, str], MetricCriteria] = {}
+        # Incremental-engine state per (benchmark, metric): fingerprints
+        # + sketch batch + coreset profile from the last learn.  Only
+        # populated when ``incremental`` is set.
+        self.criteria_states: dict[tuple[str, str], CriteriaState] = {}
+        # Keys whose next learn is pinned to the exact path -- the
+        # control plane adds a key here when the rollout gate rejects
+        # an (approximate) candidate, and the pin is consumed by that
+        # next learn.
+        self._force_exact: set[tuple[str, str]] = set()
         # Per-stage counters/timings of this Validator's learn/score
         # work; merged with the runner's execute/sanitize stages by
         # Anubis.pipeline_stats().
@@ -202,7 +235,8 @@ class Validator:
         return tasks
 
     def _store_criteria(self, spec: BenchmarkSpec, metric,
-                        learned: CriteriaResult) -> None:
+                        learned: CriteriaResult,
+                        state: CriteriaState | None = None) -> None:
         key = (spec.name, metric.name)
         self._criteria_cache.pop(key, None)
         self.criteria[key] = MetricCriteria(
@@ -213,26 +247,60 @@ class Validator:
             higher_is_better=metric.higher_is_better,
             learning=learned,
         )
+        if state is not None:
+            self.criteria_states[key] = state
+            self._force_exact.discard(key)
+            # Per-path learn accounting: "learn-exact", "learn-full",
+            # "learn-delta" and "learn-cached" show up as distinct
+            # pipeline stages so `repro report` exposes where re-learn
+            # time actually goes.  ``state.seconds`` is measured inside
+            # the (possibly worker-process) learn itself.
+            self.stats.record(f"learn-{state.path}", count=1,
+                              seconds=state.seconds)
+
+    def invalidate_criteria_state(self, key: tuple[str, str]) -> None:
+        """Drop the incremental state for ``key`` and pin its next learn.
+
+        Called by the control plane when the rollout gate rejects a
+        candidate: the cached sketches/coreset are no longer trusted,
+        and the next learn for this (benchmark, metric) runs on the
+        exact Algorithm 2 path regardless of fleet size.
+        """
+        self.criteria_states.pop(key, None)
+        self._force_exact.add(key)
+
+    def _learn_inputs(self, key: tuple[str, str],
+                      mode: str) -> tuple[IncrementalConfig | None,
+                                          CriteriaState | None, str]:
+        """Resolve (config, state, mode) for one learning task."""
+        if self.incremental is None:
+            return None, None, "auto"
+        if key in self._force_exact:
+            return self.incremental, None, "exact"
+        return self.incremental, self.criteria_states.get(key), mode
 
     def learn_criteria_from_results(self, spec: BenchmarkSpec,
-                                    results: dict[str, object]) -> None:
+                                    results: dict[str, object], *,
+                                    mode: str = "auto") -> None:
         """Learn criteria for one benchmark from node -> result samples.
 
         ``results`` maps node id to a :class:`BenchmarkResult`; nodes
         whose samples are invalid are skipped for learning (they will
-        be flagged online).
+        be flagged online).  ``mode`` is the incremental engine's learn
+        hint (ignored on the classic path).
         """
         with self.stats.timed("learn"):
             for metric, samples, centroid, policy in self._learning_tasks(
                     spec, results):
-                learned = learn_criteria(samples, self.alpha,
-                                         centroid=centroid,
-                                         contamination=self.contamination,
-                                         backend=get_backend(policy))
-                self._store_criteria(spec, metric, learned)
+                key = (spec.name, metric.name)
+                config, state, key_mode = self._learn_inputs(key, mode)
+                learned, new_state = _learn_task(
+                    (samples, self.alpha, centroid, self.contamination,
+                     policy, config, state, key_mode))
+                self._store_criteria(spec, metric, learned, new_state)
 
     def learn_criteria(self, nodes, benchmarks=None, *,
-                       workers: int | None = None,
+                       workers: int | None = None, mode: str = "auto",
                        ) -> dict[tuple[str, str], list]:
         """Build-out flow: run benchmarks on ``nodes`` and learn criteria.
 
@@ -242,6 +310,12 @@ class Validator:
         metric) -- fan out across worker processes.  ``workers``
         defaults to the ``REPRO_WORKERS`` environment variable, else 1;
         results are identical at any width.
+
+        ``mode`` hints the incremental engine (when the Validator was
+        built with one): ``"auto"`` resolves per key via the state
+        machine, ``"delta"``/``"full"``/``"exact"`` force a path.  Keys
+        pinned by :meth:`invalidate_criteria_state` learn exactly
+        regardless of the hint.
 
         Returns the per-(benchmark, metric) learning windows so callers
         can shadow-evaluate the freshly learned criteria against the
@@ -255,16 +329,19 @@ class Validator:
                     spec, results):
                 tasks.append((spec, metric, samples, centroid, policy))
         with self.stats.timed("learn"):
-            learned_results = process_map(
-                _learn_task,
-                [(samples, self.alpha, centroid, self.contamination, policy)
-                 for _, _, samples, centroid, policy in tasks],
-                workers=workers,
-            )
+            payloads = []
+            for spec, metric, samples, centroid, policy in tasks:
+                config, state, key_mode = self._learn_inputs(
+                    (spec.name, metric.name), mode)
+                payloads.append((samples, self.alpha, centroid,
+                                 self.contamination, policy, config, state,
+                                 key_mode))
+            learned_results = process_map(_learn_task, payloads,
+                                          workers=workers)
         windows: dict[tuple[str, str], list] = {}
-        for (spec, metric, samples, _, _), learned in zip(tasks,
-                                                          learned_results):
-            self._store_criteria(spec, metric, learned)
+        for (spec, metric, samples, _, _), (learned, new_state) in zip(
+                tasks, learned_results):
+            self._store_criteria(spec, metric, learned, new_state)
             windows[(spec.name, metric.name)] = samples
         return windows
 

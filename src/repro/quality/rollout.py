@@ -85,7 +85,11 @@ class RolloutDecision:
     """Outcome of shadow-evaluating one candidate criteria.
 
     ``baseline_rate`` is ``None`` on bootstrap (no active criteria to
-    compare against).
+    compare against).  ``learn_path`` records which engine path
+    produced the candidate (``"exact"``, ``"full"``, ``"delta"``,
+    ``"cached"``, or ``""`` when the classic learner ran) -- the
+    control plane threads it through so a rollback can be attributed
+    to the approximation that produced the candidate.
     """
 
     benchmark: str
@@ -94,12 +98,14 @@ class RolloutDecision:
     candidate_rate: float
     baseline_rate: float | None
     reason: str
+    learn_path: str = ""
 
 
 def evaluate_rollout(windows, candidate, previous, *, alpha: float,
                      higher_is_better: bool = True,
                      config: RolloutConfig | None = None,
-                     benchmark: str = "", metric: str = "") -> RolloutDecision:
+                     benchmark: str = "", metric: str = "",
+                     learn_path: str = "") -> RolloutDecision:
     """Shadow-evaluate one candidate criteria against one window set.
 
     ``windows`` are the shadow set's per-node samples -- the last
@@ -114,7 +120,8 @@ def evaluate_rollout(windows, candidate, previous, *, alpha: float,
         return RolloutDecision(
             benchmark=benchmark, metric=metric, accepted=True,
             candidate_rate=0.0, baseline_rate=None,
-            reason=f"abstained: only {len(windows)} shadow window(s)")
+            reason=f"abstained: only {len(windows)} shadow window(s)",
+            learn_path=learn_path)
 
     candidate_rate = predicted_eviction_rate(
         windows, candidate, alpha=alpha, higher_is_better=higher_is_better)
@@ -126,7 +133,8 @@ def evaluate_rollout(windows, candidate, previous, *, alpha: float,
             f"fleet (cap {config.max_bootstrap_eviction_rate:.0%})")
         return RolloutDecision(
             benchmark=benchmark, metric=metric, accepted=accepted,
-            candidate_rate=candidate_rate, baseline_rate=None, reason=reason)
+            candidate_rate=candidate_rate, baseline_rate=None, reason=reason,
+            learn_path=learn_path)
 
     baseline_rate = predicted_eviction_rate(
         windows, previous, alpha=alpha, higher_is_better=higher_is_better)
@@ -138,4 +146,4 @@ def evaluate_rollout(windows, candidate, previous, *, alpha: float,
     return RolloutDecision(
         benchmark=benchmark, metric=metric, accepted=accepted,
         candidate_rate=candidate_rate, baseline_rate=baseline_rate,
-        reason=reason)
+        reason=reason, learn_path=learn_path)

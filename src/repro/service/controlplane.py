@@ -317,6 +317,11 @@ class ValidationService:
         # memory only -- after a restart the first re-learn falls back
         # to the bootstrap self-consistency check.
         self._shadow_windows: dict[tuple[str, str], list] = {}
+        # Node ids whose telemetry changed since the last learn --
+        # fed by batch provenance on every validated event, consumed
+        # by learn_criteria() to pick the delta vs full re-learn path
+        # when the validator runs the incremental engine.
+        self._nodes_measured_since_learn: set[str] = set()
         # Per-benchmark count of breaker transitions already journaled.
         self._breaker_seen: dict[str, int] = {}
         self._completed_since_snapshot = 0
@@ -566,6 +571,8 @@ class ValidationService:
                 run.benchmark for sweep in sweeps
                 for run in sweep.short_circuited_runs})
             self.anubis.selector.record_validation(report)
+            self._nodes_measured_since_learn.update(
+                node.node_id for node in eligible)
             self._journal_provenance(entry.event_id, sweeps)
             self._journal_breaker_transitions()
             outcome = ValidationOutcome(
@@ -728,7 +735,29 @@ class ValidationService:
     # ------------------------------------------------------------------
     # Criteria management
     # ------------------------------------------------------------------
-    def learn_criteria(self, nodes, benchmarks=None) -> list[RolloutDecision]:
+    def _resolve_learn_mode(self, nodes) -> str:
+        """Pick the incremental engine's learn-mode hint from provenance.
+
+        First learn (no engine state yet) resolves ``"auto"`` -- the
+        engine's own state machine picks exact vs full.  On a re-learn,
+        the set of nodes that produced new telemetry since the last
+        learn (tracked from validated events) bounds how many windows
+        can have changed: at or below the engine's ``delta_threshold``
+        the service hints ``"delta"`` (the engine still falls back to
+        full when structurally ineligible), above it ``"full"`` --
+        there is no point fingerprint-diffing a mostly-changed fleet.
+        """
+        validator = self.anubis.validator
+        if validator.incremental is None or not validator.criteria_states:
+            return "auto"
+        node_ids = {node.node_id for node in nodes}
+        changed = len(node_ids & self._nodes_measured_since_learn)
+        if changed <= validator.incremental.delta_threshold * len(node_ids):
+            return "delta"
+        return "full"
+
+    def learn_criteria(self, nodes, benchmarks=None, *,
+                       mode: str | None = None) -> list[RolloutDecision]:
         """Offline criteria learning with guarded rollout.
 
         Freshly learned criteria are *candidates*: with a rollout guard
@@ -753,7 +782,12 @@ class ValidationService:
         """
         validator = self.anubis.validator
         previous = dict(validator.criteria)
-        windows = validator.learn_criteria(nodes, benchmarks)
+        resolved_mode = mode if mode is not None else (
+            self._resolve_learn_mode(nodes))
+        windows = validator.learn_criteria(nodes, benchmarks,
+                                           mode=resolved_mode)
+        self._nodes_measured_since_learn.clear()
+        self._journal_learn(windows, resolved_mode)
         decisions: list[RolloutDecision] = []
         if self.config.rollout is None:
             self._shadow_windows.update(windows)
@@ -762,6 +796,7 @@ class ValidationService:
                 candidate = validator.criteria.get(key)
                 if candidate is None:
                     continue
+                learn_path = self._learn_path(key)
                 prior = previous.get(key)
                 shadow = self._shadow_windows.get(key)
                 if prior is None or shadow is None:
@@ -770,14 +805,16 @@ class ValidationService:
                         alpha=candidate.alpha,
                         higher_is_better=candidate.higher_is_better,
                         config=self.config.rollout,
-                        benchmark=key[0], metric=key[1])
+                        benchmark=key[0], metric=key[1],
+                        learn_path=learn_path)
                 else:
                     decision = evaluate_rollout(
                         shadow, candidate.criteria, prior.criteria,
                         alpha=candidate.alpha,
                         higher_is_better=candidate.higher_is_better,
                         config=self.config.rollout,
-                        benchmark=key[0], metric=key[1])
+                        benchmark=key[0], metric=key[1],
+                        learn_path=learn_path)
                 decisions.append(decision)
                 if decision.accepted:
                     self._shadow_windows[key] = current
@@ -786,15 +823,50 @@ class ValidationService:
                     validator.criteria[key] = prior
                 else:
                     del validator.criteria[key]
+                # The rejected candidate's engine state is tainted --
+                # drop it and pin the next learn for this key to the
+                # exact path, so a poisoned approximation can never
+                # seed the next delta.
+                validator.invalidate_criteria_state(key)
                 self._journal_best_effort(RecordKind.CRITERIA_ROLLBACK, {
                     "benchmark": key[0],
                     "metric": key[1],
                     "candidate_rate": decision.candidate_rate,
                     "baseline_rate": decision.baseline_rate,
                     "reason": decision.reason,
+                    "learn_path": learn_path,
                 })
         self._maybe_snapshot(force=True)
         return decisions
+
+    def _learn_path(self, key: tuple[str, str]) -> str:
+        """Engine path that produced the latest candidate for ``key``."""
+        state = self.anubis.validator.criteria_states.get(key)
+        return state.path if state is not None else ""
+
+    def _journal_learn(self, windows, mode: str) -> None:
+        """Journal one compact record per learning pass (best-effort).
+
+        Records the resolved mode hint plus each key's realized engine
+        path and in-learn seconds, so the analytics plane can tell how
+        often re-learns actually ride the delta path and what each
+        path costs.  Skipped entirely for classic exact-only learns
+        (no engine state to report).
+        """
+        states = self.anubis.validator.criteria_states
+        entries = [
+            {"benchmark": key[0], "metric": key[1],
+             "path": states[key].path,
+             "seconds": states[key].seconds,
+             "delta_steps": states[key].delta_steps}
+            for key in sorted(windows) if key in states
+        ]
+        if not entries:
+            return
+        self._journal_best_effort(RecordKind.CRITERIA_LEARN, {
+            "mode": mode,
+            "learned": entries,
+        })
 
     def _maybe_snapshot(self, *, force: bool = False) -> None:
         if self.store is None or self._recovering:

@@ -78,6 +78,8 @@ class RecordKind(str, enum.Enum):
     #: Learned-criteria snapshot / guarded-rollout rejection.
     CRITERIA_SNAPSHOT = "criteria-snapshot"
     CRITERIA_ROLLBACK = "criteria-rollback"
+    #: One criteria learning pass: per-key engine path + timing.
+    CRITERIA_LEARN = "criteria-learn"
     #: Compaction state snapshot (lifecycle, metrics, dead letters).
     STATE_SNAPSHOT = "state-snapshot"
     #: Typed measurement batch with full window provenance.

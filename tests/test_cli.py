@@ -81,3 +81,26 @@ class TestCommands:
     def test_serve_invalid_events(self, capsys):
         assert main(["serve", "--nodes", "8", "--learn-on", "4",
                      "--events", "0"]) == 2
+
+    def test_serve_incremental_criteria(self, capsys, tmp_path):
+        journal_dir = tmp_path / "journal"
+        code = main(["serve", "--nodes", "8", "--events", "10",
+                     "--learn-on", "4", "--workers", "2",
+                     "--incremental-criteria",
+                     "--journal", str(journal_dir), "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # The re-learn walked the rollout gate and the per-path learn
+        # stages surfaced in the pipeline table.
+        assert "rollout gate:" in out
+        assert "learn-" in out
+        # The journal carries the criteria-learn record, so the
+        # analytics report sees the learn stages too.
+        from repro.service.store import JournalStore, RecordKind
+        kinds = [r.kind for r in JournalStore(str(journal_dir)).replay()]
+        assert RecordKind.CRITERIA_LEARN in kinds
+        # And the journal-driven SLO report renders the per-path learn
+        # stages in its measurement-pipeline table.
+        assert main(["report", "--journal", str(journal_dir)]) == 0
+        report_out = capsys.readouterr().out
+        assert "learn-" in report_out

@@ -118,3 +118,99 @@ class TestLearnCriteria:
         samples = [[100.0], [100.5], [99.5], [70.0]]
         result = learn_criteria(samples, 0.95)
         assert result.defect_indices == (3,)
+
+
+class _CountingBackend:
+    """Delegating backend proxy that counts kernel entry points."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.pairwise_calls = 0
+        self.one_vs_many_calls = 0
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def pairwise_similarities(self, batch):
+        self.pairwise_calls += 1
+        return self._inner.pairwise_similarities(batch)
+
+    def one_vs_many_similarities(self, *args, **kwargs):
+        self.one_vs_many_calls += 1
+        return self._inner.one_vs_many_similarities(*args, **kwargs)
+
+
+class TestKernelCallReuse:
+    """The pairwise matrix is computed once, not once per iteration."""
+
+    @staticmethod
+    def _cascading_fleet():
+        # Three tiers (healthy / shoulder / far) tuned so exclusion
+        # cascades: the far tier falls first, re-centering then drops
+        # the shoulder -- a genuinely multi-iteration learn.
+        rng = np.random.default_rng(0)
+        return ([rng.normal(100.0, 1.0, 120) for _ in range(12)]
+                + [rng.normal(97.0, 1.0, 120) for _ in range(8)]
+                + [rng.normal(90.0, 1.0, 120) for _ in range(4)])
+
+    def test_medoid_learn_builds_matrix_exactly_once(self):
+        from repro.core.backend import default_backend
+
+        backend = _CountingBackend(default_backend())
+        result = learn_criteria(self._cascading_fleet(), 0.95,
+                                backend=backend)
+        assert result.iterations >= 2  # the regression needs >1 iteration
+        assert backend.pairwise_calls == 1
+        # Medoid iterations re-score via matrix rows, not fresh kernels.
+        assert backend.one_vs_many_calls == 0
+
+    def test_hybrid_learn_builds_matrix_exactly_once(self):
+        from repro.core.backend import default_backend
+
+        backend = _CountingBackend(default_backend())
+        result = learn_criteria(self._cascading_fleet(), 0.95,
+                                centroid="hybrid", backend=backend)
+        assert result.iterations >= 2
+        assert backend.pairwise_calls == 1
+
+
+class TestQuarantineWarningOrigin:
+    """``stacklevel`` points the quarantine warning at the caller."""
+
+    def test_warning_blames_this_file_not_the_library(self):
+        import warnings
+
+        from repro.core.backend import get_backend
+
+        samples = [[1.0, 2.0, 3.0], [1.1, 2.1, 3.1], [np.nan, np.nan]]
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            learn_criteria(samples, 0.9, backend=get_backend("mask"))
+        quarantine = [w for w in caught
+                      if issubclass(w.category, RuntimeWarning)
+                      and "unusable telemetry" in str(w.message)]
+        assert len(quarantine) == 1
+        assert quarantine[0].filename == __file__
+
+    def test_incremental_warning_blames_this_file(self):
+        import warnings
+
+        from repro.core.backend import get_backend
+        from repro.core.incremental import (
+            IncrementalConfig,
+            learn_criteria_incremental,
+        )
+
+        rng = np.random.default_rng(0)
+        samples = [rng.normal(100.0, 1.0, 40) for _ in range(30)]
+        samples[3] = np.full(40, np.nan)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            learn_criteria_incremental(
+                samples, 0.95, backend=get_backend("mask"),
+                config=IncrementalConfig(exact_below=4))
+        quarantine = [w for w in caught
+                      if issubclass(w.category, RuntimeWarning)
+                      and "unusable telemetry" in str(w.message)]
+        assert len(quarantine) == 1
+        assert quarantine[0].filename == __file__
