@@ -15,6 +15,13 @@ then the harness measures:
   rebuild every shard from its journal, against the total journal
   size it replayed -- the robustness tax, measured.
 
+A second leg (``fabric_processes``) measures the process-isolated
+fabric on the same load shape: worker-process spawn cost, RPC-driven
+drain throughput and tick latency, and the wall-clock cost of
+recovering from a real ``SIGKILL`` against a live worker (detect,
+respawn, re-reach quiescence) -- what OS-level containment costs over
+threads.
+
 Before timing, the harness asserts the accounting invariant the chaos
 soak relies on: every submitted per-shard event is completed, shed,
 dead-lettered or handed off -- no silent loss under load.
@@ -199,6 +206,111 @@ def bench_fabric(journal_root: Path, *, events: int, nodes: int,
     }
 
 
+def bench_process_fabric(workdir: Path, *, events: int, nodes: int,
+                         shards: int) -> dict:
+    """The process-isolated fabric leg: same load, real OS workers."""
+    import signal as _signal
+
+    from repro.core.persistence import save_criteria
+    from repro.service import ProcessFabric
+    from repro.service.procfabric import replay_queue_state
+    from repro.service.shard import ShardState
+    from repro.service.store import JournalStore
+
+    fleet = build_fleet(nodes, seed=5)
+    trace = generate_incident_trace(50, 800.0, seed=11)
+    dataset = extract_status_samples(trace)
+    # Learn once in the parent; workers load from disk (the production
+    # shape -- per-worker re-learning would just benchmark learning).
+    validator = Validator(SUITE, runner=SuiteRunner(seed=9))
+    validator.learn_criteria(fleet.nodes[:min(6, nodes)])
+    workdir.mkdir(parents=True, exist_ok=True)
+    criteria_path = workdir / "criteria.json"
+    save_criteria(validator, criteria_path)
+
+    journal_root = workdir / "fabric"
+    builder_args = {
+        "fleet_size": nodes, "fleet_seed": 5,
+        "suite": ["ib-loopback", "mem-bw"], "runner_seed": 9,
+        "criteria_path": str(criteria_path),
+        "trace_nodes": 50, "trace_hours": 800.0, "trace_seed": 11,
+        "p0": 0.05,
+        "pool": {"max_workers": 4, "benchmark_timeout_seconds": 2.0,
+                 "max_attempts": 1, "backoff_base_seconds": 0.0,
+                 "poll_interval_seconds": 0.005},
+    }
+    spawn_start = time.perf_counter()
+    fabric = ProcessFabric(
+        builder="repro.service.procfabric:default_builder",
+        builder_args=builder_args, journal_root=journal_root,
+        config=SupervisorConfig(shard_count=shards))
+    spawn_s = time.perf_counter() - spawn_start
+    try:
+        accepted = generate_load(fabric, fleet, dataset, events=events)
+
+        tick_latencies: list[float] = []
+        drain_start = time.perf_counter()
+        while not fabric.quiescent():
+            tick_start = time.perf_counter()
+            fabric.tick()
+            tick_latencies.append(time.perf_counter() - tick_start)
+        drain_s = time.perf_counter() - drain_start
+
+        # Real-SIGKILL recovery: kill a live worker, measure detect ->
+        # respawn -> back to a quiescent fabric.
+        victim = fabric.workers[0]
+        os.kill(victim.proc.pid, _signal.SIGKILL)
+        restart_start = time.perf_counter()
+        restart_ticks = 0
+        while not (victim.state is ShardState.RUNNING and victim.alive()
+                   and fabric.quiescent()):
+            fabric.tick()
+            restart_ticks += 1
+            if restart_ticks > 10_000:
+                raise SystemExit("FAIL: killed worker never recovered")
+        restart_s = time.perf_counter() - restart_start
+    finally:
+        sealed = fabric.shutdown()
+    if not all(sealed.values()):
+        raise SystemExit(f"FAIL: unclean worker drains: {sealed}")
+
+    processed = 0
+    for index in range(shards):
+        store = JournalStore(journal_root / f"shard-{index:02d}")
+        state = replay_queue_state(store.replay())
+        if state.pending:
+            raise SystemExit(
+                f"FAIL: shard {index} left events pending: "
+                f"{sorted(state.pending)}")
+        if not state.sealed:
+            raise SystemExit(f"FAIL: shard {index} journal not sealed")
+        processed += state.last_event_id - len(state.handed_off)
+
+    return {
+        "events_submitted": events,
+        "event_parts_accepted": accepted,
+        "journal_bytes": journal_bytes(journal_root),
+        "spawn": {
+            "workers": shards,
+            "seconds": spawn_s,
+            "seconds_per_worker": spawn_s / shards,
+        },
+        "throughput": {
+            "drain_seconds": drain_s,
+            "events_per_s": processed / drain_s if drain_s > 0 else None,
+        },
+        "tick_latency": {
+            "ticks": len(tick_latencies),
+            "p50_s": percentile(tick_latencies, 50),
+            "p99_s": percentile(tick_latencies, 99),
+        },
+        "sigkill_restart": {
+            "seconds": restart_s,
+            "ticks": restart_ticks,
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--events", type=int, default=80,
@@ -237,6 +349,19 @@ def main(argv: list[str] | None = None) -> int:
               f"p99 {entry['tick_latency']['p99_s'] * 1e3:6.1f} ms  "
               f"recovery {entry['recovery']['seconds'] * 1e3:7.1f} ms "
               f"({entry['journal_bytes']} B)")
+
+        print(f"driving {args.events} events over {args.shards} worker "
+              f"processes ...", flush=True)
+        entry = bench_process_fabric(Path(tmp) / "processes",
+                                     events=args.events, nodes=args.nodes,
+                                     shards=args.shards)
+        result["fabric_processes"] = entry
+        print(f"  throughput {entry['throughput']['events_per_s']:8.1f} ev/s  "
+              f"tick p50 {entry['tick_latency']['p50_s'] * 1e3:6.1f} ms  "
+              f"p99 {entry['tick_latency']['p99_s'] * 1e3:6.1f} ms  "
+              f"spawn {entry['spawn']['seconds_per_worker'] * 1e3:7.1f} "
+              f"ms/worker  sigkill restart "
+              f"{entry['sigkill_restart']['seconds'] * 1e3:7.1f} ms")
 
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {args.out}")

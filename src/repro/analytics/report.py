@@ -308,6 +308,14 @@ def render_markdown(report: dict) -> str:
             out += ["Load shed by event kind:", "", markdown_table(
                 ("event kind", "shed"),
                 sorted(supervisor["shed_by_kind"].items())), ""]
+        if supervisor.get("drain_reasons"):
+            out += ["Clean drains by reason:", "", markdown_table(
+                ("reason", "drains"),
+                sorted(supervisor["drain_reasons"].items())), ""]
+        if supervisor.get("proc_restarts_by_shard"):
+            out += ["Worker-process restarts by shard:", "", markdown_table(
+                ("shard", "restarts"),
+                sorted(supervisor["proc_restarts_by_shard"].items())), ""]
 
     pipeline = report.get("pipeline")
     if pipeline is not None:

@@ -524,7 +524,14 @@ class SupervisorReducer:
       degraded shard) and ``shard-degraded`` escalations with reasons;
     * **shed rate** -- ``load-shed`` records per enqueued event, the
       fraction of accepted work admission control dropped under
-      overload.
+      overload;
+    * **process fabric** -- ``proc-heartbeat`` liveness beats and
+      ``proc-restart`` respawns journaled by the process supervisor
+      (:mod:`repro.service.procfabric`), per shard;
+    * **clean shutdown** -- a journal whose *final* record is a
+      ``fabric-drain`` was shut down gracefully (drained, fsynced);
+      anything after the last drain means the writer came back up, and
+      no drain at all means the last incarnation crashed.
     """
 
     name = "supervisor"
@@ -539,11 +546,28 @@ class SupervisorReducer:
         self.degraded: list[dict] = []
         self.restarts_by_shard: dict[str, int] = {}
         self.last_beat_by_shard: dict[str, dict] = {}
+        self.drains = 0
+        self.drain_reasons: Counter[str] = Counter()
+        self.proc_heartbeats = 0
+        self.proc_restarts = 0
+        self.proc_restarts_by_shard: Counter[str] = Counter()
+        self._last_was_drain = False
+        self._saw_record = False
 
     def consume(self, record: JournalRecord) -> None:
         payload = record.payload
+        self._saw_record = True
+        self._last_was_drain = record.kind == RecordKind.FABRIC_DRAIN
         if record.kind == RecordKind.EVENT_ENQUEUED:
             self.events_enqueued += 1
+        elif record.kind == RecordKind.FABRIC_DRAIN:
+            self.drains += 1
+            self.drain_reasons[str(payload.get("reason", "unknown"))] += 1
+        elif record.kind == RecordKind.PROC_HEARTBEAT:
+            self.proc_heartbeats += 1
+        elif record.kind == RecordKind.PROC_RESTART:
+            self.proc_restarts += 1
+            self.proc_restarts_by_shard[str(payload.get("shard", "?"))] += 1
         elif record.kind == RecordKind.LOAD_SHED:
             self.events_shed += 1
             self.shed_by_kind[str(payload.get("kind", "unknown"))] += 1
@@ -586,6 +610,14 @@ class SupervisorReducer:
                 self.events_shed / max(self.events_enqueued, 1)),
             "last_heartbeat_by_shard": dict(sorted(
                 self.last_beat_by_shard.items())),
+            "drains": self.drains,
+            "drain_reasons": dict(sorted(self.drain_reasons.items())),
+            "clean_shutdown": bool(self._saw_record
+                                   and self._last_was_drain),
+            "proc_heartbeats": self.proc_heartbeats,
+            "proc_restarts": self.proc_restarts,
+            "proc_restarts_by_shard": dict(sorted(
+                self.proc_restarts_by_shard.items())),
         }
 
 

@@ -104,7 +104,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="install the seeded chaos harness (executor "
                             "crashes, journal write faults, tick/repair "
                             "faults, and -- with --journal -- simulated "
-                            "process kills with restart-from-journal)")
+                            "process kills with restart-from-journal; with "
+                            "--processes, real SIGKILLs against the worker "
+                            "processes)")
+    serve.add_argument("--processes", action="store_true",
+                       help="run the process-isolated shard fabric: one OS "
+                            "worker process per shard with real crash "
+                            "containment and journaled failover "
+                            "(requires --journal)")
+    serve.add_argument("--shards", type=int, default=2, metavar="N",
+                       help="shard count for --processes (default 2)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="graceful-drain window per worker before "
+                            "escalating to SIGKILL (default 10)")
 
     report = sub.add_parser(
         "report",
@@ -252,6 +265,16 @@ def _cmd_serve(args) -> int:
     if args.events < 1 or args.workers < 1:
         print("error: --events and --workers must be positive", file=sys.stderr)
         return 2
+    if args.processes and not args.journal:
+        print("error: --processes requires --journal (dead workers are "
+              "recovered from their journals)", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print("error: --shards must be positive", file=sys.stderr)
+        return 2
+    if args.drain_timeout <= 0:
+        print("error: --drain-timeout must be positive", file=sys.stderr)
+        return 2
 
     fleet = build_fleet(args.nodes, seed=args.seed)
     suite = full_suite()
@@ -271,18 +294,6 @@ def _cmd_serve(args) -> int:
     selector = Selector(model, analytic_coverage_table(suite),
                         suite_durations(suite), p0=args.p0)
     anubis = Anubis(validator, selector)
-    # Approximate criteria only ever go live through the shadow-
-    # evaluation gate, so the incremental engine always brings the
-    # rollout guard with it.
-    rollout = None
-    if args.incremental_criteria:
-        from repro.quality.rollout import RolloutConfig
-        rollout = RolloutConfig()
-    config = ServiceConfig(pool=PoolConfig(max_workers=args.workers),
-                           max_queue_depth=args.max_queue_depth,
-                           rollout=rollout)
-    service = ValidationService(anubis, fleet.nodes,
-                                journal_dir=args.journal, config=config)
 
     # Synthetic orchestration stream: mostly job allocations, plus
     # periodic checks, incident reports and node additions.
@@ -317,6 +328,22 @@ def _cmd_serve(args) -> int:
                                       statuses=statuses,
                                       duration_hours=duration))
 
+    if args.processes:
+        return _serve_processes(args, validator, events)
+
+    # Approximate criteria only ever go live through the shadow-
+    # evaluation gate, so the incremental engine always brings the
+    # rollout guard with it.
+    rollout = None
+    if args.incremental_criteria:
+        from repro.quality.rollout import RolloutConfig
+        rollout = RolloutConfig()
+    config = ServiceConfig(pool=PoolConfig(max_workers=args.workers),
+                           max_queue_depth=args.max_queue_depth,
+                           rollout=rollout)
+    service = ValidationService(anubis, fleet.nodes,
+                                journal_dir=args.journal, config=config)
+
     from collections import Counter
 
     chaos = None
@@ -349,67 +376,219 @@ def _cmd_serve(args) -> int:
     results = []
     submitted = 0
     dropped = 0
-    while True:
-        try:
-            while submitted < len(events):
-                try:
-                    service.submit(events[submitted])
-                except ServiceError:
-                    # Injected journal fault rejected the enqueue; the
-                    # entry was rolled back, so the event is simply lost
-                    # to this run (a real orchestrator would retry).
-                    dropped += 1
-                submitted += 1
-            results.extend(service.drain())
-            break
-        except SimulatedKill:
-            restarts += 1
-            if restarts > 50:
-                print("error: chaos kept killing the service", file=sys.stderr)
-                return 1
-            print(f"chaos: simulated process kill #{restarts}; "
-                  f"restarting from journal...")
-            service = ValidationService(anubis, fleet.nodes,
-                                        journal_dir=args.journal,
-                                        config=config)
-            install(service)
+    previous = _install_drain_handlers()
+    try:
+        while True:
+            try:
+                while submitted < len(events):
+                    try:
+                        service.submit(events[submitted])
+                    except ServiceError:
+                        # Injected journal fault rejected the enqueue;
+                        # the entry was rolled back, so the event is
+                        # simply lost to this run (a real orchestrator
+                        # would retry).
+                        dropped += 1
+                    submitted += 1
+                results.extend(service.drain())
+                break
+            except SimulatedKill:
+                restarts += 1
+                if restarts > 50:
+                    print("error: chaos kept killing the service",
+                          file=sys.stderr)
+                    return 1
+                print(f"chaos: simulated process kill #{restarts}; "
+                      f"restarting from journal...")
+                service = ValidationService(anubis, fleet.nodes,
+                                            journal_dir=args.journal,
+                                            config=config)
+                install(service)
+        if args.incremental_criteria:
+            # Post-stream re-learn: the control plane resolves delta
+            # vs full from the nodes measured since the first learn,
+            # walks the candidates through the rollout gate, and
+            # journals the realized per-key engine path
+            # (criteria-learn record).
+            print(f"\nre-learning criteria on {args.learn_on} nodes "
+                  f"(incremental engine)...")
+            decisions = service.learn_criteria(fleet.nodes[:args.learn_on])
+            rejected = sum(1 for d in decisions if not d.accepted)
+            if decisions:
+                print(f"rollout gate: {len(decisions) - rejected} "
+                      f"accepted, {rejected} rolled back")
 
-    if args.incremental_criteria:
-        # Post-stream re-learn: the control plane resolves delta vs
-        # full from the nodes measured since the first learn, walks the
-        # candidates through the rollout gate, and journals the
-        # realized per-key engine path (criteria-learn record).
-        print(f"\nre-learning criteria on {args.learn_on} nodes "
-              f"(incremental engine)...")
-        decisions = service.learn_criteria(fleet.nodes[:args.learn_on])
-        rejected = sum(1 for d in decisions if not d.accepted)
-        if decisions:
-            print(f"rollout gate: {len(decisions) - rejected} accepted, "
-                  f"{rejected} rolled back")
+        quarantined = sorted({n for r in results for n in r.quarantined})
+        print(f"\nprocessed {len(results)} events "
+              f"({service.queue.coalesced_total} coalesced away)\n")
+        print(service.metrics.format_table())
+        pipeline = anubis.pipeline_stats()
+        if pipeline:
+            print("\nmeasurement spine (stage: runs, seconds):")
+            for stage, entry in pipeline.items():
+                print(f"  {stage:<14} {int(entry['count']):6d} "
+                      f"{entry['seconds']:8.3f}s")
+        counts = service.lifecycle.counts()
+        print("\nlifecycle:",
+              " ".join(f"{k}={v}" for k, v in counts.items()))
+        if quarantined:
+            print(f"quarantined this run: {', '.join(quarantined)}")
+        if chaos is not None:
+            injections.update(chaos.injections)
+            fired = " ".join(f"{k}={v}"
+                             for k, v in sorted(injections.items()))
+            print(f"chaos injections: {fired or 'none'} "
+                  f"(restarts={restarts})")
+            if service.dead_letters():
+                print(f"dead-lettered events: "
+                      f"{len(service.dead_letters())}")
+        if args.journal:
+            # Run-complete seal: with the drain marker as the
+            # journal's final record, the report's clean_shutdown
+            # flag reads true.  Sealing happens inside the handler-
+            # covered region: a signal landing anywhere between the
+            # first submit and this seal still drains cleanly.
+            service.seal(reason="run-complete")
+            print(f"journal: {service.store.path}")
+        return 0
+    except _GracefulShutdown as stop:
+        # Graceful drain: journal the fabric-drain marker and fsync
+        # the journal tail, so ``repro report`` can tell this clean
+        # shutdown from a crash.  Handlers are restored first, so a
+        # second signal kills immediately instead of re-entering.
+        _restore_drain_handlers(previous)
+        service.seal(reason=f"signal-{stop.signum}")
+        print(f"\nsignal {stop.signum}: journal sealed after "
+              f"{submitted}/{len(events)} events "
+              f"({service.metrics.events_processed} processed); exiting")
+        return 0
+    finally:
+        _restore_drain_handlers(previous)
 
-    quarantined = sorted({n for r in results for n in r.quarantined})
-    print(f"\nprocessed {len(results)} events "
-          f"({service.queue.coalesced_total} coalesced away)\n")
-    print(service.metrics.format_table())
-    pipeline = anubis.pipeline_stats()
-    if pipeline:
-        print("\nmeasurement spine (stage: runs, seconds):")
-        for stage, entry in pipeline.items():
-            print(f"  {stage:<14} {int(entry['count']):6d} "
-                  f"{entry['seconds']:8.3f}s")
-    counts = service.lifecycle.counts()
-    print("\nlifecycle:", " ".join(f"{k}={v}" for k, v in counts.items()))
-    if quarantined:
-        print(f"quarantined this run: {', '.join(quarantined)}")
-    if chaos is not None:
-        injections.update(chaos.injections)
-        fired = " ".join(f"{k}={v}" for k, v in sorted(injections.items()))
-        print(f"chaos injections: {fired or 'none'} (restarts={restarts})")
-        if service.dead_letters():
-            print(f"dead-lettered events: {len(service.dead_letters())}")
-    if args.journal:
-        print(f"journal: {service.store.path}")
-    return 0
+
+class _GracefulShutdown(BaseException):
+    """Raised from the serve signal handlers to unwind to a seal.
+
+    A ``BaseException`` so no containment handler between the signal
+    and the drain logic can swallow the shutdown request.
+    """
+
+    def __init__(self, signum: int):
+        super().__init__(f"signal {signum}")
+        self.signum = signum
+
+
+def _install_drain_handlers():
+    """Route SIGTERM/SIGINT into :class:`_GracefulShutdown`."""
+    import signal
+
+    def _raise(signum, _frame):
+        raise _GracefulShutdown(signum)
+
+    return {signum: signal.signal(signum, _raise)
+            for signum in (signal.SIGTERM, signal.SIGINT)}
+
+
+def _restore_drain_handlers(previous) -> None:
+    import signal
+
+    for signum, handler in previous.items():
+        signal.signal(signum, handler)
+
+
+def _serve_processes(args, validator, events) -> int:
+    """``serve --processes``: the OS-process shard fabric end to end.
+
+    The parent learns criteria once (already done by the caller) and
+    persists them next to the journals, so every worker loads instead
+    of re-learning; workers then rebuild the same fleet, suite and
+    selector from the JSON builder args.  SIGTERM/SIGINT drain every
+    worker gracefully -- each seals its own journal -- and a chaos
+    seed arms real ``SIGKILL``/``SIGSTOP`` faults inside the workers.
+    """
+    from pathlib import Path
+
+    from repro.core.persistence import save_criteria
+    from repro.service import (
+        ProcessChaosPlan,
+        ProcessFabric,
+        SupervisorConfig,
+    )
+
+    root = Path(args.journal)
+    root.mkdir(parents=True, exist_ok=True)
+    criteria_path = root / "criteria.json"
+    save_criteria(validator, criteria_path)
+
+    chaos = None
+    if args.chaos_seed is not None:
+        chaos = ProcessChaosPlan(seed=args.chaos_seed, kill_rate=0.01,
+                                 stop_rate=0.002)
+    builder_args = {
+        "fleet_size": args.nodes,
+        "fleet_seed": args.seed,
+        "suite": None,
+        "runner_seed": args.seed,
+        "criteria_path": str(criteria_path),
+        "trace_nodes": max(args.nodes, 50),
+        "trace_hours": 2400.0,
+        "trace_seed": args.seed + 1,
+        "p0": args.p0,
+        "pool": {"max_workers": args.workers},
+        "service": {"max_queue_depth": args.max_queue_depth},
+    }
+    print(f"spawning {args.shards} worker processes..."
+          + (" (chaos on)" if chaos else ""))
+    fabric = ProcessFabric(
+        builder="repro.service.procfabric:default_builder",
+        builder_args=builder_args,
+        journal_root=root,
+        config=SupervisorConfig(shard_count=args.shards),
+        chaos=chaos,
+        drain_timeout_seconds=args.drain_timeout,
+    )
+    print(f"submitting {len(events)} events over {args.nodes} nodes...")
+    results = []
+    submitted = 0
+    previous = _install_drain_handlers()
+    try:
+        for event in events:
+            fabric.submit(event)
+            submitted += 1
+        results = fabric.drain()
+        summary = fabric.summary()
+        # The run-complete shutdown (seal RPC to every worker) happens
+        # inside the handler-covered region: a signal landing after
+        # the drain but before the seals would otherwise kill the
+        # parent with unsealed journals and orphaned workers.
+        sealed = fabric.shutdown(reason="run-complete")
+        quarantined = sorted({n for r in results
+                              for n in r["quarantined"]})
+        print(f"\nprocessed {len(results)} events across {args.shards} "
+              f"worker processes\n")
+        for key in ("worker_spawns", "worker_restarts", "worker_deaths",
+                    "rpc_timeouts", "shards_degraded",
+                    "events_failed_over", "handoffs_reconciled",
+                    "deliveries_deduped"):
+            print(f"  {key:<22} {summary[key]:6d}")
+        if quarantined:
+            print(f"\nquarantined this run: {', '.join(quarantined)}")
+        clean = sum(1 for ok in sealed.values() if ok)
+        print(f"\nclean drains: {clean}/{len(sealed)} workers")
+        print(f"journals under: {root}")
+        return 0
+    except _GracefulShutdown as stop:
+        # Restore first: a second signal kills immediately rather
+        # than interrupting the seal already in progress.
+        _restore_drain_handlers(previous)
+        sealed = fabric.shutdown(reason=f"signal-{stop.signum}")
+        clean = sum(1 for ok in sealed.values() if ok)
+        print(f"\nsignal {stop.signum}: drained {clean}/{len(sealed)} "
+              f"workers cleanly after {submitted}/{len(events)} events; "
+              f"exiting")
+        return 0
+    finally:
+        _restore_drain_handlers(previous)
 
 
 def _cmd_report(args) -> int:

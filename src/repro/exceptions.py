@@ -45,8 +45,13 @@ class TraceError(ReproError):
     """A trace file or trace record is malformed."""
 
 
-class ServiceError(ReproError):
-    """The validation control plane was driven inconsistently."""
+class ServiceError(ReproError, ValueError):
+    """The validation control plane was driven inconsistently.
+
+    Also a :class:`ValueError`: most instances are raised while
+    validating configuration knobs, and callers outside this package
+    reasonably catch ``ValueError`` for bad-parameter errors.
+    """
 
 
 class LifecycleError(ServiceError):

@@ -27,9 +27,15 @@ around the in-process facade:
     The supervision tree: per-shard watchdogs, restart backoff,
     degradation with journaled cross-shard handoff, and the global
     risk-priority scheduler.
+``repro.service.procfabric``
+    The process-isolated fabric: one OS process per shard, a
+    length-prefixed JSON pipe protocol, PID/deadline liveness, and
+    graceful signal-driven drain -- real crash containment.
 ``repro.service.chaos``
     Deterministic, seeded fault injection against all of the above,
-    including shard-level faults against the supervised fabric.
+    including shard-level faults against the supervised fabric and
+    real-signal (``SIGKILL``/``SIGSTOP``) plans for the process
+    fabric.
 """
 
 from repro.service.chaos import (
@@ -37,6 +43,7 @@ from repro.service.chaos import (
     ChaosMonkey,
     ChaosPlan,
     ChaosRunner,
+    ProcessChaosPlan,
     ShardChaosJournalStore,
     ShardChaosMonkey,
     ShardChaosPlan,
@@ -66,6 +73,18 @@ from repro.service.pool import (
     PoolConfig,
     SweepResult,
     ValidationPool,
+)
+from repro.service.procfabric import (
+    PARENT_ORIGIN,
+    ProcessFabric,
+    ProcessFabricMetrics,
+    QueueState,
+    WorkerDied,
+    WorkerFault,
+    WorkerSpec,
+    WorkerUnresponsive,
+    default_builder,
+    replay_queue_state,
 )
 from repro.service.queue import DeadLetter, EventQueue, QueuedEvent
 from repro.service.shard import HashRing, Shard, ShardState
@@ -99,7 +118,12 @@ __all__ = [
     "LEGAL_TRANSITIONS",
     "NodeLifecycle",
     "NodeState",
+    "PARENT_ORIGIN",
     "PoolConfig",
+    "ProcessChaosPlan",
+    "ProcessFabric",
+    "ProcessFabricMetrics",
+    "QueueState",
     "QueuedEvent",
     "ServiceConfig",
     "ServiceMetrics",
@@ -118,8 +142,14 @@ __all__ = [
     "Transition",
     "ValidationPool",
     "ValidationService",
+    "WorkerDied",
+    "WorkerFault",
+    "WorkerSpec",
+    "WorkerUnresponsive",
+    "default_builder",
     "event_from_payload",
     "event_to_payload",
     "install_chaos",
     "install_shard_chaos",
+    "replay_queue_state",
 ]

@@ -61,7 +61,7 @@ from repro.exceptions import ChaosError, JournalError, ServiceError
 __all__ = ["SimulatedKill", "ShardCrash", "ChaosPlan", "ChaosRunner",
            "ChaosJournalStore", "ChaosMonkey", "install_chaos", "poison_key",
            "ShardChaosPlan", "ShardChaosJournalStore", "ShardChaosMonkey",
-           "install_shard_chaos"]
+           "install_shard_chaos", "ProcessChaosPlan"]
 
 
 class SimulatedKill(BaseException):
@@ -628,3 +628,121 @@ def install_shard_chaos(supervisor, plan: ShardChaosPlan) -> ShardChaosMonkey:
     :class:`ShardChaosMonkey` (call
     :meth:`ShardChaosMonkey.uninstall` to restore)."""
     return ShardChaosMonkey(supervisor, plan).install()
+
+
+# ----------------------------------------------------------------------
+# Process-level chaos (real signals against worker processes)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ProcessChaosPlan:
+    """Real OS-level faults a worker *process* inflicts on itself.
+
+    Unlike :class:`ChaosPlan`/:class:`ShardChaosPlan`, nothing here is
+    simulated: the worker built by
+    :mod:`repro.service.procfabric` sends itself genuine signals --
+    ``SIGKILL`` (uncatchable death between two journal appends, the
+    real ``kill -9``) and ``SIGSTOP`` (an uncatchable hang only the
+    parent's watchdog can detect).  The plan is **pure JSON data**
+    (:meth:`to_payload`/:meth:`from_payload`) because it must cross
+    the spawn boundary inside the worker spec; no callables, no
+    pickling.
+
+    Deterministic faults (the prefix-sweep drivers):
+
+    * ``kill_after_appends=N`` -- the worker SIGKILLs itself *before*
+      journal append N+1, but only while ``incarnation ==
+      kill_incarnation`` -- a respawned worker must not die at the
+      same append forever;
+    * ``stop_before_ticks=N`` -- the worker SIGSTOPs itself before
+      handling its (N+1)-th tick command of ``stop_incarnation``.
+
+    Probabilistic faults (``kill_rate`` per append, ``stop_rate`` per
+    tick) draw from the same keyed-RNG idiom as every other plan,
+    keyed by (shard, incarnation, counter) so each respawn re-draws
+    fresh and a soak stays replayable.  ``target_shards`` scopes every
+    fault to the given shard indexes.
+    """
+
+    seed: int
+    target_shards: frozenset | None = None
+    kill_after_appends: int | None = None
+    kill_incarnation: int = 0
+    kill_rate: float = 0.0
+    stop_before_ticks: int | None = None
+    stop_incarnation: int = 0
+    stop_rate: float = 0.0
+
+    def __post_init__(self):
+        for name in ("kill_rate", "stop_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ServiceError(f"{name} must be in [0, 1], got {rate}")
+        for name in ("kill_after_appends", "stop_before_ticks"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ServiceError(f"{name} must be non-negative")
+
+    def targets(self, shard_index: int) -> bool:
+        return (self.target_shards is None
+                or shard_index in self.target_shards)
+
+    def chance(self, rate: float, *key) -> bool:
+        """One keyed Bernoulli draw (same idiom as
+        :meth:`ChaosPlan.chance`)."""
+        if rate <= 0.0:
+            return False
+        rng = np.random.default_rng(
+            np.random.SeedSequence((self.seed, *_entropy(key))))
+        return bool(rng.random() < rate)
+
+    def should_kill(self, shard: int, incarnation: int, append: int) -> bool:
+        """Die (for real) before performing journal append ``append``?"""
+        if not self.targets(shard):
+            return False
+        if (self.kill_after_appends is not None
+                and incarnation == self.kill_incarnation
+                and append > self.kill_after_appends):
+            return True
+        return self.chance(self.kill_rate, "proc-kill", shard, incarnation,
+                           append)
+
+    def should_stop(self, shard: int, incarnation: int, tick: int) -> bool:
+        """Freeze (for real) before handling tick number ``tick``?"""
+        if not self.targets(shard):
+            return False
+        if (self.stop_before_ticks is not None
+                and incarnation == self.stop_incarnation
+                and tick > self.stop_before_ticks):
+            return True
+        return self.chance(self.stop_rate, "proc-stop", shard, incarnation,
+                           tick)
+
+    def to_payload(self) -> dict:
+        """JSON-serializable form for the spawn boundary."""
+        return {
+            "seed": self.seed,
+            "target_shards": (None if self.target_shards is None
+                              else sorted(self.target_shards)),
+            "kill_after_appends": self.kill_after_appends,
+            "kill_incarnation": self.kill_incarnation,
+            "kill_rate": self.kill_rate,
+            "stop_before_ticks": self.stop_before_ticks,
+            "stop_incarnation": self.stop_incarnation,
+            "stop_rate": self.stop_rate,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ProcessChaosPlan":
+        targets = payload.get("target_shards")
+        return cls(
+            seed=int(payload["seed"]),
+            target_shards=(None if targets is None
+                           else frozenset(int(t) for t in targets)),
+            kill_after_appends=payload.get("kill_after_appends"),
+            kill_incarnation=int(payload.get("kill_incarnation", 0)),
+            kill_rate=float(payload.get("kill_rate", 0.0)),
+            stop_before_ticks=payload.get("stop_before_ticks"),
+            stop_incarnation=int(payload.get("stop_incarnation", 0)),
+            stop_rate=float(payload.get("stop_rate", 0.0)),
+        )

@@ -1,0 +1,1295 @@
+"""Process-isolated shard fabric: one OS process per failure domain.
+
+The thread-level :class:`~repro.service.supervisor.ShardSupervisor`
+contains *simulated* shard deaths; this module contains **real**
+ones.  Each shard's full control plane -- journal, queue, pool,
+lifecycle -- runs in its own spawned worker process
+(``python -m repro.service.procfabric``), and the parent
+:class:`ProcessFabric` is a true OS parent: a worker that takes a
+genuine ``SIGKILL`` between two journal appends, or freezes under
+``SIGSTOP``, is detected by PID liveness and RPC deadlines, killed
+off, and respawned over its own journal through the existing
+kill-safe recovery.  The no-loss/no-duplication invariant the thread
+fabric proves against :class:`~repro.service.chaos.SimulatedKill`
+therefore holds against the operating system.
+
+**Protocol.**  Parent and worker speak length-prefixed JSON frames
+over the worker's stdin/stdout pipes: a 4-byte big-endian length
+followed by one UTF-8 JSON object.  The worker re-points file
+descriptor 1 at stderr before anything else runs, so stray prints
+from library code can never corrupt the protocol stream.  Commands
+are strictly request/response (one frame each way, in order), which
+keeps the channel state trivial: any deadline miss desynchronizes the
+channel, and the parent's only remedy -- kill and respawn -- is also
+the correct supervision response.
+
+**Liveness contract.**  The parent samples each RUNNING worker once
+per supervision tick with a ``status`` RPC under
+``status_deadline_seconds``.  A worker is declared dead when its PID
+is gone (``SIGKILL``, crash, OOM) or its RPC deadline lapses (a
+``SIGSTOP`` freeze, a wedged C extension -- the cases PID liveness
+cannot see).  Either way the parent SIGKILLs the remains, reaps them,
+and schedules a respawn with the supervisor's exponential backoff;
+out of restart budget, the shard is DEGRADED and its journal --
+which the parent may now read and append, the worker being provably
+dead -- drives the journaled ``shard-handoff`` failover exactly as in
+the thread fabric.  Single-writer discipline: the parent touches a
+shard's journal *only* while that shard has no live process.
+
+**Exactly-once ingest.**  Every event part the parent delivers
+carries an ``origin`` marker (``(-1, n)`` for parent submissions,
+``(shard, event_id)`` for failovers).  The worker dedupes against its
+recovered :attr:`~ValidationService.origins_seen` before enqueueing,
+so a delivery whose ACK was lost to a kill is safely retried: the
+part lands in some journal exactly once no matter where the child
+died.
+
+**Graceful drain.**  Workers install ``SIGTERM``/``SIGINT`` handlers
+that break out of the blocking protocol read, journal a
+``fabric-drain`` record, fsync the journal tail and exit 0; the
+parent's :meth:`ProcessFabric.shutdown` seals every live worker (RPC
+first, signal as fallback) so ``repro report`` can tell a clean
+shutdown from a crash for every shard.
+
+Real fault *injection* is the worker's own job:
+:class:`~repro.service.chaos.ProcessChaosPlan` crosses the spawn
+boundary as JSON and the worker sends **itself** ``SIGKILL`` before a
+chosen journal append or ``SIGSTOP`` before a chosen tick -- the
+deterministic drivers of the kill-at-every-prefix property test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import select
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.system import ValidationEvent
+from repro.exceptions import JournalError, ServiceError
+from repro.service.chaos import ProcessChaosPlan
+from repro.service.controlplane import ServiceConfig, ValidationService
+from repro.service.shard import HashRing, ShardState
+from repro.service.store import JournalStore, RecordKind
+from repro.service.supervisor import SupervisorConfig
+
+__all__ = ["WorkerSpec", "WorkerFault", "WorkerDied", "WorkerUnresponsive",
+           "ProcessFabric", "ProcessFabricMetrics", "QueueState",
+           "replay_queue_state", "default_builder", "worker_main",
+           "read_frame", "write_frame", "PARENT_ORIGIN"]
+
+#: Origin "shard index" the parent stamps on its own deliveries.  A
+#: real shard can never be negative, so parent origins and failover
+#: origins share one dedupe namespace without colliding.
+PARENT_ORIGIN = -1
+
+_FRAME_HEADER = 4
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# Frame protocol (shared by both sides)
+# ----------------------------------------------------------------------
+
+class WorkerFault(ServiceError):
+    """A worker process failed its side of the protocol contract."""
+
+
+class WorkerDied(WorkerFault):
+    """The worker's PID is gone or its pipe closed mid-conversation."""
+
+
+class WorkerUnresponsive(WorkerFault):
+    """The worker missed an RPC deadline (hang, ``SIGSTOP``, overload)."""
+
+
+def _write_all(fd: int, data: bytes) -> None:
+    view = memoryview(data)
+    while view:
+        written = os.write(fd, view)
+        view = view[written:]
+
+
+def write_frame(fd: int, message: dict) -> None:
+    """Write one length-prefixed JSON frame to ``fd``.
+
+    Raises :class:`WorkerDied` when the peer has closed its end.
+    """
+    body = json.dumps(message, separators=(",", ":")).encode()
+    try:
+        _write_all(fd, len(body).to_bytes(_FRAME_HEADER, "big") + body)
+    except (BrokenPipeError, OSError) as error:
+        raise WorkerDied(f"peer pipe closed while writing: {error}") from error
+
+
+def _read_exact(fd: int, count: int) -> bytes | None:
+    """Blocking exact read; ``None`` on EOF before ``count`` bytes."""
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = os.read(fd, remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(fd: int) -> dict | None:
+    """Blocking read of one frame from ``fd``; ``None`` on clean EOF."""
+    header = _read_exact(fd, _FRAME_HEADER)
+    if header is None:
+        return None
+    length = int.from_bytes(header, "big")
+    if length > _MAX_FRAME:
+        raise WorkerFault(f"oversized frame: {length} bytes")
+    body = _read_exact(fd, length)
+    if body is None:
+        return None
+    return json.loads(body.decode())
+
+
+# ----------------------------------------------------------------------
+# Worker spec (JSON across the spawn boundary -- never pickled)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything one worker process needs to build its shard.
+
+    ``builder`` is a ``"module:function"`` reference resolved *inside*
+    the worker; called with ``builder_args`` (a JSON dict) it must
+    return ``(anubis, nodes, service_config)``.  Keeping the spec pure
+    JSON -- dotted refs instead of callables -- is what makes the
+    spawn boundary honest: nothing crosses it that a config file could
+    not carry.
+    """
+
+    shard_index: int
+    journal_dir: str
+    builder: str
+    builder_args: dict = field(default_factory=dict)
+    incarnation: int = 0
+    heartbeat_every: int = 1
+    chaos: dict | None = None
+
+    def to_payload(self) -> dict:
+        return {
+            "shard_index": self.shard_index,
+            "journal_dir": self.journal_dir,
+            "builder": self.builder,
+            "builder_args": self.builder_args,
+            "incarnation": self.incarnation,
+            "heartbeat_every": self.heartbeat_every,
+            "chaos": self.chaos,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "WorkerSpec":
+        return cls(
+            shard_index=int(payload["shard_index"]),
+            journal_dir=str(payload["journal_dir"]),
+            builder=str(payload["builder"]),
+            builder_args=dict(payload.get("builder_args", {})),
+            incarnation=int(payload.get("incarnation", 0)),
+            heartbeat_every=int(payload.get("heartbeat_every", 1)),
+            chaos=payload.get("chaos"),
+        )
+
+
+def _resolve_builder(ref: str):
+    module_name, _, attr = ref.partition(":")
+    if not module_name or not attr:
+        raise ServiceError(
+            f"builder must be 'module:function', got {ref!r}")
+    import importlib
+    module = importlib.import_module(module_name)
+    target = module
+    for part in attr.split("."):
+        target = getattr(target, part)
+    return target
+
+
+def default_builder(args: dict):
+    """Build ``(anubis, nodes, service_config)`` from plain JSON knobs.
+
+    The stock builder the CLI, benchmarks and tests parameterize
+    instead of shipping code across the spawn boundary.  Recognized
+    keys (all optional): ``fleet_size``/``fleet_seed``, ``suite`` (a
+    list of benchmark names; ``None`` means the full suite),
+    ``runner_seed``, ``criteria_path`` (pre-learned criteria JSON --
+    loading beats re-learning in every worker) or ``learn_on``,
+    ``trace_nodes``/``trace_hours``/``trace_seed``, ``p0``, ``pool``
+    (a :class:`~repro.service.pool.PoolConfig` kwargs dict) and
+    ``service`` (extra :class:`ServiceConfig` kwargs).
+    """
+    from repro.benchsuite.runner import SuiteRunner
+    from repro.benchsuite.suite import full_suite, suite_by_name
+    from repro.core.persistence import load_criteria
+    from repro.core.selector import Selector
+    from repro.core.system import Anubis
+    from repro.core.validator import Validator
+    from repro.hardware.fleet import build_fleet
+    from repro.service.pool import PoolConfig
+    from repro.simulation import analytic_coverage_table, suite_durations
+    from repro.simulation.generator import generate_incident_trace
+    from repro.survival import extract_status_samples
+    from repro.survival.exponential import ExponentialModel
+
+    fleet = build_fleet(int(args.get("fleet_size", 12)),
+                        seed=int(args.get("fleet_seed", 5)))
+    names = args.get("suite")
+    suite = (full_suite() if names is None
+             else tuple(suite_by_name(name) for name in names))
+    validator = Validator(suite,
+                          runner=SuiteRunner(seed=int(args.get("runner_seed",
+                                                               9))))
+    criteria_path = args.get("criteria_path")
+    if criteria_path:
+        load_criteria(validator, criteria_path)
+    else:
+        validator.learn_criteria(fleet.nodes[:int(args.get("learn_on", 6))])
+    trace = generate_incident_trace(
+        int(args.get("trace_nodes", 50)),
+        float(args.get("trace_hours", 800.0)),
+        seed=int(args.get("trace_seed", 11)))
+    dataset = extract_status_samples(trace)
+    model = ExponentialModel().fit(dataset)
+    selector = Selector(model, analytic_coverage_table(suite),
+                        suite_durations(suite),
+                        p0=float(args.get("p0", 0.05)))
+    pool = PoolConfig(**dict(args.get("pool", {})))
+    service_config = ServiceConfig(pool=pool, **dict(args.get("service", {})))
+    return Anubis(validator, selector), fleet.nodes, service_config
+
+
+# ----------------------------------------------------------------------
+# Journal-driven queue reduction (parent-side recovery of dead shards)
+# ----------------------------------------------------------------------
+
+@dataclass
+class QueueState:
+    """What a shard's journal says about its queue, reduced offline.
+
+    ``pending`` maps event id to ``{"event", "priority", "attempts",
+    "origin"}`` -- the same reduction
+    :meth:`ValidationService._recover` performs, minus everything that
+    needs a live service (lifecycle, criteria, metrics).
+    """
+
+    pending: dict[int, dict] = field(default_factory=dict)
+    origins_seen: set = field(default_factory=set)
+    handed_off: dict[int, dict] = field(default_factory=dict)
+    last_event_id: int = 0
+    sealed: bool = False
+
+
+def replay_queue_state(records) -> QueueState:
+    """Reduce journal ``records`` to the queue state they describe.
+
+    The parent runs this over a **dead** shard's journal (the only
+    time it may read one) to learn what is still pending there --
+    the input to journaled failover -- and which handoffs/origins are
+    durable.  ``sealed`` reports whether the final record is a
+    ``fabric-drain``: the clean-shutdown marker.
+    """
+    state = QueueState()
+    for record in records:
+        payload = record.payload
+        state.sealed = record.kind == RecordKind.FABRIC_DRAIN
+        if record.kind == RecordKind.EVENT_ENQUEUED:
+            event_id = int(payload["event_id"])
+            state.last_event_id = max(state.last_event_id, event_id)
+            origin = payload.get("origin")
+            if origin is not None:
+                origin = (int(origin[0]), int(origin[1]))
+                state.origins_seen.add(origin)
+            state.pending[event_id] = {
+                "event": payload["event"],
+                "priority": float(payload["priority"]),
+                "attempts": int(payload.get("attempts", 0)),
+                "origin": origin,
+            }
+        elif record.kind == RecordKind.EVENT_COALESCED:
+            origin = payload.get("origin")
+            if origin is not None:
+                state.origins_seen.add((int(origin[0]), int(origin[1])))
+        elif record.kind in (RecordKind.EVENT_COMPLETED,
+                             RecordKind.EVENT_DEAD_LETTERED,
+                             RecordKind.LOAD_SHED):
+            event_id = int(payload["event_id"])
+            state.last_event_id = max(state.last_event_id, event_id)
+            state.pending.pop(event_id, None)
+        elif record.kind == RecordKind.SHARD_HANDOFF:
+            event_id = int(payload["event_id"])
+            state.last_event_id = max(state.last_event_id, event_id)
+            state.pending.pop(event_id, None)
+            state.handed_off[event_id] = dict(payload)
+        elif record.kind == RecordKind.STATE_SNAPSHOT:
+            state.last_event_id = max(
+                state.last_event_id, int(payload.get("last_event_id", 0)))
+            for handoff in payload.get("handed_off", []):
+                state.handed_off[int(handoff["event_id"])] = dict(handoff)
+            for origin in payload.get("origins_seen", []):
+                state.origins_seen.add((int(origin[0]), int(origin[1])))
+    return state
+
+
+# ----------------------------------------------------------------------
+# The worker process
+# ----------------------------------------------------------------------
+
+class _DrainRequested(BaseException):
+    """Raised by the worker's signal handler to break the blocking
+    protocol read (PEP 475 would otherwise auto-retry ``os.read``
+    after the handler returns).  A ``BaseException`` so no containment
+    handler in the control plane can swallow a shutdown request."""
+
+    def __init__(self, signum: int):
+        super().__init__(f"signal {signum}")
+        self.signum = signum
+
+
+class _SelfKillJournal:
+    """Journal wrapper that SIGKILLs its own process, for real.
+
+    The process-chaos analogue of
+    :class:`~repro.service.chaos.ChaosJournalStore`: when the plan
+    says append ``N+1`` must not happen, the worker sends itself an
+    uncatchable ``SIGKILL`` *before* writing -- the exact semantics of
+    ``kill -9`` landing between two durable records.  Appends 1..N are
+    already flushed to the OS, which keeps them; nothing here is
+    simulated.
+    """
+
+    def __init__(self, store, plan: ProcessChaosPlan, shard: int,
+                 incarnation: int):
+        self._store = store
+        self.plan = plan
+        self.shard = shard
+        self.incarnation = incarnation
+        self.appends = 0
+
+    def append(self, kind: str, payload: dict, *, fsync=None) -> int:
+        self.appends += 1
+        if self.plan.should_kill(self.shard, self.incarnation, self.appends):
+            os.kill(os.getpid(), signal.SIGKILL)
+        return self._store.append(kind, payload, fsync=fsync)
+
+    def __getattr__(self, name):
+        return getattr(self._store, name)
+
+
+class ShardWorker:
+    """One shard's control plane, spoken to over the frame protocol."""
+
+    def __init__(self, spec: WorkerSpec, proto_in: int, proto_out: int):
+        self.spec = spec
+        self.proto_in = proto_in
+        self.proto_out = proto_out
+        self.chaos = (None if spec.chaos is None
+                      else ProcessChaosPlan.from_payload(spec.chaos))
+        self.service: ValidationService | None = None
+        self.ticks = 0
+        self.statuses = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def build(self) -> None:
+        builder = _resolve_builder(self.spec.builder)
+        anubis, nodes, config = builder(self.spec.builder_args)
+        if self.chaos is None:
+            self.service = ValidationService(
+                anubis, nodes, journal_dir=self.spec.journal_dir,
+                config=config)
+            return
+        # Arm the kill wrapper from the very first journal append --
+        # the service's own startup appends (criteria snapshot,
+        # recovery bookkeeping) are kill points too, so the wrapper
+        # must be in place before construction, not bolted on after.
+        # Patching the constructor controlplane resolves is safe here:
+        # this is a dedicated worker process.
+        from repro.service import controlplane as _controlplane
+        original = _controlplane.JournalStore
+        chaos, shard = self.chaos, self.spec.shard_index
+        incarnation = self.spec.incarnation
+
+        def armed(directory, **kwargs):
+            return _SelfKillJournal(original(directory, **kwargs),
+                                    chaos, shard, incarnation)
+
+        _controlplane.JournalStore = armed
+        try:
+            self.service = ValidationService(
+                anubis, nodes, journal_dir=self.spec.journal_dir,
+                config=config)
+        finally:
+            _controlplane.JournalStore = original
+
+    def run(self) -> int:
+        try:
+            self.build()
+            self._reply({"ok": True, "ready": True, **self._state()})
+            while True:
+                message = read_frame(self.proto_in)
+                if message is None:
+                    # Parent gone (pipe closed): seal and leave -- an
+                    # orphaned worker must not keep writing a journal
+                    # its next owner believes quiet.
+                    self._seal("parent-eof")
+                    return 0
+                if not self._dispatch(message):
+                    return 0
+        except _DrainRequested as request:
+            self._seal(f"signal-{request.signum}")
+            return 0
+
+    def _seal(self, reason: str) -> None:
+        if self.service is None:
+            return
+        try:
+            self.service.seal(reason=reason,
+                              extra={"shard": self.spec.shard_index,
+                                     "incarnation": self.spec.incarnation})
+        except Exception:
+            pass
+
+    def _reply(self, message: dict) -> None:
+        write_frame(self.proto_out, message)
+
+    # -- command dispatch ----------------------------------------------
+    def _dispatch(self, message: dict) -> bool:
+        """Handle one command; returns False when the worker should
+        exit (after a ``seal``)."""
+        command = message.get("cmd")
+        try:
+            if command == "status":
+                self._reply({"ok": True, **self._status()})
+            elif command == "state":
+                self._reply({"ok": True, **self._state()})
+            elif command == "submit":
+                self._reply(self._submit(message))
+            elif command == "tick":
+                self._reply(self._tick())
+            elif command == "advance_repairs":
+                self.service.advance_repairs()
+                self._reply({"ok": True})
+            elif command == "seal":
+                self._seal(str(message.get("reason", "drain")))
+                self._reply({"ok": True, "sealed": True})
+                return False
+            else:
+                self._reply({"ok": False,
+                             "error": f"unknown command {command!r}"})
+        except _DrainRequested:
+            raise
+        except Exception as error:
+            self._reply({"ok": False,
+                         "error": f"{type(error).__name__}: {error}"})
+        return True
+
+    def _status(self) -> dict:
+        service = self.service
+        self.statuses += 1
+        head = service.queue.peek()
+        progress = (service.metrics.events_processed
+                    + service.metrics.tick_failures)
+        if (self.spec.heartbeat_every > 0
+                and self.statuses % self.spec.heartbeat_every == 0):
+            payload = {
+                "shard": self.spec.shard_index,
+                "incarnation": self.spec.incarnation,
+                "beat": self.statuses,
+                "progress": progress,
+                "queue_depth": len(service.queue),
+            }
+            try:
+                service._journal_best_effort(RecordKind.PROC_HEARTBEAT,
+                                             payload)
+            except Exception:
+                pass
+        return {
+            "shard": self.spec.shard_index,
+            "incarnation": self.spec.incarnation,
+            "pid": os.getpid(),
+            "queue_depth": len(service.queue),
+            "head_priority": None if head is None else head.priority,
+            "progress": progress,
+            "events_processed": service.metrics.events_processed,
+            "repairs_in_flight": service.repairs_in_flight(),
+            "dead_letters": len(service.dead_letters()),
+        }
+
+    def _state(self) -> dict:
+        """The heavy reply: everything reconciliation needs."""
+        service = self.service
+        return {
+            **self._status(),
+            "origins_seen": [list(origin)
+                             for origin in sorted(service.origins_seen)],
+            "handed_off": {str(event_id): payload
+                           for event_id, payload
+                           in sorted(service.handed_off.items())},
+            "pending": [entry.to_payload()
+                        for entry in service.queue.pending()],
+        }
+
+    def _submit(self, message: dict) -> dict:
+        origin = message.get("origin")
+        if origin is not None:
+            origin = (int(origin[0]), int(origin[1]))
+            if origin in self.service.origins_seen:
+                # Redelivery of something durably accepted before a
+                # crash: ACK without touching the queue.
+                return {"ok": True, "event_id": None, "deduped": True}
+        event = ValidationEvent.from_payload(message["event"],
+                                             self.service.fleet_index)
+        entry = self.service.submit(event, origin=origin)
+        return {"ok": True, "event_id": entry.event_id,
+                "shed": bool(getattr(entry, "shed", False)),
+                "deduped": False}
+
+    def _tick(self) -> dict:
+        self.ticks += 1
+        if (self.chaos is not None
+                and self.chaos.should_stop(self.spec.shard_index,
+                                           self.spec.incarnation,
+                                           self.ticks)):
+            # A real hang: uncatchable, undetectable from inside.
+            # Only the parent's RPC deadline can see this.
+            os.kill(os.getpid(), signal.SIGSTOP)
+        result = self.service.tick()
+        if result is None:
+            return {"ok": True, "result": None}
+        return {"ok": True, "result": {
+            "event_id": result.event_id,
+            "failed": result.failed,
+            "error": result.error,
+            "quarantined": list(result.quarantined),
+            "skipped_nodes": list(result.skipped_nodes),
+        }}
+
+
+def worker_main() -> int:
+    """Entry point of ``python -m repro.service.procfabric``.
+
+    Claims the protocol fds, re-points stdout at stderr (stray prints
+    must never corrupt frames), installs the graceful-drain signal
+    handlers, then reads the :class:`WorkerSpec` as the first frame
+    and serves commands until sealed, signalled, or orphaned.
+    """
+    proto_in = os.dup(0)
+    proto_out = os.dup(1)
+    os.dup2(2, 1)
+    sys.stdout = sys.stderr
+
+    def _on_signal(signum, _frame):
+        raise _DrainRequested(signum)
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    try:
+        payload = read_frame(proto_in)
+        if payload is None:
+            return 1
+        spec = WorkerSpec.from_payload(payload)
+        return ShardWorker(spec, proto_in, proto_out).run()
+    except _DrainRequested:
+        return 0
+
+
+# ----------------------------------------------------------------------
+# The parent supervisor
+# ----------------------------------------------------------------------
+
+class _WorkerHandle:
+    """Parent-side view of one worker process: channel + bookkeeping."""
+
+    def __init__(self, shard_index: int, journal_dir: Path):
+        self.shard_index = shard_index
+        self.journal_dir = journal_dir
+        self.state = ShardState.RUNNING
+        self.proc: subprocess.Popen | None = None
+        self.incarnation = 0
+        self.restarts = 0
+        self.restart_due_tick: int | None = None
+        self.stalled = 0
+        self._buf = b""
+
+    # -- channel --------------------------------------------------------
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    def request(self, message: dict, deadline_seconds: float) -> dict:
+        if not self.alive():
+            raise WorkerDied(
+                f"worker {self.shard_index} has no live process")
+        write_frame(self.proc.stdin.fileno(), message)
+        return self._recv(deadline_seconds)
+
+    def _recv(self, deadline_seconds: float) -> dict:
+        fd = self.proc.stdout.fileno()
+        end = time.monotonic() + deadline_seconds
+        while True:
+            frame = self._try_decode()
+            if frame is not None:
+                return frame
+            remaining = end - time.monotonic()
+            if remaining <= 0:
+                raise WorkerUnresponsive(
+                    f"worker {self.shard_index} missed its "
+                    f"{deadline_seconds:.1f}s deadline")
+            ready, _, _ = select.select([fd], [], [],
+                                        min(remaining, 0.25))
+            if not ready:
+                continue
+            chunk = os.read(fd, 1 << 16)
+            if not chunk:
+                raise WorkerDied(
+                    f"worker {self.shard_index} closed its pipe")
+            self._buf += chunk
+
+    def _try_decode(self) -> dict | None:
+        if len(self._buf) < _FRAME_HEADER:
+            return None
+        length = int.from_bytes(self._buf[:_FRAME_HEADER], "big")
+        if length > _MAX_FRAME:
+            raise WorkerFault(f"oversized frame from worker "
+                              f"{self.shard_index}: {length} bytes")
+        if len(self._buf) < _FRAME_HEADER + length:
+            return None
+        body = self._buf[_FRAME_HEADER:_FRAME_HEADER + length]
+        self._buf = self._buf[_FRAME_HEADER + length:]
+        return json.loads(body.decode())
+
+    # -- process lifecycle ---------------------------------------------
+    def spawn(self, spec: WorkerSpec, spawn_deadline: float) -> dict:
+        """Start the process, ship the spec, await the ready frame."""
+        env = os.environ.copy()
+        import repro
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH", "")
+        if src_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (src_root + os.pathsep + existing
+                                 if existing else src_root)
+        self._buf = b""
+        # -c instead of -m: the package __init__ already imports this
+        # module, and runpy would warn about re-executing it.
+        self.proc = subprocess.Popen(
+            [sys.executable, "-c",
+             "import sys; from repro.service.procfabric import worker_main; "
+             "sys.exit(worker_main())"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=None, bufsize=0, env=env)
+        write_frame(self.proc.stdin.fileno(), spec.to_payload())
+        ready = self._recv(spawn_deadline)
+        if not ready.get("ok") or not ready.get("ready"):
+            raise WorkerFault(
+                f"worker {self.shard_index} failed to start: {ready}")
+        return ready
+
+    def ensure_dead(self, *, reap_seconds: float = 10.0) -> None:
+        """SIGKILL whatever remains and reap it.
+
+        ``SIGKILL`` terminates even a ``SIGSTOP``-frozen process, so
+        this is the one true precondition for the parent touching the
+        shard's journal.
+        """
+        if self.proc is None:
+            return
+        if self.proc.poll() is None:
+            try:
+                self.proc.kill()
+            except OSError:
+                pass
+        try:
+            self.proc.wait(timeout=reap_seconds)
+        except subprocess.TimeoutExpired:  # pragma: no cover - kernel lag
+            pass
+        for stream in (self.proc.stdin, self.proc.stdout):
+            try:
+                if stream is not None:
+                    stream.close()
+            except OSError:
+                pass
+        self._buf = b""
+
+
+@dataclass
+class ProcessFabricMetrics:
+    """What the process supervisor has done so far."""
+
+    worker_spawns: int = 0
+    worker_restarts: int = 0
+    worker_deaths: int = 0
+    rpc_timeouts: int = 0
+    shards_degraded: int = 0
+    events_failed_over: int = 0
+    handoffs_reconciled: int = 0
+    deliveries_deduped: int = 0
+
+    def summary(self) -> dict:
+        return {
+            "worker_spawns": self.worker_spawns,
+            "worker_restarts": self.worker_restarts,
+            "worker_deaths": self.worker_deaths,
+            "rpc_timeouts": self.rpc_timeouts,
+            "shards_degraded": self.shards_degraded,
+            "events_failed_over": self.events_failed_over,
+            "handoffs_reconciled": self.handoffs_reconciled,
+            "deliveries_deduped": self.deliveries_deduped,
+        }
+
+
+class ProcessFabric:
+    """Supervise one OS worker process per shard, as a true parent.
+
+    Parameters
+    ----------
+    builder / builder_args:
+        ``"module:function"`` reference (plus its JSON args) each
+        worker resolves to build ``(anubis, nodes, service_config)``
+        -- see :func:`default_builder`.
+    journal_root:
+        Parent directory; shard N journals under
+        ``journal_root/shard-NN``.  Required: a process fabric without
+        journals could not recover anything from a dead child.
+    config:
+        :class:`~repro.service.supervisor.SupervisorConfig` -- the
+        same geometry/backoff/budget knobs as the thread fabric
+        (``watchdog_stall_ticks`` counts consecutive missed RPC
+        deadlines before a worker is declared dead).
+    chaos:
+        Optional :class:`~repro.service.chaos.ProcessChaosPlan`
+        shipped to every worker (workers fault *themselves*).
+    status_deadline_seconds / tick_deadline_seconds /
+    spawn_deadline_seconds / drain_timeout_seconds:
+        RPC deadlines: liveness probe, one tick (bounded by real
+        validation work), process start (imports + journal recovery),
+        and graceful drain before escalation to ``SIGKILL``.  All
+        must be positive.
+    """
+
+    def __init__(self, *, builder: str, builder_args: dict | None = None,
+                 journal_root, config: SupervisorConfig | None = None,
+                 chaos: ProcessChaosPlan | None = None,
+                 heartbeat_every: int = 1,
+                 status_deadline_seconds: float = 10.0,
+                 tick_deadline_seconds: float = 120.0,
+                 spawn_deadline_seconds: float = 120.0,
+                 drain_timeout_seconds: float = 10.0):
+        if journal_root is None:
+            raise ServiceError(
+                "ProcessFabric requires a journal_root: dead workers are "
+                "recovered from their journals")
+        for name, value in (
+                ("status_deadline_seconds", status_deadline_seconds),
+                ("tick_deadline_seconds", tick_deadline_seconds),
+                ("spawn_deadline_seconds", spawn_deadline_seconds),
+                ("drain_timeout_seconds", drain_timeout_seconds)):
+            if value <= 0:
+                raise ServiceError(f"{name} must be positive, got {value}")
+        if heartbeat_every < 0:
+            raise ServiceError("heartbeat_every must be non-negative")
+        self.builder = builder
+        self.builder_args = dict(builder_args or {})
+        self.journal_root = Path(journal_root)
+        self.config = config or SupervisorConfig()
+        self.chaos = chaos
+        self.heartbeat_every = int(heartbeat_every)
+        self.status_deadline = float(status_deadline_seconds)
+        self.tick_deadline = float(tick_deadline_seconds)
+        self.spawn_deadline = float(spawn_deadline_seconds)
+        self.drain_timeout = float(drain_timeout_seconds)
+        self.ring = HashRing(self.config.shard_count,
+                             virtual_nodes=self.config.virtual_nodes)
+        self.tick_index = 0
+        self.metrics = ProcessFabricMetrics()
+        #: Undelivered event parts: origin -> {"target", "event"}.
+        self._undelivered: dict[tuple[int, int], dict] = {}
+        self._origin_seq = 0
+        self.workers = [
+            _WorkerHandle(index,
+                          self.journal_root / f"shard-{index:02d}")
+            for index in range(self.config.shard_count)
+        ]
+        self._sealed = False
+        start_origins: set[tuple[int, int]] = set()
+        for handle in self.workers:
+            try:
+                ready = self._spawn(handle)
+            except WorkerFault:
+                # A worker can die during its very first journal
+                # appends (a chaos kill at prefix 1 lands here).  With
+                # fault injection armed that is a death to contain,
+                # not a construction error; without it, fail fast --
+                # a spawn that dies with no fault injected is a bad
+                # builder, and a restart loop would only obscure it.
+                if self.chaos is None:
+                    self.shutdown(reason="startup-failure")
+                    raise
+                handle.ensure_dead()
+                self.metrics.worker_deaths += 1
+                handle.state = ShardState.RESTARTING
+                handle.restart_due_tick = (
+                    self.tick_index
+                    + self.config.backoff_ticks(handle.restarts))
+                try:
+                    state = replay_queue_state(
+                        JournalStore(handle.journal_dir).replay())
+                except JournalError:
+                    continue
+                start_origins |= state.origins_seen
+            else:
+                start_origins |= {(int(o[0]), int(o[1]))
+                                  for o in ready.get("origins_seen", [])}
+        # Parent origins must stay unique across parent restarts over
+        # the same journals: resume after the recovered high-water mark.
+        for origin in start_origins:
+            if origin[0] == PARENT_ORIGIN:
+                self._origin_seq = max(self._origin_seq, origin[1])
+        # The previous incarnation may have died between a handoff
+        # record and its delivery.
+        self.reconcile_handoffs()
+
+    # -- spawn / restart / degrade --------------------------------------
+    def _spec(self, handle: _WorkerHandle) -> WorkerSpec:
+        return WorkerSpec(
+            shard_index=handle.shard_index,
+            journal_dir=str(handle.journal_dir),
+            builder=self.builder,
+            builder_args=self.builder_args,
+            incarnation=handle.incarnation,
+            heartbeat_every=self.heartbeat_every,
+            chaos=None if self.chaos is None else self.chaos.to_payload(),
+        )
+
+    def _spawn(self, handle: _WorkerHandle) -> dict:
+        ready = handle.spawn(self._spec(handle), self.spawn_deadline)
+        handle.state = ShardState.RUNNING
+        handle.stalled = 0
+        handle.restart_due_tick = None
+        self.metrics.worker_spawns += 1
+        return ready
+
+    def _journal_parent(self, handle: _WorkerHandle, kind,
+                        payload: dict) -> None:
+        """Append to a shard journal from the parent.
+
+        Legal ONLY while the shard's process is dead (the caller's
+        responsibility -- single-writer discipline); best-effort, like
+        every observability append.
+        """
+        try:
+            JournalStore(handle.journal_dir).append(kind, payload)
+        except JournalError:
+            pass
+
+    def _declare_dead(self, handle: _WorkerHandle, *, reason: str) -> None:
+        if handle.state is not ShardState.RUNNING:
+            return
+        handle.ensure_dead()
+        self.metrics.worker_deaths += 1
+        if handle.restarts >= self.config.max_shard_restarts:
+            self._degrade(handle, reason=reason)
+            return
+        handle.state = ShardState.RESTARTING
+        handle.restart_due_tick = (
+            self.tick_index + self.config.backoff_ticks(handle.restarts))
+        handle.stalled = 0
+
+    def _restart(self, handle: _WorkerHandle) -> None:
+        handle.ensure_dead()
+        handle.restarts += 1
+        handle.incarnation += 1
+        self._journal_parent(handle, RecordKind.PROC_RESTART, {
+            "shard": handle.shard_index,
+            "incarnation": handle.incarnation,
+            "tick": self.tick_index,
+        })
+        try:
+            self._spawn(handle)
+        except WorkerFault as fault:
+            handle.ensure_dead()
+            handle.state = ShardState.RUNNING  # so _declare_dead acts
+            self._declare_dead(handle, reason=f"respawn-failed: {fault}")
+            return
+        self.metrics.worker_restarts += 1
+        self.reconcile_handoffs()
+
+    def _degrade(self, handle: _WorkerHandle, *, reason: str) -> None:
+        handle.ensure_dead()
+        handle.state = ShardState.DEGRADED
+        self.metrics.shards_degraded += 1
+        alive = self._alive_indices()
+        if not alive:
+            raise ServiceError(
+                "every shard degraded; no failover target remains")
+        try:
+            store = JournalStore(handle.journal_dir)
+        except JournalError:
+            return
+        store.append(RecordKind.SHARD_DEGRADED, {
+            "shard": handle.shard_index,
+            "tick": self.tick_index,
+            "restarts": handle.restarts,
+            "reason": reason,
+        })
+        state = replay_queue_state(store.replay())
+        for event_id in sorted(state.pending):
+            info = state.pending[event_id]
+            first_node = sorted(info["event"]["nodes"])[0]
+            target = self.ring.owner(first_node, alive=alive)
+            payload = {
+                "event_id": event_id,
+                "event": info["event"],
+                "priority": info["priority"],
+                "attempts": info["attempts"],
+                "to_shard": target,
+            }
+            try:
+                store.append(RecordKind.SHARD_HANDOFF, payload)
+            except JournalError:
+                continue
+            self.metrics.events_failed_over += 1
+            self._deliver(target, info["event"],
+                          origin=(handle.shard_index, event_id))
+
+    # -- routing / ingest -----------------------------------------------
+    def _alive_indices(self) -> set[int]:
+        """Shards whose journals still accept work (not DEGRADED).
+
+        RESTARTING shards stay in the set: ownership must be stable
+        across a bounded outage, so their parts wait in
+        ``_undelivered`` rather than migrating to a sibling.
+        """
+        return {handle.shard_index for handle in self.workers
+                if handle.state is not ShardState.DEGRADED}
+
+    def _running(self, index: int) -> _WorkerHandle | None:
+        handle = self.workers[index]
+        return handle if handle.state is ShardState.RUNNING else None
+
+    def route(self, node_id: str) -> int:
+        return self.ring.owner(node_id, alive=self._alive_indices())
+
+    def _next_origin(self) -> tuple[int, int]:
+        self._origin_seq += 1
+        return (PARENT_ORIGIN, self._origin_seq)
+
+    def submit(self, event: ValidationEvent) -> dict[int, dict]:
+        """Split one event along shard ownership; deliver each part.
+
+        Every part carries a fresh parent origin marker, so a delivery
+        interrupted by a worker death is retried (on the respawned
+        worker, or a sibling if the owner degraded) without ever
+        double-enqueueing.  Returns the per-shard delivery replies;
+        parts owed to a temporarily dead shard appear with
+        ``{"queued": True}`` and are delivered by later ticks.
+        """
+        groups: dict[int, list] = {}
+        for node in event.nodes:
+            groups.setdefault(self.route(node.node_id), []).append(node)
+        statuses = {status.node_id: status for status in event.statuses}
+        replies: dict[int, dict] = {}
+        for index in sorted(groups):
+            nodes = tuple(groups[index])
+            part = ValidationEvent(
+                kind=event.kind,
+                nodes=nodes,
+                statuses=tuple(statuses[node.node_id] for node in nodes
+                               if node.node_id in statuses),
+                duration_hours=event.duration_hours,
+            )
+            origin = self._next_origin()
+            payload = part.to_payload()
+            reply = self._deliver(index, payload, origin=origin)
+            replies[index] = reply if reply is not None else {"queued": True}
+        return replies
+
+    def _deliver(self, target: int, event_payload: dict, *,
+                 origin: tuple[int, int]) -> dict | None:
+        """Deliver one origin-marked part; park it on failure.
+
+        Returns the worker's reply, or ``None`` when the part was
+        parked in ``_undelivered`` (dead/restarting target).  A reply
+        with ``ok: False`` (the worker's journal refused the enqueue)
+        also parks: durable acceptance or nothing.
+        """
+        handle = self._running(target)
+        if handle is not None:
+            try:
+                reply = handle.request(
+                    {"cmd": "submit", "event": event_payload,
+                     "origin": list(origin)},
+                    self.status_deadline)
+            except WorkerFault as fault:
+                self._note_fault(handle, fault)
+            else:
+                if reply.get("ok"):
+                    if reply.get("deduped"):
+                        self.metrics.deliveries_deduped += 1
+                    self._undelivered.pop(origin, None)
+                    return reply
+        self._undelivered[origin] = {"target": target,
+                                     "event": event_payload}
+        return None
+
+    def _note_fault(self, handle: _WorkerHandle, fault: WorkerFault) -> None:
+        """One failed RPC: dead pipe is conclusive, a deadline miss
+        accumulates against ``watchdog_stall_ticks``."""
+        if isinstance(fault, WorkerUnresponsive):
+            self.metrics.rpc_timeouts += 1
+            handle.stalled += 1
+            if handle.stalled < self.config.watchdog_stall_ticks:
+                # Channel is desynchronized regardless: kill now, but
+                # only after the stall budget on paper?  No -- a missed
+                # deadline leaves request/response framing broken, so
+                # the worker cannot be spoken to again anyway.
+                pass
+        self._declare_dead(handle, reason=str(fault))
+
+    # -- the supervision loop -------------------------------------------
+    def tick(self) -> list[dict]:
+        """One supervision round over real processes.
+
+        Fires due respawns, probes every RUNNING worker's liveness,
+        ticks the worker holding the globally riskiest queue head,
+        advances repairs everywhere else, then retries undelivered
+        parts.
+        """
+        self.tick_index += 1
+        results: list[dict] = []
+        for handle in self.workers:
+            if (handle.state is ShardState.RESTARTING
+                    and handle.restart_due_tick is not None
+                    and self.tick_index >= handle.restart_due_tick):
+                self._restart(handle)
+        statuses: dict[int, dict] = {}
+        for handle in list(self.workers):
+            if handle.state is not ShardState.RUNNING:
+                continue
+            if not handle.alive():
+                self._declare_dead(handle, reason="pid-gone")
+                continue
+            try:
+                status = handle.request({"cmd": "status"},
+                                        self.status_deadline)
+            except WorkerFault as fault:
+                self._note_fault(handle, fault)
+                continue
+            if status.get("ok"):
+                handle.stalled = 0
+                statuses[handle.shard_index] = status
+        ticked = None
+        heads = sorted(
+            ((status["head_priority"], -index, index)
+             for index, status in statuses.items()
+             if status.get("head_priority") is not None),
+            reverse=True)
+        for _priority, _neg, index in heads:
+            handle = self._running(index)
+            if handle is None:
+                continue
+            try:
+                reply = handle.request({"cmd": "tick"}, self.tick_deadline)
+            except WorkerFault as fault:
+                self._note_fault(handle, fault)
+                continue
+            ticked = index
+            if reply.get("ok") and reply.get("result") is not None:
+                results.append(reply["result"])
+            break
+        for index, status in statuses.items():
+            if index == ticked:
+                continue
+            handle = self._running(index)
+            if handle is None or not status.get("repairs_in_flight"):
+                continue
+            try:
+                handle.request({"cmd": "advance_repairs"},
+                               self.status_deadline)
+            except WorkerFault as fault:
+                self._note_fault(handle, fault)
+        self._retry_undelivered()
+        return results
+
+    def _retry_undelivered(self) -> None:
+        alive = self._alive_indices()
+        for origin in list(self._undelivered):
+            info = self._undelivered[origin]
+            target = info["target"]
+            if target not in alive:
+                # Owner degraded for good: fall through the ring.
+                first_node = sorted(info["event"]["nodes"])[0]
+                target = self.ring.owner(first_node, alive=alive)
+                info["target"] = target
+            if self._running(target) is not None:
+                self._deliver(target, info["event"], origin=origin)
+
+    def reconcile_handoffs(self) -> int:
+        """Re-deliver journaled handoffs that never reached a sibling.
+
+        The process twin of
+        :meth:`~repro.service.supervisor.ShardSupervisor.reconcile_handoffs`:
+        delivered-origin sets come from live workers over RPC and from
+        dead shards' journals directly (single-writer safe -- the
+        parent only reads journals of shards with no live process).
+        """
+        alive = self._alive_indices()
+        if not alive:
+            return 0
+        delivered: set[tuple[int, int]] = set()
+        handed: list[tuple[int, dict]] = []
+        for handle in self.workers:
+            if handle.state is ShardState.RUNNING and handle.alive():
+                try:
+                    state = handle.request({"cmd": "state"},
+                                           self.status_deadline)
+                except WorkerFault as fault:
+                    self._note_fault(handle, fault)
+                    continue
+                for origin in state.get("origins_seen", []):
+                    delivered.add((int(origin[0]), int(origin[1])))
+                for payload in state.get("handed_off", {}).values():
+                    handed.append((handle.shard_index, payload))
+            else:
+                try:
+                    records = JournalStore(handle.journal_dir).replay()
+                except JournalError:
+                    continue
+                state = replay_queue_state(records)
+                delivered |= state.origins_seen
+                for payload in state.handed_off.values():
+                    handed.append((handle.shard_index, payload))
+        redelivered = 0
+        for source, payload in handed:
+            origin = (source, int(payload["event_id"]))
+            if origin in delivered:
+                continue
+            target = int(payload.get("to_shard", -1))
+            if target not in alive or self._running(target) is None:
+                first_node = sorted(payload["event"]["nodes"])[0]
+                target = self.ring.owner(first_node, alive=alive)
+            if self._running(target) is None:
+                continue  # owner mid-restart; retried next round
+            reply = self._deliver(target, payload["event"], origin=origin)
+            if reply is not None:
+                delivered.add(origin)
+                redelivered += 1
+                self.metrics.handoffs_reconciled += 1
+        return redelivered
+
+    # -- draining and reporting -----------------------------------------
+    def quiescent(self) -> bool:
+        """No pending work, repairs, undelivered parts or due respawns.
+
+        Like the thread fabric, a degraded shard's journal-parked
+        leftovers do not block quiescence -- they are durable and
+        re-deliverable.
+        """
+        if self._undelivered:
+            return False
+        for handle in self.workers:
+            if handle.state is ShardState.RESTARTING:
+                return False
+            if handle.state is ShardState.DEGRADED:
+                continue
+            try:
+                status = handle.request({"cmd": "status"},
+                                        self.status_deadline)
+            except WorkerFault as fault:
+                self._note_fault(handle, fault)
+                return False
+            if status.get("queue_depth", 0) > 0:
+                return False
+            if status.get("repairs_in_flight"):
+                return False
+        return True
+
+    def drain(self, *, max_ticks: int = 100_000) -> list[dict]:
+        """Tick until the whole fabric is quiescent."""
+        results: list[dict] = []
+        for _ in range(max_ticks):
+            results.extend(self.tick())
+            if self.quiescent():
+                return results
+        raise ServiceError(
+            f"process fabric drain did not converge in {max_ticks} ticks")
+
+    def shutdown(self, *, reason: str = "shutdown") -> dict[int, bool]:
+        """Graceful end-to-end drain of every worker process.
+
+        Per RUNNING worker: ask for a ``seal`` over RPC (journal the
+        ``fabric-drain`` record, fsync, exit 0); if the worker cannot
+        be spoken to, fall back to ``SIGTERM`` (its signal handler
+        runs the same seal) and escalate to ``SIGKILL`` after
+        ``drain_timeout_seconds``.  Returns per-shard ``True`` when
+        the worker exited within its drain window.  Idempotent.
+        """
+        sealed: dict[int, bool] = {}
+        if self._sealed:
+            return sealed
+        self._sealed = True
+        for handle in self.workers:
+            clean = False
+            if handle.state is ShardState.RUNNING and handle.alive():
+                try:
+                    reply = handle.request({"cmd": "seal",
+                                            "reason": reason},
+                                           self.drain_timeout)
+                    clean = bool(reply.get("sealed"))
+                except WorkerFault:
+                    try:
+                        handle.proc.terminate()
+                    except OSError:
+                        pass
+                if handle.proc is not None:
+                    try:
+                        handle.proc.wait(timeout=self.drain_timeout)
+                        clean = clean or handle.proc.returncode == 0
+                    except subprocess.TimeoutExpired:
+                        clean = False
+            handle.ensure_dead()
+            sealed[handle.shard_index] = clean
+        return sealed
+
+    def __enter__(self) -> "ProcessFabric":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def summary(self) -> dict:
+        """Fabric-level health: parent counters plus per-shard state."""
+        shards = {}
+        for handle in self.workers:
+            entry = {
+                "state": handle.state.value,
+                "restarts": handle.restarts,
+                "incarnation": handle.incarnation,
+                "pid": None if not handle.alive() else handle.proc.pid,
+            }
+            if handle.state is ShardState.RUNNING and handle.alive():
+                try:
+                    status = handle.request({"cmd": "status"},
+                                            self.status_deadline)
+                except WorkerFault:
+                    status = {}
+                entry["queue_depth"] = status.get("queue_depth")
+                entry["events_processed"] = status.get("events_processed")
+            shards[f"shard-{handle.shard_index:02d}"] = entry
+        return {
+            "tick_index": self.tick_index,
+            **self.metrics.summary(),
+            "undelivered": len(self._undelivered),
+            "shards": shards,
+        }
+
+
+if __name__ == "__main__":
+    sys.exit(worker_main())

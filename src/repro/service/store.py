@@ -98,6 +98,14 @@ class RecordKind(str, enum.Enum):
     SHARD_DEGRADED = "shard-degraded"
     #: One pending event failed over from a degraded shard to a sibling.
     SHARD_HANDOFF = "shard-handoff"
+    #: Clean shutdown marker: the writer drained and fsynced this
+    #: journal before exiting (a journal whose last record is not a
+    #: drain was a crash).
+    FABRIC_DRAIN = "fabric-drain"
+    #: Liveness probe journaled by a worker *process* (process fabric).
+    PROC_HEARTBEAT = "proc-heartbeat"
+    #: The parent supervisor respawned a dead worker process.
+    PROC_RESTART = "proc-restart"
 
 
 #: Every record kind a journal written by this version can contain.
@@ -198,7 +206,31 @@ class JournalStore:
         #: Decodable-but-corrupt lines (checksum mismatches) seen by
         #: the most recent :meth:`replay`.
         self.corrupt_records = 0
+        self._heal_torn_tail()
         self._seq = self._last_seq_on_disk()
+
+    def _heal_torn_tail(self) -> None:
+        """Seal a torn final line left by a real ``kill -9`` mid-write.
+
+        ``append`` writes ``line + "\\n"`` in one call, but the OS may
+        persist only a prefix when the writer dies.  If the file does
+        not end with a newline, a later append would concatenate onto
+        the torn line and corrupt *both* records; writing the missing
+        newline confines the damage to the (already lost) torn record,
+        which replay then skips as ``corrupt-line``.
+        """
+        try:
+            if not self.path.exists() or self.path.stat().st_size == 0:
+                return
+            with self.path.open("rb+") as handle:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        except OSError as error:
+            raise JournalError(
+                f"cannot heal torn tail of {self.path}: {error}") from error
 
     def _last_seq_on_disk(self) -> int:
         last = 0
@@ -233,6 +265,22 @@ class JournalStore:
             raise JournalError(f"cannot append to {self.path}: {error}") from error
         self._seq = seq
         return seq
+
+    def sync(self) -> None:
+        """Force everything appended so far to stable storage.
+
+        Used by graceful drain: a single fsync of the journal tail is
+        much cheaper than running the whole session with
+        ``fsync=True``, yet guarantees a clean shutdown loses nothing.
+        """
+        if not self.path.exists():
+            return
+        try:
+            with self.path.open("a") as handle:
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as error:
+            raise JournalError(f"cannot fsync {self.path}: {error}") from error
 
     def rewrite(self, records) -> int:
         """Atomically replace the journal with ``records`` (compaction).

@@ -526,6 +526,27 @@ class ShardSupervisor:
         raise ServiceError(
             f"supervisor drain did not converge in {max_ticks} ticks")
 
+    def seal(self, *, reason: str = "drain") -> None:
+        """Durably mark a clean shutdown of every non-degraded shard.
+
+        Appends a ``fabric-drain`` record to each live shard's journal
+        and fsyncs its tail (see
+        :meth:`~repro.service.controlplane.ValidationService.seal`),
+        so ``repro report`` can tell this shutdown from a crash and no
+        unsynced record can be lost after the supervisor exits.
+        Best-effort per shard: one refusing journal must not block the
+        others' clean shutdown.
+        """
+        for shard in self.shards:
+            if shard.state is ShardState.DEGRADED:
+                continue
+            try:
+                shard.service.seal(reason=reason,
+                                   extra={"shard": shard.index,
+                                          "tick": self.tick_index})
+            except (JournalError, ShardCrash):
+                continue
+
     def summary(self) -> dict:
         """Fabric-level health: supervisor counters plus per-shard state."""
         shards = {}

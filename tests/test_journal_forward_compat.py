@@ -23,6 +23,11 @@ NEW_KINDS = frozenset({"load-shed", "shard-heartbeat", "shard-degraded",
                        "shard-handoff"})
 OLD_KNOWN_KINDS = KNOWN_KINDS - NEW_KINDS
 
+#: The kinds the process fabric added on top; a reader from the
+#: thread-fabric era must skip these the same way.
+PROC_KINDS = frozenset({"fabric-drain", "proc-heartbeat", "proc-restart"})
+PRE_PROC_KNOWN_KINDS = KNOWN_KINDS - PROC_KINDS
+
 
 def write_fabric_journal(directory) -> JournalStore:
     """A journal mixing classic records with the shard-fabric kinds."""
@@ -116,6 +121,86 @@ class TestJournalHealthSurfacing:
             return render_json(report), render_markdown(report)
 
         assert render() == render()
+
+
+def write_process_fabric_journal(directory) -> JournalStore:
+    """A journal as one process-fabric worker would leave it: real
+    heartbeats, a parent-journaled restart, and a final drain seal."""
+    store = JournalStore(directory)
+    store.append(RecordKind.EVENT_ENQUEUED, {
+        "event_id": 1, "priority": 0.4,
+        "event": {"kind": "job-allocation", "duration_hours": 24.0}})
+    store.append(RecordKind.PROC_HEARTBEAT, {
+        "shard": 1, "incarnation": 0, "beat": 1, "progress": 0,
+        "queue_depth": 1})
+    store.append(RecordKind.PROC_RESTART, {
+        "shard": 1, "incarnation": 1, "tick": 4})
+    store.append(RecordKind.PROC_HEARTBEAT, {
+        "shard": 1, "incarnation": 1, "beat": 1, "progress": 1,
+        "queue_depth": 0})
+    store.append(RecordKind.FABRIC_DRAIN, {
+        "reason": "signal-15", "pending": 0, "events_processed": 1,
+        "dead_letters": 0, "shard": 1, "incarnation": 1})
+    return store
+
+
+class TestProcessFabricKindsForwardCompat:
+    def test_process_kinds_are_registered(self):
+        assert PROC_KINDS <= KNOWN_KINDS
+
+    def test_pre_process_reader_warns_and_skips(self, tmp_path):
+        write_process_fabric_journal(tmp_path / "journal")
+        reader = JournalReader(tmp_path / "journal",
+                               known_kinds=PRE_PROC_KNOWN_KINDS)
+        records = reader.read_all()  # must not raise
+        assert [r.kind for r in records] == ["event-enqueued"]
+        assert reader.unknown_kinds == {"proc-heartbeat": 2,
+                                        "proc-restart": 1,
+                                        "fabric-drain": 1}
+        report = build_report(records, journal_health=reader.health())
+        assert report["journal"]["unknown_kinds"]["fabric-drain"] == 1
+        render_json(report)
+        render_markdown(report)
+
+    def test_reducer_reports_drain_and_process_rows(self, tmp_path):
+        write_process_fabric_journal(tmp_path / "journal")
+        records = JournalReader(tmp_path / "journal").read_all()
+        reducer = SupervisorReducer()
+        for record in records:
+            reducer.consume(record)
+        result = reducer.result()
+        assert result["drains"] == 1
+        assert result["drain_reasons"] == {"signal-15": 1}
+        assert result["clean_shutdown"] is True
+        assert result["proc_heartbeats"] == 2
+        assert result["proc_restarts"] == 1
+        assert result["proc_restarts_by_shard"] == {"1": 1}
+
+    def test_clean_shutdown_requires_drain_as_final_record(self, tmp_path):
+        store = write_process_fabric_journal(tmp_path / "journal")
+        store.append(RecordKind.EVENT_ENQUEUED, {
+            "event_id": 2, "priority": 0.1,
+            "event": {"kind": "periodic", "duration_hours": 24.0}})
+        records = JournalReader(tmp_path / "journal").read_all()
+        reducer = SupervisorReducer()
+        for record in records:
+            reducer.consume(record)
+        result = reducer.result()
+        assert result["drains"] == 1
+        assert result["clean_shutdown"] is False
+
+    def test_empty_journal_is_not_a_clean_shutdown(self):
+        assert SupervisorReducer().result()["clean_shutdown"] is False
+
+    def test_markdown_renders_drain_and_restart_tables(self, tmp_path):
+        write_process_fabric_journal(tmp_path / "journal")
+        reader = JournalReader(tmp_path / "journal")
+        report = build_report(reader.read_all(),
+                              journal_health=reader.health())
+        markdown = render_markdown(report)
+        assert "clean_shutdown" in markdown
+        assert "Clean drains by reason" in markdown
+        assert "Worker-process restarts by shard" in markdown
 
 
 class TestSupervisorReducer:
