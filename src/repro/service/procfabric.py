@@ -617,7 +617,6 @@ class _WorkerHandle:
         self.incarnation = 0
         self.restarts = 0
         self.restart_due_tick: int | None = None
-        self.stalled = 0
         self._buf = b""
 
     # -- channel --------------------------------------------------------
@@ -628,8 +627,40 @@ class _WorkerHandle:
         if not self.alive():
             raise WorkerDied(
                 f"worker {self.shard_index} has no live process")
-        write_frame(self.proc.stdin.fileno(), message)
+        self._send(message, deadline_seconds)
         return self._recv(deadline_seconds)
+
+    def _send(self, message: dict, deadline_seconds: float) -> None:
+        """Deadline-bounded frame write to the worker's stdin.
+
+        The fd is non-blocking (set at spawn): a ``SIGSTOP``-frozen
+        worker whose stdin pipe is full must surface as
+        :class:`WorkerUnresponsive`, never wedge the parent inside a
+        blocking ``os.write`` where no watchdog can run.
+        """
+        fd = self.proc.stdin.fileno()
+        body = json.dumps(message, separators=(",", ":")).encode()
+        data = memoryview(len(body).to_bytes(_FRAME_HEADER, "big") + body)
+        end = time.monotonic() + deadline_seconds
+        while data:
+            remaining = end - time.monotonic()
+            if remaining <= 0:
+                raise WorkerUnresponsive(
+                    f"worker {self.shard_index} did not accept a frame "
+                    f"within its {deadline_seconds:.1f}s deadline")
+            _, writable, _ = select.select([], [fd], [],
+                                           min(remaining, 0.25))
+            if not writable:
+                continue
+            try:
+                written = os.write(fd, data)
+            except BlockingIOError:
+                continue
+            except (BrokenPipeError, OSError) as error:
+                raise WorkerDied(
+                    f"worker {self.shard_index} pipe closed while "
+                    f"writing: {error}") from error
+            data = data[written:]
 
     def _recv(self, deadline_seconds: float) -> dict:
         fd = self.proc.stdout.fileno()
@@ -685,7 +716,8 @@ class _WorkerHandle:
              "sys.exit(worker_main())"],
             stdin=subprocess.PIPE, stdout=subprocess.PIPE,
             stderr=None, bufsize=0, env=env)
-        write_frame(self.proc.stdin.fileno(), spec.to_payload())
+        os.set_blocking(self.proc.stdin.fileno(), False)
+        self._send(spec.to_payload(), spawn_deadline)
         ready = self._recv(spawn_deadline)
         if not ready.get("ok") or not ready.get("ready"):
             raise WorkerFault(
@@ -760,9 +792,10 @@ class ProcessFabric:
         journals could not recover anything from a dead child.
     config:
         :class:`~repro.service.supervisor.SupervisorConfig` -- the
-        same geometry/backoff/budget knobs as the thread fabric
-        (``watchdog_stall_ticks`` counts consecutive missed RPC
-        deadlines before a worker is declared dead).
+        same geometry/backoff/budget knobs as the thread fabric.
+        ``watchdog_stall_ticks`` applies only to the thread fabric:
+        here a single missed RPC deadline is fatal, because it
+        desynchronizes the request/response framing beyond repair.
     chaos:
         Optional :class:`~repro.service.chaos.ProcessChaosPlan`
         shipped to every worker (workers fault *themselves*).
@@ -871,7 +904,6 @@ class ProcessFabric:
     def _spawn(self, handle: _WorkerHandle) -> dict:
         ready = handle.spawn(self._spec(handle), self.spawn_deadline)
         handle.state = ShardState.RUNNING
-        handle.stalled = 0
         handle.restart_due_tick = None
         self.metrics.worker_spawns += 1
         return ready
@@ -900,7 +932,6 @@ class ProcessFabric:
         handle.state = ShardState.RESTARTING
         handle.restart_due_tick = (
             self.tick_index + self.config.backoff_ticks(handle.restarts))
-        handle.stalled = 0
 
     def _restart(self, handle: _WorkerHandle) -> None:
         handle.ensure_dead()
@@ -933,22 +964,39 @@ class ProcessFabric:
             store = JournalStore(handle.journal_dir)
         except JournalError:
             return
-        store.append(RecordKind.SHARD_DEGRADED, {
-            "shard": handle.shard_index,
-            "tick": self.tick_index,
-            "restarts": handle.restarts,
-            "reason": reason,
-        })
+        try:
+            store.append(RecordKind.SHARD_DEGRADED, {
+                "shard": handle.shard_index,
+                "tick": self.tick_index,
+                "restarts": handle.restarts,
+                "reason": reason,
+            })
+        except JournalError:
+            pass
         state = replay_queue_state(store.replay())
+        # Every origin this journal durably accepted is a delivery that
+        # DID land -- only its ACK was lost.  Un-park those entries now,
+        # or _retry_undelivered would re-route them to a sibling under
+        # the parent origin while the failover below delivers the same
+        # event under another, defeating the origin dedupe.
+        for origin in state.origins_seen:
+            self._undelivered.pop(origin, None)
         for event_id in sorted(state.pending):
             info = state.pending[event_id]
             first_node = sorted(info["event"]["nodes"])[0]
             target = self.ring.owner(first_node, alive=alive)
+            # Fail over under the event's ORIGINAL origin when it has
+            # one: every path that could ever re-deliver this part
+            # (retry, reconcile, a second failover) then shares one
+            # dedupe key with this delivery.
+            origin = (info["origin"] if info["origin"] is not None
+                      else (handle.shard_index, event_id))
             payload = {
                 "event_id": event_id,
                 "event": info["event"],
                 "priority": info["priority"],
                 "attempts": info["attempts"],
+                "origin": [int(origin[0]), int(origin[1])],
                 "to_shard": target,
             }
             try:
@@ -956,8 +1004,7 @@ class ProcessFabric:
             except JournalError:
                 continue
             self.metrics.events_failed_over += 1
-            self._deliver(target, info["event"],
-                          origin=(handle.shard_index, event_id))
+            self._deliver(target, info["event"], origin=origin)
 
     # -- routing / ingest -----------------------------------------------
     def _alive_indices(self) -> set[int]:
@@ -1040,17 +1087,12 @@ class ProcessFabric:
         return None
 
     def _note_fault(self, handle: _WorkerHandle, fault: WorkerFault) -> None:
-        """One failed RPC: dead pipe is conclusive, a deadline miss
-        accumulates against ``watchdog_stall_ticks``."""
+        """One failed RPC is conclusive either way: a dead pipe means
+        the process is gone, and a single missed deadline leaves the
+        request/response framing desynchronized, so the worker could
+        not be spoken to again even if it woke up."""
         if isinstance(fault, WorkerUnresponsive):
             self.metrics.rpc_timeouts += 1
-            handle.stalled += 1
-            if handle.stalled < self.config.watchdog_stall_ticks:
-                # Channel is desynchronized regardless: kill now, but
-                # only after the stall budget on paper?  No -- a missed
-                # deadline leaves request/response framing broken, so
-                # the worker cannot be spoken to again anyway.
-                pass
         self._declare_dead(handle, reason=str(fault))
 
     # -- the supervision loop -------------------------------------------
@@ -1083,7 +1125,6 @@ class ProcessFabric:
                 self._note_fault(handle, fault)
                 continue
             if status.get("ok"):
-                handle.stalled = 0
                 statuses[handle.shard_index] = status
         ticked = None
         heads = sorted(
@@ -1168,7 +1209,13 @@ class ProcessFabric:
                     handed.append((handle.shard_index, payload))
         redelivered = 0
         for source, payload in handed:
-            origin = (source, int(payload["event_id"]))
+            # Handoffs written by _degrade record the origin their
+            # delivery used; older records fall back to the source
+            # shard's identity, which is what _degrade used to stamp.
+            recorded = payload.get("origin")
+            origin = ((int(recorded[0]), int(recorded[1]))
+                      if recorded is not None
+                      else (source, int(payload["event_id"])))
             if origin in delivered:
                 continue
             target = int(payload.get("to_shard", -1))

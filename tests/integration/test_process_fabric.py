@@ -229,6 +229,70 @@ class TestExternalSigkill:
         assert facts["restarts"] == 1
 
 
+class TestDegradeWithLostAck:
+    """Regression: a part durably journaled by a shard whose delivery
+    ACK was lost must fail over under its ORIGINAL parent origin when
+    the shard degrades.  The bug was two deliveries to the sibling --
+    one from the failover under ``(shard, event_id)``, one from the
+    undelivered-retry path under ``(-1, n)`` -- whose differing
+    origins defeated the worker's dedupe."""
+
+    def test_parked_delivery_not_duplicated_on_degrade(
+            self, tmp_path, fleet, criteria_path):
+        root = tmp_path / "j"
+        fabric = make_fabric(root, criteria_path)
+        try:
+            groups = {}
+            for node in fleet.nodes:
+                groups.setdefault(fabric.route(node.node_id),
+                                  []).append(node)
+            victim, members = max(groups.items(),
+                                  key=lambda kv: len(kv[1]))
+            nodes = tuple(members[:2])
+            statuses = tuple(NodeStatus(node_id=n.node_id,
+                                        covariates=np.zeros(3))
+                             for n in nodes)
+            event = ValidationEvent(kind=EventKind.JOB_ALLOCATION,
+                                    nodes=nodes, statuses=statuses,
+                                    duration_hours=24.0)
+            replies = fabric.submit(event)
+            assert replies[victim]["ok"]
+            # Simulate the lost ACK: the part sits in the victim's
+            # journal, but the parent still believes it undelivered.
+            origin = (PARENT_ORIGIN, fabric._origin_seq)
+            fabric._undelivered[origin] = {"target": victim,
+                                           "event": event.to_payload()}
+            handle = fabric.workers[victim]
+            handle.restarts = fabric.config.max_shard_restarts
+            os.kill(handle.proc.pid, signal.SIGKILL)
+            results = fabric.drain(max_ticks=300)
+            assert handle.state is ShardState.DEGRADED
+            assert origin not in fabric._undelivered
+            assert fabric.metrics.events_failed_over == 1
+            assert len(results) == 1
+        finally:
+            fabric.shutdown()
+        sibling = next(i for i in range(SHARDS) if i != victim)
+        records = list(JournalStore(Path(root) / f"shard-{sibling:02d}")
+                       .replay())
+        part = frozenset(n.node_id for n in nodes)
+        enqueues = [r for r in records
+                    if r.kind == RecordKind.EVENT_ENQUEUED
+                    and frozenset(r.payload["event"]["nodes"]) == part]
+        assert len(enqueues) == 1
+        assert tuple(enqueues[0].payload["origin"]) == origin
+        # The retry path must not have delivered a second copy: a
+        # duplicate while the first is still queued shows up as a
+        # coalesce rather than a second enqueue.
+        assert not [r for r in records
+                    if r.kind == RecordKind.EVENT_COALESCED]
+        handoffs = [r for r in JournalStore(
+                        Path(root) / f"shard-{victim:02d}").replay()
+                    if r.kind == RecordKind.SHARD_HANDOFF]
+        assert len(handoffs) == 1
+        assert tuple(handoffs[0].payload["origin"]) == origin
+
+
 def run_kill_prefix(root, fleet, criteria_path, cut: int, shard: int):
     """One fabric run where ``shard`` SIGKILLs itself before its
     journal append number ``cut``."""

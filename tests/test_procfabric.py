@@ -206,6 +206,21 @@ class TestReplayQueueState:
         assert not state.pending
         assert state.handed_off[1]["to_shard"] == 2
 
+    def test_handoff_origin_rides_through_replay(self, tmp_path):
+        """The origin _degrade stamps on a handoff must survive replay
+        verbatim: reconcile_handoffs re-delivers under that origin, so
+        losing it would re-introduce the double-delivery bug."""
+        store = self.journal(tmp_path)
+        self.enqueue(store, 1, origin=(-1, 7))
+        store.append(RecordKind.SHARD_HANDOFF, {
+            "event_id": 1, "priority": 0.5, "attempts": 0, "to_shard": 2,
+            "origin": [-1, 7],
+            "event": {"kind": "job-allocation", "nodes": ["n1"],
+                      "statuses": [], "duration_hours": 24.0}})
+        state = replay_queue_state(store.replay())
+        assert state.handed_off[1]["origin"] == [-1, 7]
+        assert (-1, 7) in state.origins_seen
+
     def test_snapshot_merges_origins_and_handoffs(self, tmp_path):
         store = self.journal(tmp_path)
         store.append(RecordKind.STATE_SNAPSHOT, {
