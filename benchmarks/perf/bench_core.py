@@ -357,6 +357,79 @@ def bench_learn_scaling(
     return entry
 
 
+#: The mixed-fleet composition and per-class performance factors used
+#: by the mixed-SKU leg (mirrors ``repro.hardware.sku.SKU_REGISTRY``).
+_SKU_MIX = (("A100", 0.5, 1.0), ("H100", 0.3, 2.2), ("MI250X", 0.2, 1.4))
+
+
+def make_mixed_fleet(
+    rng: np.random.Generator, nodes: int, window: int
+) -> dict[str, np.ndarray]:
+    """3-SKU fleet: per-class baselines with ~1% planted defects each."""
+
+    groups: dict[str, np.ndarray] = {}
+    remaining = nodes
+    for index, (sku, fraction, factor) in enumerate(_SKU_MIX):
+        count = (remaining if index == len(_SKU_MIX) - 1
+                 else max(int(round(nodes * fraction)), 1))
+        remaining -= count
+        offsets = rng.normal(0.0, 0.5 * factor, size=(count, 1))
+        fleet = (100.0 * factor + offsets
+                 + rng.normal(0.0, 2.0 * factor, size=(count, window)))
+        stride = max(count // max(count // 100, 1), 1)
+        fleet[::stride] -= 20.0 * factor
+        groups[sku] = fleet
+    return groups
+
+
+def bench_mixed_sku(nodes: int, window: int, repeats: int) -> dict:
+    """Per-SKU partitioned learn vs the legacy pooled learn.
+
+    The partitioned path is what the (sku, benchmark, metric) keying
+    runs in production: one Algorithm-2 learn per class namespace.
+    The pooled path is the pre-SKU behavior kept as a baseline -- it
+    merges the per-class distributions, so its timing shows what the
+    partition costs (usually: nothing, the work is subdivided) and
+    its defect count shows why pooling is wrong on a mixed fleet.
+    """
+
+    rng = np.random.default_rng(nodes + 2)
+    groups = make_mixed_fleet(rng, nodes, window)
+    per_sku_samples = {
+        sku: [fleet[i] for i in range(fleet.shape[0])]
+        for sku, fleet in groups.items()
+    }
+    pooled_samples = [s for samples in per_sku_samples.values()
+                      for s in samples]
+
+    def learn_per_sku():
+        return {sku: learn_criteria(samples, 0.95, centroid="hybrid")
+                for sku, samples in per_sku_samples.items()}
+
+    per_sku_s = best_of(learn_per_sku, repeats)
+    pooled_s = best_of(
+        lambda: learn_criteria(pooled_samples, 0.95, centroid="hybrid"),
+        repeats)
+
+    results = learn_per_sku()
+    pooled = learn_criteria(pooled_samples, 0.95, centroid="hybrid")
+    per_sku_defects = sum(len(r.defect_indices) for r in results.values())
+    entry = {
+        "nodes": nodes,
+        "window": window,
+        "composition": {sku: fleet.shape[0]
+                        for sku, fleet in groups.items()},
+        "per_sku_learn_s": per_sku_s,
+        "pooled_learn_s": pooled_s,
+        # Informational (not gated): pooling a heterogeneous fleet
+        # mis-classifies whole classes as defective; the partitioned
+        # learn finds only the planted per-class defects.
+        "per_sku_defects": per_sku_defects,
+        "pooled_defects": len(pooled.defect_indices),
+    }
+    return entry
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--sizes", default="64,256,1024",
@@ -373,6 +446,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--learn-sizes", default="1024,4096,10000",
                         help="comma-separated fleet sizes for the "
                              "learn-scaling sweep (empty string skips it)")
+    parser.add_argument("--mixed-sku-sizes", default="1024",
+                        help="comma-separated fleet sizes for the 3-SKU "
+                             "mixed-fleet leg (empty string skips it)")
     parser.add_argument("--learn-exact-max", type=int, default=4096,
                         help="largest learn-scaling fleet to also run "
                              "through the exact O(n^2) learner (deviation "
@@ -385,6 +461,8 @@ def main(argv: list[str] | None = None) -> int:
 
     sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
     learn_sizes = [int(s) for s in args.learn_sizes.split(",") if s.strip()]
+    mixed_sizes = [int(s) for s in args.mixed_sku_sizes.split(",")
+                   if s.strip()]
 
     result: dict = {
         "suite": "repro.core distance kernels",
@@ -458,6 +536,20 @@ def main(argv: list[str] | None = None) -> int:
                          f"{entry['deviation']['max_similarity_deviation']:.4f}"
                          f" < {entry['deviation']['bound']:.4f}")
             print(line)
+
+    if mixed_sizes:
+        # Keyed by fleet size for the same reason as learn_scaling: the
+        # compare_bench gate must never diff a CI smoke size against
+        # the committed full-size entry.
+        result["mixed_sku"] = {}
+        for nodes in mixed_sizes:
+            print(f"mixed-SKU fleet size {nodes} ...", flush=True)
+            entry = bench_mixed_sku(nodes, args.window, args.repeats)
+            result["mixed_sku"][str(nodes)] = entry
+            print(f"  per-SKU learn {entry['per_sku_learn_s'] * 1e3:8.1f} ms"
+                  f" ({entry['per_sku_defects']} defects), pooled "
+                  f"{entry['pooled_learn_s'] * 1e3:8.1f} ms "
+                  f"({entry['pooled_defects']} defects)")
 
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {args.out}")

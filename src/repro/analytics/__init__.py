@@ -42,6 +42,7 @@ from repro.analytics.slo import (
     MTBIReducer,
     RollbackReducer,
     SanitizationReducer,
+    SkuReducer,
     ServiceCountersReducer,
     default_reducers,
     reduce_records,
@@ -58,6 +59,7 @@ __all__ = [
     "ReaderCursor",
     "RollbackReducer",
     "SanitizationReducer",
+    "SkuReducer",
     "ServiceCountersReducer",
     "build_report",
     "default_reducers",

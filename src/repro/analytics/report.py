@@ -262,7 +262,7 @@ def render_markdown(report: dict) -> str:
         out += ["## Criteria rollbacks", "", _md_kv(rollbacks), ""]
         if rollbacks.get("by_pair"):
             out += [markdown_table(
-                ("benchmark/metric", "rollbacks"),
+                ("sku/benchmark/metric", "rollbacks"),
                 sorted(rollbacks["by_pair"].items())), ""]
         for reason in rollbacks.get("reasons", []):
             out.append(f"- {reason}")
@@ -289,8 +289,18 @@ def render_markdown(report: dict) -> str:
                 rows.append((pair, stats["windows"], stats["sanitized_rate"],
                              stats["quarantine_rate"], faults or "-"))
             out += [markdown_table(
-                ("benchmark/metric", "windows", "sanitized_rate",
+                ("sku/benchmark/metric", "windows", "sanitized_rate",
                  "quarantine_rate", "faults"), rows), ""]
+
+    sku = report.get("sku")
+    if sku is not None and sku.get("by_sku"):
+        out += ["## Per-SKU fleet health", "", markdown_table(
+            ("sku", "node_hours", "incidents", "mtbi_hours",
+             "repairs", "rollbacks", "windows", "quarantine_rate"),
+            [(name, row["node_hours"], row["incidents"],
+              row["mtbi_hours"], row["repairs_completed"],
+              row["rollbacks"], row["windows"], row["quarantine_rate"])
+             for name, row in sorted(sku["by_sku"].items())]), ""]
 
     supervisor = report.get("supervisor")
     if supervisor is not None:

@@ -40,6 +40,7 @@ __all__ = [
     "RollbackReducer",
     "DLQReducer",
     "SanitizationReducer",
+    "SkuReducer",
     "SupervisorReducer",
     "default_reducers",
     "reduce_records",
@@ -373,30 +374,39 @@ class BreakerReducer:
 
 
 class RollbackReducer:
-    """Guarded-rollout rejections per (benchmark, metric)."""
+    """Guarded-rollout rejections per (sku, benchmark, metric).
+
+    Pre-SKU rollback records (no ``sku`` field) fold into the
+    ``"unknown"`` legacy bucket.
+    """
 
     name = "rollbacks"
 
     def __init__(self) -> None:
-        self.rollbacks: Counter[tuple[str, str]] = Counter()
+        self.rollbacks: Counter[tuple[str, str, str]] = Counter()
         self.reasons: list[str] = []
 
     def consume(self, record: JournalRecord) -> None:
         if record.kind != RecordKind.CRITERIA_ROLLBACK:
             return
         payload = record.payload
-        key = (str(payload.get("benchmark", "")),
+        key = (str(payload.get("sku", "unknown")),
+               str(payload.get("benchmark", "")),
                str(payload.get("metric", "")))
         self.rollbacks[key] += 1
         reason = str(payload.get("reason", ""))
         if reason and len(self.reasons) < 20:
-            self.reasons.append(f"{key[0]}/{key[1]}: {reason}")
+            self.reasons.append(f"{key[0]}/{key[1]}/{key[2]}: {reason}")
 
     def result(self) -> dict:
+        by_sku: Counter[str] = Counter()
+        for (sku, _b, _m), count in self.rollbacks.items():
+            by_sku[sku] += count
         return {
             "total": sum(self.rollbacks.values()),
-            "by_pair": {f"{b}/{m}": count for (b, m), count
+            "by_pair": {f"{s}/{b}/{m}": count for (s, b, m), count
                         in sorted(self.rollbacks.items())},
+            "by_sku": dict(sorted(by_sku.items())),
             "reasons": list(self.reasons),
         }
 
@@ -437,24 +447,25 @@ class DLQReducer:
 
 
 class SanitizationReducer:
-    """Sanitization / quarantine rates by (benchmark, metric).
+    """Sanitization / quarantine rates by (sku, benchmark, metric).
 
     Consumes the compact per-event ``batch-provenance`` summaries the
     control plane journals after each validation, plus any full
-    ``measurement-batch`` records, and reports per-pair window counts,
-    quarantine rates and fault-class histograms.
+    ``measurement-batch`` records, and reports per-slice window
+    counts, quarantine rates and fault-class histograms.  Pre-SKU
+    records fold into the ``"unknown"`` legacy bucket.
     """
 
     name = "sanitization"
 
     def __init__(self) -> None:
-        self.windows: Counter[tuple[str, str]] = Counter()
-        self.sanitized: Counter[tuple[str, str]] = Counter()
-        self.quarantined: Counter[tuple[str, str]] = Counter()
-        self.faults: dict[tuple[str, str], Counter[str]] = {}
+        self.windows: Counter[tuple[str, str, str]] = Counter()
+        self.sanitized: Counter[tuple[str, str, str]] = Counter()
+        self.quarantined: Counter[tuple[str, str, str]] = Counter()
+        self.faults: dict[tuple[str, str, str], Counter[str]] = {}
 
-    def _fold(self, key: tuple[str, str], *, windows: int, sanitized: int,
-              quarantined: int, faults: dict) -> None:
+    def _fold(self, key: tuple[str, str, str], *, windows: int,
+              sanitized: int, quarantined: int, faults: dict) -> None:
         self.windows[key] += windows
         self.sanitized[key] += sanitized
         self.quarantined[key] += quarantined
@@ -466,7 +477,8 @@ class SanitizationReducer:
     def consume(self, record: JournalRecord) -> None:
         if record.kind == RecordKind.BATCH_PROVENANCE:
             for entry in record.payload.get("provenance", []):
-                key = (str(entry.get("benchmark", "")),
+                key = (str(entry.get("sku", "unknown")),
+                       str(entry.get("benchmark", "")),
                        str(entry.get("metric", "")))
                 self._fold(key,
                            windows=int(entry.get("windows", 0)),
@@ -475,7 +487,8 @@ class SanitizationReducer:
                            faults=entry.get("faults", {}))
         elif record.kind == RecordKind.MEASUREMENT_BATCH:
             payload = record.payload
-            key = (str(payload.get("benchmark", "")),
+            key = (str(payload.get("sku", "unknown")),
+                   str(payload.get("benchmark", "")),
                    str(payload.get("metric", "")))
             windows = payload.get("windows", [])
             faults: Counter[str] = Counter()
@@ -494,7 +507,7 @@ class SanitizationReducer:
         pairs = {}
         for key in sorted(self.windows):
             windows = self.windows[key]
-            pairs[f"{key[0]}/{key[1]}"] = {
+            pairs[f"{key[0]}/{key[1]}/{key[2]}"] = {
                 "windows": windows,
                 "sanitized_rate": (_round(self.sanitized[key] / windows)
                                    if windows else None),
@@ -502,11 +515,110 @@ class SanitizationReducer:
                                     if windows else None),
                 "faults": dict(sorted(self.faults.get(key, {}).items())),
             }
+        by_sku: dict[str, dict] = {}
+        for (sku, _b, _m), windows in self.windows.items():
+            entry = by_sku.setdefault(sku, {"windows": 0, "quarantined": 0})
+            entry["windows"] += windows
+            entry["quarantined"] += self.quarantined[(sku, _b, _m)]
+        for entry in by_sku.values():
+            entry["quarantine_rate"] = (
+                _round(entry["quarantined"] / entry["windows"])
+                if entry["windows"] else None)
         return {
             "windows_total": sum(self.windows.values()),
             "windows_quarantined": sum(self.quarantined.values()),
             "by_pair": pairs,
+            "by_sku": dict(sorted(by_sku.items())),
         }
+
+
+class SkuReducer:
+    """Per-hardware-class fleet health: MTBI, evictions, telemetry.
+
+    The heterogeneous-fleet rollup: every journal signal that carries
+    (or implies) a SKU is folded into one row per hardware class --
+    observed node-hours and incidents (per-SKU MTBI), quarantines and
+    repairs (eviction pipeline), criteria rollbacks, and sanitization
+    window counts.  Records from pre-SKU journals carry no ``sku``
+    field and land in the ``"unknown"`` legacy bucket, so a v1 journal
+    replays into a one-row table instead of failing.
+
+    Node-hours come from ``event-completed`` records, which list node
+    ids but not classes; the reducer learns each node's class from the
+    ``transition`` records that do carry one and resolves the
+    attribution at :meth:`result` time.
+    """
+
+    name = "sku"
+
+    def __init__(self) -> None:
+        self._node_sku: dict[str, str] = {}
+        self._node_hours: Counter[str] = Counter()
+        self.incidents: Counter[str] = Counter()
+        self.repairs: Counter[str] = Counter()
+        self.rollbacks: Counter[str] = Counter()
+        self.windows: Counter[str] = Counter()
+        self.quarantined_windows: Counter[str] = Counter()
+        self._repaired_once: set[str] = set()
+        self.requarantines: Counter[str] = Counter()
+
+    def _sku_of(self, node_id: str) -> str:
+        return self._node_sku.get(node_id, "unknown")
+
+    def consume(self, record: JournalRecord) -> None:
+        payload = record.payload
+        if record.kind == RecordKind.EVENT_COMPLETED:
+            hours = float(payload.get("duration_hours", 0.0))
+            if hours > 0.0:
+                for node_id in payload.get("validated_nodes", []):
+                    self._node_hours[str(node_id)] += hours
+        elif record.kind == RecordKind.TRANSITION:
+            node_id = str(payload.get("node_id", ""))
+            sku = str(payload.get("sku", "unknown"))
+            if sku != "unknown":
+                self._node_sku[node_id] = sku
+            if payload.get("new") == "quarantined":
+                self.incidents[self._sku_of(node_id)] += 1
+                if node_id in self._repaired_once:
+                    self.requarantines[self._sku_of(node_id)] += 1
+            elif (payload.get("new") == "healthy"
+                    and payload.get("reason") == "repair-complete"):
+                self.repairs[self._sku_of(node_id)] += 1
+                self._repaired_once.add(node_id)
+        elif record.kind == RecordKind.CRITERIA_ROLLBACK:
+            self.rollbacks[str(payload.get("sku", "unknown"))] += 1
+        elif record.kind == RecordKind.BATCH_PROVENANCE:
+            for entry in payload.get("provenance", []):
+                sku = str(entry.get("sku", "unknown"))
+                self.windows[sku] += int(entry.get("windows", 0))
+                self.quarantined_windows[sku] += int(
+                    entry.get("quarantined", 0))
+
+    def result(self) -> dict:
+        hours: Counter[str] = Counter()
+        for node_id, node_hours in self._node_hours.items():
+            hours[self._sku_of(node_id)] += node_hours
+        skus = sorted(set(hours) | set(self.incidents) | set(self.rollbacks)
+                      | set(self.windows) | set(self.repairs)
+                      | set(self._node_sku.values()))
+        by_sku = {}
+        for sku in skus:
+            windows = self.windows[sku]
+            incidents = self.incidents[sku]
+            by_sku[sku] = {
+                "node_hours": _round(hours[sku]),
+                "incidents": incidents,
+                "mtbi_hours": (_round(hours[sku] / incidents)
+                               if incidents and hours[sku] else None),
+                "repairs_completed": self.repairs[sku],
+                "requarantines_after_repair": self.requarantines[sku],
+                "rollbacks": self.rollbacks[sku],
+                "windows": windows,
+                "quarantine_rate": (
+                    _round(self.quarantined_windows[sku] / windows)
+                    if windows else None),
+            }
+        return {"by_sku": by_sku}
 
 
 class SupervisorReducer:
@@ -634,6 +746,7 @@ def default_reducers(*, fleet_size: int | None = None,
         RollbackReducer(),
         DLQReducer(curve_points=curve_points),
         SanitizationReducer(),
+        SkuReducer(),
         SupervisorReducer(),
     ]
 

@@ -26,6 +26,7 @@ from repro.core.measurement import MetricWindow
 from repro.exceptions import BenchmarkError
 from repro.hardware.components import Component
 from repro.hardware.node import Node
+from repro.hardware.sku import performance_factor
 
 __all__ = [
     "BenchmarkKind",
@@ -183,14 +184,20 @@ class BenchmarkResult:
     wraps them into windows on the spot.  ``quarantined`` metrics'
     raw series stay readable for forensics, but the Validator must
     neither score nor learn from them.
+
+    ``sku`` is the run's hardware-class provenance.  When ``windows=``
+    are given and no explicit ``sku``, it is adopted from the first
+    window; in dict mode it stamps every wrapped window, defaulting to
+    the ``"unknown"`` bucket.
     """
 
-    __slots__ = ("benchmark", "node_id", "windows")
+    __slots__ = ("benchmark", "node_id", "sku", "windows")
 
     def __init__(self, benchmark: str, node_id: str,
                  metrics: dict[str, np.ndarray] | None = None,
                  quarantined: tuple[str, ...] = (), *,
-                 windows: tuple[MetricWindow, ...] | None = None):
+                 windows: tuple[MetricWindow, ...] | None = None,
+                 sku: str | None = None):
         self.benchmark = benchmark
         self.node_id = node_id
         if windows is not None:
@@ -198,13 +205,18 @@ class BenchmarkResult:
                 raise BenchmarkError(
                     "pass either metrics= or windows=, not both")
             self.windows = tuple(windows)
+            if sku is None:
+                sku = self.windows[0].sku if self.windows else "unknown"
         else:
+            if sku is None:
+                sku = "unknown"
             quarantined_set = set(quarantined)
             self.windows = tuple(
                 MetricWindow(node_id=node_id, benchmark=benchmark,
-                             metric=name, values=values,
+                             metric=name, values=values, sku=sku,
                              quarantined=name in quarantined_set)
                 for name, values in (metrics or {}).items())
+        self.sku = sku
 
     def __repr__(self) -> str:
         return (f"BenchmarkResult(benchmark={self.benchmark!r}, "
@@ -242,7 +254,8 @@ class BenchmarkResult:
                      windows: tuple[MetricWindow, ...]) -> "BenchmarkResult":
         """Same run identity, new windows (sanitization, corruption)."""
         return BenchmarkResult(benchmark=self.benchmark,
-                               node_id=self.node_id, windows=tuple(windows))
+                               node_id=self.node_id, windows=tuple(windows),
+                               sku=self.sku)
 
 
 def _node_metric_factor(node: Node, spec: BenchmarkSpec, metric: MetricSpec) -> float:
@@ -267,11 +280,14 @@ def measure_metric(spec: BenchmarkSpec, metric: MetricSpec, node: Node,
     """Sample one metric of one benchmark on one node.
 
     The healthy value is scaled by the node's performance multiplier
-    for the metric's component sensitivities; latency metrics divide
-    instead of multiply so degradation always means "worse".
+    for the metric's component sensitivities, times the node's SKU
+    throughput factor (1.0 for the baseline and unregistered classes);
+    latency metrics divide instead of multiply so degradation always
+    means "worse" and faster silicon always means "better".
     """
     multiplier = node.performance_multiplier(spec.metric_sensitivity(metric))
     multiplier *= _node_metric_factor(node, spec, metric)
+    multiplier *= performance_factor(node.sku)
     run_factor = 1.0 + metric.run_cv * float(rng.standard_normal())
     length = int(n_steps) if n_steps is not None else metric.series_length
     if length < 1:
@@ -302,8 +318,8 @@ def run_benchmark(spec: BenchmarkSpec, node: Node, rng: np.random.Generator,
         MetricWindow(
             node_id=node.node_id, benchmark=spec.name, metric=metric.name,
             values=measure_metric(spec, metric, node, rng, n_steps=n_steps),
-            higher_is_better=metric.higher_is_better)
+            higher_is_better=metric.higher_is_better, sku=node.sku)
         for metric in spec.metrics
     )
     return BenchmarkResult(benchmark=spec.name, node_id=node.node_id,
-                           windows=windows)
+                           windows=windows, sku=node.sku)

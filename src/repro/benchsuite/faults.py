@@ -67,6 +67,13 @@ class FaultInjectingRunner(SuiteRunner):
     fault_nodes:
         Optional set of node ids eligible for faults; ``None`` makes
         every node eligible.
+    scale_rates_by_sku:
+        When set, each node's telemetry fault rates are multiplied by
+        its SKU's ``dirty_rate_scale`` (newer hardware classes ship
+        with younger collector stacks and dirtier telemetry); the
+        scaled total is clamped to 1.  Execution-fault rates are not
+        scaled -- real defects are the fleet's problem, telemetry is
+        the pipeline's.
     seed:
         Seeds the measurement stream (via SuiteRunner) and both fault
         lotteries.
@@ -79,8 +86,8 @@ class FaultInjectingRunner(SuiteRunner):
                  telemetry_scale_rate: float = 0.0,
                  telemetry_duplicate_rate: float = 0.0,
                  unit_scale_factor: float = 1000.0,
-                 fault_nodes=None, seed: int = 0, windows=None,
-                 sanitizer=None):
+                 fault_nodes=None, scale_rates_by_sku: bool = False,
+                 seed: int = 0, windows=None, sanitizer=None):
         super().__init__(seed=seed, windows=windows, sanitizer=sanitizer)
         rates = (("crash_rate", crash_rate), ("hang_rate", hang_rate),
                  ("garbage_rate", garbage_rate),
@@ -109,6 +116,7 @@ class FaultInjectingRunner(SuiteRunner):
         self.telemetry_duplicate_rate = telemetry_duplicate_rate
         self.unit_scale_factor = unit_scale_factor
         self.fault_nodes = set(fault_nodes) if fault_nodes is not None else None
+        self.scale_rates_by_sku = scale_rates_by_sku
         self.injected: list[tuple[str, str, str]] = []  # (node, benchmark, kind)
 
     def _keyed_rng(self, offset: int, spec: BenchmarkSpec, node: Node,
@@ -139,24 +147,30 @@ class FaultInjectingRunner(SuiteRunner):
             return "garbage"
         return None
 
+    def _telemetry_rate_scale(self, node: Node) -> float:
+        """Per-node telemetry dirt multiplier (clamped by the caller)."""
+        if not self.scale_rates_by_sku:
+            return 1.0
+        from repro.hardware.sku import gpu_spec
+        return gpu_spec(node.sku).dirty_rate_scale
+
     def _draw_telemetry_fault(self, spec: BenchmarkSpec, node: Node,
                               repeat: int) -> str | None:
         """Independent lottery for telemetry-level corruption."""
         if self.fault_nodes is not None and node.node_id not in self.fault_nodes:
             return None
+        scale = self._telemetry_rate_scale(node)
+        rates = (self.telemetry_nan_rate, self.telemetry_truncate_rate,
+                 self.telemetry_scale_rate, self.telemetry_duplicate_rate)
+        total = sum(rates) * scale
+        if total > 1.0:
+            scale /= total
         roll = float(self._keyed_rng(0x7E1E, spec, node, repeat).random())
-        edge = self.telemetry_nan_rate
-        if roll < edge:
-            return "telemetry-nan"
-        edge += self.telemetry_truncate_rate
-        if roll < edge:
-            return "telemetry-truncate"
-        edge += self.telemetry_scale_rate
-        if roll < edge:
-            return "telemetry-scale"
-        edge += self.telemetry_duplicate_rate
-        if roll < edge:
-            return "telemetry-duplicate"
+        edge = 0.0
+        for kind, rate in zip(_TELEMETRY_FAULT_KINDS, rates):
+            edge += rate * scale
+            if roll < edge:
+                return kind
         return None
 
     def _corrupt_telemetry(self, series: np.ndarray, fault: str,

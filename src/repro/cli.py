@@ -118,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="graceful-drain window per worker before "
                             "escalating to SIGKILL (default 10)")
+    serve.add_argument("--sku-mix", metavar="SPEC", default=None,
+                       help="heterogeneous fleet composition as "
+                            "NAME=FRACTION pairs summing to 1.0, e.g. "
+                            "'A100=0.5,H100=0.3,MI250X=0.2' (default: "
+                            "a homogeneous A100 fleet); criteria are "
+                            "learned per SKU namespace")
 
     report = sub.add_parser(
         "report",
@@ -143,6 +149,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "until interrupted)")
     report.add_argument("--out", metavar="PATH", default=None,
                         help="also write the report to PATH")
+    report.add_argument("--by-sku", action="store_true",
+                        help="emit only the per-SKU fleet-health section "
+                             "(per-SKU MTBI, eviction pipeline, rollback "
+                             "and sanitization rates; pre-SKU journals "
+                             "report one 'unknown' row)")
 
     quality = sub.add_parser(
         "quality-report",
@@ -238,6 +249,55 @@ def _cmd_traces(args) -> int:
     return 0
 
 
+def _parse_sku_mix(spec: str) -> dict[str, float]:
+    """Parse 'A100=0.5,H100=0.5'-style fleet-composition specs."""
+    mix: dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, fraction = part.partition("=")
+        name = name.strip()
+        if not name or not fraction:
+            raise ValueError(
+                f"expected NAME=FRACTION, got {part!r}")
+        if name in mix:
+            raise ValueError(f"duplicate SKU {name!r}")
+        try:
+            mix[name] = float(fraction)
+        except ValueError:
+            raise ValueError(
+                f"bad fraction {fraction!r} for SKU {name!r}") from None
+    if not mix:
+        raise ValueError("empty sku mix")
+    return mix
+
+
+def _learn_subset(nodes, learn_on: int):
+    """The first ``learn_on`` nodes, round-robined across SKUs.
+
+    Criteria are learned per SKU namespace, and every namespace needs
+    at least two sample nodes -- a contiguous slice of a mixed fleet
+    can starve a minority class entirely, so the subset interleaves
+    the classes instead.  Homogeneous fleets reduce to the plain
+    prefix slice.
+    """
+    by_sku: dict[str, list] = {}
+    for node in nodes:
+        by_sku.setdefault(getattr(node, "sku", "unknown"), []).append(node)
+    if len(by_sku) == 1:
+        return list(nodes)[:learn_on]
+    subset: list = []
+    pools = [list(group) for _sku, group in sorted(by_sku.items())]
+    while len(subset) < learn_on and any(pools):
+        for pool in pools:
+            if pool:
+                subset.append(pool.pop(0))
+                if len(subset) >= learn_on:
+                    break
+    return subset
+
+
 def _cmd_serve(args) -> int:
     import numpy as np
 
@@ -275,8 +335,23 @@ def _cmd_serve(args) -> int:
     if args.drain_timeout <= 0:
         print("error: --drain-timeout must be positive", file=sys.stderr)
         return 2
+    sku_mix = None
+    if args.sku_mix:
+        try:
+            sku_mix = _parse_sku_mix(args.sku_mix)
+        except ValueError as error:
+            print(f"error: --sku-mix: {error}", file=sys.stderr)
+            return 2
 
-    fleet = build_fleet(args.nodes, seed=args.seed)
+    try:
+        fleet = build_fleet(args.nodes, seed=args.seed, sku_mix=sku_mix)
+    except ValueError as error:
+        print(f"error: --sku-mix: {error}", file=sys.stderr)
+        return 2
+    if sku_mix is not None:
+        counts = ", ".join(f"{sku}={count}" for sku, count
+                           in sorted(fleet.sku_counts().items()))
+        print(f"fleet composition: {counts}")
     suite = full_suite()
     incremental = None
     if args.incremental_criteria:
@@ -285,7 +360,7 @@ def _cmd_serve(args) -> int:
     validator = Validator(suite, runner=SuiteRunner(seed=args.seed),
                           incremental=incremental)
     print(f"learning criteria on {args.learn_on} of {args.nodes} nodes...")
-    validator.learn_criteria(fleet.nodes[:args.learn_on])
+    validator.learn_criteria(_learn_subset(fleet.nodes, args.learn_on))
 
     trace = generate_incident_trace(max(args.nodes, 50), 2400.0,
                                     seed=args.seed + 1)
@@ -608,8 +683,11 @@ def _cmd_report(args) -> int:
     render = render_json if args.format == "json" else render_markdown
 
     def emit(records) -> str:
-        text = render(build_report(records, fleet_size=args.fleet_size,
-                                   journal_health=reader.health()))
+        report = build_report(records, fleet_size=args.fleet_size,
+                              journal_health=reader.health())
+        if args.by_sku:
+            report = {"sku": report.get("sku")}
+        text = render(report)
         print(text, end="")
         if args.out:
             from pathlib import Path
@@ -703,11 +781,11 @@ def _cmd_quality_report(args) -> int:
         decision = evaluate_rollout(
             shadow, poisoned, criteria.criteria, alpha=criteria.alpha,
             higher_is_better=criteria.higher_is_better, config=guard,
-            benchmark=key[0], metric=key[1])
+            benchmark=key[1], metric=key[2], sku=key[0])
         if not decision.accepted:
             rejected += 1
     print(f"\nguarded rollout: poisoned criteria rejected for "
-          f"{rejected}/{len(windows)} (benchmark, metric) pairs")
+          f"{rejected}/{len(windows)} (sku, benchmark, metric) namespaces")
     return 0
 
 

@@ -49,7 +49,7 @@ Approximate results never go live on their own authority: the
 validator routes every candidate -- exact or approximate -- through
 the ``repro.quality.rollout`` shadow-evaluation gate, and a rejected
 candidate both rolls back and forces the next learn for that
-(benchmark, metric) onto the exact path.
+(sku, benchmark, metric) onto the exact path.
 """
 
 from __future__ import annotations
@@ -130,7 +130,7 @@ class IncrementalConfig:
 
 @dataclass
 class CriteriaState:
-    """Persistent cache between re-learns of one (benchmark, metric).
+    """Persistent cache between re-learns of one (sku, benchmark, metric).
 
     Holds everything a delta re-learn needs and nothing it does not:
     fingerprints to find the changed windows, the sketch batch to
@@ -511,7 +511,7 @@ def learn_criteria_incremental(samples, alpha: float = 0.95, *,
 
     Drop-in alternative to :func:`repro.core.criteria.learn_criteria`
     that returns ``(result, state)``: pass the returned state back on
-    the next re-learn of the same (benchmark, metric) stream to unlock
+    the next re-learn of the same (sku, benchmark, metric) stream to unlock
     the delta path.  ``mode`` is a hint -- ``"auto"`` (resolve by the
     state machine in the module docstring), ``"exact"`` (force the
     classic exact learn, used after a rollout rollback), ``"full"``

@@ -3,11 +3,13 @@
 Every measurement the system handles -- from a benchmark execution on
 one node all the way to the control plane's journal -- is a
 :class:`MetricWindow`: one 1-D sample array plus the provenance the
-rest of the pipeline needs to handle it correctly (node, benchmark,
-metric, polarity, schema version, sanitization and quarantine state).
-A :class:`MeasurementBatch` groups the fleet's windows for one
-(benchmark, metric) pair, which is the unit the distance backend
-scores and criteria learning consumes.
+rest of the pipeline needs to handle it correctly (node, SKU,
+benchmark, metric, polarity, schema version, sanitization and
+quarantine state).  A :class:`MeasurementBatch` groups the fleet's
+windows for one (sku, benchmark, metric) triple, which is the unit the
+distance backend scores and criteria learning consumes; the batch
+constructor rejects a window from any other SKU, so cross-SKU mixing
+is structurally impossible rather than merely discouraged.
 
 Two invariants this model enforces that ad-hoc dict/array plumbing
 could not:
@@ -44,6 +46,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.core.ecdf import as_sample
+from repro.exceptions import SkuMismatchError
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -56,8 +59,11 @@ __all__ = [
 
 #: Version of the window/batch payload schema.  Bumped on incompatible
 #: payload changes so a journal written by a future layout is detected
-#: instead of silently misread.
-SCHEMA_VERSION = 1
+#: instead of silently misread.  Version history:
+#:
+#: * **1** -- the pre-SKU layout; replayed with ``sku="unknown"``.
+#: * **2** -- windows and batches carry a ``sku`` provenance field.
+SCHEMA_VERSION = 2
 
 #: Non-finite policy: any NaN/Inf in a sample is an error.
 NONFINITE_REJECT = "reject"
@@ -73,6 +79,11 @@ class MetricWindow:
     ----------
     node_id, benchmark, metric:
         Where the window came from.
+    sku:
+        Hardware class of the producing node.  Part of the window's
+        identity: criteria are namespaced per SKU and a window is only
+        ever scored against its own SKU's criteria.  Windows replayed
+        from pre-SKU (v1) payloads land in the ``"unknown"`` bucket.
     values:
         The raw (or, after sanitization, cleaned) 1-D sample array.
     higher_is_better:
@@ -102,6 +113,7 @@ class MetricWindow:
     quarantined: bool = False
     faults: tuple[str, ...] = ()
     schema_version: int = SCHEMA_VERSION
+    sku: str = "unknown"
 
     def __post_init__(self) -> None:
         arr = np.asarray(self.values, dtype=float).ravel()
@@ -149,6 +161,7 @@ class MetricWindow:
         return {
             "schema_version": self.schema_version,
             "node_id": self.node_id,
+            "sku": self.sku,
             "benchmark": self.benchmark,
             "metric": self.metric,
             "values": [float(v) for v in self.values],
@@ -164,6 +177,8 @@ class MetricWindow:
 
         Raises ``ValueError`` on malformed payloads or an unknown
         schema version, so journal replay can skip (not misread) them.
+        Pre-SKU (v1) payloads load with ``sku="unknown"`` -- the
+        legacy bucket every per-SKU consumer renders explicitly.
         """
         try:
             version = int(payload.get("schema_version", SCHEMA_VERSION))
@@ -173,6 +188,7 @@ class MetricWindow:
                     f"than supported version {SCHEMA_VERSION}")
             return cls(
                 node_id=str(payload["node_id"]),
+                sku=str(payload.get("sku", "unknown")),
                 benchmark=str(payload["benchmark"]),
                 metric=str(payload["metric"]),
                 values=np.asarray(payload["values"], dtype=float),
@@ -188,12 +204,16 @@ class MetricWindow:
 
 @dataclass(frozen=True, eq=False)
 class MeasurementBatch:
-    """The fleet's windows for one (benchmark, metric) pair.
+    """The fleet's windows for one (sku, benchmark, metric) triple.
 
     This is the unit the distance backend scores in one kernel call
     and criteria learning consumes; the batch-level provenance
-    (polarity, sanitization state) is what lets the non-finite policy
-    be resolved once here instead of threaded through the call stack.
+    (SKU, polarity, sanitization state) is what lets the non-finite
+    policy be resolved once here instead of threaded through the call
+    stack.  SKU homogeneity is enforced structurally: a window from
+    any other hardware class raises
+    :class:`~repro.exceptions.SkuMismatchError` at construction, so a
+    batch can never silently mix classes whose "normal" levels differ.
     """
 
     benchmark: str
@@ -201,6 +221,7 @@ class MeasurementBatch:
     windows: tuple[MetricWindow, ...]
     higher_is_better: bool = True
     schema_version: int = SCHEMA_VERSION
+    sku: str = "unknown"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "windows", tuple(self.windows))
@@ -210,17 +231,25 @@ class MeasurementBatch:
                 raise ValueError(
                     f"window for {window.benchmark}/{window.metric} does "
                     f"not belong in a {self.benchmark}/{self.metric} batch")
+            if window.sku != self.sku:
+                raise SkuMismatchError(
+                    f"window from node {window.node_id!r} carries SKU "
+                    f"{window.sku!r} and does not belong in a {self.sku!r} "
+                    f"batch for {self.benchmark}/{self.metric}")
 
     @classmethod
     def from_results(cls, results: Iterable[object], *, benchmark: str,
-                     metric: str,
-                     higher_is_better: bool = True) -> "MeasurementBatch":
+                     metric: str, higher_is_better: bool = True,
+                     sku: str | None = None) -> "MeasurementBatch":
         """Collect one metric's windows from many benchmark results.
 
         ``results`` yields :class:`~repro.benchsuite.base.
         BenchmarkResult`-like objects; results missing the metric are
         skipped (the Validator separately flags them as execution
-        failures with the index bookkeeping it needs).
+        failures with the index bookkeeping it needs).  ``sku=None``
+        adopts the first collected window's SKU; the constructor's
+        homogeneity check then rejects any stray window from another
+        class.
         """
         windows: list[MetricWindow] = []
         for result in results:
@@ -229,9 +258,11 @@ class MeasurementBatch:
             except (AttributeError, KeyError):
                 continue
             windows.append(window)
+        if sku is None:
+            sku = windows[0].sku if windows else "unknown"
         return cls(benchmark=benchmark, metric=metric,
                    windows=tuple(windows),
-                   higher_is_better=higher_is_better)
+                   higher_is_better=higher_is_better, sku=sku)
 
     def __len__(self) -> int:
         return len(self.windows)
@@ -275,6 +306,7 @@ class MeasurementBatch:
         """Plain-JSON-types payload (journal serialization)."""
         return {
             "schema_version": self.schema_version,
+            "sku": self.sku,
             "benchmark": self.benchmark,
             "metric": self.metric,
             "higher_is_better": self.higher_is_better,
@@ -283,7 +315,12 @@ class MeasurementBatch:
 
     @classmethod
     def from_payload(cls, payload: dict) -> "MeasurementBatch":
-        """Rebuild a batch (and all window provenance) from its payload."""
+        """Rebuild a batch (and all window provenance) from its payload.
+
+        Pre-SKU (v1) payloads replay into the ``"unknown"`` bucket,
+        which their windows default to as well -- the homogeneity
+        check holds across the migration.
+        """
         try:
             version = int(payload.get("schema_version", SCHEMA_VERSION))
             if version > SCHEMA_VERSION:
@@ -297,6 +334,7 @@ class MeasurementBatch:
                               for w in payload["windows"]),
                 higher_is_better=bool(payload["higher_is_better"]),
                 schema_version=version,
+                sku=str(payload.get("sku", "unknown")),
             )
         except (KeyError, TypeError) as error:
             raise ValueError(f"malformed batch payload: {error}") from error

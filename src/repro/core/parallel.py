@@ -1,6 +1,6 @@
 """Process fan-out helpers and the ``REPRO_WORKERS`` knob.
 
-Criteria learning is embarrassingly parallel across (benchmark, metric)
+Criteria learning is embarrassingly parallel across (sku, benchmark, metric)
 tasks, and the control-plane pool's width is a deployment decision, not
 a code change.  Both read their default parallelism from one place:
 

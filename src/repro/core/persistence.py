@@ -3,8 +3,8 @@
 The paper's Validator learns criteria offline during build-out and
 applies them online for months, refreshing periodically as new data
 arrives -- which requires the criteria to live outside the process.
-This module serializes the ``(benchmark, metric) -> criteria`` map to
-a single JSON document and restores it into a fresh Validator.
+This module serializes the ``(sku, benchmark, metric) -> criteria``
+map to a single JSON document and restores it into a fresh Validator.
 
 Only what the online filter needs is persisted: the criteria sample,
 threshold, and metric polarity.  The learning by-products (defect
@@ -38,9 +38,10 @@ from repro.exceptions import CriteriaError
 __all__ = ["save_criteria", "load_criteria", "criteria_payload",
            "apply_criteria_payload"]
 
-_FORMAT_VERSION = 2
-#: Version 1 files (no checksum) remain loadable.
-_SUPPORTED_VERSIONS = (1, 2)
+_FORMAT_VERSION = 3
+#: Version 1 files (no checksum) and version 2 files (no SKU axis;
+#: entries land in the "unknown" namespace) remain loadable.
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def _entries_checksum(entries: list[dict]) -> int:
@@ -58,8 +59,9 @@ def criteria_payload(validator: Validator) -> dict:
     if not validator.criteria:
         raise CriteriaError("validator has no learned criteria to save")
     entries = []
-    for (benchmark, metric), criteria in validator.criteria.items():
+    for (sku, benchmark, metric), criteria in validator.criteria.items():
         entries.append({
+            "sku": sku,
             "benchmark": benchmark,
             "metric": metric,
             "alpha": criteria.alpha,
@@ -76,7 +78,9 @@ def apply_criteria_payload(validator: Validator, payload: dict, *,
     """Restore criteria from a :func:`criteria_payload` document.
 
     Entries for benchmarks outside the validator's suite are skipped
-    (a shrunk suite must not resurrect stale criteria).  Returns the
+    (a shrunk suite must not resurrect stale criteria).  Pre-SKU
+    entries (format versions 1 and 2) restore into the ``"unknown"``
+    namespace, where legacy windows score against them.  Returns the
     number of entries loaded.
     """
     try:
@@ -103,6 +107,7 @@ def apply_criteria_payload(validator: Validator, payload: dict, *,
         try:
             benchmark = entry["benchmark"]
             metric = entry["metric"]
+            sku = str(entry.get("sku", "unknown"))
             criteria = np.asarray(entry["criteria"], dtype=float)
             alpha = float(entry["alpha"])
             higher_is_better = bool(entry["higher_is_better"])
@@ -112,9 +117,10 @@ def apply_criteria_payload(validator: Validator, payload: dict, *,
             ) from error
         if benchmark not in suite_names:
             continue
-        validator.criteria[(benchmark, metric)] = MetricCriteria(
+        validator.criteria[(sku, benchmark, metric)] = MetricCriteria(
             benchmark=benchmark, metric=metric, criteria=criteria,
             alpha=alpha, higher_is_better=higher_is_better, learning=None,
+            sku=sku,
         )
         loaded += 1
     return loaded

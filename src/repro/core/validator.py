@@ -4,12 +4,17 @@ The Validator owns two responsibilities:
 
 * **Offline criteria learning** -- during cluster build-out the full
   benchmark set runs on every node and Algorithm 2 learns one criteria
-  sample per (benchmark, metric).
+  sample per (sku, benchmark, metric): each hardware class gets its
+  own criteria namespace, because an H100's "normal" throughput is an
+  A100's anomaly.
 * **Online defect filtering** -- a later validation run compares each
-  node's result to the criteria with the one-sided similarity of
-  Eq. (4); a node is defective as soon as *any* selected benchmark
-  metric falls below the threshold.  Benchmark executions that fail
-  outright (empty/NaN samples) are defects by definition.
+  node's result to its own SKU's criteria with the one-sided
+  similarity of Eq. (4); a node is defective as soon as *any* selected
+  benchmark metric falls below the threshold.  Benchmark executions
+  that fail outright (empty/NaN samples) are defects by definition,
+  and a window can never be scored against another SKU's criteria --
+  that raises :class:`~repro.exceptions.SkuMismatchError` instead of
+  mis-scoring.
 
 Execution follows the paper's two-phase, bottom-up order: single-node
 micro-benchmarks, single-node end-to-end, then multi-node -- with
@@ -39,7 +44,7 @@ from repro.core.measurement import (
     PipelineStats,
 )
 from repro.core.parallel import process_map
-from repro.exceptions import CriteriaError, InvalidSampleError
+from repro.exceptions import CriteriaError, InvalidSampleError, SkuMismatchError
 from repro.core.ecdf import as_sample
 
 __all__ = ["MetricCriteria", "Violation", "ValidationReport", "Validator"]
@@ -68,7 +73,7 @@ def _learn_task(task) -> tuple[CriteriaResult, CriteriaState | None]:
 
 @dataclass(frozen=True)
 class MetricCriteria:
-    """Learned criteria for one benchmark metric."""
+    """Learned criteria for one benchmark metric in one SKU namespace."""
 
     benchmark: str
     metric: str
@@ -76,17 +81,24 @@ class MetricCriteria:
     alpha: float
     higher_is_better: bool
     learning: CriteriaResult | None = None
+    sku: str = "unknown"
 
 
 @dataclass(frozen=True)
 class Violation:
-    """One criteria violation on one node."""
+    """One criteria violation on one node.
+
+    ``sku`` is the verdict's criteria provenance: the namespace whose
+    criteria the window was scored against, which -- by the isolation
+    invariant -- always equals the window's own SKU.
+    """
 
     node_id: str
     benchmark: str
     metric: str
     similarity: float
     reason: str = "below-threshold"
+    sku: str = "unknown"
 
 
 @dataclass
@@ -140,10 +152,10 @@ class Validator:
         When set, criteria learning routes through the incremental
         engine (:func:`repro.core.incremental.learn_criteria_incremental`)
         with this config: sketches + landmark medoids for large fleets,
-        delta re-learns against the persisted per-(benchmark, metric)
-        :class:`~repro.core.incremental.CriteriaState`, and the classic
-        exact path below ``exact_below``.  ``None`` (the default)
-        keeps every learn on the exact Algorithm 2 path.
+        delta re-learns against the persisted per-(sku, benchmark,
+        metric) :class:`~repro.core.incremental.CriteriaState`, and the
+        classic exact path below ``exact_below``.  ``None`` (the
+        default) keeps every learn on the exact Algorithm 2 path.
     """
 
     def __init__(self, suite: tuple[BenchmarkSpec, ...], *,
@@ -158,26 +170,26 @@ class Validator:
         self.centroid = centroid
         self.contamination = float(contamination)
         self.incremental = incremental
-        self.criteria: dict[tuple[str, str], MetricCriteria] = {}
-        # Incremental-engine state per (benchmark, metric): fingerprints
-        # + sketch batch + coreset profile from the last learn.  Only
-        # populated when ``incremental`` is set.
-        self.criteria_states: dict[tuple[str, str], CriteriaState] = {}
+        self.criteria: dict[tuple[str, str, str], MetricCriteria] = {}
+        # Incremental-engine state per (sku, benchmark, metric):
+        # fingerprints + sketch batch + coreset profile from the last
+        # learn.  Only populated when ``incremental`` is set.
+        self.criteria_states: dict[tuple[str, str, str], CriteriaState] = {}
         # Keys whose next learn is pinned to the exact path -- the
         # control plane adds a key here when the rollout gate rejects
         # an (approximate) candidate, and the pin is consumed by that
         # next learn.
-        self._force_exact: set[tuple[str, str]] = set()
+        self._force_exact: set[tuple[str, str, str]] = set()
         # Per-stage counters/timings of this Validator's learn/score
         # work; merged with the runner's execute/sanitize stages by
         # Anubis.pipeline_stats().
         self.stats = PipelineStats()
-        # (benchmark, metric) -> (MetricCriteria, presorted sample).
-        # Entries are validated by *identity* against the live
-        # ``criteria`` dict, so any re-learn or persistence reload
+        # (sku, benchmark, metric) -> (MetricCriteria, presorted
+        # sample).  Entries are validated by *identity* against the
+        # live ``criteria`` dict, so any re-learn or persistence reload
         # (which replace the MetricCriteria object) invalidates them
         # without coordination.
-        self._criteria_cache: dict[tuple[str, str],
+        self._criteria_cache: dict[tuple[str, str, str],
                                    tuple[MetricCriteria, np.ndarray]] = {}
 
     def spec(self, name: str) -> BenchmarkSpec:
@@ -191,9 +203,11 @@ class Validator:
     # Offline criteria learning
     # ------------------------------------------------------------------
     def _learning_tasks(self, spec: BenchmarkSpec, results: dict[str, object]):
-        """Per-metric (metric, samples, centroid, policy) learning inputs.
+        """Per-(sku, metric) (sku, metric, samples, centroid, policy) inputs.
 
-        Each metric's fleet-wide windows are collected into a
+        Results are first partitioned by SKU -- each hardware class
+        learns its own criteria namespace -- then each group's windows
+        for one metric are collected into a
         :class:`~repro.core.measurement.MeasurementBatch`, which is
         where the dirty-telemetry handling now lives: metrics
         quarantined by sanitization are skipped (no verdict, nothing
@@ -207,37 +221,43 @@ class Validator:
         NaN silently dropping the whole node from the learning set.
         """
         tasks = []
-        result_list = list(results.values())
-        for metric in spec.metrics:
-            batch = MeasurementBatch.from_results(
-                result_list, benchmark=spec.name, metric=metric.name,
-                higher_is_better=metric.higher_is_better)
-            usable = [w for w in batch.scoreable()
-                      if w.values.size and np.isfinite(w.values).any()]
-            if len(usable) < 2:
-                raise CriteriaError(
-                    f"not enough valid samples to learn criteria for "
-                    f"{spec.name}/{metric.name}"
-                )
-            learn_batch = MeasurementBatch(
-                benchmark=spec.name, metric=metric.name,
-                windows=tuple(usable),
-                higher_is_better=metric.higher_is_better)
-            samples = learn_batch.samples()
-            # Single-value metrics compare cleanest against a single
-            # representative value (the medoid); series metrics use the
-            # configured centroid (pooled by default) whose smoother
-            # CDF keeps the one-sided filter's left tail quiet.
-            is_series = any(np.size(s) > 1 for s in samples)
-            centroid = self.centroid if is_series else "medoid"
-            tasks.append((metric, samples, centroid,
-                          learn_batch.nonfinite_policy))
+        groups: dict[str, list] = {}
+        for result in results.values():
+            groups.setdefault(getattr(result, "sku", "unknown"),
+                              []).append(result)
+        for sku in sorted(groups):
+            for metric in spec.metrics:
+                batch = MeasurementBatch.from_results(
+                    groups[sku], benchmark=spec.name, metric=metric.name,
+                    higher_is_better=metric.higher_is_better, sku=sku)
+                usable = [w for w in batch.scoreable()
+                          if w.values.size and np.isfinite(w.values).any()]
+                if len(usable) < 2:
+                    raise CriteriaError(
+                        f"not enough valid samples to learn criteria for "
+                        f"{sku}/{spec.name}/{metric.name}"
+                    )
+                learn_batch = MeasurementBatch(
+                    benchmark=spec.name, metric=metric.name,
+                    windows=tuple(usable),
+                    higher_is_better=metric.higher_is_better, sku=sku)
+                samples = learn_batch.samples()
+                # Single-value metrics compare cleanest against a single
+                # representative value (the medoid); series metrics use
+                # the configured centroid (pooled by default) whose
+                # smoother CDF keeps the one-sided filter's left tail
+                # quiet.
+                is_series = any(np.size(s) > 1 for s in samples)
+                centroid = self.centroid if is_series else "medoid"
+                tasks.append((sku, metric, samples, centroid,
+                              learn_batch.nonfinite_policy))
         return tasks
 
     def _store_criteria(self, spec: BenchmarkSpec, metric,
                         learned: CriteriaResult,
-                        state: CriteriaState | None = None) -> None:
-        key = (spec.name, metric.name)
+                        state: CriteriaState | None = None,
+                        sku: str = "unknown") -> None:
+        key = (sku, spec.name, metric.name)
         self._criteria_cache.pop(key, None)
         self.criteria[key] = MetricCriteria(
             benchmark=spec.name,
@@ -246,6 +266,7 @@ class Validator:
             alpha=self.alpha,
             higher_is_better=metric.higher_is_better,
             learning=learned,
+            sku=sku,
         )
         if state is not None:
             self.criteria_states[key] = state
@@ -258,18 +279,20 @@ class Validator:
             self.stats.record(f"learn-{state.path}", count=1,
                               seconds=state.seconds)
 
-    def invalidate_criteria_state(self, key: tuple[str, str]) -> None:
+    def invalidate_criteria_state(self, key: tuple[str, str, str]) -> None:
         """Drop the incremental state for ``key`` and pin its next learn.
 
         Called by the control plane when the rollout gate rejects a
         candidate: the cached sketches/coreset are no longer trusted,
-        and the next learn for this (benchmark, metric) runs on the
-        exact Algorithm 2 path regardless of fleet size.
+        and the next learn for this (sku, benchmark, metric) runs on
+        the exact Algorithm 2 path regardless of fleet size.  The pin
+        is per-namespace: rejecting one SKU's candidate never touches
+        a sibling SKU's state.
         """
         self.criteria_states.pop(key, None)
         self._force_exact.add(key)
 
-    def _learn_inputs(self, key: tuple[str, str],
+    def _learn_inputs(self, key: tuple[str, str, str],
                       mode: str) -> tuple[IncrementalConfig | None,
                                           CriteriaState | None, str]:
         """Resolve (config, state, mode) for one learning task."""
@@ -290,23 +313,24 @@ class Validator:
         hint (ignored on the classic path).
         """
         with self.stats.timed("learn"):
-            for metric, samples, centroid, policy in self._learning_tasks(
+            for sku, metric, samples, centroid, policy in self._learning_tasks(
                     spec, results):
-                key = (spec.name, metric.name)
+                key = (sku, spec.name, metric.name)
                 config, state, key_mode = self._learn_inputs(key, mode)
                 learned, new_state = _learn_task(
                     (samples, self.alpha, centroid, self.contamination,
                      policy, config, state, key_mode))
-                self._store_criteria(spec, metric, learned, new_state)
+                self._store_criteria(spec, metric, learned, new_state,
+                                     sku=sku)
 
     def learn_criteria(self, nodes, benchmarks=None, *,
                        workers: int | None = None, mode: str = "auto",
-                       ) -> dict[tuple[str, str], list]:
+                       ) -> dict[tuple[str, str, str], list]:
         """Build-out flow: run benchmarks on ``nodes`` and learn criteria.
 
         Benchmark execution stays sequential (the runner owns the
         deterministic per-(node, benchmark) RNG streams), but the
-        Algorithm 2 learning tasks -- independent per (benchmark,
+        Algorithm 2 learning tasks -- independent per (sku, benchmark,
         metric) -- fan out across worker processes.  ``workers``
         defaults to the ``REPRO_WORKERS`` environment variable, else 1;
         results are identical at any width.
@@ -317,38 +341,38 @@ class Validator:
         pinned by :meth:`invalidate_criteria_state` learn exactly
         regardless of the hint.
 
-        Returns the per-(benchmark, metric) learning windows so callers
-        can shadow-evaluate the freshly learned criteria against the
-        very samples they came from (guarded rollout,
+        Returns the per-(sku, benchmark, metric) learning windows so
+        callers can shadow-evaluate the freshly learned criteria
+        against the very samples they came from (guarded rollout,
         :mod:`repro.quality.rollout`).
         """
         tasks = []
         for spec in self.resolve(benchmarks):
             results = self.runner.run_on_nodes(spec, nodes)
-            for metric, samples, centroid, policy in self._learning_tasks(
+            for sku, metric, samples, centroid, policy in self._learning_tasks(
                     spec, results):
-                tasks.append((spec, metric, samples, centroid, policy))
+                tasks.append((sku, spec, metric, samples, centroid, policy))
         with self.stats.timed("learn"):
             payloads = []
-            for spec, metric, samples, centroid, policy in tasks:
+            for sku, spec, metric, samples, centroid, policy in tasks:
                 config, state, key_mode = self._learn_inputs(
-                    (spec.name, metric.name), mode)
+                    (sku, spec.name, metric.name), mode)
                 payloads.append((samples, self.alpha, centroid,
                                  self.contamination, policy, config, state,
                                  key_mode))
             learned_results = process_map(_learn_task, payloads,
                                           workers=workers)
-        windows: dict[tuple[str, str], list] = {}
-        for (spec, metric, samples, _, _), (learned, new_state) in zip(
+        windows: dict[tuple[str, str, str], list] = {}
+        for (sku, spec, metric, samples, _, _), (learned, new_state) in zip(
                 tasks, learned_results):
-            self._store_criteria(spec, metric, learned, new_state)
-            windows[(spec.name, metric.name)] = samples
+            self._store_criteria(spec, metric, learned, new_state, sku=sku)
+            windows[(sku, spec.name, metric.name)] = samples
         return windows
 
     # ------------------------------------------------------------------
     # Online validation
     # ------------------------------------------------------------------
-    def _criteria_reference(self, key: tuple[str, str],
+    def _criteria_reference(self, key: tuple[str, str, str],
                             criteria: MetricCriteria) -> np.ndarray:
         """Presorted criteria sample, cached until the criteria changes."""
         cached = self._criteria_cache.get(key)
@@ -365,10 +389,14 @@ class Validator:
     def check_results(self, spec: BenchmarkSpec, results) -> list[Violation]:
         """Compare many nodes' results to the criteria in one pass.
 
-        The whole fleet's windows for one metric are scored against the
-        cached criteria ECDF with a single one-vs-many kernel call
-        (Eq. 4); violations come back in the same node-major, metric
-        order a :meth:`check_result` loop would produce.
+        Results are partitioned by SKU and each group's windows for
+        one metric are scored against that namespace's cached criteria
+        ECDF with one one-vs-many kernel call (Eq. 4) per group;
+        violations come back in the same node-major, metric order a
+        :meth:`check_result` loop would produce.  Scoring a group
+        against criteria stored under the wrong namespace raises
+        :class:`~repro.exceptions.SkuMismatchError` -- a wrong verdict
+        is never an acceptable fallback.
 
         Metrics quarantined by the sanitization layer yield *no*
         verdict: quarantined telemetry indicts the measurement
@@ -378,44 +406,63 @@ class Validator:
         started = time.perf_counter()
         results = list(results)
         backend = get_backend(NONFINITE_REJECT)
+        groups: dict[str, list[int]] = {}
+        for index, result in enumerate(results):
+            sku = getattr(result, "sku", "unknown")
+            groups.setdefault(sku, []).append(index)
         # metric name -> (per-result similarity by index, failure reasons)
         scored: dict[str, tuple[dict[int, float], dict[int, str]]] = {}
         for metric in spec.metrics:
-            key = (spec.name, metric.name)
-            if key not in self.criteria:
-                raise CriteriaError(
-                    f"no criteria learned for {spec.name}/{metric.name}"
-                )
-            criteria = self.criteria[key]
-            reference = self._criteria_reference(key, criteria)
-            sorted_samples, indices = [], []
-            failures: dict[int, str] = {}
-            for index, result in enumerate(results):
-                if metric.name in getattr(result, "quarantined", ()):
-                    continue
-                try:
-                    # Scoring stays strictly per-window: an empty or
-                    # non-finite online sample is an execution failure
-                    # (a defect by definition), never maskable.
-                    sample = as_sample(result.sample(metric.name))
-                except (InvalidSampleError, KeyError) as error:
-                    failures[index] = str(error)
-                    continue
-                sorted_samples.append(np.sort(sample))
-                indices.append(index)
             similarities: dict[int, float] = {}
-            if indices:
-                direction = +1 if criteria.higher_is_better else -1
-                sims = backend.one_vs_many_similarities(
-                    sorted_samples, reference, signed_direction=direction,
-                    assume_sorted=True,
-                )
-                similarities = {idx: float(sim)
-                                for idx, sim in zip(indices, sims)}
+            failures: dict[int, str] = {}
+            for sku in sorted(groups):
+                key = (sku, spec.name, metric.name)
+                if key not in self.criteria:
+                    raise CriteriaError(
+                        f"no criteria learned for "
+                        f"{sku}/{spec.name}/{metric.name}"
+                    )
+                criteria = self.criteria[key]
+                if criteria.sku != sku:
+                    # The namespace key and the stored provenance
+                    # disagree (a mis-filed criteria object); scoring
+                    # would silently judge one class by another's
+                    # normal.
+                    raise SkuMismatchError(
+                        f"criteria stored under SKU namespace {sku!r} "
+                        f"carry provenance {criteria.sku!r} for "
+                        f"{spec.name}/{metric.name}")
+                reference = self._criteria_reference(key, criteria)
+                sorted_samples, indices = [], []
+                for index in groups[sku]:
+                    result = results[index]
+                    if metric.name in getattr(result, "quarantined", ()):
+                        continue
+                    try:
+                        # Scoring stays strictly per-window: an empty or
+                        # non-finite online sample is an execution
+                        # failure (a defect by definition), never
+                        # maskable.
+                        sample = as_sample(result.sample(metric.name))
+                    except (InvalidSampleError, KeyError) as error:
+                        failures[index] = str(error)
+                        continue
+                    sorted_samples.append(np.sort(sample))
+                    indices.append(index)
+                if indices:
+                    direction = +1 if criteria.higher_is_better else -1
+                    sims = backend.one_vs_many_similarities(
+                        sorted_samples, reference,
+                        signed_direction=direction, assume_sorted=True,
+                    )
+                    similarities.update(
+                        (idx, float(sim))
+                        for idx, sim in zip(indices, sims))
             scored[metric.name] = (similarities, failures)
 
         violations = []
         for index, result in enumerate(results):
+            sku = getattr(result, "sku", "unknown")
             for metric in spec.metrics:
                 similarities, failures = scored[metric.name]
                 if index in failures:
@@ -423,11 +470,13 @@ class Validator:
                         node_id=result.node_id, benchmark=spec.name,
                         metric=metric.name, similarity=0.0,
                         reason=f"execution-failure: {failures[index]}",
+                        sku=sku,
                     ))
                 elif index in similarities and similarities[index] <= self.alpha:
                     violations.append(Violation(
                         node_id=result.node_id, benchmark=spec.name,
                         metric=metric.name, similarity=similarities[index],
+                        sku=sku,
                     ))
         self.stats.record("score", count=len(results) * len(spec.metrics),
                           seconds=time.perf_counter() - started)

@@ -45,6 +45,19 @@ class TraceError(ReproError):
     """A trace file or trace record is malformed."""
 
 
+class SkuMismatchError(ReproError, ValueError):
+    """A measurement crossed a SKU namespace boundary.
+
+    Raised when a window would be grouped with -- or scored against --
+    criteria from another hardware class.  Criteria are only
+    meaningful within one SKU (an H100's "normal" throughput is an
+    A100's anomaly), so crossings fail loudly instead of producing a
+    plausible-looking wrong verdict.  Also a :class:`ValueError`, per
+    the same convention as :class:`ServiceError`: the mismatch is a
+    bad-argument error from the caller's point of view.
+    """
+
+
 class ServiceError(ReproError, ValueError):
     """The validation control plane was driven inconsistently.
 

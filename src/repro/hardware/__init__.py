@@ -12,19 +12,33 @@ from repro.hardware.degradation import DEFAULT_CATEGORY_WEIGHTS, WearModel
 from repro.hardware.fleet import Fleet, build_fleet
 from repro.hardware.gpu import GpuMemory, row_remap_regression_probability
 from repro.hardware.node import Node
+from repro.hardware.sku import (
+    DEFAULT_SKU,
+    SKU_REGISTRY,
+    UNKNOWN_SKU,
+    GpuSpec,
+    gpu_spec,
+    performance_factor,
+)
 
 __all__ = [
     "COMPONENT_CATEGORY",
     "DEFAULT_CATEGORY_WEIGHTS",
+    "DEFAULT_SKU",
     "DEFECT_CATALOG",
+    "SKU_REGISTRY",
+    "UNKNOWN_SKU",
     "Component",
     "DefectMode",
     "Fleet",
     "GpuMemory",
+    "GpuSpec",
     "IncidentCategory",
     "Node",
     "WearModel",
     "build_fleet",
     "defect_mode",
+    "gpu_spec",
+    "performance_factor",
     "row_remap_regression_probability",
 ]

@@ -16,6 +16,7 @@ import numpy as np
 from repro.hardware.components import DEFECT_CATALOG, DefectMode
 from repro.hardware.gpu import GpuMemory
 from repro.hardware.node import Node
+from repro.hardware.sku import DEFAULT_SKU, gpu_spec
 
 __all__ = ["Fleet", "build_fleet"]
 
@@ -66,12 +67,20 @@ class Fleet:
                 counts[name] = counts.get(name, 0) + 1
         return counts
 
+    def sku_counts(self) -> dict[str, int]:
+        """Histogram of hardware classes across the fleet."""
+        counts: dict[str, int] = {}
+        for node in self.nodes:
+            counts[node.sku] = counts.get(node.sku, 0) + 1
+        return counts
+
 
 def build_fleet(n_nodes: int, *, seed: int = 0,
                 catalog: tuple[DefectMode, ...] = DEFECT_CATALOG,
                 defect_scale: float = 1.0,
                 performance_cv: float = 0.004,
-                hbm_error_rate: float = 0.035) -> Fleet:
+                hbm_error_rate: float = 0.035,
+                sku_mix: dict[str, float] | None = None) -> Fleet:
     """Build a fleet of ``n_nodes`` with catalog-driven defect injection.
 
     Parameters
@@ -84,31 +93,81 @@ def build_fleet(n_nodes: int, *, seed: int = 0,
         Defect modes with per-node injection rates.
     defect_scale:
         Multiplier on every catalog rate; ``0`` yields a clean fleet.
+        With a ``sku_mix`` it composes with each class's own
+        ``defect_scale`` envelope.
     performance_cv:
         Coefficient of variation of the node-level silicon-lottery
-        factor.
+        factor.  Ignored when ``sku_mix`` is given -- each class then
+        uses its own :class:`~repro.hardware.sku.GpuSpec` envelope.
     hbm_error_rate:
         Fraction of nodes that accumulated correctable HBM errors
         during burn-in (Table 1's ~3.4% of nodes with any remapping).
+        Like ``performance_cv``, superseded by the per-SKU envelope
+        when ``sku_mix`` is given.
+    sku_mix:
+        Optional SKU -> fraction map for a heterogeneous fleet, e.g.
+        ``{"A100": 0.5, "H100": 0.3, "MI250X": 0.2}``.  Fractions must
+        sum to 1.0 (within 1e-9) or a :class:`ValueError` is raised --
+        silently renormalizing would hide a typo in a fleet spec.
+        ``None`` builds the homogeneous default-SKU fleet, bit-identical
+        to fleets built before the SKU axis existed.
     """
     if n_nodes <= 0:
         raise ValueError("n_nodes must be positive")
     if defect_scale < 0:
         raise ValueError("defect_scale must be non-negative")
+    mix: list[tuple[str, float]] | None = None
+    if sku_mix is not None:
+        if not sku_mix:
+            raise ValueError("sku_mix must name at least one SKU")
+        for sku, fraction in sku_mix.items():
+            if fraction < 0.0:
+                raise ValueError(
+                    f"sku_mix fraction for {sku!r} must be non-negative, "
+                    f"got {fraction}")
+        total = float(sum(sku_mix.values()))
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(
+                f"sku_mix fractions must sum to 1.0, got {total}")
+        # Sorted for a deterministic lottery regardless of dict order.
+        mix = sorted(sku_mix.items())
     rng = np.random.default_rng(seed)
     width = max(len(str(n_nodes - 1)), 4)
 
     nodes: list[Node] = []
     for i in range(n_nodes):
+        if mix is None:
+            # Homogeneous path: no extra RNG draw, same stream as the
+            # pre-SKU builder -- seeded fleets stay bit-identical.
+            sku = DEFAULT_SKU
+            node_cv, node_hbm_rate = performance_cv, hbm_error_rate
+            node_defect_scale = defect_scale
+            memory = GpuMemory()
+        else:
+            roll = rng.random()
+            edge = 0.0
+            sku = mix[-1][0]
+            for name, fraction in mix:
+                edge += fraction
+                if roll < edge:
+                    sku = name
+                    break
+            spec = gpu_spec(sku)
+            node_cv = spec.performance_cv
+            node_hbm_rate = spec.hbm_error_rate
+            node_defect_scale = defect_scale * spec.defect_scale
+            memory = GpuMemory(banks=spec.memory_banks,
+                               spare_rows_per_bank=spec.spare_rows_per_bank)
         node = Node(
             node_id=f"node-{i:0{width}d}",
-            gpu_memory=GpuMemory(),
-            performance_spread=float(rng.normal(1.0, performance_cv)),
+            gpu_memory=memory,
+            performance_spread=float(rng.normal(1.0, node_cv)),
+            sku=sku,
         )
         for mode in catalog:
-            if rng.random() < mode.rate * defect_scale:
+            if rng.random() < mode.rate * node_defect_scale:
                 node.apply_defect(mode, rng)
-        if rng.random() < hbm_error_rate:
+        if rng.random() < node_hbm_rate:
             # Burn-in correctable errors: mostly small counts, a thin
             # tail above the Table 1 threshold.
             count = 1 + int(rng.geometric(0.35))

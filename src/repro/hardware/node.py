@@ -41,6 +41,12 @@ class Node:
         Node-level silicon-lottery factor around 1.0 applied to every
         benchmark; models the natural cross-node variation the paper
         cites (Sinha et al.).
+    sku:
+        Hardware class of the node (see :mod:`repro.hardware.sku`).
+        Part of every measurement's identity: windows produced on this
+        node carry it, and criteria are namespaced by it.  Hand-built
+        nodes default to the ``"unknown"`` bucket, which behaves as
+        the neutral (factor-1.0) envelope.
     """
 
     node_id: str
@@ -48,6 +54,7 @@ class Node:
     defects: list[str] = field(default_factory=list)
     gpu_memory: GpuMemory = field(default_factory=GpuMemory)
     performance_spread: float = 1.0
+    sku: str = "unknown"
 
     def __post_init__(self):
         for component, value in self.health.items():

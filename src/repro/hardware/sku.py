@@ -1,0 +1,108 @@
+"""SKU registry: per-hardware-class performance envelopes.
+
+Production fleets mix accelerator generations, and a benchmark's
+"normal" level differs enough across them that criteria learned on one
+SKU are meaningless for another (the Milabench observation).  A
+:class:`GpuSpec` captures everything node construction and measurement
+need to know about one hardware class: the throughput factor relative
+to the baseline SKU, the width of its silicon lottery, how defect- and
+telemetry-fault-prone the class is, and its HBM geometry.
+
+The registry is deliberately small and frozen: a SKU name is part of a
+measurement's *identity* (it keys criteria namespaces end to end), so
+specs are looked up by exact name and an unregistered name degrades to
+a neutral envelope rather than failing -- hand-built :class:`Node`
+objects with the default ``sku="unknown"`` behave exactly as they did
+before the axis existed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DEFAULT_SKU",
+    "UNKNOWN_SKU",
+    "GpuSpec",
+    "SKU_REGISTRY",
+    "gpu_spec",
+    "performance_factor",
+]
+
+#: SKU stamped by :func:`~repro.hardware.fleet.build_fleet` when no
+#: ``sku_mix`` is given -- the hardware class every pre-SKU fleet
+#: implicitly was.
+DEFAULT_SKU = "A100"
+
+#: Bucket for measurements whose provenance predates the SKU axis
+#: (v1 journal records, hand-built nodes).
+UNKNOWN_SKU = "unknown"
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Envelope of one hardware class.
+
+    Attributes
+    ----------
+    sku:
+        Registry name (e.g. ``"H100"``).
+    performance_factor:
+        Throughput multiplier relative to the baseline SKU; applied to
+        every throughput metric's base level (latency metrics divide).
+    performance_cv:
+        Coefficient of variation of the class's silicon lottery.
+    defect_scale:
+        Multiplier on catalog defect rates -- newer silicon early in
+        its production ramp fails more often.
+    hbm_error_rate:
+        Fraction of nodes with burn-in correctable HBM errors.
+    dirty_rate_scale:
+        Multiplier on telemetry-fault injection rates -- younger
+        driver/collector stacks emit dirtier telemetry.
+    memory_banks / spare_rows_per_bank:
+        HBM row-remapping geometry for the class.
+    """
+
+    sku: str
+    performance_factor: float = 1.0
+    performance_cv: float = 0.004
+    defect_scale: float = 1.0
+    hbm_error_rate: float = 0.035
+    dirty_rate_scale: float = 1.0
+    memory_banks: int = 24
+    spare_rows_per_bank: int = 8
+
+
+#: The three classes the paper's fleets mix.  The A100 spec *is* the
+#: pre-SKU hardcoded profile, so a ``build_fleet`` call without a mix
+#: is bit-identical to the homogeneous fleets of earlier revisions.
+SKU_REGISTRY: dict[str, GpuSpec] = {
+    "A100": GpuSpec(sku="A100"),
+    "H100": GpuSpec(sku="H100", performance_factor=2.2,
+                    performance_cv=0.006, defect_scale=1.3,
+                    hbm_error_rate=0.045, dirty_rate_scale=1.4),
+    "MI250X": GpuSpec(sku="MI250X", performance_factor=1.4,
+                      performance_cv=0.008, defect_scale=1.15,
+                      hbm_error_rate=0.040, dirty_rate_scale=1.2,
+                      memory_banks=32),
+}
+
+
+def gpu_spec(sku: str) -> GpuSpec:
+    """The registered spec for ``sku``, or a neutral envelope.
+
+    Unregistered names (including :data:`UNKNOWN_SKU`) get a factor-1.0
+    spec so hand-built nodes and legacy measurements keep their exact
+    pre-SKU behaviour.
+    """
+    spec = SKU_REGISTRY.get(sku)
+    if spec is not None:
+        return spec
+    return GpuSpec(sku=sku)
+
+
+def performance_factor(sku: str) -> float:
+    """Throughput factor of ``sku`` relative to the baseline (1.0 when
+    unregistered)."""
+    return gpu_spec(sku).performance_factor

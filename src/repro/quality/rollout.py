@@ -99,13 +99,15 @@ class RolloutDecision:
     baseline_rate: float | None
     reason: str
     learn_path: str = ""
+    sku: str = "unknown"
 
 
 def evaluate_rollout(windows, candidate, previous, *, alpha: float,
                      higher_is_better: bool = True,
                      config: RolloutConfig | None = None,
                      benchmark: str = "", metric: str = "",
-                     learn_path: str = "") -> RolloutDecision:
+                     learn_path: str = "",
+                     sku: str = "unknown") -> RolloutDecision:
     """Shadow-evaluate one candidate criteria against one window set.
 
     ``windows`` are the shadow set's per-node samples -- the last
@@ -121,7 +123,7 @@ def evaluate_rollout(windows, candidate, previous, *, alpha: float,
             benchmark=benchmark, metric=metric, accepted=True,
             candidate_rate=0.0, baseline_rate=None,
             reason=f"abstained: only {len(windows)} shadow window(s)",
-            learn_path=learn_path)
+            learn_path=learn_path, sku=sku)
 
     candidate_rate = predicted_eviction_rate(
         windows, candidate, alpha=alpha, higher_is_better=higher_is_better)
@@ -134,7 +136,7 @@ def evaluate_rollout(windows, candidate, previous, *, alpha: float,
         return RolloutDecision(
             benchmark=benchmark, metric=metric, accepted=accepted,
             candidate_rate=candidate_rate, baseline_rate=None, reason=reason,
-            learn_path=learn_path)
+            learn_path=learn_path, sku=sku)
 
     baseline_rate = predicted_eviction_rate(
         windows, previous, alpha=alpha, higher_is_better=higher_is_better)
@@ -146,4 +148,4 @@ def evaluate_rollout(windows, candidate, previous, *, alpha: float,
     return RolloutDecision(
         benchmark=benchmark, metric=metric, accepted=accepted,
         candidate_rate=candidate_rate, baseline_rate=baseline_rate,
-        reason=reason, learn_path=learn_path)
+        reason=reason, learn_path=learn_path, sku=sku)

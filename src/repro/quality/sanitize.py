@@ -203,7 +203,7 @@ class Sanitizer:
     sweep.
     """
 
-    def __init__(self, schemas: dict[tuple[str, str], MetricSchema], *,
+    def __init__(self, schemas: dict, *,
                  ledger: TelemetryLedger | None = None):
         self.schemas = dict(schemas)
         self.ledger = ledger if ledger is not None else TelemetryLedger()
@@ -211,14 +211,26 @@ class Sanitizer:
     @classmethod
     def for_suite(cls, suite, *, runner=None, span_factor: float = 100.0,
                   min_window_fraction: float = 0.25,
-                  ledger: TelemetryLedger | None = None) -> "Sanitizer":
-        """Sanitizer with default schemas derived from the suite."""
+                  ledger: TelemetryLedger | None = None,
+                  skus=None) -> "Sanitizer":
+        """Sanitizer with default schemas derived from the suite.
+
+        ``skus`` adds per-hardware-class schemas centred on each
+        class's scaled healthy level (see
+        :func:`~repro.quality.schema.schemas_for_suite`).
+        """
         return cls(schemas_for_suite(suite, span_factor=span_factor,
                                      min_window_fraction=min_window_fraction,
-                                     runner=runner),
+                                     runner=runner, skus=skus),
                    ledger=ledger)
 
-    def schema_for(self, benchmark: str, metric: str) -> MetricSchema | None:
+    def schema_for(self, benchmark: str, metric: str,
+                   sku: str = "unknown") -> MetricSchema | None:
+        """The governing schema: the window's SKU-specific schema when
+        one is registered, else the class-agnostic fallback."""
+        schema = self.schemas.get((sku, benchmark, metric))
+        if schema is not None:
+            return schema
         return self.schemas.get((benchmark, metric))
 
     def sanitize_result(self, spec, result: BenchmarkResult) -> BenchmarkResult:
@@ -234,7 +246,8 @@ class Sanitizer:
         """
         windows = []
         for metric_window in result.windows:
-            schema = self.schema_for(result.benchmark, metric_window.metric)
+            schema = self.schema_for(result.benchmark, metric_window.metric,
+                                     metric_window.sku)
             if metric_window.sanitized or schema is None:
                 windows.append(metric_window)
                 continue

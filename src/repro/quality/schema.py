@@ -1,4 +1,4 @@
-"""Per-(benchmark, metric) telemetry schemas.
+"""Per-(benchmark, metric) telemetry schemas, optionally per SKU.
 
 A :class:`MetricSchema` states what a *plausible* measurement window
 for one benchmark metric looks like -- finiteness is implicit (nothing
@@ -16,6 +16,10 @@ specs themselves: the plausible range brackets each metric's healthy
 base value by ``span_factor`` in both directions, and the sample-count
 floor is a fraction of the measurement window the runner will actually
 keep (micro-benchmarks with single-value samples get a floor of 1).
+With ``skus`` it additionally derives one schema per hardware class,
+keyed ``(sku, benchmark, metric)`` and centred on that class's scaled
+healthy level -- what is plausible for an H100 is not what is
+plausible for an A100.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.exceptions import ReproError
+from repro.hardware.sku import performance_factor
 
 __all__ = ["MetricSchema", "schemas_for_suite"]
 
@@ -35,6 +40,9 @@ class MetricSchema:
     ----------
     benchmark / metric:
         The (benchmark, metric) pair this schema governs.
+    sku:
+        Hardware class whose plausible range this schema encodes;
+        the ``"unknown"`` default marks a class-agnostic schema.
     lower / upper:
         Inclusive plausible value range; ``None`` leaves that side
         unbounded.  ``lower >= 0`` also encodes the sign constraint
@@ -55,6 +63,7 @@ class MetricSchema:
     upper: float | None = None
     min_samples: int = 1
     unit_scale_factor: float = 1000.0
+    sku: str = "unknown"
 
     def __post_init__(self):
         if (self.lower is not None and self.upper is not None
@@ -74,7 +83,7 @@ class MetricSchema:
 
 def schemas_for_suite(suite, *, span_factor: float = 100.0,
                       min_window_fraction: float = 0.25,
-                      runner=None) -> dict[tuple[str, str], MetricSchema]:
+                      runner=None, skus=None) -> dict:
     """Default schemas for every metric of every benchmark in ``suite``.
 
     ``span_factor`` brackets each metric's healthy ``base_value``: the
@@ -85,13 +94,21 @@ def schemas_for_suite(suite, *, span_factor: float = 100.0,
     sample floor relative to the measurement window the ``runner``
     would keep for the benchmark (falling back to the metric's nominal
     series length without a runner).
+
+    ``skus`` (an iterable of SKU names) additionally emits one schema
+    per hardware class under the key ``(sku, benchmark, metric)``,
+    with the range centred on the class's scaled healthy level --
+    throughput metrics multiply by the SKU's performance factor,
+    latency metrics divide.  The class-agnostic ``(benchmark,
+    metric)`` schemas are always present as the fallback for windows
+    from unlisted classes.
     """
     if span_factor <= 1.0:
         raise ReproError(f"span_factor must exceed 1, got {span_factor}")
     if not 0.0 < min_window_fraction <= 1.0:
         raise ReproError(
             f"min_window_fraction must be in (0, 1], got {min_window_fraction}")
-    schemas: dict[tuple[str, str], MetricSchema] = {}
+    schemas: dict = {}
     for spec in suite:
         window = runner.window_for(spec) if runner is not None else None
         for metric in spec.metrics:
@@ -107,4 +124,17 @@ def schemas_for_suite(suite, *, span_factor: float = 100.0,
                 upper=metric.base_value * span_factor,
                 min_samples=floor,
             )
+            for sku in (skus or ()):
+                factor = performance_factor(sku)
+                level = (metric.base_value * factor
+                         if metric.higher_is_better
+                         else metric.base_value / factor)
+                schemas[(sku, spec.name, metric.name)] = MetricSchema(
+                    benchmark=spec.name,
+                    metric=metric.name,
+                    lower=level / span_factor,
+                    upper=level * span_factor,
+                    min_samples=floor,
+                    sku=sku,
+                )
     return schemas

@@ -312,11 +312,11 @@ class ValidationService:
         #: this service has durably accepted -- the dedupe set that
         #: makes handoff re-delivery idempotent.
         self.origins_seen: set[tuple[int, int]] = set()
-        # Previous learning windows per (benchmark, metric): the shadow
-        # set guarded rollout scores candidates against.  Held in
-        # memory only -- after a restart the first re-learn falls back
-        # to the bootstrap self-consistency check.
-        self._shadow_windows: dict[tuple[str, str], list] = {}
+        # Previous learning windows per (sku, benchmark, metric): the
+        # shadow set guarded rollout scores candidates against.  Held
+        # in memory only -- after a restart the first re-learn falls
+        # back to the bootstrap self-consistency check.
+        self._shadow_windows: dict[tuple[str, str, str], list] = {}
         # Node ids whose telemetry changed since the last learn --
         # fed by batch provenance on every validated event, consumed
         # by learn_criteria() to pick the delta vs full re-learn path
@@ -606,7 +606,8 @@ class ValidationService:
                                 if outcome.report else []),
             "benchmarks_run": (list(outcome.report.benchmarks_run)
                                if outcome.report else []),
-            "violations": ([[v.node_id, v.benchmark, v.metric, v.reason]
+            "violations": ([[v.node_id, v.benchmark, v.metric, v.reason,
+                             v.sku]
                             for v in outcome.report.violations]
                            if outcome.report else []),
             "defective": list(outcome.defective_node_ids),
@@ -829,7 +830,7 @@ class ValidationService:
                         alpha=candidate.alpha,
                         higher_is_better=candidate.higher_is_better,
                         config=self.config.rollout,
-                        benchmark=key[0], metric=key[1],
+                        benchmark=key[1], metric=key[2], sku=key[0],
                         learn_path=learn_path)
                 else:
                     decision = evaluate_rollout(
@@ -837,7 +838,7 @@ class ValidationService:
                         alpha=candidate.alpha,
                         higher_is_better=candidate.higher_is_better,
                         config=self.config.rollout,
-                        benchmark=key[0], metric=key[1],
+                        benchmark=key[1], metric=key[2], sku=key[0],
                         learn_path=learn_path)
                 decisions.append(decision)
                 if decision.accepted:
@@ -853,8 +854,9 @@ class ValidationService:
                 # seed the next delta.
                 validator.invalidate_criteria_state(key)
                 self._journal_best_effort(RecordKind.CRITERIA_ROLLBACK, {
-                    "benchmark": key[0],
-                    "metric": key[1],
+                    "sku": key[0],
+                    "benchmark": key[1],
+                    "metric": key[2],
                     "candidate_rate": decision.candidate_rate,
                     "baseline_rate": decision.baseline_rate,
                     "reason": decision.reason,
@@ -863,7 +865,7 @@ class ValidationService:
         self._maybe_snapshot(force=True)
         return decisions
 
-    def _learn_path(self, key: tuple[str, str]) -> str:
+    def _learn_path(self, key: tuple[str, str, str]) -> str:
         """Engine path that produced the latest candidate for ``key``."""
         state = self.anubis.validator.criteria_states.get(key)
         return state.path if state is not None else ""
@@ -879,7 +881,7 @@ class ValidationService:
         """
         states = self.anubis.validator.criteria_states
         entries = [
-            {"benchmark": key[0], "metric": key[1],
+            {"sku": key[0], "benchmark": key[1], "metric": key[2],
              "path": states[key].path,
              "seconds": states[key].seconds,
              "delta_steps": states[key].delta_steps}
@@ -980,17 +982,18 @@ class ValidationService:
 
         Aggregates the per-window provenance flags of everything the
         sweeps measured into one record per event, keyed by
-        (benchmark, metric) -- the slice the analytics sanitization
-        reducer reports on.  Best-effort: observability records must
-        never fail a tick that already validated successfully.
+        (sku, benchmark, metric) -- the slice the analytics
+        sanitization reducer reports on.  Best-effort: observability
+        records must never fail a tick that already validated
+        successfully.
         """
-        provenance: dict[tuple[str, str], dict] = {}
+        provenance: dict[tuple[str, str, str], dict] = {}
         for sweep in sweeps:
             for run in sweep.runs:
                 if run.result is None:
                     continue
                 for window in run.result.windows:
-                    key = (window.benchmark, window.metric)
+                    key = (window.sku, window.benchmark, window.metric)
                     entry = provenance.setdefault(key, {
                         "windows": 0, "sanitized": 0, "quarantined": 0,
                         "faults": {}})
@@ -1005,8 +1008,10 @@ class ValidationService:
         self._journal_best_effort(RecordKind.BATCH_PROVENANCE, {
             "event_id": event_id,
             "provenance": [
-                {"benchmark": benchmark, "metric": metric, **entry}
-                for (benchmark, metric), entry in sorted(provenance.items())
+                {"sku": sku, "benchmark": benchmark, "metric": metric,
+                 **entry}
+                for (sku, benchmark, metric), entry
+                in sorted(provenance.items())
             ],
         })
 
@@ -1033,8 +1038,10 @@ class ValidationService:
     def _transition(self, node_id: str, new: NodeState, *,
                     reason: str = "") -> None:
         applied = self.lifecycle.transition(node_id, new, reason=reason)
+        node = self.fleet_index.get(node_id)
         self._journal(RecordKind.TRANSITION, {
             "node_id": node_id,
+            "sku": node.sku if node is not None else "unknown",
             "old": applied.old.value,
             "new": applied.new.value,
             "reason": reason,
@@ -1209,7 +1216,8 @@ class ValidationService:
             benchmarks_run=list(payload.get("benchmarks_run", [])),
             violations=[
                 Violation(node_id=v[0], benchmark=v[1], metric=v[2],
-                          similarity=0.0, reason=v[3])
+                          similarity=0.0, reason=v[3],
+                          sku=v[4] if len(v) > 4 else "unknown")
                 for v in payload.get("violations", [])
             ],
         )

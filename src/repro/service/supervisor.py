@@ -83,6 +83,13 @@ class SupervisorConfig:
         refills -- a transient storm should not permanently count
         against a shard that has long since recovered.  ``None``
         never forgives.
+    sku_affinity:
+        Route by the node's hardware class instead of its id: every
+        node of one SKU lands on the same shard, criteria learning
+        for a namespace stays within one failure domain, and a
+        failover moves a whole SKU to one live sibling instead of
+        scattering it.  Like the ring geometry, this must stay stable
+        across restarts of the same journal root.
     service:
         The per-shard :class:`~repro.service.controlplane.ServiceConfig`
         (one config, applied to every shard).
@@ -90,6 +97,7 @@ class SupervisorConfig:
 
     shard_count: int = 4
     virtual_nodes: int = 64
+    sku_affinity: bool = False
     watchdog_stall_ticks: int = 3
     restart_backoff_base_ticks: int = 1
     restart_backoff_multiplier: float = 2.0
@@ -193,8 +201,13 @@ class ShardSupervisor:
         self.fleet = list(nodes)
         self.ring = HashRing(self.config.shard_count,
                              virtual_nodes=self.config.virtual_nodes)
-        assignment = self.ring.assignment(
-            node.node_id for node in self.fleet)
+        self._sku_index = {node.node_id: getattr(node, "sku", "unknown")
+                           for node in self.fleet}
+        assignment: dict[int, list[str]] = {
+            index: [] for index in range(self.config.shard_count)}
+        for node in self.fleet:
+            owner = self.ring.owner(self._routing_key(node.node_id))
+            assignment[owner].append(node.node_id)
         self.shards = [
             Shard(index, assignment[index], self.fleet,
                   anubis_factory=anubis_factory, journal_root=journal_root,
@@ -217,6 +230,14 @@ class ShardSupervisor:
         return {shard.index for shard in self.shards
                 if shard.state is not ShardState.DEGRADED}
 
+    def _routing_key(self, node_id: str) -> str:
+        """What the ring hashes for this node: its id, or -- under
+        ``sku_affinity`` -- its hardware class, so one SKU's nodes
+        co-locate and fail over together."""
+        if not self.config.sku_affinity:
+            return node_id
+        return self._sku_index.get(node_id, "unknown")
+
     def route(self, node_id: str) -> int:
         """The shard responsible for ``node_id`` right now.
 
@@ -225,7 +246,8 @@ class ShardSupervisor:
         RESTARTING shard still receives work: its journal is intact,
         so submits are durably accepted and recovered by the restart.
         """
-        return self.ring.owner(node_id, alive=self._alive())
+        return self.ring.owner(self._routing_key(node_id),
+                               alive=self._alive())
 
     def submit(self, event: ValidationEvent) -> dict[int, QueuedEvent]:
         """Split one event along shard ownership and submit each part.
@@ -439,7 +461,8 @@ class ShardSupervisor:
                 break
             first_node = sorted(
                 node.node_id for node in entry.event.nodes)[0]
-            target_index = self.ring.owner(first_node, alive=alive)
+            target_index = self.ring.owner(self._routing_key(first_node),
+                                           alive=alive)
             try:
                 shard.service.record_handoff(entry, to_shard=target_index)
             except (JournalError, ShardCrash):
@@ -484,7 +507,8 @@ class ShardSupervisor:
                 if target_index not in alive:
                     first_node = sorted(
                         node.node_id for node in event.nodes)[0]
-                    target_index = self.ring.owner(first_node, alive=alive)
+                    target_index = self.ring.owner(
+                        self._routing_key(first_node), alive=alive)
                 try:
                     self.shards[target_index].service.submit(
                         event, origin=origin)

@@ -52,7 +52,8 @@ _FAULT_MIX = {
 
 def dirty_runner(*, contamination: float, seed: int = 0, fault_nodes=None,
                  windows=None, sanitizer=None,
-                 unit_scale_factor: float = 1000.0) -> FaultInjectingRunner:
+                 unit_scale_factor: float = 1000.0,
+                 scale_rates_by_sku: bool = False) -> FaultInjectingRunner:
     """A fault runner whose telemetry-fault probability is ``contamination``.
 
     The budget is split 40/20/20/20 across non-finite, truncation,
@@ -60,6 +61,11 @@ def dirty_runner(*, contamination: float, seed: int = 0, fault_nodes=None,
     most common collector failure in practice, the rest roughly even.
     Execution faults (crash/hang/garbage) are left at zero: dirty
     *telemetry* is the subject here, not broken executions.
+
+    ``scale_rates_by_sku`` makes ``contamination`` the *baseline*
+    rate: each node's lottery is further multiplied by its SKU's
+    ``dirty_rate_scale``, so a mixed fleet's newer hardware classes
+    report dirtier telemetry -- the heterogeneous-fleet soak scenario.
     """
     if not 0.0 <= contamination <= 1.0:
         raise ReproError(
@@ -71,6 +77,7 @@ def dirty_runner(*, contamination: float, seed: int = 0, fault_nodes=None,
         windows=windows,
         sanitizer=sanitizer,
         unit_scale_factor=unit_scale_factor,
+        scale_rates_by_sku=scale_rates_by_sku,
         telemetry_nan_rate=contamination * _FAULT_MIX["telemetry-nan"] / total,
         telemetry_truncate_rate=(contamination
                                  * _FAULT_MIX["telemetry-truncate"] / total),
@@ -128,7 +135,8 @@ def contaminated_batch(*, n_windows: int, window: int = 32,
                        contamination: float = 0.1, seed: int = 0,
                        scale_factor: float = 1000.0,
                        benchmark: str = "soak", metric: str = "value",
-                       higher_is_better: bool = True) -> MeasurementBatch:
+                       higher_is_better: bool = True,
+                       sku: str = "unknown") -> MeasurementBatch:
     """:func:`contaminated_windows`, typed as a provenance batch.
 
     Wraps the raw dirty windows into one
@@ -139,6 +147,8 @@ def contaminated_batch(*, n_windows: int, window: int = 32,
     exactly as the runner path does.  The windows are *raw* (not yet
     sanitized), which is the point: the batch resolves its nonfinite
     policy to ``mask`` until a sanitizer has marked every window.
+    ``sku`` stamps the whole batch's hardware-class provenance
+    (batches are SKU-homogeneous by construction).
     """
     raw = contaminated_windows(
         n_windows=n_windows, window=window, base_value=base_value,
@@ -147,11 +157,11 @@ def contaminated_batch(*, n_windows: int, window: int = 32,
     windows = tuple(
         MetricWindow(node_id=f"soak-{i:03d}", benchmark=benchmark,
                      metric=metric, values=values,
-                     higher_is_better=higher_is_better)
+                     higher_is_better=higher_is_better, sku=sku)
         for i, values in enumerate(raw))
     return MeasurementBatch(benchmark=benchmark, metric=metric,
                             windows=windows,
-                            higher_is_better=higher_is_better)
+                            higher_is_better=higher_is_better, sku=sku)
 
 
 def poisoned_windows(*, n_windows: int, window: int = 32,

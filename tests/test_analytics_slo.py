@@ -166,7 +166,7 @@ class TestSanitization:
                  "faults": {"non-finite": 1, "unit-scale": 1}},
             ]}))
         result = reducer.result()
-        gemm = result["by_pair"]["gemm/gflops"]
+        gemm = result["by_pair"]["unknown/gemm/gflops"]
         assert gemm["windows"] == 8
         assert gemm["quarantine_rate"] == 0.5
         assert gemm["faults"] == {"non-finite": 3, "unit-scale": 1}
@@ -199,7 +199,7 @@ class TestBuildReport:
         assert report["service"]["events_completed"] == 1
         assert report["mtbi"]["incidents"] == 1
         assert report["breakers"]["opens_by_benchmark"] == {"nccl": 1}
-        assert report["rollbacks"]["by_pair"] == {"gemm/gflops": 1}
+        assert report["rollbacks"]["by_pair"] == {"unknown/gemm/gflops": 1}
         assert report["pipeline"]["execute"]["count"] == 3
 
     def test_byte_identical_across_replays(self):

@@ -136,7 +136,7 @@ class TestCriteriaCache:
         fleet = make_fleet()
         validator.learn_criteria(fleet)
         validator.validate(fleet)
-        key = ("tiny-loopback", "bw")
+        key = ("unknown", "tiny-loopback", "bw")
         assert key in validator._criteria_cache
         cached_criteria, cached_sample = validator._criteria_cache[key]
         assert cached_criteria is validator.criteria[key]
@@ -148,7 +148,7 @@ class TestCriteriaCache:
         fleet = make_fleet()
         validator.learn_criteria(fleet)
         validator.validate(fleet)
-        key = ("tiny-loopback", "bw")
+        key = ("unknown", "tiny-loopback", "bw")
         stale_criteria, stale_sample = validator._criteria_cache[key]
         validator.learn_criteria(fleet)
         assert key not in validator._criteria_cache

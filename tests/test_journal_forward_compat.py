@@ -203,6 +203,162 @@ class TestProcessFabricKindsForwardCompat:
         assert "Worker-process restarts by shard" in markdown
 
 
+def write_sku_journal(directory) -> JournalStore:
+    """A journal as a mixed-fleet control plane writes it: ``sku``
+    fields on transitions/rollbacks/provenance and 5-element
+    violation rows on ``event-completed``."""
+    store = JournalStore(directory)
+    store.append(RecordKind.TRANSITION, {
+        "node_id": "node-0000", "sku": "H100",
+        "old": "healthy", "new": "quarantined", "reason": "validation"})
+    store.append(RecordKind.TRANSITION, {
+        "node_id": "node-0001", "sku": "A100",
+        "old": "healthy", "new": "in-validation", "reason": ""})
+    store.append(RecordKind.EVENT_COMPLETED, {
+        "event_id": 1, "kind": "job-allocation", "duration_hours": 24.0,
+        "skipped": False,
+        "validated_nodes": ["node-0000", "node-0001"],
+        "benchmarks_run": ["ib-loopback"],
+        "violations": [["node-0000", "ib-loopback", "ib_write_bw_gbs",
+                        "similarity 0.41 < 0.95", "H100"]]})
+    store.append(RecordKind.CRITERIA_ROLLBACK, {
+        "sku": "H100", "benchmark": "ib-loopback",
+        "metric": "ib_write_bw_gbs", "candidate_rate": 0.4,
+        "baseline_rate": 0.02, "reason": "eviction-rate spike",
+        "learn_path": "full"})
+    store.append(RecordKind.BATCH_PROVENANCE, {
+        "event_id": 1,
+        "provenance": [
+            {"sku": "A100", "benchmark": "ib-loopback",
+             "metric": "ib_write_bw_gbs", "windows": 3, "quarantined": 0},
+            {"sku": "H100", "benchmark": "ib-loopback",
+             "metric": "ib_write_bw_gbs", "windows": 2, "quarantined": 1},
+        ]})
+    return store
+
+
+def write_pre_sku_journal(directory) -> JournalStore:
+    """The same story as one pre-SKU (schema v1) control plane wrote
+    it: no ``sku`` fields anywhere, 4-element violation rows."""
+    store = JournalStore(directory)
+    store.append(RecordKind.TRANSITION, {
+        "node_id": "node-0000",
+        "old": "healthy", "new": "quarantined", "reason": "validation"})
+    store.append(RecordKind.EVENT_COMPLETED, {
+        "event_id": 1, "kind": "job-allocation", "duration_hours": 24.0,
+        "skipped": False,
+        "validated_nodes": ["node-0000"],
+        "benchmarks_run": ["ib-loopback"],
+        "violations": [["node-0000", "ib-loopback", "ib_write_bw_gbs",
+                        "similarity 0.41 < 0.95"]]})
+    store.append(RecordKind.CRITERIA_ROLLBACK, {
+        "benchmark": "ib-loopback", "metric": "ib_write_bw_gbs",
+        "candidate_rate": 0.4, "baseline_rate": 0.02,
+        "reason": "eviction-rate spike"})
+    store.append(RecordKind.BATCH_PROVENANCE, {
+        "event_id": 1,
+        "provenance": [
+            {"benchmark": "ib-loopback", "metric": "ib_write_bw_gbs",
+             "windows": 3, "quarantined": 1},
+        ]})
+    return store
+
+
+class TestSkuJournalCompat:
+    """The SKU axis rides on *existing* record kinds -- no new kinds,
+    so a current reader sees a mixed-fleet journal with zero unknown
+    kinds, and a pre-SKU journal replays into the ``"unknown"``
+    legacy bucket instead of failing."""
+
+    def test_sku_fields_introduce_no_new_kinds(self, tmp_path):
+        write_sku_journal(tmp_path / "journal")
+        reader = JournalReader(tmp_path / "journal")
+        records = reader.read_all()
+        assert len(records) == 5
+        assert reader.unknown_kinds == {}
+        assert reader.corrupt_lines == 0
+
+    def test_sku_journal_builds_per_sku_tables(self, tmp_path):
+        write_sku_journal(tmp_path / "journal")
+        reader = JournalReader(tmp_path / "journal")
+        report = build_report(reader.read_all(),
+                              journal_health=reader.health())
+        by_sku = report["sku"]["by_sku"]
+        assert set(by_sku) == {"A100", "H100"}
+        assert by_sku["H100"]["incidents"] == 1
+        assert by_sku["H100"]["rollbacks"] == 1
+        assert by_sku["H100"]["quarantine_rate"] == pytest.approx(0.5)
+        assert by_sku["A100"]["incidents"] == 0
+        assert by_sku["A100"]["rollbacks"] == 0
+        assert report["rollbacks"]["by_pair"] == {
+            "H100/ib-loopback/ib_write_bw_gbs": 1}
+        markdown = render_markdown(report)
+        assert "Per-SKU fleet health" in markdown
+        assert "H100" in markdown
+
+    def test_pre_sku_journal_replays_into_unknown_bucket(self, tmp_path):
+        write_pre_sku_journal(tmp_path / "journal")
+        reader = JournalReader(tmp_path / "journal")
+        records = reader.read_all()  # must not raise
+        assert reader.unknown_kinds == {}
+        assert reader.corrupt_lines == 0
+        report = build_report(records, journal_health=reader.health())
+        by_sku = report["sku"]["by_sku"]
+        assert set(by_sku) == {"unknown"}
+        assert by_sku["unknown"]["incidents"] == 1
+        assert by_sku["unknown"]["rollbacks"] == 1
+        assert by_sku["unknown"]["windows"] == 3
+        assert report["rollbacks"]["by_pair"] == {
+            "unknown/ib-loopback/ib_write_bw_gbs": 1}
+        render_json(report)
+        render_markdown(report)
+
+    def test_pre_sku_event_replays_through_control_plane(self, tmp_path):
+        """A v1 journal's 4-element violation rows must restore into
+        the control plane's completed-event cache without crashing."""
+        from repro.service.store import JournalStore as Store
+
+        directory = tmp_path / "journal"
+        store = Store(directory)
+        store.append(RecordKind.EVENT_ENQUEUED, {
+            "event_id": 1, "priority": 0.4,
+            "event": {"kind": "job-allocation", "duration_hours": 24.0}})
+        store.append(RecordKind.EVENT_COMPLETED, {
+            "event_id": 1, "kind": "job-allocation",
+            "duration_hours": 24.0, "skipped": False,
+            "validated_nodes": ["node-0000"],
+            "benchmarks_run": ["ib-loopback"],
+            "violations": [["node-0000", "ib-loopback",
+                            "ib_write_bw_gbs", "low", ]]})
+        del store
+
+        from repro.core.selector import Selector
+        from repro.core.system import Anubis
+        from repro.core.validator import Validator
+        from repro.benchsuite.suite import suite_by_name
+        from repro.hardware import build_fleet
+        from repro.simulation import analytic_coverage_table, suite_durations
+        from repro.simulation.generator import generate_incident_trace
+        from repro.survival import extract_status_samples
+        from repro.survival.exponential import ExponentialModel
+        from repro.service import ValidationService
+
+        suite = (suite_by_name("ib-loopback"),)
+        fleet = build_fleet(4, seed=0)
+        trace = generate_incident_trace(50, 800.0, seed=1)
+        model = ExponentialModel().fit(extract_status_samples(trace))
+        selector = Selector(model, analytic_coverage_table(suite),
+                            suite_durations(suite), p0=0.05)
+        service = ValidationService(
+            Anubis(Validator(suite), selector), fleet.nodes,
+            journal_dir=directory)
+        # Replay consumed the 4-element row without raising and
+        # counted the event; the restored violation defaults to the
+        # legacy namespace.
+        assert service.metrics.events_processed == 1
+        assert service.metrics.validations_run == 1
+
+
 class TestSupervisorReducer:
     def test_reduces_fabric_records(self, tmp_path):
         write_fabric_journal(tmp_path / "journal")

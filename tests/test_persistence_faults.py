@@ -161,7 +161,7 @@ class TestPersistenceHardening:
         path = tmp_path / "criteria.json"
         save_criteria(validator, path)
         payload = json.loads(path.read_text())
-        assert payload["version"] == 2
+        assert payload["version"] == 3
         assert isinstance(payload["checksum"], int)
 
     def test_bit_flip_detected_by_checksum(self, tmp_path):

@@ -139,7 +139,7 @@ class TestFleetWideAbortRegression:
                      for name, series in poisoned.metrics.items()})
         validator = Validator(self.SUITE)
         validator.learn_criteria_from_results(spec, results)
-        assert all((spec.name, m.name) in validator.criteria
+        assert all(("unknown", spec.name, m.name) in validator.criteria
                    for m in spec.metrics)
 
     def test_partial_nan_window_still_contributes(self):
@@ -164,7 +164,7 @@ class TestFleetWideAbortRegression:
             warnings.simplefilter("ignore")
             validator.learn_criteria_from_results(spec, results)
         for metric in spec.metrics:
-            learning = validator.criteria[(spec.name, metric.name)].learning
+            learning = validator.criteria[("unknown", spec.name, metric.name)].learning
             # All 8 windows entered learning; none were excluded.
             assert len(learning.similarities) == 8
             assert learning.excluded_indices == ()
@@ -180,5 +180,5 @@ class TestFleetWideAbortRegression:
         validator = Validator(self.SUITE)
         validator.learn_criteria_from_results(spec, results)
         for metric in spec.metrics:
-            learning = validator.criteria[(spec.name, metric.name)].learning
+            learning = validator.criteria[("unknown", spec.name, metric.name)].learning
             assert len(learning.similarities) == 7

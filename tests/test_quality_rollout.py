@@ -132,7 +132,8 @@ class PoisoningRunner(SuiteRunner):
         return BenchmarkResult(
             benchmark=result.benchmark, node_id=result.node_id,
             metrics={name: series * self.factor
-                     for name, series in result.metrics.items()})
+                     for name, series in result.metrics.items()},
+            sku=result.sku)
 
 
 def build_guarded_service(journal_dir=None):

@@ -52,8 +52,8 @@ class TestCriteriaLearning:
     def test_learn_creates_criteria_per_metric(self):
         validator = Validator(tiny_suite(), runner=SuiteRunner(seed=1))
         validator.learn_criteria(make_fleet())
-        assert ("tiny-loopback", "bw") in validator.criteria
-        assert ("tiny-resnet", "throughput") in validator.criteria
+        assert ("unknown", "tiny-loopback", "bw") in validator.criteria
+        assert ("unknown", "tiny-resnet", "throughput") in validator.criteria
 
     def test_check_without_criteria_raises(self):
         validator = Validator(tiny_suite())
